@@ -1,0 +1,125 @@
+//! Index featurization for the DBA-bandits baseline.
+//!
+//! The contextual combinatorial bandit scores arms (candidate indexes) by a
+//! linear function of their features. The paper notes (§7.2.1) that DBA
+//! bandits' featurization helps it find a reasonable initial configuration
+//! quickly; we use a compact, schema-derived feature vector per index.
+
+use ixtune_candidates::CandidateSet;
+use ixtune_common::{IndexId, QueryId};
+use ixtune_workload::{Schema, Workload};
+
+/// Number of features per index.
+pub const DIM: usize = 8;
+
+/// Feature vector of one candidate index.
+///
+/// Components: bias, log-normalized table size, key-column count, include
+/// count, leading-key selectivity proxy, number of queries it was generated
+/// for (normalized), covering-ish width ratio, leading-key-is-join hint.
+pub fn featurize(
+    schema: &Schema,
+    workload: &Workload,
+    cands: &CandidateSet,
+    id: IndexId,
+) -> [f64; DIM] {
+    let idx = &cands.indexes[id.index()];
+    let table = schema.table(idx.table);
+    let max_log_rows = schema
+        .iter()
+        .map(|(_, t)| (t.rows as f64).ln())
+        .fold(1.0f64, f64::max);
+    let log_rows = (table.rows as f64).ln() / max_log_rows;
+
+    let lead_ndv = idx
+        .keys
+        .first()
+        .map(|&c| table.col(c).ndv as f64)
+        .unwrap_or(1.0);
+    let selectivity_proxy = (lead_ndv.ln().max(0.0)) / (table.rows as f64).ln().max(1.0);
+
+    let num_queries = (0..workload.len())
+        .filter(|&q| cands.for_query(QueryId::from(q)).contains(&id))
+        .count() as f64;
+    let q_frac = num_queries / workload.len().max(1) as f64;
+
+    let width: u32 = idx
+        .all_columns()
+        .map(|c| table.col(c).ty.width())
+        .sum();
+    let width_ratio = width as f64 / table.row_width() as f64;
+
+    let lead_is_joinish = idx
+        .keys
+        .first()
+        .map(|&c| {
+            workload.queries.iter().any(|q| {
+                q.joins.iter().any(|j| {
+                    (q.table_of(j.left.scan) == idx.table && j.left.column == c)
+                        || (q.table_of(j.right.scan) == idx.table && j.right.column == c)
+                })
+            })
+        })
+        .unwrap_or(false);
+
+    [
+        1.0,
+        log_rows,
+        idx.keys.len() as f64 / 4.0,
+        idx.includes.len() as f64 / 8.0,
+        selectivity_proxy,
+        q_frac,
+        width_ratio.min(1.0),
+        if lead_is_joinish { 1.0 } else { 0.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_candidates::generate_default;
+    use ixtune_workload::gen::tpch;
+
+    #[test]
+    fn features_are_bounded_and_sized() {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        for i in 0..cands.len() {
+            let f = featurize(&inst.schema, &inst.workload, &cands, IndexId::from(i));
+            assert_eq!(f.len(), DIM);
+            assert_eq!(f[0], 1.0);
+            for (j, v) in f.iter().enumerate() {
+                assert!(v.is_finite(), "feature {j} not finite");
+                assert!((-0.01..=2.0).contains(v), "feature {j} = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_tables_score_bigger_size_feature() {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        let lineitem = inst.schema.table_by_name("lineitem").unwrap();
+        let nation = inst.schema.table_by_name("nation").unwrap();
+        let on = |t| {
+            (0..cands.len())
+                .map(IndexId::from)
+                .find(|id| cands.indexes[id.index()].table == t)
+        };
+        if let (Some(li), Some(na)) = (on(lineitem), on(nation)) {
+            let f_li = featurize(&inst.schema, &inst.workload, &cands, li);
+            let f_na = featurize(&inst.schema, &inst.workload, &cands, na);
+            assert!(f_li[1] > f_na[1]);
+        }
+    }
+
+    #[test]
+    fn join_hint_flags_join_indexes() {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        let any_join = (0..cands.len()).map(IndexId::from).any(|id| {
+            featurize(&inst.schema, &inst.workload, &cands, id)[7] == 1.0
+        });
+        assert!(any_join, "TPC-H must have join-keyed candidates");
+    }
+}

@@ -1,0 +1,20 @@
+//! Baseline tuners the paper compares against (§7.2–§7.3):
+//!
+//! * [`bandit`] — *DBA bandits*: a C2UCB-style contextual combinatorial
+//!   linear bandit with index featurization ([`features`]);
+//! * [`dqn`] — *No DBA*: deep Q-learning over one-hot configuration states
+//!   (built on `ixtune-nn`);
+//! * [`dta`] — a DTA-style time-sliced anytime tuner.
+//!
+//! All three implement the same [`Tuner`](ixtune_core::Tuner) trait as the
+//! greedy variants and MCTS, consume the same metered what-if client, and
+//! are evaluated by the same oracle.
+
+pub mod bandit;
+pub mod dqn;
+pub mod dta;
+pub mod features;
+
+pub use bandit::DbaBandits;
+pub use dqn::NoDba;
+pub use dta::DtaTuner;

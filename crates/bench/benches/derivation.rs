@@ -1,0 +1,64 @@
+//! Micro-benchmarks of cost derivation (Eq. 1) — the hot path of every
+//! budget-aware enumeration algorithm once the budget runs out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ixtune_bench::Session;
+use ixtune_common::rng::seeded;
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_core::MeteredWhatIf;
+use ixtune_optimizer::WhatIfOptimizer;
+use ixtune_workload::gen::BenchmarkKind;
+use rand::RngExt;
+use std::hint::black_box;
+
+fn primed_client(session: &Session, entries: usize) -> MeteredWhatIf<'_> {
+    let mut mw = MeteredWhatIf::new(&session.opt, entries);
+    let n = session.cands.len();
+    let m = session.opt.num_queries();
+    let mut rng = seeded(7);
+    while !mw.meter().exhausted() {
+        let q = QueryId::from(rng.random_range(0..m));
+        let size = rng.random_range(1..4usize);
+        let cfg = IndexSet::from_ids(
+            n,
+            (0..size).map(|_| IndexId::from(rng.random_range(0..n))),
+        );
+        mw.what_if(q, &cfg);
+    }
+    mw
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derivation");
+    group.sample_size(30);
+
+    let session = Session::build(BenchmarkKind::TpcDs);
+    let n = session.cands.len();
+    let probe = IndexSet::from_ids(n, (0..20usize).map(IndexId::from));
+
+    for entries in [500usize, 5_000] {
+        let mw = primed_client(&session, entries);
+        group.bench_function(format!("derived-per-query-{entries}-entries"), |b| {
+            b.iter(|| black_box(mw.derived(QueryId::new(0), &probe)))
+        });
+        group.bench_function(format!("derived-workload-{entries}-entries"), |b| {
+            b.iter(|| black_box(mw.derived_workload(&probe)))
+        });
+        let cache = mw.cache();
+        group.bench_function(format!("derived-with-extra-{entries}-entries"), |b| {
+            let base = cache.derived(QueryId::new(0), &probe);
+            b.iter(|| {
+                black_box(cache.derived_with_extra(
+                    QueryId::new(0),
+                    &probe,
+                    IndexId::new(21),
+                    base,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation micro-benchmarks: the cost of one MCTS tuning session per
+//! policy combination (selection × rollout × extraction) — the per-cell
+//! cost of Figures 22/23.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ixtune_bench::Session;
+use ixtune_core::prelude::*;
+use ixtune_workload::gen::BenchmarkKind;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcts-policies-tpcds-b1000-k10");
+    group.sample_size(10);
+
+    let session = Session::build(BenchmarkKind::TpcDs);
+    let ctx = session.ctx();
+    let cons = Constraints::cardinality(10);
+    let budget = 1_000;
+
+    let variants = [
+        ("uct-bce-random", SelectionPolicy::uct(), RolloutPolicy::RandomStep, Extraction::Bce),
+        (
+            "uct-bg-fixed0",
+            SelectionPolicy::uct(),
+            RolloutPolicy::FixedStep(0),
+            Extraction::BestGreedy,
+        ),
+        (
+            "prior-bce-random",
+            SelectionPolicy::EpsilonGreedyPrior,
+            RolloutPolicy::RandomStep,
+            Extraction::Bce,
+        ),
+        (
+            "prior-bg-fixed0",
+            SelectionPolicy::EpsilonGreedyPrior,
+            RolloutPolicy::FixedStep(0),
+            Extraction::BestGreedy,
+        ),
+    ];
+    for (name, selection, rollout, extraction) in variants {
+        let tuner = MctsTuner {
+            selection,
+            rollout,
+            extraction,
+            ..MctsTuner::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(tuner.tune(&ctx, &cons, budget, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

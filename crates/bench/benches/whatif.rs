@@ -1,0 +1,43 @@
+//! Micro-benchmarks of the simulated optimizer's what-if calls — the unit
+//! of budget in every experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ixtune_bench::Session;
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_optimizer::WhatIfOptimizer;
+use ixtune_workload::gen::BenchmarkKind;
+use std::hint::black_box;
+
+fn bench_whatif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whatif");
+    group.sample_size(30);
+
+    for kind in [BenchmarkKind::TpcH, BenchmarkKind::TpcDs] {
+        let session = Session::build(kind);
+        let n = session.cands.len();
+        let empty = IndexSet::empty(n);
+        let half = IndexSet::from_ids(n, (0..n).step_by(2).map(IndexId::from));
+
+        group.bench_function(format!("{}-empty-config", kind.name()), |b| {
+            b.iter_batched(
+                || QueryId::new(0),
+                |q| black_box(session.opt.what_if_cost(q, &empty)),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{}-half-config", kind.name()), |b| {
+            b.iter_batched(
+                || QueryId::new(0),
+                |q| black_box(session.opt.what_if_cost(q, &half)),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{}-workload-cost", kind.name()), |b| {
+            b.iter(|| black_box(session.opt.workload_cost(&half)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_whatif);
+criterion_main!(benches);

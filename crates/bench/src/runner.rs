@@ -1,0 +1,131 @@
+//! Grid runner: sweep (algorithm × K × budget × seed) and aggregate.
+
+use crate::session::Session;
+use ixtune_core::tuner::{Constraints, Tuner, TuningResult};
+use serde::Serialize;
+
+/// An algorithm entry in a sweep.
+pub struct Algo {
+    pub tuner: Box<dyn Tuner + Sync>,
+    /// Stochastic algorithms run once per seed; deterministic ones once.
+    pub stochastic: bool,
+}
+
+impl Algo {
+    pub fn new(tuner: impl Tuner + Sync + 'static, stochastic: bool) -> Self {
+        Self {
+            tuner: Box::new(tuner),
+            stochastic,
+        }
+    }
+}
+
+/// One aggregated grid cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    pub algorithm: String,
+    pub k: usize,
+    pub budget: usize,
+    /// Mean improvement in percent across seeds.
+    pub mean_pct: f64,
+    /// Standard deviation across seeds (0 for deterministic algorithms).
+    pub std_pct: f64,
+    pub seeds: usize,
+    pub calls_used: usize,
+}
+
+/// Aggregate per-seed results into a cell.
+pub fn aggregate(algorithm: &str, k: usize, budget: usize, runs: &[TuningResult]) -> Cell {
+    let vals: Vec<f64> = runs.iter().map(|r| r.improvement_pct()).collect();
+    let n = vals.len().max(1) as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    Cell {
+        algorithm: algorithm.to_string(),
+        k,
+        budget,
+        mean_pct: mean,
+        std_pct: var.sqrt(),
+        seeds: runs.len(),
+        calls_used: runs.iter().map(|r| r.calls_used).max().unwrap_or(0),
+    }
+}
+
+/// Run `algos` over the cross product of `ks` × `budgets`, with `seeds`
+/// seeds for stochastic algorithms. `constraints` builds the constraint for
+/// each K (so storage limits can be attached).
+pub fn run_grid(
+    session: &Session,
+    algos: &[Algo],
+    ks: &[usize],
+    budgets: &[usize],
+    seeds: &[u64],
+    constraints: impl Fn(usize) -> Constraints,
+) -> Vec<Cell> {
+    let ctx = session.ctx();
+    let mut cells = Vec::new();
+    for &k in ks {
+        let cons = constraints(k);
+        for &budget in budgets {
+            for algo in algos {
+                let seed_list: &[u64] = if algo.stochastic { seeds } else { &seeds[..1] };
+                let runs: Vec<TuningResult> = seed_list
+                    .iter()
+                    .map(|&s| algo.tuner.tune(&ctx, &cons, budget, s))
+                    .collect();
+                cells.push(aggregate(&algo.tuner.name(), k, budget, &runs));
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_core::prelude::*;
+    use ixtune_workload::gen::BenchmarkKind;
+
+    #[test]
+    fn aggregate_statistics() {
+        use ixtune_common::IndexSet;
+        use ixtune_core::matrix::Layout;
+        let mk = |imp: f64| TuningResult {
+            algorithm: "x".into(),
+            config: IndexSet::empty(1),
+            calls_used: 5,
+            improvement: imp,
+            layout: Layout::default(),
+        };
+        let cell = aggregate("x", 10, 100, &[mk(0.2), mk(0.4)]);
+        assert!((cell.mean_pct - 30.0).abs() < 1e-9);
+        assert!((cell.std_pct - 10.0).abs() < 1e-9);
+        assert_eq!(cell.seeds, 2);
+        assert_eq!(cell.calls_used, 5);
+    }
+
+    #[test]
+    fn grid_runs_small_sweep() {
+        let session = Session::build(BenchmarkKind::TpcH);
+        let algos = vec![
+            Algo::new(VanillaGreedy, false),
+            Algo::new(MctsTuner::default(), true),
+        ];
+        let cells = run_grid(
+            &session,
+            &algos,
+            &[5],
+            &[50, 100],
+            &[1, 2],
+            Constraints::cardinality,
+        );
+        assert_eq!(cells.len(), 4);
+        let mcts = cells.iter().find(|c| c.algorithm == "MCTS").unwrap();
+        assert_eq!(mcts.seeds, 2);
+        let vg = cells
+            .iter()
+            .find(|c| c.algorithm == "Vanilla Greedy")
+            .unwrap();
+        assert_eq!(vg.seeds, 1);
+    }
+}

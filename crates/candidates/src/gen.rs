@@ -1,0 +1,339 @@
+//! Candidate index generation (Figure 3 step 2 of the paper).
+//!
+//! For each query we propose a small set of promising indexes — filter
+//! indexes keyed on selective predicate columns, join indexes keyed on join
+//! columns, and order/group indexes — each in a narrow (keys-only) and a
+//! covering (keys + INCLUDE) variant. The per-query sets are unioned and
+//! deduplicated into the workload-level candidate universe that
+//! configuration enumeration searches over.
+
+use crate::indexable::{extract, IndexableColumns};
+use ixtune_common::{ColumnId, IndexId, QueryId, TableId};
+use ixtune_optimizer::IndexDef;
+use ixtune_workload::{BenchmarkInstance, Query, ScanSlot, Schema};
+use std::collections::HashMap;
+
+/// Limits for candidate generation.
+#[derive(Clone, Debug)]
+pub struct GenOptions {
+    /// Max key columns per index.
+    pub max_key_columns: usize,
+    /// Max INCLUDE columns per index.
+    pub max_include_columns: usize,
+    /// Cap on candidates proposed per query (before workload-level dedup).
+    pub max_per_query: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        Self {
+            max_key_columns: 3,
+            max_include_columns: 6,
+            max_per_query: 40,
+        }
+    }
+}
+
+/// The candidate universe for a workload.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    /// All distinct candidate indexes; `IndexId` indexes into this.
+    pub indexes: Vec<IndexDef>,
+    /// For each query, the candidates generated from it (its "interesting"
+    /// indexes) — drives two-phase search and the priors of Algorithm 4.
+    pub per_query: Vec<Vec<IndexId>>,
+}
+
+impl CandidateSet {
+    /// Number of candidates (the configuration-universe size `|I|`).
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Total number of (query, candidate) pairs — the `P` of Algorithm 4.
+    pub fn num_query_index_pairs(&self) -> usize {
+        self.per_query.iter().map(Vec::len).sum()
+    }
+
+    /// Candidates relevant to query `q`.
+    pub fn for_query(&self, q: QueryId) -> &[IndexId] {
+        &self.per_query[q.index()]
+    }
+
+    /// Candidate ids sorted by the row count of their table, descending —
+    /// the paper's index-selection heuristic ("favor candidate indexes over
+    /// large tables", §6.1).
+    pub fn by_table_size(&self, schema: &Schema, ids: &[IndexId]) -> Vec<IndexId> {
+        let mut v: Vec<IndexId> = ids.to_vec();
+        v.sort_by_key(|id| {
+            std::cmp::Reverse(schema.table(self.indexes[id.index()].table).rows)
+        });
+        v
+    }
+}
+
+/// Generate candidates for one query.
+fn per_query_candidates(q: &Query, opts: &GenOptions) -> Vec<IndexDef> {
+    let mut out: Vec<IndexDef> = Vec::new();
+    let mut push = |idx: IndexDef| {
+        if !idx.keys.is_empty() && !out.contains(&idx) {
+            out.push(idx);
+        }
+    };
+
+    for slot_i in 0..q.num_scans() {
+        let slot = ScanSlot(slot_i as u16);
+        let table: TableId = q.table_of(slot);
+        let cols: IndexableColumns = extract(q, slot);
+        if cols.is_empty() {
+            continue;
+        }
+        let referenced: Vec<ColumnId> = q.referenced_columns(slot).into_iter().collect();
+        let include_for = |keys: &[ColumnId]| -> Vec<ColumnId> {
+            referenced
+                .iter()
+                .filter(|c| !keys.contains(c))
+                .take(opts.max_include_columns)
+                .copied()
+                .collect()
+        };
+
+        // Filter index: equality columns (most selective first), then one
+        // range column.
+        let mut filter_keys: Vec<ColumnId> = cols
+            .equality
+            .iter()
+            .take(opts.max_key_columns.saturating_sub(1).max(1))
+            .copied()
+            .collect();
+        if let Some(&r) = cols.range.first() {
+            if filter_keys.len() < opts.max_key_columns {
+                filter_keys.push(r);
+            }
+        }
+        if !filter_keys.is_empty() {
+            push(IndexDef::new(table, filter_keys.clone(), vec![]));
+            push(IndexDef::new(table, filter_keys.clone(), include_for(&filter_keys)));
+        }
+
+        // Per-column filter variants: each of the two most selective
+        // equality columns alone, and a range-leading index — the kinds of
+        // alternatives a real advisor enumerates before pruning.
+        for &e in cols.equality.iter().take(2) {
+            push(IndexDef::new(table, vec![e], vec![]));
+            push(IndexDef::new(table, vec![e], include_for(&[e])));
+        }
+        if let Some(&r) = cols.range.first() {
+            push(IndexDef::new(table, vec![r], include_for(&[r])));
+        }
+
+        // Join indexes: one per join column, with the best equality column
+        // as a secondary key (mirrors Figure 3's `[R.b; R.a]`).
+        for &j in cols.join.iter().take(3) {
+            let mut keys = vec![j];
+            if let Some(&e) = cols.equality.first() {
+                if e != j && keys.len() < opts.max_key_columns {
+                    keys.push(e);
+                }
+            }
+            push(IndexDef::new(table, vec![j], vec![]));
+            push(IndexDef::new(table, keys.clone(), include_for(&keys)));
+        }
+
+        // Two-column key permutations over the top key candidates — the
+        // AutoAdmin-style enumeration of multi-column alternatives (leading
+        // position matters for seeks, INL joins, and order, so both orders
+        // are proposed).
+        let key_cands = cols.key_candidates();
+        for (i, &a) in key_cands.iter().take(3).enumerate() {
+            for &b in key_cands.iter().take(3).skip(i + 1) {
+                let ab = vec![a, b];
+                let ba = vec![b, a];
+                push(IndexDef::new(table, ab.clone(), include_for(&ab)));
+                push(IndexDef::new(table, ba.clone(), include_for(&ba)));
+            }
+        }
+
+        // Order/group index: grouping (or ordering) columns as keys.
+        let sort_cols: &[ColumnId] = if !cols.group.is_empty() {
+            &cols.group
+        } else {
+            &cols.order
+        };
+        if !sort_cols.is_empty() {
+            let keys: Vec<ColumnId> = sort_cols
+                .iter()
+                .take(opts.max_key_columns)
+                .copied()
+                .collect();
+            push(IndexDef::new(table, keys.clone(), include_for(&keys)));
+        }
+    }
+
+    out.truncate(opts.max_per_query);
+    out
+}
+
+/// Generate the workload-level candidate set.
+pub fn generate(instance: &BenchmarkInstance, opts: &GenOptions) -> CandidateSet {
+    let mut indexes: Vec<IndexDef> = Vec::new();
+    let mut ids: HashMap<IndexDef, IndexId> = HashMap::new();
+    let mut per_query: Vec<Vec<IndexId>> = Vec::with_capacity(instance.workload.len());
+
+    for q in &instance.workload.queries {
+        let mut q_ids: Vec<IndexId> = Vec::new();
+        for idx in per_query_candidates(q, opts) {
+            let id = *ids.entry(idx.clone()).or_insert_with(|| {
+                indexes.push(idx);
+                IndexId::from(indexes.len() - 1)
+            });
+            if !q_ids.contains(&id) {
+                q_ids.push(id);
+            }
+        }
+        per_query.push(q_ids);
+    }
+    CandidateSet { indexes, per_query }
+}
+
+/// Generate with default options.
+pub fn generate_default(instance: &BenchmarkInstance) -> CandidateSet {
+    generate(instance, &GenOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_workload::gen::{job, synth, tpch};
+    use ixtune_workload::sql::parse_query;
+    use ixtune_workload::{ColType, Schema, TableBuilder, Workload};
+
+    /// The paper's Figure 3 running example.
+    fn figure3() -> BenchmarkInstance {
+        let mut s = Schema::new();
+        s.add_table(
+            TableBuilder::new("r", 100_000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 1_000)
+                .build(),
+        )
+        .unwrap();
+        s.add_table(
+            TableBuilder::new("s", 200_000)
+                .key("c", ColType::Int)
+                .col("d", ColType::Int, 500)
+                .build(),
+        )
+        .unwrap();
+        let q1 = parse_query(
+            &s,
+            "Q1",
+            "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200",
+        )
+        .unwrap();
+        let q2 = parse_query(&s, "Q2", "SELECT a FROM r, s WHERE r.b = s.c AND r.a = 40").unwrap();
+        BenchmarkInstance::new(s, Workload::new("fig3", vec![q1, q2]))
+    }
+
+    #[test]
+    fn figure3_candidates_cover_the_paper_shapes() {
+        let inst = figure3();
+        let set = generate_default(&inst);
+        let schema = &inst.schema;
+        let descs: Vec<String> = set.indexes.iter().map(|i| i.describe(schema)).collect();
+        // Filter index on R keyed by a (paper's I1 = [R.a; R.b]).
+        assert!(
+            descs.iter().any(|d| d.starts_with("r(a")),
+            "missing R filter index: {descs:?}"
+        );
+        // Join index on R.b (paper's I2 = [R.b; R.a]).
+        assert!(
+            descs.iter().any(|d| d.starts_with("r(b")),
+            "missing R join index: {descs:?}"
+        );
+        // Join index on S.c (paper's I3/I5).
+        assert!(
+            descs.iter().any(|d| d.starts_with("s(c")),
+            "missing S join index: {descs:?}"
+        );
+        // Both queries have candidates.
+        assert!(!set.for_query(ixtune_common::QueryId::new(0)).is_empty());
+        assert!(!set.for_query(ixtune_common::QueryId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn dedup_across_queries() {
+        let inst = figure3();
+        let set = generate_default(&inst);
+        // Q1 and Q2 share the join structure; the union must dedup.
+        let pairs = set.num_query_index_pairs();
+        assert!(pairs > set.len(), "shared candidates imply pairs > union");
+        // No duplicate defs.
+        for (i, a) in set.indexes.iter().enumerate() {
+            for b in &set.indexes[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_limits() {
+        let inst = figure3();
+        let opts = GenOptions {
+            max_key_columns: 2,
+            max_include_columns: 1,
+            max_per_query: 3,
+        };
+        let set = generate(&inst, &opts);
+        for idx in &set.indexes {
+            assert!(idx.keys.len() <= 2);
+            assert!(idx.includes.len() <= 1);
+        }
+        for q in &set.per_query {
+            assert!(q.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn tpch_candidate_universe_is_reasonable() {
+        let set = generate_default(&tpch::generate(10.0));
+        // 22 queries with up to 40 candidates each (including the pairwise
+        // key permutations), heavily shared on lineitem: a few hundred
+        // distinct candidates after dedup.
+        assert!(set.len() >= 100, "{}", set.len());
+        assert!(set.len() <= 500, "{}", set.len());
+    }
+
+    #[test]
+    fn job_candidates_hit_hundreds() {
+        let set = generate_default(&job::generate());
+        // Paper: "hundreds to thousands of candidate indexes".
+        assert!(set.len() >= 100, "{}", set.len());
+    }
+
+    #[test]
+    fn by_table_size_sorts_descending() {
+        let inst = figure3();
+        let set = generate_default(&inst);
+        let all: Vec<IndexId> = (0..set.len()).map(IndexId::from).collect();
+        let sorted = set.by_table_size(&inst.schema, &all);
+        let rows: Vec<u64> = sorted
+            .iter()
+            .map(|id| inst.schema.table(set.indexes[id.index()].table).rows)
+            .collect();
+        assert!(rows.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn synth_instances_generate_nonempty() {
+        for seed in 0..10 {
+            let inst = synth::instance(seed);
+            let set = generate_default(&inst);
+            assert_eq!(set.per_query.len(), inst.workload.len());
+        }
+    }
+}

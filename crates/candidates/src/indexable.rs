@@ -1,0 +1,238 @@
+//! Indexable-column extraction (§2 of the paper, Figure 3 step 1).
+//!
+//! For each scan slot of a query we classify the referenced columns the way
+//! AutoAdmin's candidate generation does: equality-filter columns, range
+//! columns, join columns, grouping/ordering columns, and projection-only
+//! payload columns (useful as included columns of covering indexes).
+
+use ixtune_common::ColumnId;
+use ixtune_workload::{FilterKind, Query, ScanSlot};
+use std::collections::BTreeSet;
+
+/// Classified indexable columns for one `(query, scan slot)` pair.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IndexableColumns {
+    /// Equality-predicate columns, sorted by ascending selectivity (most
+    /// selective first — the best leading key candidates).
+    pub equality: Vec<ColumnId>,
+    /// Range / prefix-LIKE predicate columns, ascending selectivity.
+    pub range: Vec<ColumnId>,
+    /// Equi-join columns.
+    pub join: Vec<ColumnId>,
+    /// GROUP BY columns (in clause order).
+    pub group: Vec<ColumnId>,
+    /// ORDER BY columns (in clause order).
+    pub order: Vec<ColumnId>,
+    /// Columns referenced only as payload (projection or residual filters):
+    /// candidates for INCLUDE lists, not for keys.
+    pub payload: Vec<ColumnId>,
+}
+
+impl IndexableColumns {
+    /// Whether the slot offers anything for an index to latch onto.
+    pub fn is_empty(&self) -> bool {
+        self.equality.is_empty()
+            && self.range.is_empty()
+            && self.join.is_empty()
+            && self.group.is_empty()
+            && self.order.is_empty()
+    }
+
+    /// All seekable/orderable key candidates in priority order.
+    pub fn key_candidates(&self) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        let mut seen = BTreeSet::new();
+        for c in self
+            .equality
+            .iter()
+            .chain(&self.join)
+            .chain(&self.range)
+            .chain(&self.group)
+            .chain(&self.order)
+        {
+            if seen.insert(*c) {
+                out.push(*c);
+            }
+        }
+        out
+    }
+}
+
+/// Extract indexable columns for `slot` of `q`.
+pub fn extract(q: &Query, slot: ScanSlot) -> IndexableColumns {
+    let mut by_sel: Vec<(f64, ColumnId, FilterKind)> = q
+        .filters_on(slot)
+        .map(|f| (f.selectivity, f.col.column, f.kind))
+        .collect();
+    by_sel.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut cols = IndexableColumns::default();
+    let mut seen_eq = BTreeSet::new();
+    let mut seen_rng = BTreeSet::new();
+    for (_, col, kind) in &by_sel {
+        match kind {
+            FilterKind::Equality => {
+                if seen_eq.insert(*col) {
+                    cols.equality.push(*col);
+                }
+            }
+            FilterKind::Range | FilterKind::Like => {
+                if seen_rng.insert(*col) {
+                    cols.range.push(*col);
+                }
+            }
+            FilterKind::Residual => {}
+        }
+    }
+
+    let mut seen_join = BTreeSet::new();
+    for c in q.join_cols_on(slot) {
+        if seen_join.insert(c) {
+            cols.join.push(c);
+        }
+    }
+    let push_unique = |dst: &mut Vec<ColumnId>, c: ColumnId| {
+        if !dst.contains(&c) {
+            dst.push(c);
+        }
+    };
+    for qc in &q.group_by {
+        if qc.scan == slot {
+            push_unique(&mut cols.group, qc.column);
+        }
+    }
+    for qc in &q.order_by {
+        if qc.scan == slot {
+            push_unique(&mut cols.order, qc.column);
+        }
+    }
+
+    // Payload: anything referenced that is not already a key candidate.
+    let keys: BTreeSet<ColumnId> = cols.key_candidates().into_iter().collect();
+    for c in q.referenced_columns(slot) {
+        if !keys.contains(&c) {
+            cols.payload.push(c);
+        }
+    }
+    cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_workload::{ColType, QCol, QueryBuilder, Schema, TableBuilder};
+
+    fn setup() -> (Schema, Query) {
+        let mut s = Schema::new();
+        let r = s
+            .add_table(
+                TableBuilder::new("r", 10_000)
+                    .key("a", ColType::Int)
+                    .col("b", ColType::Int, 100)
+                    .col("c", ColType::Int, 1_000)
+                    .col("d", ColType::Int, 10)
+                    .col("e", ColType::Int, 50)
+                    .build(),
+            )
+            .unwrap();
+        let t = s
+            .add_table(TableBuilder::new("t", 100).key("x", ColType::Int).build())
+            .unwrap();
+        let mut b = QueryBuilder::new("q");
+        let rs = b.scan(r);
+        let ts = b.scan(t);
+        let col = |i: u32| QCol::new(rs, ColumnId::new(i));
+        b.eq(col(0), 0.0001) // very selective equality on a
+            .eq(col(3), 0.1) // weaker equality on d
+            .range(col(1), 0.2) // range on b
+            .join(col(2), QCol::new(ts, ColumnId::new(0))) // join on c
+            .group_by(col(4)) // group on e
+            .project(col(1));
+        (s, b.build())
+    }
+
+    #[test]
+    fn classification_and_selectivity_order() {
+        let (_, q) = setup();
+        let cols = extract(&q, ScanSlot(0));
+        // Equality sorted most-selective first: a (0.0001) before d (0.1).
+        assert_eq!(cols.equality, vec![ColumnId::new(0), ColumnId::new(3)]);
+        assert_eq!(cols.range, vec![ColumnId::new(1)]);
+        assert_eq!(cols.join, vec![ColumnId::new(2)]);
+        assert_eq!(cols.group, vec![ColumnId::new(4)]);
+        assert!(cols.order.is_empty());
+        // b is a key candidate (range), so payload holds nothing extra here.
+        assert!(cols.payload.is_empty());
+        assert!(!cols.is_empty());
+    }
+
+    #[test]
+    fn key_candidates_deduplicate_and_prioritize() {
+        let (_, q) = setup();
+        let cols = extract(&q, ScanSlot(0));
+        let keys = cols.key_candidates();
+        assert_eq!(keys[0], ColumnId::new(0)); // best equality first
+        assert_eq!(keys.len(), 5);
+    }
+
+    #[test]
+    fn pure_projection_is_payload() {
+        let mut s = Schema::new();
+        let r = s
+            .add_table(
+                TableBuilder::new("r", 100)
+                    .key("a", ColType::Int)
+                    .col("b", ColType::Int, 10)
+                    .build(),
+            )
+            .unwrap();
+        let mut b = QueryBuilder::new("q");
+        let rs = b.scan(r);
+        b.eq(QCol::new(rs, ColumnId::new(0)), 0.01)
+            .project(QCol::new(rs, ColumnId::new(1)));
+        let q = b.build();
+        let cols = extract(&q, ScanSlot(0));
+        assert_eq!(cols.payload, vec![ColumnId::new(1)]);
+    }
+
+    #[test]
+    fn slot_without_predicates_is_empty() {
+        let (_, q) = setup();
+        let cols = extract(&q, ScanSlot(1));
+        // The t-side has a join column, so not empty.
+        assert_eq!(cols.join, vec![ColumnId::new(0)]);
+        // But a slot index beyond any predicate is empty.
+        let mut s = Schema::new();
+        let r = s
+            .add_table(TableBuilder::new("r", 10).key("a", ColType::Int).build())
+            .unwrap();
+        let mut b = QueryBuilder::new("bare");
+        b.scan(r);
+        let bare = b.build();
+        assert!(extract(&bare, ScanSlot(0)).is_empty());
+    }
+
+    #[test]
+    fn residual_filters_are_not_keys() {
+        let mut s = Schema::new();
+        let r = s
+            .add_table(
+                TableBuilder::new("r", 100)
+                    .key("a", ColType::Int)
+                    .col("b", ColType::Int, 10)
+                    .build(),
+            )
+            .unwrap();
+        let mut b = QueryBuilder::new("q");
+        let rs = b.scan(r);
+        b.filter(
+            QCol::new(rs, ColumnId::new(1)),
+            FilterKind::Residual,
+            0.5,
+        );
+        let q = b.build();
+        let cols = extract(&q, ScanSlot(0));
+        assert!(cols.equality.is_empty() && cols.range.is_empty());
+        assert_eq!(cols.payload, vec![ColumnId::new(1)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Index merging (Chaudhuri & Narasayya, ICDE 1999), used by the DTA-style
+//! baseline: two indexes on the same table can be merged into one that
+//! serves (possibly less efficiently) the queries both served, trading a
+//! little seek precision for a lot of storage.
+
+use ixtune_optimizer::IndexDef;
+
+/// Merge two indexes on the same table: the first index's keys stay as the
+/// key prefix, the second's keys that are not already present are appended,
+/// and the include lists are unioned. Returns `None` when the indexes are
+/// on different tables or the merge would equal one of the inputs.
+pub fn merge(a: &IndexDef, b: &IndexDef) -> Option<IndexDef> {
+    if a.table != b.table {
+        return None;
+    }
+    let mut keys = a.keys.clone();
+    for k in &b.keys {
+        if !keys.contains(k) {
+            keys.push(*k);
+        }
+    }
+    let mut includes = a.includes.clone();
+    includes.extend(b.includes.iter().copied());
+    includes.extend(a.keys.iter().copied()); // normalized away by IndexDef::new
+    let merged = IndexDef::new(a.table, keys, includes);
+    if &merged == a || &merged == b {
+        None
+    } else {
+        Some(merged)
+    }
+}
+
+/// Produce merged variants for every same-table, same-leading-key pair in
+/// `indexes`, deduplicated, capped at `limit`.
+pub fn merge_candidates(indexes: &[IndexDef], limit: usize) -> Vec<IndexDef> {
+    let mut out: Vec<IndexDef> = Vec::new();
+    for (i, a) in indexes.iter().enumerate() {
+        for b in &indexes[i + 1..] {
+            if a.table != b.table || a.keys.first() != b.keys.first() {
+                continue;
+            }
+            if let Some(m) = merge(a, b) {
+                if !indexes.contains(&m) && !out.contains(&m) {
+                    out.push(m);
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_common::{ColumnId, TableId};
+
+    fn c(i: u32) -> ColumnId {
+        ColumnId::new(i)
+    }
+
+    #[test]
+    fn merge_unions_keys_and_includes() {
+        let a = IndexDef::new(TableId::new(0), vec![c(0)], vec![c(2)]);
+        let b = IndexDef::new(TableId::new(0), vec![c(0), c(1)], vec![c(3)]);
+        let m = merge(&a, &b).unwrap();
+        assert_eq!(m.keys, vec![c(0), c(1)]);
+        assert_eq!(m.includes, vec![c(2), c(3)]);
+    }
+
+    #[test]
+    fn merge_rejects_cross_table() {
+        let a = IndexDef::new(TableId::new(0), vec![c(0)], vec![]);
+        let b = IndexDef::new(TableId::new(1), vec![c(0)], vec![]);
+        assert!(merge(&a, &b).is_none());
+    }
+
+    #[test]
+    fn merge_rejects_no_op() {
+        let a = IndexDef::new(TableId::new(0), vec![c(0), c(1)], vec![c(2)]);
+        let sub = IndexDef::new(TableId::new(0), vec![c(0)], vec![]);
+        // merge(a, sub) == a → None.
+        assert!(merge(&a, &sub).is_none());
+    }
+
+    #[test]
+    fn merge_candidates_same_leading_key_only() {
+        let idxs = vec![
+            IndexDef::new(TableId::new(0), vec![c(0)], vec![c(1)]),
+            IndexDef::new(TableId::new(0), vec![c(0)], vec![c(2)]),
+            IndexDef::new(TableId::new(0), vec![c(3)], vec![]),
+        ];
+        let merged = merge_candidates(&idxs, 10);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].keys, vec![c(0)]);
+        assert_eq!(merged[0].includes, vec![c(1), c(2)]);
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let idxs: Vec<IndexDef> = (0..6)
+            .map(|i| IndexDef::new(TableId::new(0), vec![c(0)], vec![c(i + 1)]))
+            .collect();
+        let merged = merge_candidates(&idxs, 3);
+        assert_eq!(merged.len(), 3);
+    }
+}

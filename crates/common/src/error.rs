@@ -1,0 +1,68 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Errors surfaced by ixtune library crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The mini-SQL parser rejected its input.
+    Parse {
+        /// Byte offset of the offending token in the source text.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A name (table, column, alias) could not be resolved against the schema.
+    UnknownName(String),
+    /// An operation received inconsistent inputs (e.g. a configuration over
+    /// the wrong candidate universe, or K = 0).
+    Invalid(String),
+    /// A metered what-if call was attempted with no budget remaining.
+    BudgetExhausted,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::UnknownName(name) => write!(f, "unknown name: {name}"),
+            Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            Error::BudgetExhausted => write!(f, "what-if call budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::Parse {
+            offset: 12,
+            message: "expected FROM".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at byte 12: expected FROM");
+        assert_eq!(
+            Error::UnknownName("lineitem".into()).to_string(),
+            "unknown name: lineitem"
+        );
+        assert_eq!(
+            Error::BudgetExhausted.to_string(),
+            "what-if call budget exhausted"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Invalid("x".into()));
+    }
+}

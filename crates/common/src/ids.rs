@@ -1,0 +1,134 @@
+//! Newtype identifiers.
+//!
+//! All identifiers are dense `u32` indexes into the owning container
+//! (schema table list, workload query list, candidate index list), which
+//! keeps hot structures compact and lets configurations be plain bitsets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a dense index.
+            #[inline]
+            pub const fn new(v: u32) -> Self {
+                Self(v)
+            }
+
+            /// The dense index as `usize`, for container indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(v: usize) -> Self {
+                Self(v as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a table within a [`Schema`](https://docs.rs/ixtune-workload).
+    TableId,
+    "T"
+);
+id_type!(
+    /// Identifier of a column *within its table* (position in the table's column list).
+    ColumnId,
+    "c"
+);
+id_type!(
+    /// Identifier of a query within a workload.
+    QueryId,
+    "Q"
+);
+id_type!(
+    /// Identifier of a candidate index within the candidate set produced for
+    /// a workload. Configurations are sets of these.
+    IndexId,
+    "I"
+);
+
+/// A fully-qualified column reference: `(table, column)`.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug, Default,
+)]
+pub struct ColumnRef {
+    pub table: TableId,
+    pub column: ColumnId,
+}
+
+impl ColumnRef {
+    #[inline]
+    pub const fn new(table: TableId, column: ColumnId) -> Self {
+        Self { table, column }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let t = TableId::new(7);
+        assert_eq!(t.index(), 7);
+        assert_eq!(TableId::from(7usize), t);
+        assert_eq!(TableId::from(7u32), t);
+        assert_eq!(format!("{t}"), "T7");
+        assert_eq!(format!("{t:?}"), "T7");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(IndexId::new(1) < IndexId::new(2));
+        assert!(QueryId::new(0) < QueryId::new(10));
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let c = ColumnRef::new(TableId::new(2), ColumnId::new(5));
+        assert_eq!(format!("{c}"), "T2.c5");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(IndexId::default(), IndexId::new(0));
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared foundation types for the `ixtune` workspace.
+//!
+//! This crate contains the vocabulary used by every other crate:
+//!
+//! * [`ids`] — small, copyable newtype identifiers for tables, columns,
+//!   queries, and candidate indexes;
+//! * [`bitset`] — [`IndexSet`], the dense bitset that represents an *index
+//!   configuration* (a subset of the candidate indexes) and supports the
+//!   subset tests that cost derivation is built on;
+//! * [`error`] — the workspace error type;
+//! * [`rng`] — deterministic RNG construction helpers so that every
+//!   stochastic component is reproducible from an explicit seed.
+
+pub mod bitset;
+pub mod error;
+pub mod ids;
+pub mod rng;
+
+pub use bitset::IndexSet;
+pub use error::{Error, Result};
+pub use ids::{ColumnId, ColumnRef, IndexId, QueryId, TableId};

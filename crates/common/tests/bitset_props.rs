@@ -1,0 +1,95 @@
+//! Property tests for the `IndexSet` bitset — configurations are the core
+//! data structure of the whole system, so its algebra must be airtight.
+
+use ixtune_common::{IndexId, IndexSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const UNIVERSE: usize = 150;
+
+fn model(mask: &[bool]) -> BTreeSet<usize> {
+    mask.iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn build(mask: &[bool]) -> IndexSet {
+    IndexSet::from_ids(
+        UNIVERSE,
+        mask.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| IndexId::from(i)),
+    )
+}
+
+proptest! {
+    #[test]
+    fn membership_matches_model(mask in prop::collection::vec(any::<bool>(), UNIVERSE)) {
+        let set = build(&mask);
+        let reference = model(&mask);
+        prop_assert_eq!(set.len(), reference.len());
+        for i in 0..UNIVERSE {
+            prop_assert_eq!(set.contains(IndexId::from(i)), reference.contains(&i));
+        }
+        let iterated: Vec<usize> = set.iter().map(|id| id.index()).collect();
+        prop_assert_eq!(iterated, reference.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn subset_matches_model(
+        a in prop::collection::vec(any::<bool>(), UNIVERSE),
+        b in prop::collection::vec(any::<bool>(), UNIVERSE),
+    ) {
+        let (sa, sb) = (build(&a), build(&b));
+        let (ma, mb) = (model(&a), model(&b));
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sb.is_superset(&sa), ma.is_subset(&mb));
+    }
+
+    #[test]
+    fn union_matches_model(
+        a in prop::collection::vec(any::<bool>(), UNIVERSE),
+        b in prop::collection::vec(any::<bool>(), UNIVERSE),
+    ) {
+        let (mut sa, sb) = (build(&a), build(&b));
+        let expected: Vec<usize> = model(&a).union(&model(&b)).copied().collect();
+        sa.union_with(&sb);
+        let got: Vec<usize> = sa.iter().map(|id| id.index()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn with_without_invert(mask in prop::collection::vec(any::<bool>(), UNIVERSE), i in 0..UNIVERSE) {
+        let set = build(&mask);
+        let id = IndexId::from(i);
+        let with = set.with(id);
+        prop_assert!(with.contains(id));
+        prop_assert!(set.is_subset(&with));
+        let without = with.without(id);
+        prop_assert!(!without.contains(id));
+        if !set.contains(id) {
+            prop_assert_eq!(without, set);
+        }
+    }
+
+    #[test]
+    fn complement_partitions_universe(mask in prop::collection::vec(any::<bool>(), UNIVERSE)) {
+        let set = build(&mask);
+        let comp: Vec<usize> = set.complement_iter().map(|id| id.index()).collect();
+        prop_assert_eq!(comp.len() + set.len(), UNIVERSE);
+        for id in &comp {
+            prop_assert!(!set.contains(IndexId::from(*id)));
+        }
+    }
+
+    #[test]
+    fn empty_is_subset_of_everything(mask in prop::collection::vec(any::<bool>(), UNIVERSE)) {
+        let set = build(&mask);
+        let empty = IndexSet::empty(UNIVERSE);
+        prop_assert!(empty.is_subset(&set));
+        prop_assert!(set.is_subset(&IndexSet::full(UNIVERSE)));
+    }
+}

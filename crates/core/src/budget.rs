@@ -1,0 +1,254 @@
+//! Budget metering and the tuner-side what-if client.
+//!
+//! [`BudgetMeter`] counts what-if calls against the budget `B`.
+//! [`MeteredWhatIf`] combines the optimizer, the cache, and the meter into
+//! the interface every budget-aware enumeration algorithm consumes:
+//! cache hits are free (§1: "a cache is typically used to enable efficient
+//! reuse of what-if calls"), cache misses consume budget, and once the
+//! budget is exhausted only derived costs remain. The sequence of metered
+//! calls is recorded as the session's [`Layout`](crate::matrix::Layout).
+
+use crate::derived::WhatIfCache;
+use ixtune_common::{IndexSet, QueryId};
+use ixtune_optimizer::WhatIfOptimizer;
+
+/// Exact what-if call accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetMeter {
+    budget: usize,
+    used: usize,
+}
+
+impl BudgetMeter {
+    pub fn new(budget: usize) -> Self {
+        Self { budget, used: 0 }
+    }
+
+    /// Consume one call if any budget remains.
+    #[inline]
+    pub fn try_consume(&mut self) -> bool {
+        if self.used < self.budget {
+            self.used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.budget - self.used
+    }
+
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.budget
+    }
+}
+
+/// The tuner-side what-if client: optimizer + cache + meter + call trace.
+pub struct MeteredWhatIf<'a> {
+    opt: &'a dyn WhatIfOptimizer,
+    cache: WhatIfCache,
+    meter: BudgetMeter,
+    /// Chronological record of budget-consuming calls — the layout of the
+    /// budget allocation matrix (§3.2).
+    trace: Vec<(QueryId, IndexSet)>,
+}
+
+impl<'a> MeteredWhatIf<'a> {
+    /// Create a client with budget `budget`. Computes `c(q, ∅)` for every
+    /// query up front; these baseline calls are not charged (every
+    /// algorithm and the evaluation metric need them — see DESIGN.md §5).
+    pub fn new(opt: &'a dyn WhatIfOptimizer, budget: usize) -> Self {
+        let universe = opt.num_candidates();
+        let empty = IndexSet::empty(universe);
+        let empty_costs: Vec<f64> = (0..opt.num_queries())
+            .map(|i| opt.what_if_cost(QueryId::from(i), &empty))
+            .collect();
+        Self {
+            opt,
+            cache: WhatIfCache::new(universe, empty_costs),
+            meter: BudgetMeter::new(budget),
+            trace: Vec::new(),
+        }
+    }
+
+    pub fn universe(&self) -> usize {
+        self.cache.universe()
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.cache.num_queries()
+    }
+
+    pub fn meter(&self) -> &BudgetMeter {
+        &self.meter
+    }
+
+    pub fn cache(&self) -> &WhatIfCache {
+        &self.cache
+    }
+
+    pub fn trace(&self) -> &[(QueryId, IndexSet)] {
+        &self.trace
+    }
+
+    /// Take the trace out of the client (for result reporting).
+    pub fn into_trace(self) -> Vec<(QueryId, IndexSet)> {
+        self.trace
+    }
+
+    /// Attempt a what-if call for `(q, config)`.
+    ///
+    /// * Cache hit → `Some(cost)`, no budget consumed.
+    /// * Miss with budget → performs the optimizer call, caches it, records
+    ///   it in the layout trace, returns `Some(cost)`.
+    /// * Miss without budget → `None`.
+    pub fn what_if(&mut self, q: QueryId, config: &IndexSet) -> Option<f64> {
+        if let Some(c) = self.cache.get(q, config) {
+            return Some(c);
+        }
+        if !self.meter.try_consume() {
+            return None;
+        }
+        let cost = self.opt.what_if_cost(q, config);
+        self.cache.put(q, config, cost);
+        self.trace.push((q, config.clone()));
+        Some(cost)
+    }
+
+    /// `cost(q, C)` under FCFS budget allocation: the what-if cost while
+    /// budget lasts, the derived cost afterwards (§4.2.1).
+    pub fn cost_fcfs(&mut self, q: QueryId, config: &IndexSet) -> f64 {
+        match self.what_if(q, config) {
+            Some(c) => c,
+            None => self.cache.derived(q, config),
+        }
+    }
+
+    /// Derived cost `d(q, C)` (never consumes budget).
+    pub fn derived(&self, q: QueryId, config: &IndexSet) -> f64 {
+        self.cache.derived(q, config)
+    }
+
+    /// Workload-level derived cost `d(W, C)`.
+    pub fn derived_workload(&self, config: &IndexSet) -> f64 {
+        self.cache.derived_workload(config)
+    }
+
+    pub fn empty_cost(&self, q: QueryId) -> f64 {
+        self.cache.empty_cost(q)
+    }
+
+    pub fn empty_workload_cost(&self) -> f64 {
+        self.cache.empty_workload_cost()
+    }
+
+    /// Percentage improvement `η(W, C)` (Eq. 4) of `config` under derived
+    /// costs, as a fraction in `[0, 1]`.
+    pub fn improvement(&self, config: &IndexSet) -> f64 {
+        let base = self.empty_workload_cost();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.derived_workload(config) / base).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_candidates::generate_default;
+    use ixtune_common::IndexId;
+    use ixtune_optimizer::{CostModel, SimulatedOptimizer};
+    use ixtune_workload::gen::synth;
+
+    fn optimizer(seed: u64) -> SimulatedOptimizer {
+        let inst = synth::instance(seed);
+        let cands = generate_default(&inst);
+        SimulatedOptimizer::new(inst, cands.indexes, CostModel::default())
+    }
+
+    #[test]
+    fn meter_counts_exactly() {
+        let mut m = BudgetMeter::new(2);
+        assert!(m.try_consume());
+        assert!(m.try_consume());
+        assert!(!m.try_consume());
+        assert_eq!(m.used(), 2);
+        assert_eq!(m.remaining(), 0);
+        assert!(m.exhausted());
+    }
+
+    #[test]
+    fn cache_hits_are_free() {
+        let opt = optimizer(3);
+        let n = opt.num_candidates();
+        let mut mw = MeteredWhatIf::new(&opt, 5);
+        let cfg = IndexSet::singleton(n, IndexId::new(0));
+        let q = QueryId::new(0);
+        let a = mw.what_if(q, &cfg).unwrap();
+        assert_eq!(mw.meter().used(), 1);
+        let b = mw.what_if(q, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(mw.meter().used(), 1, "second call hits cache");
+        assert_eq!(mw.trace().len(), 1);
+    }
+
+    #[test]
+    fn empty_costs_not_charged() {
+        let opt = optimizer(4);
+        let mw = MeteredWhatIf::new(&opt, 3);
+        assert_eq!(mw.meter().used(), 0);
+        assert!(mw.empty_workload_cost() > 0.0);
+    }
+
+    #[test]
+    fn exhaustion_falls_back_to_derived() {
+        let opt = optimizer(5);
+        let n = opt.num_candidates();
+        assert!(n >= 3, "need candidates");
+        let mut mw = MeteredWhatIf::new(&opt, 1);
+        let q = QueryId::new(0);
+        let c0 = IndexSet::singleton(n, IndexId::new(0));
+        let c1 = IndexSet::singleton(n, IndexId::new(1));
+        assert!(mw.what_if(q, &c0).is_some());
+        assert!(mw.what_if(q, &c1).is_none(), "budget spent");
+        // FCFS falls back to derivation (here: the empty-config cost).
+        let d = mw.cost_fcfs(q, &c1);
+        assert_eq!(d, mw.empty_cost(q));
+        assert_eq!(mw.meter().used(), 1);
+    }
+
+    #[test]
+    fn derived_equals_whatif_when_known() {
+        let opt = optimizer(6);
+        let n = opt.num_candidates();
+        let mut mw = MeteredWhatIf::new(&opt, 10);
+        let q = QueryId::new(0);
+        let cfg = IndexSet::from_ids(n, [IndexId::new(0), IndexId::new(1)]);
+        let c = mw.what_if(q, &cfg).unwrap();
+        assert_eq!(mw.derived(q, &cfg), c);
+    }
+
+    #[test]
+    fn improvement_is_zero_for_empty_and_nonnegative() {
+        let opt = optimizer(7);
+        let n = opt.num_candidates();
+        let mut mw = MeteredWhatIf::new(&opt, 20);
+        assert_eq!(mw.improvement(&IndexSet::empty(n)), 0.0);
+        let q = QueryId::new(0);
+        for i in 0..n.min(5) {
+            mw.what_if(q, &IndexSet::singleton(n, IndexId::from(i)));
+        }
+        let full = IndexSet::full(n);
+        assert!(mw.improvement(&full) >= 0.0);
+    }
+}

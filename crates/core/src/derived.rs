@@ -1,0 +1,304 @@
+//! What-if cache and cost derivation (§3.1 of the paper).
+//!
+//! The cache stores every what-if result observed during a tuning session.
+//! For configurations whose what-if cost is *not* known, the **derived
+//! cost** (Eq. 1) is the upper bound
+//! `d(q, C) = min_{S ⊆ C, c(q,S) known} c(q, S)`,
+//! which under the monotonicity assumption never underestimates. Singleton
+//! entries have a dense fast path (the restriction of Eq. 2 that the
+//! paper's analysis in §3.1.2 builds on); larger entries are kept sorted by
+//! ascending cost so the subset scan can stop at the first hit.
+
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use std::collections::HashMap;
+
+/// Per-session what-if cache with derivation.
+#[derive(Clone, Debug)]
+pub struct WhatIfCache {
+    universe: usize,
+    /// `c(q, ∅)` for every query — computed up front, not budgeted.
+    empty: Vec<f64>,
+    /// Dense singleton costs: `singleton[q][i] = c(q, {I_i})`, NaN if unknown.
+    singleton: Vec<Vec<f64>>,
+    /// Multi-index entries per query, sorted by ascending cost.
+    multi: Vec<Vec<(IndexSet, f64)>>,
+    /// Exact lookup across all entry sizes.
+    exact: Vec<HashMap<IndexSet, f64>>,
+    /// Largest multi-entry size stored per query: configurations bigger
+    /// than this can skip the exact-map probe entirely, which avoids
+    /// hashing wide bitsets in greedy inner loops.
+    max_multi_size: Vec<usize>,
+    /// Number of distinct (q, C) what-if results stored (excluding ∅).
+    stored: usize,
+}
+
+impl WhatIfCache {
+    /// Create a cache for `num_queries` queries over `universe` candidates,
+    /// seeded with the empty-configuration costs.
+    pub fn new(universe: usize, empty_costs: Vec<f64>) -> Self {
+        let m = empty_costs.len();
+        Self {
+            universe,
+            empty: empty_costs,
+            singleton: vec![vec![f64::NAN; universe]; m],
+            multi: vec![Vec::new(); m],
+            exact: vec![HashMap::new(); m],
+            max_multi_size: vec![0; m],
+            stored: 0,
+        }
+    }
+
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.empty.len()
+    }
+
+    /// `c(q, ∅)`.
+    pub fn empty_cost(&self, q: QueryId) -> f64 {
+        self.empty[q.index()]
+    }
+
+    /// `cost(W, ∅)`.
+    pub fn empty_workload_cost(&self) -> f64 {
+        self.empty.iter().sum()
+    }
+
+    /// Exact lookup: the what-if cost if one was recorded for `(q, config)`.
+    pub fn get(&self, q: QueryId, config: &IndexSet) -> Option<f64> {
+        if config.is_empty() {
+            return Some(self.empty[q.index()]);
+        }
+        if config.len() == 1 {
+            let id = config.iter().next().unwrap();
+            let v = self.singleton[q.index()][id.index()];
+            return if v.is_nan() { None } else { Some(v) };
+        }
+        // Nothing of this size (or larger) was ever stored: skip the probe
+        // and its bitset hash — the hot case in greedy inner loops.
+        if config.len() > self.max_multi_size[q.index()] {
+            return None;
+        }
+        self.exact[q.index()].get(config).copied()
+    }
+
+    /// Record a what-if result. Returns `true` if it was new.
+    pub fn put(&mut self, q: QueryId, config: &IndexSet, cost: f64) -> bool {
+        if config.is_empty() {
+            return false;
+        }
+        if self.get(q, config).is_some() {
+            return false;
+        }
+        let qi = q.index();
+        if config.len() == 1 {
+            let id = config.iter().next().unwrap();
+            self.singleton[qi][id.index()] = cost;
+        } else {
+            self.exact[qi].insert(config.clone(), cost);
+            let list = &mut self.multi[qi];
+            let pos = list.partition_point(|(_, c)| *c < cost);
+            list.insert(pos, (config.clone(), cost));
+            self.max_multi_size[qi] = self.max_multi_size[qi].max(config.len());
+        }
+        self.stored += 1;
+        true
+    }
+
+    /// Known singleton cost `c(q, {id})`, if evaluated.
+    pub fn singleton_cost(&self, q: QueryId, id: IndexId) -> Option<f64> {
+        let v = self.singleton[q.index()][id.index()];
+        (!v.is_nan()).then_some(v)
+    }
+
+    /// Derived cost `d(q, C)` per Eq. 1 (general subsets).
+    pub fn derived(&self, q: QueryId, config: &IndexSet) -> f64 {
+        let qi = q.index();
+        // Exact hit is both the tightest bound and the common case.
+        if let Some(c) = self.get(q, config) {
+            return c;
+        }
+        let mut best = self.empty[qi];
+        // Singleton fast path: members of `config` with known costs.
+        for id in config.iter() {
+            let v = self.singleton[qi][id.index()];
+            if !v.is_nan() && v < best {
+                best = v;
+            }
+        }
+        // Multi-index entries: sorted ascending, so stop once entries can no
+        // longer improve.
+        for (set, cost) in &self.multi[qi] {
+            if *cost >= best {
+                break;
+            }
+            if set.is_subset(config) {
+                best = *cost;
+            }
+        }
+        best
+    }
+
+    /// Derived cost restricted to singleton subsets (Eq. 2) — the variant
+    /// whose benefit function is provably submodular (Theorem 1).
+    pub fn derived_singleton(&self, q: QueryId, config: &IndexSet) -> f64 {
+        let qi = q.index();
+        let mut best = self.empty[qi];
+        for id in config.iter() {
+            let v = self.singleton[qi][id.index()];
+            if !v.is_nan() && v < best {
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Workload-level derived cost `d(W, C) = Σ_q d(q, C)`.
+    pub fn derived_workload(&self, config: &IndexSet) -> f64 {
+        (0..self.num_queries())
+            .map(|i| self.derived(QueryId::from(i), config))
+            .sum()
+    }
+
+    /// Number of cached what-if results (excluding the free ∅ entries).
+    pub fn stored_results(&self) -> usize {
+        self.stored
+    }
+
+    /// Multi-index entries for `q`, sorted by ascending cost — the raw
+    /// material for incremental derivation (see
+    /// [`Extraction`](https://docs.rs/ixtune-core)'s fast Best-Greedy path).
+    pub fn multi_entries(&self, q: QueryId) -> &[(IndexSet, f64)] {
+        &self.multi[q.index()]
+    }
+
+    /// Incremental derivation: `d(q, C ∪ {extra})` given `d(q, C)`.
+    ///
+    /// Exploits `d(q, C ∪ {x}) = min(d(q,C), c(q,{x}), min over known
+    /// entries that contain x and fit in C ∪ {x})`, avoiding the full
+    /// subset scan in greedy inner loops.
+    pub fn derived_with_extra(
+        &self,
+        q: QueryId,
+        config: &IndexSet,
+        extra: IndexId,
+        current: f64,
+    ) -> f64 {
+        let qi = q.index();
+        let mut best = current;
+        let s = self.singleton[qi][extra.index()];
+        if !s.is_nan() && s < best {
+            best = s;
+        }
+        for (set, cost) in &self.multi[qi] {
+            if *cost >= best {
+                break;
+            }
+            if set.contains(extra) {
+                // set ⊆ C ∪ {extra} ⇔ set \ {extra} ⊆ C.
+                if set.without(extra).is_subset(config) {
+                    best = *cost;
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(universe: usize, ids: &[u32]) -> IndexSet {
+        IndexSet::from_ids(universe, ids.iter().copied().map(IndexId::new))
+    }
+
+    fn cache() -> WhatIfCache {
+        WhatIfCache::new(4, vec![100.0, 200.0])
+    }
+
+    #[test]
+    fn empty_costs_always_known() {
+        let c = cache();
+        let empty = IndexSet::empty(4);
+        assert_eq!(c.get(QueryId::new(0), &empty), Some(100.0));
+        assert_eq!(c.derived(QueryId::new(1), &empty), 200.0);
+        assert_eq!(c.empty_workload_cost(), 300.0);
+    }
+
+    #[test]
+    fn derived_without_entries_is_empty_cost() {
+        let c = cache();
+        assert_eq!(c.derived(QueryId::new(0), &set(4, &[0, 1, 2])), 100.0);
+    }
+
+    #[test]
+    fn singleton_path() {
+        let mut c = cache();
+        let q = QueryId::new(0);
+        assert!(c.put(q, &set(4, &[1]), 40.0));
+        assert!(!c.put(q, &set(4, &[1]), 39.0), "duplicate ignored");
+        assert_eq!(c.get(q, &set(4, &[1])), Some(40.0));
+        assert_eq!(c.singleton_cost(q, IndexId::new(1)), Some(40.0));
+        assert_eq!(c.singleton_cost(q, IndexId::new(2)), None);
+        // Supersets derive the singleton bound.
+        assert_eq!(c.derived(q, &set(4, &[0, 1])), 40.0);
+        assert_eq!(c.derived_singleton(q, &set(4, &[0, 1])), 40.0);
+        // Disjoint configs do not.
+        assert_eq!(c.derived(q, &set(4, &[0, 2])), 100.0);
+    }
+
+    #[test]
+    fn multi_entry_subset_scan() {
+        let mut c = cache();
+        let q = QueryId::new(0);
+        c.put(q, &set(4, &[0, 1]), 30.0);
+        c.put(q, &set(4, &[2, 3]), 20.0);
+        c.put(q, &set(4, &[0]), 50.0);
+        // {0,1,2} ⊇ {0,1} but not {2,3}.
+        assert_eq!(c.derived(q, &set(4, &[0, 1, 2])), 30.0);
+        // Full set gets the cheapest entry.
+        assert_eq!(c.derived(q, &set(4, &[0, 1, 2, 3])), 20.0);
+        // Exact hit returns the exact value.
+        assert_eq!(c.derived(q, &set(4, &[2, 3])), 20.0);
+        // Singleton-only derivation ignores pairs.
+        assert_eq!(c.derived_singleton(q, &set(4, &[0, 1, 2, 3])), 50.0);
+    }
+
+    #[test]
+    fn derived_is_upper_bound_and_tightens() {
+        let mut c = cache();
+        let q = QueryId::new(0);
+        let cfg = set(4, &[0, 1, 2]);
+        let d0 = c.derived(q, &cfg);
+        c.put(q, &set(4, &[1]), 70.0);
+        let d1 = c.derived(q, &cfg);
+        c.put(q, &set(4, &[0, 1]), 55.0);
+        let d2 = c.derived(q, &cfg);
+        c.put(q, &cfg, 42.0);
+        let d3 = c.derived(q, &cfg);
+        assert!(d0 >= d1 && d1 >= d2 && d2 >= d3);
+        assert_eq!(d3, 42.0);
+    }
+
+    #[test]
+    fn workload_derivation_sums() {
+        let mut c = cache();
+        c.put(QueryId::new(0), &set(4, &[0]), 10.0);
+        c.put(QueryId::new(1), &set(4, &[0]), 150.0);
+        assert_eq!(c.derived_workload(&set(4, &[0])), 160.0);
+        assert_eq!(c.derived_workload(&set(4, &[3])), 300.0);
+    }
+
+    #[test]
+    fn stored_counts_unique_entries() {
+        let mut c = cache();
+        let q = QueryId::new(0);
+        c.put(q, &set(4, &[0]), 1.0);
+        c.put(q, &set(4, &[0]), 2.0);
+        c.put(q, &set(4, &[0, 1]), 3.0);
+        assert_eq!(c.stored_results(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Budget-aware index configuration enumeration — the core of the paper.
+//!
+//! * [`derived`] — what-if cache and cost derivation (Eq. 1 / Eq. 2);
+//! * [`budget`] — the budget meter and the tuner-side metered what-if
+//!   client;
+//! * [`matrix`] — budget-allocation-matrix layouts (§3.2);
+//! * [`tuner`] — the [`Tuner`] trait, contexts, constraints, and
+//!   oracle-evaluated results;
+//! * [`greedy`] / [`twophase`] / [`autoadmin`] — the budget-aware greedy
+//!   variants of §4.2;
+//! * [`mcts`] — the MCTS tuner of §5–6 with its selection, rollout, and
+//!   extraction policies.
+//!
+//! # Example
+//!
+//! ```
+//! use ixtune_core::prelude::*;
+//! use ixtune_candidates::generate_default;
+//! use ixtune_optimizer::{CostModel, SimulatedOptimizer};
+//! use ixtune_workload::gen::synth;
+//!
+//! let inst = synth::instance(42);
+//! let cands = generate_default(&inst);
+//! let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+//! let ctx = TuningContext::new(&opt, &cands);
+//!
+//! let result = MctsTuner::default().tune(&ctx, &Constraints::cardinality(3), 50, 1);
+//! assert!(result.calls_used <= 50);
+//! assert!(result.config.len() <= 3);
+//! ```
+
+pub mod autoadmin;
+pub mod budget;
+pub mod derived;
+pub mod greedy;
+pub mod matrix;
+pub mod mcts;
+pub mod tuner;
+pub mod twophase;
+
+pub use autoadmin::AutoAdminGreedy;
+pub use budget::{BudgetMeter, MeteredWhatIf};
+pub use derived::WhatIfCache;
+pub use greedy::{greedy_enumerate, VanillaGreedy};
+pub use matrix::Layout;
+pub use mcts::extract::Extraction;
+pub use mcts::policy::{AmafTable, SelectionPolicy};
+pub use mcts::priors::QuerySelection;
+pub use mcts::rollout::RolloutPolicy;
+pub use mcts::{MctsTuner, UpdatePolicy};
+pub use tuner::{Constraints, Tuner, TuningContext, TuningResult};
+pub use twophase::TwoPhaseGreedy;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::autoadmin::AutoAdminGreedy;
+    pub use crate::budget::{BudgetMeter, MeteredWhatIf};
+    pub use crate::greedy::VanillaGreedy;
+    pub use crate::mcts::extract::Extraction;
+    pub use crate::mcts::policy::SelectionPolicy;
+    pub use crate::mcts::priors::QuerySelection;
+    pub use crate::mcts::rollout::RolloutPolicy;
+    pub use crate::mcts::{MctsTuner, UpdatePolicy};
+    pub use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+    pub use crate::twophase::TwoPhaseGreedy;
+}

@@ -1,0 +1,180 @@
+//! The budget allocation matrix and layouts (§3.2 of the paper).
+//!
+//! Conceptually `B` is a `(2^|I| − 1) × |W|` 0/1 matrix; materializing it is
+//! neither possible nor necessary. What an enumeration algorithm actually
+//! produces is a **layout**: the ordered list of `(configuration, query)`
+//! cells that received what-if calls. [`Layout`] wraps the trace recorded by
+//! [`MeteredWhatIf`](crate::budget::MeteredWhatIf) and provides the summary
+//! views used to study allocation behaviour (how many distinct
+//! configurations/queries were touched, row-major versus column-major fill
+//! patterns — Figure 5).
+
+use ixtune_common::{IndexSet, QueryId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An ordered record of budget-consuming what-if calls.
+#[derive(Clone, Debug, Default)]
+pub struct Layout {
+    cells: Vec<(QueryId, IndexSet)>,
+}
+
+impl Layout {
+    pub fn new(cells: Vec<(QueryId, IndexSet)>) -> Self {
+        Self { cells }
+    }
+
+    /// Number of what-if calls in the layout (equals budget used).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    pub fn cells(&self) -> &[(QueryId, IndexSet)] {
+        &self.cells
+    }
+
+    /// Distinct configurations (matrix rows) that received at least one call.
+    pub fn distinct_configurations(&self) -> usize {
+        let set: BTreeSet<Vec<u32>> = self
+            .cells
+            .iter()
+            .map(|(_, c)| c.iter().map(|i| i.0).collect())
+            .collect();
+        set.len()
+    }
+
+    /// Distinct queries (matrix columns) that received at least one call.
+    pub fn distinct_queries(&self) -> usize {
+        let set: BTreeSet<QueryId> = self.cells.iter().map(|(q, _)| *q).collect();
+        set.len()
+    }
+
+    /// Calls per configuration size — e.g. the AutoAdmin variant only fills
+    /// cells for atomic sizes.
+    pub fn calls_by_config_size(&self) -> BTreeMap<usize, usize> {
+        let mut m = BTreeMap::new();
+        for (_, c) in &self.cells {
+            *m.entry(c.len()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Calls per query.
+    pub fn calls_by_query(&self) -> BTreeMap<QueryId, usize> {
+        let mut m = BTreeMap::new();
+        for (q, _) in &self.cells {
+            *m.entry(*q).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Whether the layout is *row-major*: all calls for one configuration
+    /// are contiguous (the vanilla-greedy FCFS pattern, Figure 5(b)).
+    pub fn is_row_major(&self) -> bool {
+        let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
+        let mut current: Option<Vec<u32>> = None;
+        for (_, c) in &self.cells {
+            let key: Vec<u32> = c.iter().map(|i| i.0).collect();
+            if current.as_ref() != Some(&key) {
+                if seen.contains(&key) {
+                    return false;
+                }
+                seen.insert(key.clone());
+                current = Some(key);
+            }
+        }
+        true
+    }
+
+    /// Whether the layout is *column-major*: all calls for one query are
+    /// contiguous (the two-phase first-phase pattern, Figure 5(c)).
+    pub fn is_column_major(&self) -> bool {
+        let mut seen: BTreeSet<QueryId> = BTreeSet::new();
+        let mut current: Option<QueryId> = None;
+        for (q, _) in &self.cells {
+            if current != Some(*q) {
+                if seen.contains(q) {
+                    return false;
+                }
+                seen.insert(*q);
+                current = Some(*q);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_common::IndexId;
+
+    fn s(ids: &[u32]) -> IndexSet {
+        IndexSet::from_ids(8, ids.iter().copied().map(IndexId::new))
+    }
+
+    fn q(i: u32) -> QueryId {
+        QueryId::new(i)
+    }
+
+    #[test]
+    fn summaries() {
+        let layout = Layout::new(vec![
+            (q(0), s(&[0])),
+            (q(1), s(&[0])),
+            (q(0), s(&[1])),
+            (q(0), s(&[0, 1])),
+        ]);
+        assert_eq!(layout.len(), 4);
+        assert_eq!(layout.distinct_configurations(), 3);
+        assert_eq!(layout.distinct_queries(), 2);
+        assert_eq!(layout.calls_by_config_size()[&1], 3);
+        assert_eq!(layout.calls_by_config_size()[&2], 1);
+        assert_eq!(layout.calls_by_query()[&q(0)], 3);
+    }
+
+    #[test]
+    fn row_major_detection() {
+        let rm = Layout::new(vec![
+            (q(0), s(&[0])),
+            (q(1), s(&[0])),
+            (q(0), s(&[1])),
+            (q(1), s(&[1])),
+        ]);
+        assert!(rm.is_row_major());
+        assert!(!rm.is_column_major());
+
+        let not_rm = Layout::new(vec![
+            (q(0), s(&[0])),
+            (q(0), s(&[1])),
+            (q(1), s(&[0])), // returns to row {0}
+        ]);
+        assert!(!not_rm.is_row_major());
+    }
+
+    #[test]
+    fn column_major_detection() {
+        let cm = Layout::new(vec![
+            (q(0), s(&[0])),
+            (q(0), s(&[1])),
+            (q(1), s(&[0])),
+        ]);
+        assert!(cm.is_column_major());
+        let not_cm = Layout::new(vec![
+            (q(0), s(&[0])),
+            (q(1), s(&[0])),
+            (q(0), s(&[1])),
+        ]);
+        assert!(!not_cm.is_column_major());
+    }
+
+    #[test]
+    fn empty_layout_is_trivially_both() {
+        let l = Layout::default();
+        assert!(l.is_row_major() && l.is_column_major());
+        assert_eq!(l.distinct_configurations(), 0);
+    }
+}

@@ -1,0 +1,530 @@
+//! MCTS for budget-aware index tuning (Algorithm 3 and §5–6 of the paper).
+//!
+//! Each episode walks the search tree from the root (the empty
+//! configuration), selecting actions with the configured policy, expanding
+//! one node, completing the configuration with a rollout when an unvisited
+//! leaf is reached, and spending **exactly one what-if call** to evaluate
+//! the sampled configuration (`EvaluateCostWithBudget`: the call goes to a
+//! query drawn with probability proportional to its derived cost; all other
+//! queries use derived costs). The observed percentage improvement is
+//! backed up as the episode reward. When the ε-greedy policy is active, the
+//! first `B' = min(B/2, P)` calls bootstrap singleton priors (Algorithm 4).
+
+pub mod extract;
+pub mod policy;
+pub mod priors;
+pub mod rollout;
+pub mod tree;
+
+use crate::budget::MeteredWhatIf;
+use crate::matrix::Layout;
+use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+use extract::Extraction;
+use ixtune_common::rng::{derive, weighted_choice};
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use policy::SelectionPolicy;
+use rand::rngs::StdRng;
+use rollout::RolloutPolicy;
+use tree::Tree;
+
+/// The MCTS-based budget-aware tuner.
+#[derive(Clone, Copy, Debug)]
+pub struct MctsTuner {
+    pub selection: SelectionPolicy,
+    pub rollout: RolloutPolicy,
+    pub extraction: Extraction,
+    /// Query-selection strategy for the priors phase (Algorithm 4).
+    pub query_selection: priors::QuerySelection,
+    /// How episode rewards are backed up into the tree.
+    pub update: UpdatePolicy,
+}
+
+impl Default for MctsTuner {
+    /// The paper's best-performing setting (§7.1): ε-greedy with priors,
+    /// myopic rollout with step size 0, Best-Greedy extraction, round-robin
+    /// prior query selection, and plain running-average updates.
+    fn default() -> Self {
+        Self {
+            selection: SelectionPolicy::EpsilonGreedyPrior,
+            rollout: RolloutPolicy::FixedStep(0),
+            extraction: Extraction::BestGreedy,
+            query_selection: priors::QuerySelection::RoundRobin,
+            update: UpdatePolicy::Average,
+        }
+    }
+}
+
+/// Reward back-up policy (§8 points at RAVE as a possible refinement).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum UpdatePolicy {
+    /// Plain running average of episode rewards along the path.
+    Average,
+    /// Rapid Action Value Estimation (Gelly & Silver \[33\]): blend the
+    /// per-node value with an all-moves-as-first estimate shared across the
+    /// tree, `Q̃ = (1−β)·Q + β·AMAF` with `β = k/(k + n(s,a))`.
+    Rave {
+        /// Equivalence parameter `k`: how many per-node visits it takes for
+        /// the local estimate to outweigh the AMAF estimate.
+        k: f64,
+    },
+}
+
+use serde::{Deserialize, Serialize};
+
+impl MctsTuner {
+    /// The configuration labels used by the ablation figures, e.g.
+    /// `"Prior + Greedy"`.
+    pub fn ablation_label(&self) -> String {
+        let ext = match self.extraction {
+            Extraction::Bce => "Only",
+            Extraction::BestGreedy => "+ Greedy",
+            Extraction::Hybrid => "+ Hybrid",
+            Extraction::TreeByValue => "+ Tree(Q)",
+            Extraction::TreeByVisits => "+ Tree(n)",
+        };
+        format!("{} {}", self.selection.label(), ext)
+    }
+
+    /// Tune and also return the best-so-far *estimated* improvement after
+    /// each episode (from the budgeted evaluations, like the baselines'
+    /// convergence traces in Figures 14/21).
+    pub fn tune_traced(
+        &self,
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        budget: usize,
+        seed: u64,
+    ) -> (TuningResult, Vec<f64>) {
+        self.run(ctx, constraints, budget, seed)
+    }
+
+    /// `EvaluateCostWithBudget` (Algorithm 3): estimate `cost(W, C)` with a
+    /// single budgeted what-if call against a query sampled proportionally
+    /// to its derived cost. Returns `None` once the budget is exhausted.
+    fn evaluate_with_budget(
+        &self,
+        mw: &mut MeteredWhatIf<'_>,
+        config: &IndexSet,
+        rng: &mut StdRng,
+    ) -> Option<f64> {
+        let m = mw.num_queries();
+        let derived: Vec<f64> = (0..m)
+            .map(|q| mw.derived(QueryId::from(q), config))
+            .collect();
+        let pick = weighted_choice(rng, &derived)?;
+        let q = QueryId::from(pick);
+        let exact = mw.what_if(q, config)?;
+        let total: f64 =
+            exact + derived.iter().enumerate().filter(|(i, _)| *i != pick).map(|(_, d)| d).sum::<f64>();
+        Some(total)
+    }
+
+    /// One episode of Algorithm 3. Returns `false` when the budget ran out
+    /// before the episode could evaluate a configuration.
+    #[allow(clippy::too_many_arguments)]
+    fn run_episode(
+        &self,
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        mw: &mut MeteredWhatIf<'_>,
+        tree: &mut Tree,
+        priors: &[f64],
+        amaf: &mut Option<policy::AmafTable>,
+        best: &mut Option<(IndexSet, f64)>,
+        rng: &mut StdRng,
+    ) -> bool {
+        // --- Selection / expansion (SampleConfiguration) ---
+        let mut path: Vec<(usize, IndexId)> = Vec::new();
+        let mut node = Tree::ROOT;
+        let config = loop {
+            let n = tree.node(node);
+            let is_leaf = n.children.is_empty();
+            let terminal = n.config.len() >= constraints.k;
+            if is_leaf && !n.visited && node != Tree::ROOT {
+                // Unvisited leaf: simulate via rollout.
+                break self.rollout.rollout(
+                    ctx,
+                    constraints,
+                    &self.selection,
+                    priors,
+                    &n.config,
+                    rng,
+                );
+            }
+            if terminal {
+                break n.config.clone();
+            }
+            let filter = constraints.extension_filter(ctx, &n.config);
+            let actions: Vec<IndexId> = n
+                .config
+                .complement_iter()
+                .filter(|&a| filter.admits(ctx, a))
+                .collect();
+            let Some(action) = self.selection.select(n, &actions, priors, amaf.as_ref(), rng)
+            else {
+                break n.config.clone();
+            };
+            let child = tree.get_or_create_child(node, action);
+            path.push((node, action));
+            node = child;
+        };
+
+        // --- Evaluation (one budgeted what-if call) ---
+        let Some(cost) = self.evaluate_with_budget(mw, &config, rng) else {
+            return false;
+        };
+
+        // --- Update ---
+        let base = mw.empty_workload_cost();
+        let reward = if base > 0.0 {
+            (1.0 - cost / base).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        tree.update_path(&path, node, reward);
+        if let Some(table) = amaf {
+            table.update(&config, reward);
+        }
+
+        // Track the best explored configuration (for BCE / Hybrid).
+        if constraints.satisfied_by(ctx, &config)
+            && best.as_ref().is_none_or(|(_, c)| cost < *c)
+        {
+            *best = Some((config, cost));
+        }
+        true
+    }
+}
+
+impl Tuner for MctsTuner {
+    fn name(&self) -> String {
+        let default = MctsTuner::default();
+        if self.selection == default.selection
+            && self.rollout == default.rollout
+            && self.extraction == default.extraction
+            && self.query_selection == default.query_selection
+            && self.update == default.update
+        {
+            "MCTS".into()
+        } else {
+            let update = match self.update {
+                UpdatePolicy::Average => String::new(),
+                UpdatePolicy::Rave { k } => format!(", RAVE(k={k})"),
+            };
+            format!(
+                "MCTS[{}, {}, {}{}]",
+                self.selection.label(),
+                self.rollout.label(),
+                self.extraction.label(),
+                update
+            )
+        }
+    }
+
+    fn tune(
+        &self,
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        budget: usize,
+        seed: u64,
+    ) -> TuningResult {
+        self.run(ctx, constraints, budget, seed).0
+    }
+}
+
+impl MctsTuner {
+    fn run(
+        &self,
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        budget: usize,
+        seed: u64,
+    ) -> (TuningResult, Vec<f64>) {
+        let mut rng = derive(seed, "mcts");
+        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+
+        // Priors (Algorithm 4) — UCT is the only policy that ignores them.
+        let priors = if self.selection.uses_priors() {
+            let bp = priors::priors_budget(budget, ctx);
+            priors::compute_priors(ctx, &mut mw, bp, self.query_selection)
+        } else {
+            vec![0.0; ctx.universe()]
+        };
+
+        // Episodes: one budgeted call each, until the budget is exhausted.
+        let mut tree = Tree::new(ctx.universe());
+        let mut best: Option<(IndexSet, f64)> = None;
+        let mut amaf = match self.update {
+            UpdatePolicy::Average => None,
+            UpdatePolicy::Rave { k } => Some(policy::AmafTable::new(ctx.universe(), k)),
+        };
+        // Episodes whose evaluation hits the cache are free; cap the idle
+        // streak so a fully-cached search space cannot spin forever.
+        let base = mw.empty_workload_cost();
+        let mut trace: Vec<f64> = Vec::new();
+        let mut idle_streak = 0usize;
+        while !mw.meter().exhausted() && idle_streak < 500 {
+            let before = mw.meter().used();
+            if !self.run_episode(
+                ctx,
+                constraints,
+                &mut mw,
+                &mut tree,
+                &priors,
+                &mut amaf,
+                &mut best,
+                &mut rng,
+            ) {
+                break;
+            }
+            if mw.meter().used() == before {
+                idle_streak += 1;
+            } else {
+                idle_streak = 0;
+                let best_imp = best
+                    .as_ref()
+                    .map(|(_, c)| if base > 0.0 { (1.0 - c / base).max(0.0) } else { 0.0 })
+                    .unwrap_or(0.0);
+                trace.push(best_imp);
+            }
+        }
+
+        // Extraction.
+        let config = self.extraction.extract(
+            ctx,
+            constraints,
+            &mw,
+            &tree,
+            best.as_ref().map(|(c, _)| c),
+        );
+        let used = mw.meter().used();
+        let result =
+            TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()));
+        (result, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_candidates::{generate_default, CandidateSet};
+    use ixtune_optimizer::{CostModel, SimulatedOptimizer};
+    use ixtune_workload::gen::{synth, tpch};
+
+    fn setup(seed: u64) -> (SimulatedOptimizer, CandidateSet) {
+        let inst = synth::instance(seed);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        (opt, cands)
+    }
+
+    fn tpch_ctx() -> (SimulatedOptimizer, CandidateSet) {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        (opt, cands)
+    }
+
+    #[test]
+    fn respects_budget_exactly() {
+        let (opt, cands) = setup(1);
+        let ctx = TuningContext::new(&opt, &cands);
+        for budget in [0usize, 1, 3, 25, 100] {
+            let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(3), budget, 7);
+            assert!(r.calls_used <= budget, "{} > {budget}", r.calls_used);
+        }
+    }
+
+    #[test]
+    fn respects_cardinality_constraint() {
+        let (opt, cands) = setup(2);
+        let ctx = TuningContext::new(&opt, &cands);
+        for k in [1usize, 2, 5] {
+            let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(k), 60, 3);
+            assert!(r.config.len() <= k);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (opt, cands) = setup(3);
+        let ctx = TuningContext::new(&opt, &cands);
+        let c = Constraints::cardinality(3);
+        let a = MctsTuner::default().tune(&ctx, &c, 50, 42);
+        let b = MctsTuner::default().tune(&ctx, &c, 50, 42);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.calls_used, b.calls_used);
+    }
+
+    #[test]
+    fn finds_improvement_on_tpch() {
+        let (opt, cands) = tpch_ctx();
+        let ctx = TuningContext::new(&opt, &cands);
+        let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(5), 200, 1);
+        assert!(
+            r.improvement > 0.05,
+            "MCTS with 200 calls should improve TPC-H, got {}",
+            r.improvement
+        );
+    }
+
+    #[test]
+    fn uct_variant_runs_and_respects_budget() {
+        let (opt, cands) = tpch_ctx();
+        let ctx = TuningContext::new(&opt, &cands);
+        let tuner = MctsTuner {
+            selection: SelectionPolicy::uct(),
+            rollout: RolloutPolicy::RandomStep,
+            extraction: Extraction::Bce,
+            ..MctsTuner::default()
+        };
+        let r = tuner.tune(&ctx, &Constraints::cardinality(5), 100, 5);
+        assert!(r.calls_used <= 100);
+        assert!(r.improvement >= 0.0);
+    }
+
+    #[test]
+    fn all_policy_combinations_run() {
+        let (opt, cands) = setup(6);
+        let ctx = TuningContext::new(&opt, &cands);
+        let c = Constraints::cardinality(2);
+        for selection in [SelectionPolicy::uct(), SelectionPolicy::EpsilonGreedyPrior] {
+            for rollout in [
+                RolloutPolicy::RandomStep,
+                RolloutPolicy::FixedStep(0),
+                RolloutPolicy::FixedStep(1),
+            ] {
+                for extraction in [Extraction::Bce, Extraction::BestGreedy, Extraction::Hybrid] {
+                    let tuner = MctsTuner {
+                        selection,
+                        rollout,
+                        extraction,
+                        ..MctsTuner::default()
+                    };
+                    let r = tuner.tune(&ctx, &c, 30, 9);
+                    assert!(r.calls_used <= 30, "{}", tuner.name());
+                    assert!(r.config.len() <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rave_and_alternate_policies_respect_budget() {
+        let (opt, cands) = setup(7);
+        let ctx = TuningContext::new(&opt, &cands);
+        let c = Constraints::cardinality(3);
+        let variants = [
+            MctsTuner {
+                update: UpdatePolicy::Rave { k: 50.0 },
+                ..MctsTuner::default()
+            },
+            MctsTuner {
+                selection: SelectionPolicy::Boltzmann { tau: 0.1 },
+                ..MctsTuner::default()
+            },
+            MctsTuner {
+                selection: SelectionPolicy::ClassicEpsilon { epsilon: 0.2 },
+                ..MctsTuner::default()
+            },
+            MctsTuner {
+                selection: SelectionPolicy::uct(),
+                update: UpdatePolicy::Rave { k: 20.0 },
+                ..MctsTuner::default()
+            },
+            MctsTuner {
+                query_selection: QuerySelection::CostWeighted,
+                ..MctsTuner::default()
+            },
+            MctsTuner {
+                query_selection: QuerySelection::RandomSubset { per_mille: 500 },
+                ..MctsTuner::default()
+            },
+        ];
+        for tuner in variants {
+            let r = tuner.tune(&ctx, &c, 60, 4);
+            assert!(r.calls_used <= 60, "{}", tuner.name());
+            assert!(r.config.len() <= 3, "{}", tuner.name());
+            let again = tuner.tune(&ctx, &c, 60, 4);
+            assert_eq!(r.config, again.config, "{} not deterministic", tuner.name());
+        }
+    }
+
+    use crate::mcts::priors::QuerySelection;
+
+    #[test]
+    fn tree_walk_extractions_respect_constraints_and_budget() {
+        let (opt, cands) = tpch_ctx();
+        let ctx = TuningContext::new(&opt, &cands);
+        let c = Constraints::cardinality(5);
+        for extraction in [Extraction::TreeByValue, Extraction::TreeByVisits] {
+            let tuner = MctsTuner {
+                extraction,
+                ..MctsTuner::default()
+            };
+            let r = tuner.tune(&ctx, &c, 150, 3);
+            assert!(r.calls_used <= 150, "{}", tuner.name());
+            assert!(r.config.len() <= 5, "{}", tuner.name());
+            assert!(r.improvement >= 0.0);
+        }
+    }
+
+    #[test]
+    fn traced_run_reports_monotone_best_so_far() {
+        let (opt, cands) = tpch_ctx();
+        let ctx = TuningContext::new(&opt, &cands);
+        let c = Constraints::cardinality(5);
+        let (r, trace) = MctsTuner::default().tune_traced(&ctx, &c, 150, 2);
+        assert!(!trace.is_empty());
+        assert!(trace.windows(2).all(|w| w[1] >= w[0] - 1e-12));
+        assert!(r.calls_used <= 150);
+        // The trace tracks estimated improvements in [0, 1].
+        assert!(trace.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn query_selection_strategies_produce_usable_priors_on_tpch() {
+        let (opt, cands) = tpch_ctx();
+        let ctx = TuningContext::new(&opt, &cands);
+        for strategy in [
+            QuerySelection::RoundRobin,
+            QuerySelection::CostWeighted,
+            QuerySelection::RandomSubset { per_mille: 300 },
+        ] {
+            let mut mw = crate::budget::MeteredWhatIf::new(&opt, 300);
+            let priors = priors::compute_priors(&ctx, &mut mw, 150, strategy);
+            assert!(
+                priors.iter().any(|&p| p > 0.0),
+                "{}: no useful priors",
+                strategy.label()
+            );
+            assert!(mw.meter().used() <= 150);
+        }
+    }
+
+    #[test]
+    fn names_and_labels() {
+        assert_eq!(MctsTuner::default().name(), "MCTS");
+        let t = MctsTuner {
+            selection: SelectionPolicy::uct(),
+            rollout: RolloutPolicy::RandomStep,
+            extraction: Extraction::Bce,
+            ..MctsTuner::default()
+        };
+        assert_eq!(t.ablation_label(), "UCT Only");
+        assert!(t.name().contains("UCT"));
+        let d = MctsTuner::default();
+        assert_eq!(d.ablation_label(), "Prior + Greedy");
+    }
+
+    #[test]
+    fn storage_constraint_respected() {
+        let (opt, cands) = tpch_ctx();
+        let ctx = TuningContext::new(&opt, &cands);
+        // Limit to ~one small index worth of bytes.
+        let limit = 50 * 1024 * 1024;
+        let c = Constraints::with_storage(10, limit);
+        let r = MctsTuner::default().tune(&ctx, &c, 150, 2);
+        assert!(opt.config_size_bytes(&r.config) <= limit);
+    }
+}

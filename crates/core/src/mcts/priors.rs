@@ -1,0 +1,234 @@
+//! Singleton priors under budget (Algorithm 4 of the paper).
+//!
+//! The ε-greedy policy needs a prior reward for actions that have never
+//! been taken. The paper uses the percentage improvement of the singleton
+//! configuration, `η(W, {a})`, computed *under budget*: each budgeted call
+//! evaluates one `(query, index)` pair, with **round-robin query
+//! selection** (favoring breadth across the workload) and **largest-table
+//! index selection** within a query (indexes on big tables matter most
+//! under a cardinality constraint — §6.1).
+
+use crate::budget::MeteredWhatIf;
+use crate::tuner::TuningContext;
+use ixtune_common::rng::{derive, weighted_choice};
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// The paper's priors budget: `B' = min(B/2, P)` where `B` is the total
+/// budget and `P` the number of query–index pairs.
+pub fn priors_budget(total_budget: usize, ctx: &TuningContext<'_>) -> usize {
+    (total_budget / 2).min(ctx.cands.num_query_index_pairs())
+}
+
+/// `QuerySelection` strategies for Algorithm 4 (§6.1). The paper defaults
+/// to round-robin ("robust and works well"), and discusses the
+/// alternatives implemented here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum QuerySelection {
+    /// Cycle through queries in order — the paper's default, maximizing
+    /// breadth across the workload.
+    #[default]
+    RoundRobin,
+    /// Sample queries with probability proportional to `c(q, ∅)` — the
+    /// same weighting `EvaluateCostWithBudget` uses.
+    CostWeighted,
+    /// Round-robin restricted to a random sample of `fraction` of the
+    /// queries (per-mille) — the paper's scalability escape hatch for
+    /// workloads larger than the budget.
+    RandomSubset {
+        /// Sample size in per-mille of the workload (e.g. 250 = 25%).
+        per_mille: u16,
+    },
+}
+
+impl QuerySelection {
+    pub fn label(&self) -> String {
+        match self {
+            QuerySelection::RoundRobin => "round-robin".into(),
+            QuerySelection::CostWeighted => "cost-weighted".into(),
+            QuerySelection::RandomSubset { per_mille } => {
+                format!("subset({}%)", *per_mille as f64 / 10.0)
+            }
+        }
+    }
+}
+
+/// Compute `η(W, {I})` for every candidate `I`, spending at most
+/// `budget_prime` what-if calls through `mw`, with the paper's default
+/// round-robin query selection. Returns improvements as fractions in
+/// `[0, 1]`.
+pub fn compute_priors(
+    ctx: &TuningContext<'_>,
+    mw: &mut MeteredWhatIf<'_>,
+    budget_prime: usize,
+    strategy: QuerySelection,
+) -> Vec<f64> {
+    let n = ctx.universe();
+    let m = ctx.num_queries();
+    let base = mw.empty_workload_cost();
+
+    // cost(W, {I}) starts at cost(W, ∅) and is refined per evaluated pair.
+    let mut cost_w: Vec<f64> = vec![base; n];
+
+    // Per query: its candidates sorted by table size descending (the
+    // paper's IndexSelection), with a cursor over unevaluated ones.
+    let schema = ctx.opt.schema();
+    let mut queues: Vec<Vec<IndexId>> = (0..m)
+        .map(|qi| {
+            let ids = ctx.cands.for_query(QueryId::from(qi));
+            ctx.cands.by_table_size(schema, ids)
+        })
+        .collect();
+    let mut evaluated: HashSet<(usize, IndexId)> = HashSet::new();
+
+    // Strategy state: an RNG derived from the cache's identity-free stream
+    // keeps prior computation deterministic per (strategy, budget).
+    let mut rng = derive(0x5e1ec7, "priors-query-selection");
+    let eligible: Vec<usize> = match strategy {
+        QuerySelection::RandomSubset { per_mille } => {
+            let want = ((m as u64 * per_mille as u64).div_ceil(1000) as usize).clamp(1, m);
+            let mut pool: Vec<usize> = (0..m).collect();
+            // Partial Fisher–Yates.
+            for i in 0..want {
+                let j = i + rng.random_range(0..pool.len() - i);
+                pool.swap(i, j);
+            }
+            pool.truncate(want);
+            pool
+        }
+        _ => (0..m).collect(),
+    };
+    let costs: Vec<f64> = eligible
+        .iter()
+        .map(|&q| mw.empty_cost(QueryId::from(q)))
+        .collect();
+
+    let mut spent = 0usize;
+    let mut qi = 0usize;
+    let mut idle_rounds = 0usize;
+    while spent < budget_prime && idle_rounds < m {
+        let q = match strategy {
+            QuerySelection::RoundRobin | QuerySelection::RandomSubset { .. } => {
+                eligible[qi % eligible.len()]
+            }
+            QuerySelection::CostWeighted => {
+                eligible[weighted_choice(&mut rng, &costs).unwrap_or(qi % eligible.len())]
+            }
+        };
+        qi += 1;
+        // IndexSelection: next unevaluated candidate of this query.
+        let next = queues[q].iter().position(|id| !evaluated.contains(&(q, *id)));
+        let Some(pos) = next else {
+            idle_rounds += 1;
+            continue;
+        };
+        idle_rounds = 0;
+        let id = queues[q].remove(pos);
+        evaluated.insert((q, id));
+        let qid = QueryId::from(q);
+        let single = IndexSet::singleton(n, id);
+        let Some(c) = mw.what_if(qid, &single) else {
+            break; // global budget exhausted
+        };
+        spent += 1;
+        cost_w[id.index()] += c - mw.empty_cost(qid);
+    }
+
+    cost_w
+        .into_iter()
+        .map(|c| {
+            if base <= 0.0 {
+                0.0
+            } else {
+                (1.0 - c / base).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_candidates::{generate_default, CandidateSet};
+    use ixtune_optimizer::{CostModel, SimulatedOptimizer};
+    use ixtune_workload::gen::{synth, tpch};
+
+    fn setup(seed: u64) -> (SimulatedOptimizer, CandidateSet) {
+        let inst = synth::instance(seed);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        (opt, cands)
+    }
+
+    #[test]
+    fn budget_prime_formula() {
+        let (opt, cands) = setup(1);
+        let ctx = TuningContext::new(&opt, &cands);
+        let p = ctx.cands.num_query_index_pairs();
+        assert_eq!(priors_budget(10, &ctx), (10 / 2).min(p));
+        assert_eq!(priors_budget(1_000_000, &ctx), p);
+    }
+
+    #[test]
+    fn priors_are_bounded_and_spend_at_most_bprime() {
+        let (opt, cands) = setup(2);
+        let ctx = TuningContext::new(&opt, &cands);
+        let mut mw = MeteredWhatIf::new(&opt, 100);
+        let bp = 6;
+        let priors = compute_priors(&ctx, &mut mw, bp, QuerySelection::RoundRobin);
+        assert_eq!(priors.len(), ctx.universe());
+        assert!(priors.iter().all(|p| (0.0..=1.0).contains(p)));
+        assert!(mw.meter().used() <= bp);
+    }
+
+    #[test]
+    fn zero_budget_gives_zero_priors() {
+        let (opt, cands) = setup(3);
+        let ctx = TuningContext::new(&opt, &cands);
+        let mut mw = MeteredWhatIf::new(&opt, 100);
+        let priors = compute_priors(&ctx, &mut mw, 0, QuerySelection::RoundRobin);
+        assert!(priors.iter().all(|&p| p == 0.0));
+        assert_eq!(mw.meter().used(), 0);
+    }
+
+    #[test]
+    fn full_pairs_budget_touches_every_query_round_robin() {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        let ctx = TuningContext::new(&opt, &cands);
+        let pairs = ctx.cands.num_query_index_pairs();
+        let mut mw = MeteredWhatIf::new(&opt, pairs * 2);
+        let _ = compute_priors(&ctx, &mut mw, pairs, QuerySelection::RoundRobin);
+        // Round-robin should have touched every query with candidates.
+        let layout = crate::matrix::Layout::new(mw.into_trace());
+        assert_eq!(layout.distinct_queries(), ctx.num_queries());
+        // Every budgeted call was for a singleton.
+        assert!(layout.calls_by_config_size().keys().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn useful_indexes_get_positive_priors() {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        let ctx = TuningContext::new(&opt, &cands);
+        let mut mw = MeteredWhatIf::new(&opt, 10_000);
+        let priors = compute_priors(&ctx, &mut mw, 5_000, QuerySelection::RoundRobin);
+        assert!(
+            priors.iter().any(|&p| p > 0.01),
+            "some TPC-H index must show singleton benefit"
+        );
+    }
+
+    #[test]
+    fn priors_stop_when_global_budget_smaller() {
+        let (opt, cands) = setup(4);
+        let ctx = TuningContext::new(&opt, &cands);
+        let mut mw = MeteredWhatIf::new(&opt, 3);
+        let _ = compute_priors(&ctx, &mut mw, 100, QuerySelection::RoundRobin);
+        assert_eq!(mw.meter().used(), 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! The MCTS search tree.
+//!
+//! Nodes are states of the configuration-search MDP (§5.1): each node's
+//! state is an index configuration; each outgoing edge is an action (the
+//! next index to add). Nodes keep visit counts `N(s)` and per-action
+//! statistics `n(s,a)`, `Q̂(s,a)` — the running average of episode rewards.
+
+use ixtune_common::{IndexId, IndexSet};
+use std::collections::HashMap;
+
+/// Running statistics for one action at one node.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ActionStats {
+    /// `n(s, a)`: times the action was taken from this node.
+    pub n: u32,
+    /// `Q̂(s, a)`: average episode reward after taking the action.
+    pub q: f64,
+}
+
+/// One node of the search tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// The configuration this state represents.
+    pub config: IndexSet,
+    /// Whether an episode has already evaluated this node (controls
+    /// expansion versus rollout in Algorithm 3's `SampleConfiguration`).
+    pub visited: bool,
+    /// `N(s)`: number of episodes that passed through this node.
+    pub n_visits: u32,
+    /// Expanded children: action → node index.
+    pub children: HashMap<IndexId, usize>,
+    /// Statistics for actions taken at least once.
+    pub actions: HashMap<IndexId, ActionStats>,
+}
+
+impl Node {
+    fn new(config: IndexSet) -> Self {
+        Self {
+            config,
+            visited: false,
+            n_visits: 0,
+            children: HashMap::new(),
+            actions: HashMap::new(),
+        }
+    }
+
+    /// `Q̂(s, a)` if the action has been taken, else `None`.
+    pub fn q_value(&self, a: IndexId) -> Option<f64> {
+        self.actions.get(&a).map(|s| s.q)
+    }
+
+    /// `n(s, a)`.
+    pub fn action_visits(&self, a: IndexId) -> u32 {
+        self.actions.get(&a).map_or(0, |s| s.n)
+    }
+
+    /// Depth of the state in the tree = configuration size.
+    pub fn depth(&self) -> usize {
+        self.config.len()
+    }
+}
+
+/// Arena-allocated search tree rooted at the empty configuration.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Create a tree whose root is the empty configuration over `universe`.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            nodes: vec![Node::new(IndexSet::empty(universe))],
+        }
+    }
+
+    pub const ROOT: usize = 0;
+
+    pub fn node(&self, i: usize) -> &Node {
+        &self.nodes[i]
+    }
+
+    pub fn node_mut(&mut self, i: usize) -> &mut Node {
+        &mut self.nodes[i]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `GetOrCreateNextState` of Algorithm 3: the child of `node` reached by
+    /// `action`, created (expansion) if absent.
+    pub fn get_or_create_child(&mut self, node: usize, action: IndexId) -> usize {
+        if let Some(&c) = self.nodes[node].children.get(&action) {
+            return c;
+        }
+        let config = self.nodes[node].config.with(action);
+        let child = self.nodes.len();
+        self.nodes.push(Node::new(config));
+        self.nodes[node].children.insert(action, child);
+        child
+    }
+
+    /// Back up an episode reward along `path` (pairs of node index and the
+    /// action taken there) plus the terminal node reached.
+    pub fn update_path(&mut self, path: &[(usize, IndexId)], terminal: usize, reward: f64) {
+        for &(node, action) in path {
+            let n = &mut self.nodes[node];
+            n.n_visits += 1;
+            let stats = n.actions.entry(action).or_default();
+            stats.n += 1;
+            stats.q += (reward - stats.q) / stats.n as f64;
+        }
+        let t = &mut self.nodes[terminal];
+        t.n_visits += 1;
+        t.visited = true;
+    }
+
+    /// Iterate all node configurations (used by Best-Configuration-Explored).
+    pub fn configs(&self) -> impl Iterator<Item = &IndexSet> {
+        self.nodes.iter().map(|n| &n.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: u32) -> IndexId {
+        IndexId::new(i)
+    }
+
+    #[test]
+    fn root_is_empty_config() {
+        let t = Tree::new(8);
+        assert_eq!(t.len(), 1);
+        assert!(t.node(Tree::ROOT).config.is_empty());
+        assert!(!t.node(Tree::ROOT).visited);
+    }
+
+    #[test]
+    fn child_creation_is_idempotent() {
+        let mut t = Tree::new(8);
+        let a = t.get_or_create_child(Tree::ROOT, id(3));
+        let b = t.get_or_create_child(Tree::ROOT, id(3));
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 2);
+        assert!(t.node(a).config.contains(id(3)));
+        assert_eq!(t.node(a).depth(), 1);
+    }
+
+    #[test]
+    fn update_path_averages_rewards() {
+        let mut t = Tree::new(8);
+        let c1 = t.get_or_create_child(Tree::ROOT, id(0));
+        t.update_path(&[(Tree::ROOT, id(0))], c1, 0.4);
+        t.update_path(&[(Tree::ROOT, id(0))], c1, 0.8);
+        let root = t.node(Tree::ROOT);
+        assert_eq!(root.n_visits, 2);
+        assert_eq!(root.action_visits(id(0)), 2);
+        assert!((root.q_value(id(0)).unwrap() - 0.6).abs() < 1e-12);
+        assert!(t.node(c1).visited);
+        assert_eq!(t.node(c1).n_visits, 2);
+    }
+
+    #[test]
+    fn deeper_paths_update_every_edge() {
+        let mut t = Tree::new(8);
+        let c1 = t.get_or_create_child(Tree::ROOT, id(0));
+        let c2 = t.get_or_create_child(c1, id(1));
+        t.update_path(&[(Tree::ROOT, id(0)), (c1, id(1))], c2, 1.0);
+        assert_eq!(t.node(Tree::ROOT).action_visits(id(0)), 1);
+        assert_eq!(t.node(c1).action_visits(id(1)), 1);
+        assert_eq!(t.node(c2).n_visits, 1);
+        assert_eq!(t.node(c2).config.len(), 2);
+    }
+
+    #[test]
+    fn unvisited_action_has_no_q() {
+        let t = Tree::new(4);
+        assert_eq!(t.node(Tree::ROOT).q_value(id(2)), None);
+        assert_eq!(t.node(Tree::ROOT).action_visits(id(2)), 0);
+    }
+}

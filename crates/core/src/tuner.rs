@@ -1,0 +1,265 @@
+//! The tuner interface shared by every enumeration algorithm.
+//!
+//! A [`TuningContext`] bundles the simulated optimizer and the candidate
+//! set; [`Constraints`] carries the cardinality constraint `K` and the
+//! optional storage constraint; [`Tuner::tune`] runs one budgeted session
+//! and returns a [`TuningResult`] whose improvement is measured against an
+//! *unmetered* oracle evaluation of the final configuration, exactly as the
+//! paper measures "percentage improvement in terms of the actual what-if
+//! cost" (§7).
+
+use crate::matrix::Layout;
+use ixtune_candidates::CandidateSet;
+use ixtune_common::{IndexId, IndexSet};
+use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
+use serde::{Deserialize, Serialize};
+
+/// Everything a tuning session reads: the optimizer (schema + workload +
+/// cost model) and the candidate universe with per-query attribution.
+pub struct TuningContext<'a> {
+    pub opt: &'a SimulatedOptimizer,
+    pub cands: &'a CandidateSet,
+}
+
+impl<'a> TuningContext<'a> {
+    pub fn new(opt: &'a SimulatedOptimizer, cands: &'a CandidateSet) -> Self {
+        debug_assert_eq!(opt.num_candidates(), cands.len());
+        Self { opt, cands }
+    }
+
+    /// Universe size `|I|`.
+    pub fn universe(&self) -> usize {
+        self.cands.len()
+    }
+
+    /// Number of queries `|W|`.
+    pub fn num_queries(&self) -> usize {
+        self.opt.num_queries()
+    }
+
+    /// Oracle (unmetered) workload cost of `config` — the evaluation
+    /// metric, not available to budgeted search.
+    pub fn oracle_cost(&self, config: &IndexSet) -> f64 {
+        self.opt.workload_cost(config)
+    }
+
+    /// Oracle percentage improvement of `config` as a fraction in `[0, 1]`.
+    pub fn oracle_improvement(&self, config: &IndexSet) -> f64 {
+        let base = self.oracle_cost(&IndexSet::empty(self.universe()));
+        if base <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.oracle_cost(config) / base
+    }
+}
+
+/// Tuning constraints on the *outcome* (distinct from the what-if budget,
+/// which constrains the *search* — see §1 of the paper).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Cardinality constraint `K`: max indexes in the recommendation.
+    pub k: usize,
+    /// Optional storage constraint: max total index size in bytes.
+    pub storage_bytes: Option<u64>,
+}
+
+impl Constraints {
+    pub fn cardinality(k: usize) -> Self {
+        Self {
+            k,
+            storage_bytes: None,
+        }
+    }
+
+    pub fn with_storage(k: usize, bytes: u64) -> Self {
+        Self {
+            k,
+            storage_bytes: Some(bytes),
+        }
+    }
+
+    /// Whether `config` plus index `extra` stays within the constraints.
+    ///
+    /// For per-candidate inner loops over a fixed `config`, build an
+    /// [`ExtensionFilter`] once instead — it hoists the configuration-size
+    /// sum out of the loop.
+    pub fn admits(&self, ctx: &TuningContext<'_>, config: &IndexSet, extra: IndexId) -> bool {
+        self.extension_filter(ctx, config).admits(ctx, extra)
+    }
+
+    /// Precompute the admission state for extending `config` by one index.
+    pub fn extension_filter(
+        &self,
+        ctx: &TuningContext<'_>,
+        config: &IndexSet,
+    ) -> ExtensionFilter {
+        ExtensionFilter {
+            len_ok: config.len() + 1 <= self.k,
+            used_bytes: match self.storage_bytes {
+                Some(_) => ctx.opt.config_size_bytes(config),
+                None => 0,
+            },
+            limit: self.storage_bytes,
+        }
+    }
+
+    /// Whether a whole configuration satisfies the constraints.
+    pub fn satisfied_by(&self, ctx: &TuningContext<'_>, config: &IndexSet) -> bool {
+        config.len() <= self.k
+            && self
+                .storage_bytes
+                .is_none_or(|limit| ctx.opt.config_size_bytes(config) <= limit)
+    }
+}
+
+/// Hoisted admission check for extending one fixed configuration: the
+/// cardinality test and the configuration's current size are computed once,
+/// so per-candidate checks are O(1).
+#[derive(Clone, Copy, Debug)]
+pub struct ExtensionFilter {
+    len_ok: bool,
+    used_bytes: u64,
+    limit: Option<u64>,
+}
+
+impl ExtensionFilter {
+    /// Whether adding `extra` keeps the configuration admissible.
+    #[inline]
+    pub fn admits(&self, ctx: &TuningContext<'_>, extra: IndexId) -> bool {
+        self.len_ok
+            && match self.limit {
+                None => true,
+                Some(limit) => {
+                    self.used_bytes + ctx.opt.candidate_size_bytes(extra) <= limit
+                }
+            }
+    }
+}
+
+/// Outcome of one tuning session.
+#[derive(Clone, Debug)]
+pub struct TuningResult {
+    /// Algorithm that produced the result.
+    pub algorithm: String,
+    /// The recommended configuration.
+    pub config: IndexSet,
+    /// What-if calls consumed (≤ the budget, by construction).
+    pub calls_used: usize,
+    /// Oracle improvement of `config`, as a fraction in `[0, 1]`.
+    pub improvement: f64,
+    /// The layout of budget-consuming calls.
+    pub layout: Layout,
+}
+
+impl TuningResult {
+    /// Build a result, filling in the oracle improvement.
+    pub fn evaluate(
+        algorithm: impl Into<String>,
+        ctx: &TuningContext<'_>,
+        config: IndexSet,
+        calls_used: usize,
+        layout: Layout,
+    ) -> Self {
+        let improvement = ctx.oracle_improvement(&config).max(0.0);
+        Self {
+            algorithm: algorithm.into(),
+            config,
+            calls_used,
+            improvement,
+            layout,
+        }
+    }
+
+    /// Improvement as a percentage (the paper's y-axis).
+    pub fn improvement_pct(&self) -> f64 {
+        self.improvement * 100.0
+    }
+}
+
+/// A budget-aware configuration enumeration algorithm.
+pub trait Tuner {
+    /// Display name (used in reports and figures).
+    fn name(&self) -> String;
+
+    /// Run one tuning session with what-if budget `budget`.
+    ///
+    /// `seed` controls any randomization inside the tuner; deterministic
+    /// tuners ignore it.
+    fn tune(
+        &self,
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        budget: usize,
+        seed: u64,
+    ) -> TuningResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_candidates::generate_default;
+    use ixtune_optimizer::CostModel;
+    use ixtune_workload::gen::synth;
+
+    pub(crate) fn context(seed: u64) -> (SimulatedOptimizer, CandidateSet) {
+        let inst = synth::instance(seed);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        (opt, cands)
+    }
+
+    #[test]
+    fn oracle_improvement_of_empty_is_zero() {
+        let (opt, cands) = context(1);
+        let ctx = TuningContext::new(&opt, &cands);
+        let empty = IndexSet::empty(ctx.universe());
+        assert_eq!(ctx.oracle_improvement(&empty), 0.0);
+    }
+
+    #[test]
+    fn oracle_improvement_of_full_is_nonnegative() {
+        let (opt, cands) = context(2);
+        let ctx = TuningContext::new(&opt, &cands);
+        let full = IndexSet::full(ctx.universe());
+        let imp = ctx.oracle_improvement(&full);
+        assert!((0.0..=1.0).contains(&imp), "imp={imp}");
+    }
+
+    #[test]
+    fn cardinality_constraint_admission() {
+        let (opt, cands) = context(3);
+        let ctx = TuningContext::new(&opt, &cands);
+        let n = ctx.universe();
+        assert!(n >= 2);
+        let c = Constraints::cardinality(1);
+        let empty = IndexSet::empty(n);
+        assert!(c.admits(&ctx, &empty, IndexId::new(0)));
+        let one = IndexSet::singleton(n, IndexId::new(0));
+        assert!(!c.admits(&ctx, &one, IndexId::new(1)));
+        assert!(c.satisfied_by(&ctx, &one));
+    }
+
+    #[test]
+    fn storage_constraint_blocks_large_configs() {
+        let (opt, cands) = context(4);
+        let ctx = TuningContext::new(&opt, &cands);
+        let n = ctx.universe();
+        let tight = Constraints::with_storage(n, 1); // 1 byte: nothing fits
+        let empty = IndexSet::empty(n);
+        assert!(!tight.admits(&ctx, &empty, IndexId::new(0)));
+        let loose = Constraints::with_storage(n, u64::MAX);
+        assert!(loose.admits(&ctx, &empty, IndexId::new(0)));
+    }
+
+    #[test]
+    fn result_evaluation_fills_improvement() {
+        let (opt, cands) = context(5);
+        let ctx = TuningContext::new(&opt, &cands);
+        let full = IndexSet::full(ctx.universe());
+        let r = TuningResult::evaluate("test", &ctx, full, 7, Layout::default());
+        assert_eq!(r.algorithm, "test");
+        assert_eq!(r.calls_used, 7);
+        assert!(r.improvement >= 0.0);
+        assert_eq!(r.improvement_pct(), r.improvement * 100.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! A minimal dense neural-network library.
+//!
+//! Just enough machinery for the paper's *No DBA* baseline (§7.2.2): a
+//! multilayer perceptron with relu hidden layers trained by Adam on MSE —
+//! the paper's adaptation uses "three fully connected layers, each with 96
+//! neurons, and relu as the activation function", trained on CPU.
+//!
+//! * [`mlp`] — the network: forward pass, backprop, parameter updates;
+//! * [`optim`] — SGD and Adam;
+//! * [`replay`] — a fixed-capacity experience replay buffer.
+//!
+//! # Example
+//!
+//! ```
+//! use ixtune_nn::{Adam, Mlp, Optimizer};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Fit y = 2x with a 1→8→1 relu network.
+//! let mut net = Mlp::new(&[1, 8, 1], &mut StdRng::seed_from_u64(1));
+//! let mut opt = Adam::new(0.02);
+//! for _ in 0..500 {
+//!     net.zero_grad();
+//!     for x in [-1.0, 0.5, 1.0, 2.0] {
+//!         let cache = net.forward_cached(&[x]);
+//!         let d = [cache.output()[0] - 2.0 * x];
+//!         net.backward(&cache, &d);
+//!     }
+//!     opt.step(&mut net);
+//! }
+//! assert!((net.forward(&[1.5])[0] - 3.0).abs() < 0.2);
+//! ```
+
+pub mod mlp;
+pub mod optim;
+pub mod replay;
+
+pub use mlp::Mlp;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use replay::ReplayBuffer;

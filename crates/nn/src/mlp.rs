@@ -1,0 +1,293 @@
+//! Multilayer perceptron with relu hidden activations and a linear output
+//! layer, plus reverse-mode gradients.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Forward-pass cache: pre-activation and post-activation values per layer.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    /// `acts[0]` is the input; `acts[l+1]` is layer `l`'s output after its
+    /// activation.
+    acts: Vec<Vec<f64>>,
+    /// Pre-activation values per layer (needed for the relu gradient).
+    pre: Vec<Vec<f64>>,
+}
+
+impl Cache {
+    /// The network output.
+    pub fn output(&self) -> &[f64] {
+        self.acts.last().expect("nonempty cache")
+    }
+}
+
+/// A dense MLP. Layer `l` maps `dims[l] → dims[l+1]`; all layers except the
+/// last apply relu.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    /// Row-major weights per layer: `w[l][o * in + i]`.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<Vec<f64>>,
+    grad_w: Vec<Vec<f64>>,
+    grad_b: Vec<Vec<f64>>,
+}
+
+impl Mlp {
+    /// He-initialized network with the given layer dimensions
+    /// (e.g. `[input, 96, 96, 96, output]`).
+    pub fn new(dims: &[usize], rng: &mut StdRng) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        let mut grad_w = Vec::new();
+        let mut grad_b = Vec::new();
+        for l in 0..dims.len() - 1 {
+            let (fan_in, fan_out) = (dims[l], dims[l + 1]);
+            let scale = (2.0 / fan_in as f64).sqrt();
+            let w: Vec<f64> = (0..fan_in * fan_out)
+                .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+                .collect();
+            weights.push(w);
+            biases.push(vec![0.0; fan_out]);
+            grad_w.push(vec![0.0; fan_in * fan_out]);
+            grad_b.push(vec![0.0; fan_out]);
+        }
+        Self {
+            dims: dims.to_vec(),
+            weights,
+            biases,
+            grad_w,
+            grad_b,
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().unwrap()
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(Vec::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Forward pass with cached intermediates for backprop.
+    pub fn forward_cached(&self, x: &[f64]) -> Cache {
+        assert_eq!(x.len(), self.dims[0]);
+        let mut acts = vec![x.to_vec()];
+        let mut pre = Vec::new();
+        for l in 0..self.num_layers() {
+            let (fan_in, fan_out) = (self.dims[l], self.dims[l + 1]);
+            let input = &acts[l];
+            let w = &self.weights[l];
+            let mut z = self.biases[l].clone();
+            for (o, zo) in z.iter_mut().enumerate() {
+                let row = &w[o * fan_in..(o + 1) * fan_in];
+                *zo += row.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>();
+            }
+            pre.push(z.clone());
+            let last = l + 1 == self.num_layers();
+            if !last {
+                for v in z.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            let _ = fan_out;
+            acts.push(z);
+        }
+        Cache { acts, pre }
+    }
+
+    /// Forward pass without caching.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        self.forward_cached(x).acts.pop().unwrap()
+    }
+
+    /// Accumulate gradients for one example given `dL/d(output)`.
+    pub fn backward(&mut self, cache: &Cache, d_out: &[f64]) {
+        assert_eq!(d_out.len(), self.output_dim());
+        let mut delta = d_out.to_vec();
+        for l in (0..self.num_layers()).rev() {
+            let fan_in = self.dims[l];
+            // Apply relu' for hidden layers (output layer is linear).
+            if l + 1 != self.num_layers() {
+                for (d, &z) in delta.iter_mut().zip(&cache.pre[l]) {
+                    if z <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            let input = &cache.acts[l];
+            for (o, &d) in delta.iter().enumerate() {
+                self.grad_b[l][o] += d;
+                let row = &mut self.grad_w[l][o * fan_in..(o + 1) * fan_in];
+                for (g, &xi) in row.iter_mut().zip(input) {
+                    *g += d * xi;
+                }
+            }
+            if l > 0 {
+                let w = &self.weights[l];
+                let mut prev = vec![0.0; fan_in];
+                for (o, &d) in delta.iter().enumerate() {
+                    let row = &w[o * fan_in..(o + 1) * fan_in];
+                    for (p, &wi) in prev.iter_mut().zip(row) {
+                        *p += d * wi;
+                    }
+                }
+                delta = prev;
+            }
+        }
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad_w.iter_mut().chain(self.grad_b.iter_mut()) {
+            g.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Visit `(param, grad)` pairs mutably — the optimizer hook.
+    pub fn visit_params(&mut self, mut f: impl FnMut(&mut f64, f64)) {
+        for l in 0..self.weights.len() {
+            for (w, &g) in self.weights[l].iter_mut().zip(&self.grad_w[l]) {
+                f(w, g);
+            }
+            for (b, &g) in self.biases[l].iter_mut().zip(&self.grad_b[l]) {
+                f(b, g);
+            }
+        }
+    }
+
+    /// Copy another network's parameters (target-network sync). Panics on
+    /// architecture mismatch.
+    pub fn copy_params_from(&mut self, other: &Mlp) {
+        assert_eq!(self.dims, other.dims);
+        self.weights.clone_from(&other.weights);
+        self.biases.clone_from(&other.biases);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn shapes_and_param_counts() {
+        let net = Mlp::new(&[4, 8, 3], &mut rng());
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.num_layers(), 2);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+        let y = net.forward(&[0.1, -0.2, 0.3, 0.0]);
+        assert_eq!(y.len(), 3);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut net = Mlp::new(&[3, 5, 2], &mut rng());
+        let x = [0.5, -0.3, 0.8];
+        let target = [0.2, -0.1];
+        // Loss = 0.5 * Σ (y - t)^2, dL/dy = y - t.
+        let loss = |net: &Mlp| -> f64 {
+            let y = net.forward(&x);
+            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b).powi(2)).sum()
+        };
+        net.zero_grad();
+        let cache = net.forward_cached(&x);
+        let d_out: Vec<f64> = cache
+            .output()
+            .iter()
+            .zip(&target)
+            .map(|(y, t)| y - t)
+            .collect();
+        net.backward(&cache, &d_out);
+
+        // Check a sample of weights in each layer by finite differences.
+        let eps = 1e-6;
+        for l in 0..net.num_layers() {
+            for wi in [0usize, 1, net.weights[l].len() - 1] {
+                let analytic = net.grad_w[l][wi];
+                let orig = net.weights[l][wi];
+                net.weights[l][wi] = orig + eps;
+                let hi = loss(&net);
+                net.weights[l][wi] = orig - eps;
+                let lo = loss(&net);
+                net.weights[l][wi] = orig;
+                let numeric = (hi - lo) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 1e-5,
+                    "layer {l} w{wi}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_toy_function() {
+        // Fit y = [x0 XOR x1] on {0,1}^2, the classic non-linear check.
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng());
+        let mut opt = Adam::new(0.01);
+        let data = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..2_000 {
+            net.zero_grad();
+            for (x, t) in &data {
+                let cache = net.forward_cached(x);
+                let d = [cache.output()[0] - t];
+                net.backward(&cache, &d);
+            }
+            opt.step(&mut net);
+        }
+        for (x, t) in &data {
+            let y = net.forward(x)[0];
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn target_network_copy() {
+        let mut a = Mlp::new(&[3, 4, 2], &mut rng());
+        let b = Mlp::new(&[3, 4, 2], &mut StdRng::seed_from_u64(99));
+        let x = [1.0, 2.0, 3.0];
+        assert_ne!(a.forward(&x), b.forward(&x));
+        a.copy_params_from(&b);
+        assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn zero_grad_resets() {
+        let mut net = Mlp::new(&[2, 3, 1], &mut rng());
+        let cache = net.forward_cached(&[1.0, -1.0]);
+        net.backward(&cache, &[1.0]);
+        // The output-layer bias gradient equals d_out, so it is nonzero
+        // even when the relu units happen to be dark for this input.
+        let any_nonzero = net
+            .grad_w
+            .iter()
+            .chain(net.grad_b.iter())
+            .flatten()
+            .any(|&g| g != 0.0);
+        assert!(any_nonzero);
+        net.zero_grad();
+        assert!(net.grad_w.iter().flatten().all(|&g| g == 0.0));
+        assert!(net.grad_b.iter().flatten().all(|&g| g == 0.0));
+    }
+}

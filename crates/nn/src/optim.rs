@@ -1,0 +1,132 @@
+//! First-order optimizers over an [`Mlp`]'s parameters.
+
+use crate::mlp::Mlp;
+
+/// A gradient-descent optimizer.
+pub trait Optimizer {
+    /// Apply one update from the network's accumulated gradients.
+    fn step(&mut self, net: &mut Mlp);
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f64,
+}
+
+impl Sgd {
+    pub fn new(lr: f64) -> Self {
+        Self { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Mlp) {
+        let lr = self.lr;
+        net.visit_params(|p, g| *p -= lr * g);
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Adam {
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Mlp) {
+        let n = net.num_params();
+        if self.m.len() != n {
+            self.m = vec![0.0; n];
+            self.v = vec![0.0; n];
+        }
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let mut i = 0;
+        let (m, v) = (&mut self.m, &mut self.v);
+        net.visit_params(|p, g| {
+            m[i] = b1 * m[i] + (1.0 - b1) * g;
+            v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            *p -= lr * mh / (vh.sqrt() + eps);
+            i += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_loss_net() -> Mlp {
+        // 1→1 linear net: y = w x + b; fit y = 3x + 1.
+        Mlp::new(&[1, 1], &mut StdRng::seed_from_u64(5))
+    }
+
+    fn train(opt: &mut dyn Optimizer, net: &mut Mlp, iters: usize) -> f64 {
+        let data = [(-1.0f64, -2.0f64), (0.0, 1.0), (1.0, 4.0), (2.0, 7.0)];
+        for _ in 0..iters {
+            net.zero_grad();
+            for (x, t) in &data {
+                let cache = net.forward_cached(&[*x]);
+                net.backward(&cache, &[cache.output()[0] - t]);
+            }
+            opt.step(net);
+        }
+        data.iter()
+            .map(|(x, t)| (net.forward(&[*x])[0] - t).powi(2))
+            .sum::<f64>()
+    }
+
+    #[test]
+    fn sgd_converges_on_linear_fit() {
+        let mut net = quadratic_loss_net();
+        let mut opt = Sgd::new(0.05);
+        let loss = train(&mut opt, &mut net, 500);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn adam_converges_on_linear_fit() {
+        let mut net = quadratic_loss_net();
+        let mut opt = Adam::new(0.05);
+        let loss = train(&mut opt, &mut net, 500);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn adam_is_stateful_across_steps() {
+        let mut net = quadratic_loss_net();
+        let mut opt = Adam::new(0.01);
+        let l1 = train(&mut opt, &mut net, 50);
+        let l2 = train(&mut opt, &mut net, 200);
+        assert!(l2 < l1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Fixed-capacity experience replay with uniform sampling.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A ring-buffer replay memory.
+#[derive(Clone, Debug)]
+pub struct ReplayBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    next: usize,
+}
+
+impl<T: Clone> ReplayBuffer<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+        }
+    }
+
+    /// Insert, overwriting the oldest entry when full.
+    pub fn push(&mut self, item: T) {
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            self.items[self.next] = item;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sample `n` items uniformly with replacement.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> Vec<&T> {
+        (0..n)
+            .filter_map(|_| {
+                if self.items.is_empty() {
+                    None
+                } else {
+                    Some(&self.items[rng.random_range(0..self.items.len())])
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_wrap() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 3);
+        // 0,1 overwritten by 3,4.
+        let mut items: Vec<i32> = b.items.clone();
+        items.sort_unstable();
+        assert_eq!(items, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_respects_contents() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..10 {
+            b.push(i);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = b.sample(100, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&&x| (0..10).contains(&x)));
+    }
+
+    #[test]
+    fn sample_from_empty_is_empty() {
+        let b: ReplayBuffer<u8> = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(b.sample(5, &mut rng).is_empty());
+    }
+}

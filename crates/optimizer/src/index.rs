@@ -1,0 +1,143 @@
+//! Index definitions and size estimation.
+//!
+//! A candidate index is a (covering) B+-tree index: an ordered list of key
+//! columns plus an unordered set of included payload columns, exactly the
+//! `[key columns; included columns]` notation of the paper's Figure 3.
+
+use ixtune_workload::Schema;
+use ixtune_common::{ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per B+-tree page, used by size and cost estimation.
+pub const PAGE_BYTES: u64 = 8_192;
+
+/// A candidate index definition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexDef {
+    pub table: TableId,
+    /// Ordered key columns (the seek/sort columns).
+    pub keys: Vec<ColumnId>,
+    /// Included (payload) columns, order-insensitive.
+    pub includes: Vec<ColumnId>,
+}
+
+impl IndexDef {
+    pub fn new(table: TableId, keys: Vec<ColumnId>, mut includes: Vec<ColumnId>) -> Self {
+        // Normalize: includes sorted, deduped, and disjoint from keys.
+        includes.sort_unstable();
+        includes.dedup();
+        includes.retain(|c| !keys.contains(c));
+        Self {
+            table,
+            keys,
+            includes,
+        }
+    }
+
+    /// All columns carried by the index (keys then includes).
+    pub fn all_columns(&self) -> impl Iterator<Item = ColumnId> + '_ {
+        self.keys.iter().chain(&self.includes).copied()
+    }
+
+    /// Whether `cols` is fully contained in key+include columns — i.e. the
+    /// index *covers* an access that references exactly `cols`.
+    pub fn covers<'a, I: IntoIterator<Item = &'a ColumnId>>(&self, cols: I) -> bool {
+        cols.into_iter()
+            .all(|c| self.keys.contains(c) || self.includes.contains(c))
+    }
+
+    /// Average bytes per index row (key + include widths plus row pointer
+    /// and per-row overhead).
+    pub fn row_width(&self, schema: &Schema) -> u32 {
+        let table = schema.table(self.table);
+        let cols: u32 = self.all_columns().map(|c| table.col(c).ty.width()).sum();
+        cols + 12
+    }
+
+    /// Estimated size in bytes when materialized.
+    pub fn size_bytes(&self, schema: &Schema) -> u64 {
+        let rows = schema.table(self.table).rows;
+        // ~2/3 leaf fill factor plus upper levels.
+        let leaf_bytes = rows * self.row_width(schema) as u64;
+        leaf_bytes * 3 / 2
+    }
+
+    /// Number of leaf pages.
+    pub fn leaf_pages(&self, schema: &Schema) -> u64 {
+        (self.size_bytes(schema)).div_ceil(PAGE_BYTES).max(1)
+    }
+
+    /// Human-readable `table([keys]; [includes])` form.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let table = schema.table(self.table);
+        let keys: Vec<&str> = self.keys.iter().map(|&c| table.col(c).name.as_str()).collect();
+        let incs: Vec<&str> = self
+            .includes
+            .iter()
+            .map(|&c| table.col(c).name.as_str())
+            .collect();
+        if incs.is_empty() {
+            format!("{}({})", table.name, keys.join(", "))
+        } else {
+            format!("{}({}; {})", table.name, keys.join(", "), incs.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_workload::{ColType, Schema, TableBuilder};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            TableBuilder::new("r", 100_000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 50)
+                .col("c", ColType::VarChar(40), 1000)
+                .build(),
+        )
+        .unwrap();
+        s
+    }
+
+    fn c(i: u32) -> ColumnId {
+        ColumnId::new(i)
+    }
+
+    #[test]
+    fn normalization_dedupes_and_strips_keys() {
+        let idx = IndexDef::new(TableId::new(0), vec![c(0), c(1)], vec![c(1), c(2), c(2)]);
+        assert_eq!(idx.includes, vec![c(2)]);
+    }
+
+    #[test]
+    fn covering_check() {
+        let idx = IndexDef::new(TableId::new(0), vec![c(0)], vec![c(2)]);
+        assert!(idx.covers(&[c(0), c(2)]));
+        assert!(!idx.covers(&[c(0), c(1)]));
+        assert!(idx.covers(&[]));
+    }
+
+    #[test]
+    fn sizes_scale_with_width() {
+        let s = schema();
+        let narrow = IndexDef::new(TableId::new(0), vec![c(0)], vec![]);
+        let wide = IndexDef::new(TableId::new(0), vec![c(0)], vec![c(1), c(2)]);
+        assert!(wide.size_bytes(&s) > narrow.size_bytes(&s));
+        assert!(narrow.leaf_pages(&s) >= 1);
+        // Narrow index is much smaller than the heap (row width 8+4+4+22).
+        let heap = s.table(TableId::new(0)).size_bytes();
+        assert!(narrow.size_bytes(&s) < heap);
+    }
+
+    #[test]
+    fn describe_formats() {
+        let s = schema();
+        let idx = IndexDef::new(TableId::new(0), vec![c(1), c(0)], vec![c(2)]);
+        assert_eq!(idx.describe(&s), "r(b, a; c)");
+        let plain = IndexDef::new(TableId::new(0), vec![c(0)], vec![]);
+        assert_eq!(plain.describe(&s), "r(a)");
+    }
+}

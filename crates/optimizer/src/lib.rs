@@ -1,0 +1,52 @@
+//! Simulated query optimizer with a what-if API.
+//!
+//! This crate is the substrate standing in for Microsoft SQL Server's
+//! hypothetical-index ("what-if") interface used by the paper:
+//!
+//! * [`index`] — candidate index definitions and size estimation;
+//! * [`cost`] — the analytical cost model (access paths, joins, sorts),
+//!   monotone by construction (Assumption 1);
+//! * [`whatif`] — the [`WhatIfOptimizer`] trait and
+//!   [`SimulatedOptimizer`] implementation;
+//! * [`latency`] — the simulated wall-clock model behind Figure 2.
+//!
+//! Budget metering and what-if caching live in `ixtune-core`, on the tuner
+//! side of the API, mirroring the architecture in Figure 1 of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use ixtune_common::{ColumnId, IndexSet, IndexId, QueryId, TableId};
+//! use ixtune_optimizer::{CostModel, IndexDef, SimulatedOptimizer, WhatIfOptimizer};
+//! use ixtune_workload::sql::parse_workload;
+//! use ixtune_workload::{BenchmarkInstance, ColType, Schema, TableBuilder, Workload};
+//!
+//! let mut schema = Schema::new();
+//! let t = schema.add_table(
+//!     TableBuilder::new("t", 500_000)
+//!         .key("id", ColType::Int)
+//!         .col("grp", ColType::Int, 100)
+//!         .build(),
+//! ).unwrap();
+//! let w = parse_workload(&schema, "w", &[("q", "SELECT id FROM t WHERE grp = 7")]).unwrap();
+//!
+//! // One candidate: an index on the filter column carrying the projection.
+//! let idx = IndexDef::new(t, vec![ColumnId::new(1)], vec![ColumnId::new(0)]);
+//! let opt = SimulatedOptimizer::new(
+//!     BenchmarkInstance::new(schema, w), vec![idx], CostModel::default());
+//!
+//! let q = QueryId::new(0);
+//! let empty = IndexSet::empty(1);
+//! let with_index = IndexSet::singleton(1, IndexId::new(0));
+//! assert!(opt.what_if_cost(q, &with_index) < opt.what_if_cost(q, &empty));
+//! ```
+
+pub mod cost;
+pub mod index;
+pub mod latency;
+pub mod whatif;
+
+pub use cost::CostModel;
+pub use index::{IndexDef, PAGE_BYTES};
+pub use latency::{LatencyModel, TuningClock};
+pub use whatif::{SimulatedOptimizer, WhatIfOptimizer};

@@ -1,0 +1,246 @@
+//! The what-if optimizer interface and its simulated implementation.
+//!
+//! Index tuners interact with the query optimizer exclusively through
+//! "what-if" calls: *what would query `q` cost if the indexes in
+//! configuration `C` existed?* [`WhatIfOptimizer`] is that API;
+//! [`SimulatedOptimizer`] implements it over the analytical
+//! [`CostModel`], playing the role SQL Server's
+//! hypothetical-index interface plays in the paper.
+
+use crate::cost::CostModel;
+use crate::index::IndexDef;
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_workload::{BenchmarkInstance, Query, Schema, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The what-if API surface a tuner sees.
+pub trait WhatIfOptimizer: Sync {
+    /// Number of queries in the tuned workload.
+    fn num_queries(&self) -> usize;
+
+    /// Number of candidate indexes (the configuration universe).
+    fn num_candidates(&self) -> usize;
+
+    /// Optimizer-estimated cost of query `q` under hypothetical
+    /// configuration `config`. Each invocation counts as one optimizer call
+    /// (budget accounting and caching live on the tuner side).
+    fn what_if_cost(&self, q: QueryId, config: &IndexSet) -> f64;
+
+    /// Total number of what-if invocations served (diagnostics).
+    fn calls_served(&self) -> u64;
+}
+
+/// Simulated optimizer: the workload, the candidate-index universe, and a
+/// cost model.
+pub struct SimulatedOptimizer {
+    schema: Schema,
+    workload: Workload,
+    candidates: Vec<IndexDef>,
+    /// `per_query_slot[q][slot]` = candidate ids whose table matches the
+    /// slot's table (precomputed so each what-if call is a cheap filter).
+    per_query_slot: Vec<Vec<Vec<IndexId>>>,
+    /// Precomputed per-candidate sizes — storage-constraint checks sit in
+    /// per-candidate inner loops and must not recompute column widths.
+    cand_sizes: Vec<u64>,
+    model: CostModel,
+    calls: AtomicU64,
+}
+
+impl SimulatedOptimizer {
+    /// Build from an instance and a candidate universe (typically produced
+    /// by `ixtune-candidates`).
+    pub fn new(instance: BenchmarkInstance, candidates: Vec<IndexDef>, model: CostModel) -> Self {
+        let BenchmarkInstance { schema, workload } = instance;
+        let per_query_slot = workload
+            .queries
+            .iter()
+            .map(|q| {
+                q.scans
+                    .iter()
+                    .map(|&t| {
+                        candidates
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, idx)| idx.table == t)
+                            .map(|(i, _)| IndexId::from(i))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let cand_sizes = candidates.iter().map(|c| c.size_bytes(&schema)).collect();
+        Self {
+            schema,
+            workload,
+            candidates,
+            per_query_slot,
+            cand_sizes,
+            model,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    pub fn candidates(&self) -> &[IndexDef] {
+        &self.candidates
+    }
+
+    pub fn candidate(&self, id: IndexId) -> &IndexDef {
+        &self.candidates[id.index()]
+    }
+
+    pub fn query(&self, q: QueryId) -> &Query {
+        self.workload.query(q)
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Estimated size in bytes of one candidate (precomputed).
+    #[inline]
+    pub fn candidate_size_bytes(&self, id: IndexId) -> u64 {
+        self.cand_sizes[id.index()]
+    }
+
+    /// Total estimated size in bytes of the indexes in `config`.
+    pub fn config_size_bytes(&self, config: &IndexSet) -> u64 {
+        config.iter().map(|id| self.cand_sizes[id.index()]).sum()
+    }
+
+    /// Sum of what-if costs over the whole workload (one call per query).
+    pub fn workload_cost(&self, config: &IndexSet) -> f64 {
+        (0..self.workload.len())
+            .map(|i| self.what_if_cost(QueryId::from(i), config))
+            .sum()
+    }
+}
+
+impl WhatIfOptimizer for SimulatedOptimizer {
+    fn num_queries(&self) -> usize {
+        self.workload.len()
+    }
+
+    fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn what_if_cost(&self, q: QueryId, config: &IndexSet) -> f64 {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let query = self.workload.query(q);
+        let slots = &self.per_query_slot[q.index()];
+        self.model.query_cost(&self.schema, query, &|slot| {
+            slots[slot.index()]
+                .iter()
+                .filter(|id| config.contains(**id))
+                .map(|id| &self.candidates[id.index()])
+                .collect()
+        })
+    }
+
+    fn calls_served(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_common::{ColumnId, TableId};
+    use ixtune_workload::gen::synth;
+    use ixtune_workload::{ColType, QCol, QueryBuilder, TableBuilder};
+
+    fn tiny_instance() -> (BenchmarkInstance, Vec<IndexDef>) {
+        let mut schema = Schema::new();
+        let t = schema
+            .add_table(
+                TableBuilder::new("t", 500_000)
+                    .key("id", ColType::Int)
+                    .col("a", ColType::Int, 100)
+                    .col("b", ColType::Int, 10_000)
+                    .build(),
+            )
+            .unwrap();
+        let mut b = QueryBuilder::new("q0");
+        let s = b.scan(t);
+        b.eq(QCol::new(s, ColumnId::new(1)), 0.01);
+        b.project(QCol::new(s, ColumnId::new(2)));
+        let w = Workload::new("w", vec![b.build()]);
+        let cands = vec![
+            IndexDef::new(TableId::new(0), vec![ColumnId::new(1)], vec![]),
+            IndexDef::new(
+                TableId::new(0),
+                vec![ColumnId::new(1)],
+                vec![ColumnId::new(2)],
+            ),
+        ];
+        (BenchmarkInstance::new(schema, w), cands)
+    }
+
+    #[test]
+    fn counts_calls_and_costs_monotone() {
+        let (inst, cands) = tiny_instance();
+        let opt = SimulatedOptimizer::new(inst, cands, CostModel::default());
+        let n = opt.num_candidates();
+        let empty = IndexSet::empty(n);
+        let one = IndexSet::singleton(n, IndexId::new(0));
+        let both = IndexSet::full(n);
+        let q = QueryId::new(0);
+        let c_empty = opt.what_if_cost(q, &empty);
+        let c_one = opt.what_if_cost(q, &one);
+        let c_both = opt.what_if_cost(q, &both);
+        assert!(c_one <= c_empty);
+        assert!(c_both <= c_one);
+        assert_eq!(opt.calls_served(), 3);
+    }
+
+    #[test]
+    fn workload_cost_sums_queries() {
+        let (inst, cands) = tiny_instance();
+        let opt = SimulatedOptimizer::new(inst, cands, CostModel::default());
+        let empty = IndexSet::empty(opt.num_candidates());
+        let total = opt.workload_cost(&empty);
+        let single = opt.what_if_cost(QueryId::new(0), &empty);
+        assert!((total - single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_size_accumulates() {
+        let (inst, cands) = tiny_instance();
+        let opt = SimulatedOptimizer::new(inst, cands, CostModel::default());
+        let n = opt.num_candidates();
+        let one = IndexSet::singleton(n, IndexId::new(0));
+        let both = IndexSet::full(n);
+        assert!(opt.config_size_bytes(&both) > opt.config_size_bytes(&one));
+        assert_eq!(opt.config_size_bytes(&IndexSet::empty(n)), 0);
+    }
+
+    #[test]
+    fn synth_instances_cost_without_panic() {
+        for seed in 0..5 {
+            let inst = synth::instance(seed);
+            // Candidate per (table, column) pair of the first table.
+            let cands: Vec<IndexDef> = inst
+                .schema
+                .iter()
+                .flat_map(|(tid, t)| {
+                    (0..t.columns.len())
+                        .map(move |c| IndexDef::new(tid, vec![ColumnId::from(c)], vec![]))
+                })
+                .take(30)
+                .collect();
+            let n = cands.len();
+            let opt = SimulatedOptimizer::new(inst, cands, CostModel::default());
+            let full = IndexSet::full(n);
+            let empty = IndexSet::empty(n);
+            assert!(opt.workload_cost(&full) <= opt.workload_cost(&empty) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests of the simulated optimizer on a real benchmark schema:
+//! monotonicity, determinism, and the improvement band on TPC-H.
+
+use ixtune_candidates::generate_default;
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_optimizer::{CostModel, SimulatedOptimizer, WhatIfOptimizer};
+use ixtune_workload::gen::tpch;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn optimizer() -> &'static SimulatedOptimizer {
+    static OPT: OnceLock<SimulatedOptimizer> = OnceLock::new();
+    OPT.get_or_init(|| {
+        let inst = tpch::generate(1.0);
+        let cands = generate_default(&inst);
+        SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default())
+    })
+}
+
+fn config_from(seed: u64, size: usize) -> IndexSet {
+    let opt = optimizer();
+    let n = opt.num_candidates();
+    let mut s = seed | 1;
+    let mut cfg = IndexSet::empty(n);
+    for _ in 0..size {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        cfg.insert(IndexId::from((s >> 33) as usize % n));
+    }
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Assumption 1 on the real TPC-H schema: supersets never cost more.
+    #[test]
+    fn tpch_costs_are_monotone(seed in any::<u64>(), size in 0usize..12, q in 0usize..22) {
+        let opt = optimizer();
+        let base = config_from(seed, size);
+        let bigger = {
+            let mut b = base.clone();
+            b.union_with(&config_from(seed.wrapping_add(1), 3));
+            b
+        };
+        let q = QueryId::from(q);
+        prop_assert!(opt.what_if_cost(q, &bigger) <= opt.what_if_cost(q, &base) + 1e-6);
+    }
+
+    /// The what-if API is a pure function of (query, configuration).
+    #[test]
+    fn what_if_is_deterministic(seed in any::<u64>(), size in 0usize..8, q in 0usize..22) {
+        let opt = optimizer();
+        let cfg = config_from(seed, size);
+        let q = QueryId::from(q);
+        prop_assert_eq!(opt.what_if_cost(q, &cfg), opt.what_if_cost(q, &cfg));
+    }
+
+    /// Improvements always land in [0, 1): indexes help, never to 100%.
+    #[test]
+    fn improvement_fraction_is_sane(seed in any::<u64>(), size in 0usize..16) {
+        let opt = optimizer();
+        let n = opt.num_candidates();
+        let cfg = config_from(seed, size);
+        let base = opt.workload_cost(&IndexSet::empty(n));
+        let cost = opt.workload_cost(&cfg);
+        let imp = 1.0 - cost / base;
+        prop_assert!((0.0..1.0).contains(&imp), "improvement {imp}");
+    }
+
+    /// Index sizes are positive and additive for disjoint configurations.
+    #[test]
+    fn config_sizes_are_additive(seed in any::<u64>()) {
+        let opt = optimizer();
+        let n = opt.num_candidates();
+        let a = IndexSet::singleton(n, IndexId::from((seed as usize) % n));
+        let b_id = IndexId::from((seed as usize + 1) % n);
+        prop_assume!(!a.contains(b_id));
+        let ab = a.with(b_id);
+        let sum = opt.config_size_bytes(&a) + opt.config_size_bytes(&IndexSet::singleton(n, b_id));
+        prop_assert_eq!(opt.config_size_bytes(&ab), sum);
+    }
+}
+
+#[test]
+fn full_candidate_set_gives_substantial_tpch_improvement() {
+    let opt = optimizer();
+    let n = opt.num_candidates();
+    let base = opt.workload_cost(&IndexSet::empty(n));
+    let full = opt.workload_cost(&IndexSet::full(n));
+    let imp = 1.0 - full / base;
+    assert!(
+        imp > 0.5,
+        "the TPC-H candidate universe should cut most of the cost, got {imp:.2}"
+    );
+}

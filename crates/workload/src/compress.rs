@@ -1,0 +1,199 @@
+//! Workload compression.
+//!
+//! The paper tunes one query instance per template and defers
+//! multi-instance workloads to workload compression (\[20\], \[29\] — §7,
+//! footnote 5). This module provides exactly that step: queries with the
+//! same *structural signature* (tables scanned, predicate columns and
+//! kinds, join edges, grouping/ordering/projection columns — everything
+//! candidate generation and what-if costing look at, except literal
+//! selectivities) are collapsed into one representative whose weight is
+//! the sum of the instances' weights.
+
+use crate::query::{Query, Workload};
+use ixtune_common::TableId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// A query's structural signature: two queries with equal signatures are
+/// indistinguishable to candidate generation and (up to literal
+/// selectivities) to the cost model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    scans: Vec<TableId>,
+    /// `(scan slot, column, predicate kind)` for each seek-relevant filter.
+    filters: Vec<(u16, u32, u8)>,
+    joins: Vec<(u16, u32, u16, u32)>,
+    group_by: Vec<(u16, u32)>,
+    order_by: Vec<(u16, u32)>,
+    projection: BTreeSet<(u16, u32)>,
+}
+
+/// Compute the structural signature of a query.
+pub fn signature(q: &Query) -> Signature {
+    let mut filters: Vec<(u16, u32, u8)> = q
+        .filters
+        .iter()
+        .map(|f| (f.col.scan.0, f.col.column.0, f.kind as u8))
+        .collect();
+    filters.sort_unstable();
+    let mut joins: Vec<(u16, u32, u16, u32)> = q
+        .joins
+        .iter()
+        .map(|j| {
+            let a = (j.left.scan.0, j.left.column.0);
+            let b = (j.right.scan.0, j.right.column.0);
+            // Normalize edge direction.
+            if a <= b {
+                (a.0, a.1, b.0, b.1)
+            } else {
+                (b.0, b.1, a.0, a.1)
+            }
+        })
+        .collect();
+    joins.sort_unstable();
+    Signature {
+        scans: q.scans.clone(),
+        filters,
+        joins,
+        group_by: q.group_by.iter().map(|c| (c.scan.0, c.column.0)).collect(),
+        order_by: q.order_by.iter().map(|c| (c.scan.0, c.column.0)).collect(),
+        projection: q.projection.iter().map(|c| (c.scan.0, c.column.0)).collect(),
+    }
+}
+
+/// Result of compressing a workload.
+#[derive(Clone, Debug)]
+pub struct Compressed {
+    pub workload: Workload,
+    /// For each compressed query: how many input instances it represents.
+    pub cluster_sizes: Vec<usize>,
+    /// Input size.
+    pub original_len: usize,
+}
+
+impl Compressed {
+    /// Compression ratio `original / compressed` (≥ 1).
+    pub fn ratio(&self) -> f64 {
+        self.original_len as f64 / self.workload.len().max(1) as f64
+    }
+}
+
+/// Compress `workload` by structural signature. Each cluster keeps its
+/// first instance as the representative (instances differ only in literal
+/// selectivities, so any member is structurally exact) with the cluster's
+/// total weight.
+pub fn compress(workload: &Workload) -> Compressed {
+    let mut clusters: HashMap<Signature, usize> = HashMap::new();
+    let mut queries: Vec<Query> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    for q in &workload.queries {
+        let sig = signature(q);
+        match clusters.get(&sig) {
+            Some(&idx) => {
+                queries[idx].weight += q.weight;
+                sizes[idx] += 1;
+            }
+            None => {
+                clusters.insert(sig, queries.len());
+                queries.push(q.clone());
+                sizes.push(1);
+            }
+        }
+    }
+    Compressed {
+        workload: Workload::new(format!("{} (compressed)", workload.name), queries),
+        cluster_sizes: sizes,
+        original_len: workload.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::tpch;
+    use crate::query::{QCol, QueryBuilder};
+    use crate::schema::{ColType, Schema, TableBuilder};
+    use ixtune_common::ColumnId;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            TableBuilder::new("t", 10_000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 100)
+                .build(),
+        )
+        .unwrap();
+        s
+    }
+
+    fn instance(sel: f64, weight: f64) -> Query {
+        let schema = schema();
+        let t = schema.table_by_name("t").unwrap();
+        let mut b = QueryBuilder::new("q");
+        let s = b.scan(t);
+        b.eq(QCol::new(s, ColumnId::new(0)), sel)
+            .project(QCol::new(s, ColumnId::new(1)))
+            .weight(weight);
+        b.build()
+    }
+
+    #[test]
+    fn identical_structures_collapse_and_weights_add() {
+        let w = Workload::new(
+            "multi",
+            vec![instance(0.01, 1.0), instance(0.02, 2.0), instance(0.30, 1.0)],
+        );
+        let c = compress(&w);
+        assert_eq!(c.workload.len(), 1);
+        assert_eq!(c.cluster_sizes, vec![3]);
+        assert!((c.workload.queries[0].weight - 4.0).abs() < 1e-12);
+        assert!((c.ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_structures_stay_separate() {
+        let schema = schema();
+        let t = schema.table_by_name("t").unwrap();
+        let mut b = QueryBuilder::new("other");
+        let s = b.scan(t);
+        b.range(QCol::new(s, ColumnId::new(1)), 0.2);
+        let w = Workload::new("w", vec![instance(0.01, 1.0), b.build()]);
+        let c = compress(&w);
+        assert_eq!(c.workload.len(), 2);
+    }
+
+    #[test]
+    fn tpch_single_instance_is_incompressible() {
+        let inst = tpch::generate(1.0);
+        let c = compress(&inst.workload);
+        assert_eq!(c.workload.len(), 22, "22 distinct templates stay distinct");
+        assert_eq!(c.ratio(), 1.0);
+    }
+
+    #[test]
+    fn multi_instance_tpch_compresses_back_to_templates() {
+        let multi = tpch::generate_multi(1.0, 5, 42);
+        assert_eq!(multi.workload.len(), 110);
+        let c = compress(&multi.workload);
+        assert_eq!(c.workload.len(), 22);
+        assert!(c.cluster_sizes.iter().all(|&s| s == 5));
+        // Compressed weights preserve total workload weight.
+        let total: f64 = c.workload.queries.iter().map(|q| q.weight).sum();
+        assert!((total - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn signature_ignores_selectivity_but_not_columns() {
+        let a = signature(&instance(0.01, 1.0));
+        let b = signature(&instance(0.5, 1.0));
+        assert_eq!(a, b);
+        let schema = schema();
+        let t = schema.table_by_name("t").unwrap();
+        let mut qb = QueryBuilder::new("x");
+        let s = qb.scan(t);
+        qb.eq(QCol::new(s, ColumnId::new(1)), 0.01);
+        assert_ne!(a, signature(&qb.build()));
+    }
+}

@@ -1,0 +1,504 @@
+//! JOB — the Join Order Benchmark of Leis et al. (VLDB 2015): the 21-table
+//! IMDB schema and the 33 query templates (one instance per template, as in
+//! the paper), authored in the mini-SQL subset.
+//!
+//! Row counts follow the published IMDB snapshot (≈9.2 GB). Per the paper's
+//! protocol we pick one instance (the "a" variant) per template.
+//! Simplifications: `NOT LIKE`/`IS NULL` predicates become `<>` residuals,
+//! and `OR` groups are reduced to `IN` lists or a single arm.
+
+use crate::schema::{ColType, Schema, TableBuilder};
+use crate::sql::parse_workload;
+use crate::BenchmarkInstance;
+
+/// Build the 21-table IMDB schema.
+pub fn schema() -> Schema {
+    let mut s = Schema::new();
+    let t = |name: &str, rows: u64| TableBuilder::new(name, rows);
+
+    s.add_table(
+        t("title", 2_528_312)
+            .key("id", ColType::Int)
+            .col("title", ColType::VarChar(100), 2_300_000)
+            .col("kind_id", ColType::Int, 7)
+            .col("production_year", ColType::Int, 133)
+            .col("episode_of_id", ColType::Int, 100_000)
+            .col("season_nr", ColType::Int, 60)
+            .col("episode_nr", ColType::Int, 2_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("movie_companies", 2_609_129)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 1_087_000)
+            .col("company_id", ColType::Int, 234_997)
+            .col("company_type_id", ColType::Int, 2)
+            .col("note", ColType::VarChar(100), 130_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("cast_info", 36_244_344)
+            .key("id", ColType::Int)
+            .col("person_id", ColType::Int, 4_051_810)
+            .col("movie_id", ColType::Int, 2_331_601)
+            .col("person_role_id", ColType::Int, 3_140_339)
+            .col("role_id", ColType::Int, 11)
+            .col("note", ColType::VarChar(100), 500_000)
+            .col("nr_order", ColType::Int, 1_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("movie_info", 14_835_720)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 2_468_825)
+            .col("info_type_id", ColType::Int, 71)
+            .col("info", ColType::VarChar(50), 2_720_930)
+            .col("note", ColType::VarChar(50), 133_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("movie_info_idx", 1_380_035)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 459_925)
+            .col("info_type_id", ColType::Int, 5)
+            .col("info", ColType::VarChar(10), 10_694)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("movie_keyword", 4_523_930)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 476_794)
+            .col("keyword_id", ColType::Int, 134_170)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("movie_link", 29_997)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 6_411)
+            .col("linked_movie_id", ColType::Int, 15_616)
+            .col("link_type_id", ColType::Int, 16)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("name", 4_167_491)
+            .key("id", ColType::Int)
+            .col("name", ColType::VarChar(60), 3_900_000)
+            .col("gender", ColType::Char(1), 3)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("char_name", 3_140_339)
+            .key("id", ColType::Int)
+            .col("name", ColType::VarChar(60), 3_000_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("company_name", 234_997)
+            .key("id", ColType::Int)
+            .col("name", ColType::VarChar(60), 230_000)
+            .col("country_code", ColType::Char(6), 235)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("company_type", 4)
+            .key("id", ColType::Int)
+            .col("kind", ColType::VarChar(32), 4)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("comp_cast_type", 4)
+            .key("id", ColType::Int)
+            .col("kind", ColType::VarChar(32), 4)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("complete_cast", 135_086)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 93_514)
+            .col("subject_id", ColType::Int, 2)
+            .col("status_id", ColType::Int, 2)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("info_type", 113)
+            .key("id", ColType::Int)
+            .col("info", ColType::VarChar(32), 113)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("keyword", 134_170)
+            .key("id", ColType::Int)
+            .col("keyword", ColType::VarChar(30), 134_170)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("kind_type", 7)
+            .key("id", ColType::Int)
+            .col("kind", ColType::VarChar(15), 7)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("link_type", 18)
+            .key("id", ColType::Int)
+            .col("link", ColType::VarChar(32), 18)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("role_type", 12)
+            .key("id", ColType::Int)
+            .col("role", ColType::VarChar(32), 12)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("aka_name", 901_343)
+            .key("id", ColType::Int)
+            .col("person_id", ColType::Int, 588_222)
+            .col("name", ColType::VarChar(60), 889_999)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("aka_title", 361_472)
+            .key("id", ColType::Int)
+            .col("movie_id", ColType::Int, 220_000)
+            .col("title", ColType::VarChar(100), 340_000)
+            .col("kind_id", ColType::Int, 7)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        t("person_info", 2_963_664)
+            .key("id", ColType::Int)
+            .col("person_id", ColType::Int, 550_721)
+            .col("info_type_id", ColType::Int, 22)
+            .col("info", ColType::VarChar(80), 2_700_000)
+            .col("note", ColType::VarChar(30), 15_000)
+            .build(),
+    )
+    .unwrap();
+    s
+}
+
+/// The 33 JOB templates (variant "a" of each) in mini-SQL.
+pub fn query_texts() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("1a", "SELECT MIN(mc.note), MIN(t.title), MIN(t.production_year) \
+          FROM company_type ct, info_type it, movie_companies mc, movie_info_idx mi_idx, title t \
+          WHERE ct.kind = 'production companies' AND it.info = 'top 250 rank' \
+          AND mc.note <> 'as Metro-Goldwyn-Mayer Pictures' \
+          AND t.id = mc.movie_id AND t.id = mi_idx.movie_id \
+          AND mc.company_type_id = ct.id AND it.id = mi_idx.info_type_id"),
+        ("2a", "SELECT MIN(t.title) \
+          FROM company_name cn, keyword k, movie_companies mc, movie_keyword mk, title t \
+          WHERE cn.country_code = 'de' AND k.keyword = 'character-name-in-title' \
+          AND cn.id = mc.company_id AND mc.movie_id = t.id AND t.id = mk.movie_id \
+          AND mk.keyword_id = k.id AND mc.movie_id = mk.movie_id"),
+        ("3a", "SELECT MIN(t.title) \
+          FROM keyword k, movie_info mi, movie_keyword mk, title t \
+          WHERE k.keyword LIKE 'sequel%' AND mi.info IN ('Sweden', 'Norway', 'Germany', 'Denmark') \
+          AND t.production_year > 2005 AND t.id = mi.movie_id AND t.id = mk.movie_id \
+          AND mk.movie_id = mi.movie_id AND k.id = mk.keyword_id"),
+        ("4a", "SELECT MIN(mi_idx.info), MIN(t.title) \
+          FROM info_type it, keyword k, movie_info_idx mi_idx, movie_keyword mk, title t \
+          WHERE it.info = 'rating' AND k.keyword LIKE 'sequel%' AND mi_idx.info > '5.0' \
+          AND t.production_year > 2005 AND t.id = mi_idx.movie_id AND t.id = mk.movie_id \
+          AND mk.movie_id = mi_idx.movie_id AND k.id = mk.keyword_id AND it.id = mi_idx.info_type_id"),
+        ("5a", "SELECT MIN(t.title) \
+          FROM company_type ct, info_type it, movie_companies mc, movie_info mi, title t \
+          WHERE ct.kind = 'production companies' AND mc.note LIKE '%(theatrical)%' \
+          AND mi.info IN ('Sweden', 'Norway', 'Germany', 'Denmark') AND t.production_year > 2005 \
+          AND t.id = mi.movie_id AND t.id = mc.movie_id AND mc.movie_id = mi.movie_id \
+          AND ct.id = mc.company_type_id AND it.id = mi.info_type_id"),
+        ("6a", "SELECT MIN(k.keyword), MIN(n.name), MIN(t.title) \
+          FROM cast_info ci, keyword k, movie_keyword mk, name n, title t \
+          WHERE k.keyword = 'marvel-cinematic-universe' AND n.name LIKE '%Downey%Robert%' \
+          AND t.production_year > 2010 AND k.id = mk.keyword_id AND t.id = mk.movie_id \
+          AND t.id = ci.movie_id AND ci.movie_id = mk.movie_id AND n.id = ci.person_id"),
+        ("7a", "SELECT MIN(n.name), MIN(t.title) \
+          FROM aka_name an, cast_info ci, info_type it, link_type lt, movie_link ml, name n, person_info pi, title t \
+          WHERE an.name LIKE '%a%' AND it.info = 'mini biography' AND lt.link = 'features' \
+          AND n.gender = 'm' AND pi.note = 'Volker Boehm' AND t.production_year BETWEEN 1980 AND 1995 \
+          AND n.id = an.person_id AND n.id = pi.person_id AND ci.person_id = n.id \
+          AND t.id = ci.movie_id AND ml.linked_movie_id = t.id AND lt.id = ml.link_type_id \
+          AND it.id = pi.info_type_id"),
+        ("8a", "SELECT MIN(an1.name), MIN(t.title) \
+          FROM aka_name an1, cast_info ci, company_name cn, movie_companies mc, name n1, role_type rt, title t \
+          WHERE ci.note = '(voice: English version)' AND cn.country_code = 'jp' \
+          AND mc.note LIKE '%(Japan)%' AND n1.name LIKE '%Yo%' AND rt.role = 'actress' \
+          AND an1.person_id = n1.id AND n1.id = ci.person_id AND ci.movie_id = t.id \
+          AND t.id = mc.movie_id AND mc.company_id = cn.id AND ci.role_id = rt.id \
+          AND mc.movie_id = ci.movie_id"),
+        ("9a", "SELECT MIN(an.name), MIN(chn.name), MIN(t.title) \
+          FROM aka_name an, char_name chn, cast_info ci, company_name cn, movie_companies mc, name n, role_type rt, title t \
+          WHERE ci.note IN ('(voice)', '(voice: Japanese version)', '(voice) (uncredited)') \
+          AND cn.country_code = 'us' AND n.gender = 'f' AND rt.role = 'actress' \
+          AND t.production_year BETWEEN 2005 AND 2015 AND ci.movie_id = t.id \
+          AND t.id = mc.movie_id AND ci.movie_id = mc.movie_id AND mc.company_id = cn.id \
+          AND ci.role_id = rt.id AND n.id = ci.person_id AND chn.id = ci.person_role_id \
+          AND an.person_id = n.id"),
+        ("10a", "SELECT MIN(chn.name), MIN(t.title) \
+          FROM char_name chn, cast_info ci, company_name cn, company_type ct, movie_companies mc, role_type rt, title t \
+          WHERE ci.note LIKE '%(voice)%' AND cn.country_code = 'ru' AND rt.role = 'actor' \
+          AND t.production_year > 2005 AND t.id = mc.movie_id AND t.id = ci.movie_id \
+          AND ci.movie_id = mc.movie_id AND chn.id = ci.person_role_id AND rt.id = ci.role_id \
+          AND cn.id = mc.company_id AND ct.id = mc.company_type_id"),
+        ("11a", "SELECT MIN(cn.name), MIN(lt.link), MIN(t.title) \
+          FROM company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_keyword mk, movie_link ml, title t \
+          WHERE cn.country_code <> 'pl' AND ct.kind = 'production companies' \
+          AND k.keyword = 'sequel' AND lt.link LIKE '%follow%' AND t.production_year BETWEEN 1950 AND 2000 \
+          AND lt.id = ml.link_type_id AND ml.movie_id = t.id AND t.id = mk.movie_id \
+          AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_type_id = ct.id \
+          AND mc.company_id = cn.id AND ml.movie_id = mk.movie_id"),
+        ("12a", "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) \
+          FROM company_name cn, company_type ct, info_type it1, info_type it2, movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t \
+          WHERE cn.country_code = 'us' AND ct.kind = 'production companies' \
+          AND it1.info = 'genres' AND it2.info = 'rating' \
+          AND mi.info IN ('Drama', 'Horror') AND mi_idx.info > '8.0' \
+          AND t.production_year BETWEEN 2005 AND 2008 AND t.id = mi.movie_id \
+          AND t.id = mi_idx.movie_id AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id \
+          AND t.id = mc.movie_id AND ct.id = mc.company_type_id AND cn.id = mc.company_id \
+          AND mc.movie_id = mi.movie_id AND mc.movie_id = mi_idx.movie_id"),
+        ("13a", "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(t.title) \
+          FROM company_name cn, company_type ct, info_type it1, info_type it2, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t \
+          WHERE cn.country_code = 'de' AND ct.kind = 'production companies' \
+          AND it1.info = 'rating' AND it2.info = 'release dates' AND kt.kind = 'movie' \
+          AND kt.id = t.kind_id AND t.id = mi.movie_id AND t.id = mi_idx.movie_id \
+          AND t.id = mc.movie_id AND ct.id = mc.company_type_id AND cn.id = mc.company_id \
+          AND mi.info_type_id = it2.id AND mi_idx.info_type_id = it1.id"),
+        ("14a", "SELECT MIN(mi_idx.info), MIN(t.title) \
+          FROM info_type it1, info_type it2, keyword k, kind_type kt, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t \
+          WHERE it1.info = 'countries' AND it2.info = 'rating' \
+          AND k.keyword IN ('murder', 'murder-in-title', 'blood', 'violence') \
+          AND kt.kind = 'movie' AND mi.info IN ('Sweden', 'Germany', 'Denmark') \
+          AND mi_idx.info < '8.5' AND t.production_year > 2010 AND kt.id = t.kind_id \
+          AND t.id = mi.movie_id AND t.id = mk.movie_id AND t.id = mi_idx.movie_id \
+          AND mk.keyword_id = k.id AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id"),
+        ("15a", "SELECT MIN(mi.info), MIN(t.title) \
+          FROM aka_title at, company_name cn, company_type ct, info_type it1, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, title t \
+          WHERE cn.country_code = 'us' AND it1.info = 'release dates' \
+          AND mc.note LIKE '%(200%)%' AND mi.note LIKE '%internet%' \
+          AND t.production_year > 2000 AND t.id = at.movie_id AND t.id = mi.movie_id \
+          AND t.id = mk.movie_id AND t.id = mc.movie_id AND mk.movie_id = mi.movie_id \
+          AND mk.keyword_id = k.id AND mi.info_type_id = it1.id AND mc.company_id = cn.id \
+          AND mc.company_type_id = ct.id"),
+        ("16a", "SELECT MIN(an.name), MIN(t.title) \
+          FROM aka_name an, cast_info ci, company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t \
+          WHERE cn.country_code = 'us' AND k.keyword = 'character-name-in-title' \
+          AND t.episode_nr >= 50 AND t.episode_nr < 100 AND an.person_id = n.id \
+          AND n.id = ci.person_id AND ci.movie_id = t.id AND t.id = mk.movie_id \
+          AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_id = cn.id \
+          AND ci.movie_id = mc.movie_id AND ci.movie_id = mk.movie_id"),
+        ("17a", "SELECT MIN(n.name) \
+          FROM cast_info ci, company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t \
+          WHERE cn.country_code = 'us' AND k.keyword = 'character-name-in-title' \
+          AND n.name LIKE 'B%' AND n.id = ci.person_id AND ci.movie_id = t.id \
+          AND t.id = mk.movie_id AND mk.keyword_id = k.id AND t.id = mc.movie_id \
+          AND mc.company_id = cn.id AND ci.movie_id = mc.movie_id"),
+        ("18a", "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(t.title) \
+          FROM cast_info ci, info_type it1, info_type it2, movie_info mi, movie_info_idx mi_idx, name n, title t \
+          WHERE ci.note IN ('(producer)', '(executive producer)') AND it1.info = 'budget' \
+          AND it2.info = 'votes' AND n.gender = 'm' AND n.name LIKE '%Tim%' \
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id AND t.id = ci.movie_id \
+          AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id AND n.id = ci.person_id"),
+        ("19a", "SELECT MIN(n.name), MIN(t.title) \
+          FROM aka_name an, char_name chn, cast_info ci, company_name cn, info_type it, movie_companies mc, movie_info mi, name n, role_type rt, title t \
+          WHERE ci.note IN ('(voice)', '(voice: Japanese version)') AND cn.country_code = 'us' \
+          AND it.info = 'release dates' AND mi.info LIKE 'Japan:%200%' AND n.gender = 'f' \
+          AND rt.role = 'actress' AND t.production_year BETWEEN 2000 AND 2010 \
+          AND t.id = mi.movie_id AND t.id = mc.movie_id AND t.id = ci.movie_id \
+          AND mc.company_id = cn.id AND mi.info_type_id = it.id AND n.id = ci.person_id \
+          AND rt.id = ci.role_id AND n.id = an.person_id AND chn.id = ci.person_role_id"),
+        ("20a", "SELECT MIN(t.title) \
+          FROM comp_cast_type cct1, comp_cast_type cct2, char_name chn, cast_info ci, complete_cast cc, keyword k, kind_type kt, movie_keyword mk, name n, title t \
+          WHERE cct1.kind = 'cast' AND cct2.kind LIKE '%complete%' AND chn.name <> 'Sherlock Holmes' \
+          AND k.keyword IN ('superhero', 'sequel', 'marvel-comics') AND kt.kind = 'movie' \
+          AND t.production_year > 1950 AND kt.id = t.kind_id AND t.id = mk.movie_id \
+          AND t.id = ci.movie_id AND t.id = cc.movie_id AND mk.movie_id = ci.movie_id \
+          AND chn.id = ci.person_role_id AND n.id = ci.person_id AND mk.keyword_id = k.id \
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id"),
+        ("21a", "SELECT MIN(cn.name), MIN(t.title) \
+          FROM company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_info mi, movie_keyword mk, movie_link ml, title t \
+          WHERE cn.country_code <> 'pl' AND ct.kind = 'production companies' \
+          AND k.keyword = 'sequel' AND lt.link LIKE '%follow%' \
+          AND mi.info IN ('Sweden', 'Germany') AND t.production_year BETWEEN 1950 AND 2000 \
+          AND lt.id = ml.link_type_id AND ml.movie_id = t.id AND t.id = mk.movie_id \
+          AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_type_id = ct.id \
+          AND mc.company_id = cn.id AND mi.movie_id = t.id"),
+        ("22a", "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) \
+          FROM company_name cn, company_type ct, info_type it1, info_type it2, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t \
+          WHERE cn.country_code <> 'us' AND it1.info = 'countries' AND it2.info = 'rating' \
+          AND k.keyword IN ('murder', 'murder-in-title', 'blood', 'violence') AND kt.kind IN ('movie', 'episode') \
+          AND mi.info IN ('Germany', 'Swedish', 'German') AND mi_idx.info < '7.0' \
+          AND t.production_year > 2008 AND kt.id = t.kind_id AND t.id = mi.movie_id \
+          AND t.id = mk.movie_id AND t.id = mi_idx.movie_id AND t.id = mc.movie_id \
+          AND mk.keyword_id = k.id AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id \
+          AND ct.id = mc.company_type_id AND cn.id = mc.company_id"),
+        ("23a", "SELECT MIN(kt.kind), MIN(t.title) \
+          FROM comp_cast_type cct1, complete_cast cc, company_name cn, company_type ct, info_type it1, kind_type kt, movie_companies mc, movie_info mi, title t \
+          WHERE cct1.kind = 'complete+verified' AND cn.country_code = 'us' \
+          AND it1.info = 'release dates' AND kt.kind IN ('movie') AND mi.note LIKE '%internet%' \
+          AND t.production_year > 2000 AND kt.id = t.kind_id AND t.id = mi.movie_id \
+          AND t.id = mc.movie_id AND t.id = cc.movie_id AND mc.company_id = cn.id \
+          AND mc.company_type_id = ct.id AND mi.info_type_id = it1.id AND cct1.id = cc.status_id"),
+        ("24a", "SELECT MIN(chn.name), MIN(t.title) \
+          FROM aka_name an, char_name chn, cast_info ci, company_name cn, info_type it, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, name n, role_type rt, title t \
+          WHERE ci.note IN ('(voice)', '(voice: Japanese version)') AND cn.country_code = 'us' \
+          AND it.info = 'release dates' AND k.keyword IN ('hero', 'martial-arts', 'hand-to-hand-combat') \
+          AND mi.info LIKE 'Japan:%201%' AND n.gender = 'f' AND rt.role = 'actress' \
+          AND t.production_year > 2010 AND t.id = mi.movie_id AND t.id = mc.movie_id \
+          AND t.id = ci.movie_id AND t.id = mk.movie_id AND mc.company_id = cn.id \
+          AND mi.info_type_id = it.id AND n.id = ci.person_id AND rt.id = ci.role_id \
+          AND n.id = an.person_id AND chn.id = ci.person_role_id AND mk.keyword_id = k.id"),
+        ("25a", "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(n.name), MIN(t.title) \
+          FROM cast_info ci, info_type it1, info_type it2, keyword k, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t \
+          WHERE ci.note = '(writer)' AND it1.info = 'genres' AND it2.info = 'votes' \
+          AND k.keyword IN ('murder', 'blood', 'gore', 'death', 'female-nudity') \
+          AND mi.info = 'Horror' AND n.gender = 'm' AND t.id = mi.movie_id \
+          AND t.id = mi_idx.movie_id AND t.id = ci.movie_id AND t.id = mk.movie_id \
+          AND ci.person_id = n.id AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id \
+          AND mk.keyword_id = k.id"),
+        ("26a", "SELECT MIN(chn.name), MIN(mi_idx.info), MIN(t.title) \
+          FROM comp_cast_type cct1, comp_cast_type cct2, char_name chn, cast_info ci, complete_cast cc, info_type it2, keyword k, kind_type kt, movie_info_idx mi_idx, movie_keyword mk, title t \
+          WHERE cct1.kind = 'cast' AND cct2.kind LIKE '%complete%' AND chn.name LIKE '%man%' \
+          AND it2.info = 'rating' AND k.keyword IN ('superhero', 'marvel-comics', 'fight') \
+          AND kt.kind = 'movie' AND mi_idx.info > '7.0' AND t.production_year > 2000 \
+          AND kt.id = t.kind_id AND t.id = mk.movie_id AND t.id = ci.movie_id \
+          AND t.id = cc.movie_id AND t.id = mi_idx.movie_id AND chn.id = ci.person_role_id \
+          AND mk.keyword_id = k.id AND cct1.id = cc.subject_id AND cct2.id = cc.status_id \
+          AND mi_idx.info_type_id = it2.id"),
+        ("27a", "SELECT MIN(cn.name), MIN(lt.link), MIN(t.title) \
+          FROM comp_cast_type cct1, comp_cast_type cct2, company_name cn, company_type ct, complete_cast cc, keyword k, link_type lt, movie_companies mc, movie_info mi, movie_keyword mk, movie_link ml, title t \
+          WHERE cct1.kind = 'cast' AND cct2.kind = 'complete' AND cn.country_code <> 'pl' \
+          AND ct.kind = 'production companies' AND k.keyword = 'sequel' AND lt.link LIKE '%follow%' \
+          AND mi.info IN ('Sweden', 'Germany') AND t.production_year BETWEEN 1950 AND 2000 \
+          AND lt.id = ml.link_type_id AND ml.movie_id = t.id AND t.id = mk.movie_id \
+          AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_type_id = ct.id \
+          AND mc.company_id = cn.id AND mi.movie_id = t.id AND t.id = cc.movie_id \
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id"),
+        ("28a", "SELECT MIN(cn.name), MIN(mi_idx.info), MIN(t.title) \
+          FROM comp_cast_type cct1, comp_cast_type cct2, company_name cn, company_type ct, complete_cast cc, info_type it1, info_type it2, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t \
+          WHERE cct1.kind = 'crew' AND cct2.kind <> 'complete+verified' AND cn.country_code <> 'us' \
+          AND it1.info = 'countries' AND it2.info = 'rating' \
+          AND k.keyword IN ('murder', 'murder-in-title', 'blood', 'violence') \
+          AND kt.kind IN ('movie', 'episode') AND mi.info IN ('Sweden', 'Germany', 'Swedish', 'German') \
+          AND mi_idx.info < '8.5' AND t.production_year > 2000 AND kt.id = t.kind_id \
+          AND t.id = mi.movie_id AND t.id = mk.movie_id AND t.id = mi_idx.movie_id \
+          AND t.id = mc.movie_id AND t.id = cc.movie_id AND mk.keyword_id = k.id \
+          AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id \
+          AND ct.id = mc.company_type_id AND cn.id = mc.company_id \
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id"),
+        ("29a", "SELECT MIN(chn.name), MIN(n.name), MIN(t.title) \
+          FROM aka_name an, comp_cast_type cct1, comp_cast_type cct2, char_name chn, cast_info ci, complete_cast cc, company_name cn, info_type it, info_type it3, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, name n, person_info pi, role_type rt, title t \
+          WHERE cct1.kind = 'cast' AND cct2.kind = 'complete+verified' AND chn.name = 'Queen' \
+          AND ci.note IN ('(voice)', '(voice) (uncredited)') AND cn.country_code = 'us' \
+          AND it.info = 'release dates' AND it3.info = 'trivia' AND k.keyword = 'computer-animation' \
+          AND n.gender = 'f' AND n.name LIKE '%An%' AND rt.role = 'actress' \
+          AND t.title = 'Shrek 2' AND t.production_year BETWEEN 2000 AND 2010 \
+          AND t.id = mi.movie_id AND t.id = mc.movie_id AND t.id = ci.movie_id \
+          AND t.id = mk.movie_id AND t.id = cc.movie_id AND mc.company_id = cn.id \
+          AND mi.info_type_id = it.id AND n.id = ci.person_id AND rt.id = ci.role_id \
+          AND n.id = an.person_id AND chn.id = ci.person_role_id AND n.id = pi.person_id \
+          AND pi.info_type_id = it3.id AND mk.keyword_id = k.id \
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id"),
+        ("30a", "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(n.name), MIN(t.title) \
+          FROM comp_cast_type cct1, comp_cast_type cct2, cast_info ci, complete_cast cc, info_type it1, info_type it2, keyword k, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t \
+          WHERE cct1.kind = 'cast' AND cct2.kind = 'complete+verified' \
+          AND ci.note IN ('(writer)', '(head writer)', '(story)') AND it1.info = 'genres' \
+          AND it2.info = 'votes' AND k.keyword IN ('murder', 'violence', 'blood') \
+          AND mi.info IN ('Horror', 'Thriller') AND n.gender = 'm' AND t.production_year > 2000 \
+          AND t.id = mi.movie_id AND t.id = mi_idx.movie_id AND t.id = ci.movie_id \
+          AND t.id = mk.movie_id AND t.id = cc.movie_id AND ci.person_id = n.id \
+          AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id AND mk.keyword_id = k.id \
+          AND cct1.id = cc.subject_id AND cct2.id = cc.status_id"),
+        ("31a", "SELECT MIN(mi.info), MIN(mi_idx.info), MIN(n.name), MIN(t.title) \
+          FROM cast_info ci, company_name cn, info_type it1, info_type it2, keyword k, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t \
+          WHERE ci.note IN ('(writer)', '(head writer)', '(story)') AND cn.name LIKE 'Lionsgate%' \
+          AND it1.info = 'genres' AND it2.info = 'votes' \
+          AND k.keyword IN ('murder', 'violence', 'blood') AND mi.info IN ('Horror', 'Thriller') \
+          AND n.gender = 'm' AND t.id = mi.movie_id AND t.id = mi_idx.movie_id \
+          AND t.id = ci.movie_id AND t.id = mk.movie_id AND t.id = mc.movie_id \
+          AND ci.person_id = n.id AND mi.info_type_id = it1.id AND mi_idx.info_type_id = it2.id \
+          AND mk.keyword_id = k.id AND mc.company_id = cn.id"),
+        ("32a", "SELECT MIN(lt.link), MIN(t1.title), MIN(t2.title) \
+          FROM keyword k, link_type lt, movie_keyword mk, movie_link ml, title t1, title t2 \
+          WHERE k.keyword = '10,000-mile-club' AND mk.keyword_id = k.id AND t1.id = mk.movie_id \
+          AND ml.movie_id = t1.id AND ml.linked_movie_id = t2.id AND lt.id = ml.link_type_id"),
+        ("33a", "SELECT MIN(cn1.name), MIN(mi_idx2.info), MIN(t2.title) \
+          FROM company_name cn1, company_name cn2, info_type it1, info_type it2, kind_type kt1, kind_type kt2, link_type lt, movie_companies mc1, movie_companies mc2, movie_info_idx mi_idx1, movie_info_idx mi_idx2, movie_link ml, title t1, title t2 \
+          WHERE cn1.country_code = 'us' AND it1.info = 'rating' AND it2.info = 'rating' \
+          AND kt1.kind = 'tv series' AND kt2.kind = 'tv series' AND lt.link IN ('sequel', 'follows', 'followed by') \
+          AND mi_idx2.info < '3.0' AND t2.production_year BETWEEN 2005 AND 2008 \
+          AND lt.id = ml.link_type_id AND t1.id = ml.movie_id AND t2.id = ml.linked_movie_id \
+          AND it1.id = mi_idx1.info_type_id AND t1.id = mi_idx1.movie_id \
+          AND kt1.id = t1.kind_id AND cn1.id = mc1.company_id AND t1.id = mc1.movie_id \
+          AND it2.id = mi_idx2.info_type_id AND t2.id = mi_idx2.movie_id \
+          AND kt2.id = t2.kind_id AND cn2.id = mc2.company_id AND t2.id = mc2.movie_id"),
+    ]
+}
+
+/// Generate the JOB benchmark instance.
+pub fn generate() -> BenchmarkInstance {
+    let schema = schema();
+    let workload =
+        parse_workload(&schema, "JOB", &query_texts()).expect("JOB templates must parse");
+    BenchmarkInstance::new(schema, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_33_queries_parse_and_validate() {
+        let inst = generate();
+        assert_eq!(inst.workload.len(), 33);
+        inst.workload.validate(&inst.schema).unwrap();
+    }
+
+    #[test]
+    fn schema_has_21_tables() {
+        assert_eq!(schema().len(), 21);
+    }
+
+    #[test]
+    fn stats_are_near_table1() {
+        let stats = generate().stats();
+        // Paper: 33 queries, 21 tables, avg joins 7.9, scans 8.9, size 9.2GB.
+        assert_eq!(stats.num_queries, 33);
+        assert_eq!(stats.num_tables, 21);
+        assert!(stats.avg_joins > 6.0 && stats.avg_joins < 10.5, "{stats:?}");
+        assert!(stats.avg_scans > 7.0 && stats.avg_scans < 11.0, "{stats:?}");
+        assert!(stats.size_gb > 4.0 && stats.size_gb < 16.0, "{stats:?}");
+    }
+
+    #[test]
+    fn q32_self_joins_title() {
+        let inst = generate();
+        let q = inst
+            .workload
+            .queries
+            .iter()
+            .find(|q| q.name == "32a")
+            .unwrap();
+        let title = inst.schema.table_by_name("title").unwrap();
+        assert_eq!(q.scans.iter().filter(|&&t| t == title).count(), 2);
+    }
+}

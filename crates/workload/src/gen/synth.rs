@@ -1,0 +1,143 @@
+//! Small random instances for unit, integration, and property tests.
+//!
+//! These are deliberately tiny (a handful of tables and queries) so that
+//! exhaustive checks — brute-force optimal configurations, full budget
+//! matrices — stay tractable in tests.
+
+use crate::query::{QCol, Query, QueryBuilder};
+use crate::schema::{ColType, Column, Schema, Table};
+use crate::{BenchmarkInstance, Workload};
+use ixtune_common::rng::derive;
+use ixtune_common::{ColumnId, TableId};
+use rand::prelude::IndexedRandom;
+use rand::RngExt;
+
+/// Knobs for [`generate`].
+#[derive(Clone, Debug)]
+pub struct SynthParams {
+    pub seed: u64,
+    pub num_tables: usize,
+    pub num_queries: usize,
+    /// Max scans per query (min is 1).
+    pub max_scans: usize,
+    /// Max filters per query.
+    pub max_filters: usize,
+}
+
+impl Default for SynthParams {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            num_tables: 4,
+            num_queries: 6,
+            max_scans: 3,
+            max_filters: 2,
+        }
+    }
+}
+
+/// Generate a random but valid instance.
+pub fn generate(p: &SynthParams) -> BenchmarkInstance {
+    let mut rng = derive(p.seed, "synth");
+    let mut schema = Schema::new();
+    for i in 0..p.num_tables.max(1) {
+        let rows = 10u64.pow(rng.random_range(3..7u32));
+        let ncols = rng.random_range(3..8usize);
+        let mut cols = vec![Column::new("id", ColType::Int, rows)];
+        for c in 1..ncols {
+            let ndv = rng.random_range(2..rows.max(3));
+            cols.push(Column::new(format!("c{c}"), ColType::Int, ndv));
+        }
+        schema
+            .add_table(Table::new(format!("t{i}"), rows, cols))
+            .unwrap();
+    }
+
+    let queries: Vec<Query> = (0..p.num_queries)
+        .map(|qi| {
+            let mut b = QueryBuilder::new(format!("q{qi}"));
+            let nscans = rng.random_range(1..=p.max_scans.max(1));
+            let mut slots = Vec::new();
+            for s in 0..nscans {
+                let t = TableId::from(rng.random_range(0..schema.len()));
+                let slot = b.scan(t);
+                if s > 0 {
+                    // Join to a previous slot on random columns.
+                    let &(pt, ps) = slots.choose(&mut rng).unwrap();
+                    let pcols = schema.table(pt).columns.len();
+                    let tcols = schema.table(t).columns.len();
+                    b.join(
+                        QCol::new(ps, ColumnId::from(rng.random_range(0..pcols))),
+                        QCol::new(slot, ColumnId::from(rng.random_range(0..tcols))),
+                    );
+                }
+                slots.push((t, slot));
+            }
+            let nfilters = rng.random_range(0..=p.max_filters);
+            for _ in 0..nfilters {
+                let &(t, slot) = slots.choose(&mut rng).unwrap();
+                let ncols = schema.table(t).columns.len();
+                let col = ColumnId::from(rng.random_range(0..ncols));
+                let ndv = schema.table(t).col(col).ndv;
+                b.eq(QCol::new(slot, col), (1.0 / ndv as f64).clamp(1e-9, 1.0));
+            }
+            // Project a couple of columns.
+            for _ in 0..rng.random_range(1..4u8) {
+                let &(t, slot) = slots.choose(&mut rng).unwrap();
+                let ncols = schema.table(t).columns.len();
+                b.project(QCol::new(slot, ColumnId::from(rng.random_range(0..ncols))));
+            }
+            b.build()
+        })
+        .collect();
+
+    let workload = Workload::new(format!("synth-{}", p.seed), queries);
+    workload.validate(&schema).expect("synth must validate");
+    BenchmarkInstance::new(schema, workload)
+}
+
+/// Shorthand: default-shaped instance from a seed.
+pub fn instance(seed: u64) -> BenchmarkInstance {
+    generate(&SynthParams {
+        seed,
+        ..SynthParams::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_instances_across_seeds() {
+        for seed in 0..20 {
+            let inst = instance(seed);
+            inst.workload.validate(&inst.schema).unwrap();
+            assert!(!inst.workload.is_empty());
+        }
+    }
+
+    #[test]
+    fn respects_params() {
+        let inst = generate(&SynthParams {
+            seed: 1,
+            num_tables: 9,
+            num_queries: 13,
+            max_scans: 2,
+            max_filters: 1,
+        });
+        assert_eq!(inst.schema.len(), 9);
+        assert_eq!(inst.workload.len(), 13);
+        assert!(inst.workload.queries.iter().all(|q| q.num_scans() <= 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = instance(99);
+        let b = instance(99);
+        assert_eq!(a.workload.queries.len(), b.workload.queries.len());
+        for (qa, qb) in a.workload.queries.iter().zip(&b.workload.queries) {
+            assert_eq!(qa.scans, qb.scans);
+        }
+    }
+}

@@ -1,0 +1,767 @@
+//! TPC-DS: the real 24-table retail schema at a configurable scale factor,
+//! with the 99 queries generated from deterministic per-query specs.
+//!
+//! The official TPC-DS query text makes heavy use of SQL features that are
+//! invisible to index tuning (CTEs, window functions, rollups). What the
+//! tuner observes is each query's *structural* footprint — which fact and
+//! dimension tables it touches, which columns it filters/joins/groups on,
+//! and what it projects. We therefore generate the 99 queries from compact
+//! per-query specs that follow the official templates' channel structure:
+//! every query anchors on one (or two) of the three sales channels (store /
+//! catalog / web), joins `date_dim` and a channel-appropriate set of
+//! dimensions, optionally brings in the returns table or `inventory`, and
+//! aggregates over a dimension attribute. Specs are derived deterministically
+//! from the query number, so the workload is stable across runs.
+
+use crate::query::{FilterKind, QCol, Query, QueryBuilder};
+use crate::schema::{ColType, Schema, TableBuilder};
+use crate::{BenchmarkInstance, Workload};
+use ixtune_common::TableId;
+
+/// Build the TPC-DS schema at scale factor `sf` (the paper uses sf = 10).
+pub fn schema(sf: f64) -> Schema {
+    let sf = sf.max(0.01);
+    let n = |base: f64| (base * sf).round().max(1.0) as u64;
+    let mut s = Schema::new();
+
+    s.add_table(
+        TableBuilder::new("store_sales", n(2_880_000.0))
+            .col("ss_sold_date_sk", ColType::Int, 1_823)
+            .col("ss_sold_time_sk", ColType::Int, 43_200)
+            .col("ss_item_sk", ColType::Int, n(10_200.0))
+            .col("ss_customer_sk", ColType::Int, n(50_000.0))
+            .col("ss_cdemo_sk", ColType::Int, 1_920_800)
+            .col("ss_hdemo_sk", ColType::Int, 7_200)
+            .col("ss_addr_sk", ColType::Int, n(25_000.0))
+            .col("ss_store_sk", ColType::Int, n(10.2))
+            .col("ss_promo_sk", ColType::Int, n(50.0))
+            .col("ss_ticket_number", ColType::BigInt, n(240_000.0))
+            .col("ss_quantity", ColType::Int, 100)
+            .col("ss_wholesale_cost", ColType::Decimal, 10_000)
+            .col("ss_list_price", ColType::Decimal, 20_000)
+            .col("ss_sales_price", ColType::Decimal, 20_000)
+            .col("ss_ext_sales_price", ColType::Decimal, 1_000_000)
+            .col("ss_net_profit", ColType::Decimal, 1_500_000)
+            .col("ss_net_paid", ColType::Decimal, 1_200_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("store_returns", n(288_000.0))
+            .col("sr_returned_date_sk", ColType::Int, 2_003)
+            .col("sr_item_sk", ColType::Int, n(10_200.0))
+            .col("sr_customer_sk", ColType::Int, n(50_000.0))
+            .col("sr_ticket_number", ColType::BigInt, n(240_000.0))
+            .col("sr_return_quantity", ColType::Int, 100)
+            .col("sr_return_amt", ColType::Decimal, 500_000)
+            .col("sr_store_sk", ColType::Int, n(10.2))
+            .col("sr_reason_sk", ColType::Int, 45)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("catalog_sales", n(1_440_000.0))
+            .col("cs_sold_date_sk", ColType::Int, 1_823)
+            .col("cs_item_sk", ColType::Int, n(10_200.0))
+            .col("cs_bill_customer_sk", ColType::Int, n(50_000.0))
+            .col("cs_ship_customer_sk", ColType::Int, n(50_000.0))
+            .col("cs_call_center_sk", ColType::Int, 24)
+            .col("cs_catalog_page_sk", ColType::Int, n(1_200.0))
+            .col("cs_ship_mode_sk", ColType::Int, 20)
+            .col("cs_warehouse_sk", ColType::Int, 10)
+            .col("cs_promo_sk", ColType::Int, n(50.0))
+            .col("cs_order_number", ColType::BigInt, n(160_000.0))
+            .col("cs_quantity", ColType::Int, 100)
+            .col("cs_ext_sales_price", ColType::Decimal, 800_000)
+            .col("cs_sales_price", ColType::Decimal, 20_000)
+            .col("cs_net_profit", ColType::Decimal, 900_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("catalog_returns", n(144_000.0))
+            .col("cr_returned_date_sk", ColType::Int, 2_100)
+            .col("cr_item_sk", ColType::Int, n(10_200.0))
+            .col("cr_order_number", ColType::BigInt, n(160_000.0))
+            .col("cr_return_amount", ColType::Decimal, 300_000)
+            .col("cr_returning_customer_sk", ColType::Int, n(50_000.0))
+            .col("cr_call_center_sk", ColType::Int, 24)
+            .col("cr_reason_sk", ColType::Int, 45)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("web_sales", n(720_000.0))
+            .col("ws_sold_date_sk", ColType::Int, 1_823)
+            .col("ws_item_sk", ColType::Int, n(10_200.0))
+            .col("ws_bill_customer_sk", ColType::Int, n(50_000.0))
+            .col("ws_web_site_sk", ColType::Int, 42)
+            .col("ws_web_page_sk", ColType::Int, 200)
+            .col("ws_ship_mode_sk", ColType::Int, 20)
+            .col("ws_warehouse_sk", ColType::Int, 10)
+            .col("ws_promo_sk", ColType::Int, n(50.0))
+            .col("ws_order_number", ColType::BigInt, n(60_000.0))
+            .col("ws_quantity", ColType::Int, 100)
+            .col("ws_ext_sales_price", ColType::Decimal, 500_000)
+            .col("ws_sales_price", ColType::Decimal, 20_000)
+            .col("ws_net_profit", ColType::Decimal, 600_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("web_returns", n(72_000.0))
+            .col("wr_returned_date_sk", ColType::Int, 2_185)
+            .col("wr_item_sk", ColType::Int, n(10_200.0))
+            .col("wr_order_number", ColType::BigInt, n(60_000.0))
+            .col("wr_return_amt", ColType::Decimal, 200_000)
+            .col("wr_returning_customer_sk", ColType::Int, n(50_000.0))
+            .col("wr_web_page_sk", ColType::Int, 200)
+            .col("wr_reason_sk", ColType::Int, 45)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("inventory", n(13_311_000.0))
+            .col("inv_date_sk", ColType::Int, 261)
+            .col("inv_item_sk", ColType::Int, n(10_200.0))
+            .col("inv_warehouse_sk", ColType::Int, 10)
+            .col("inv_quantity_on_hand", ColType::Int, 1_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("date_dim", 73_049)
+            .key("d_date_sk", ColType::Int)
+            .col("d_date", ColType::Date, 73_049)
+            .col("d_year", ColType::Int, 201)
+            .col("d_moy", ColType::Int, 12)
+            .col("d_dom", ColType::Int, 31)
+            .col("d_qoy", ColType::Int, 4)
+            .col("d_dow", ColType::Int, 7)
+            .col("d_month_seq", ColType::Int, 2_400)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("time_dim", 86_400)
+            .key("t_time_sk", ColType::Int)
+            .col("t_hour", ColType::Int, 24)
+            .col("t_minute", ColType::Int, 60)
+            .col("t_meal_time", ColType::Char(20), 4)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("item", n(10_200.0))
+            .key("i_item_sk", ColType::Int)
+            .col("i_item_id", ColType::Char(16), n(5_100.0))
+            .col("i_category", ColType::Char(50), 10)
+            .col("i_class", ColType::Char(50), 100)
+            .col("i_brand", ColType::Char(50), 714)
+            .col("i_manufact_id", ColType::Int, 1_000)
+            .col("i_color", ColType::Char(20), 92)
+            .col("i_size", ColType::Char(20), 7)
+            .col("i_current_price", ColType::Decimal, 9_000)
+            .col("i_manager_id", ColType::Int, 100)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("customer", n(50_000.0))
+            .key("c_customer_sk", ColType::Int)
+            .col("c_customer_id", ColType::Char(16), n(50_000.0))
+            .col("c_current_cdemo_sk", ColType::Int, 1_200_000)
+            .col("c_current_hdemo_sk", ColType::Int, 7_200)
+            .col("c_current_addr_sk", ColType::Int, n(25_000.0))
+            .col("c_first_name", ColType::Char(20), 5_000)
+            .col("c_last_name", ColType::Char(30), 5_000)
+            .col("c_birth_country", ColType::VarChar(20), 211)
+            .col("c_birth_year", ColType::Int, 69)
+            .col("c_preferred_cust_flag", ColType::Char(1), 2)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("customer_address", n(25_000.0))
+            .key("ca_address_sk", ColType::Int)
+            .col("ca_state", ColType::Char(2), 51)
+            .col("ca_city", ColType::VarChar(60), 977)
+            .col("ca_county", ColType::VarChar(30), 1_850)
+            .col("ca_zip", ColType::Char(10), 9_797)
+            .col("ca_gmt_offset", ColType::Decimal, 6)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("customer_demographics", 1_920_800)
+            .key("cd_demo_sk", ColType::Int)
+            .col("cd_gender", ColType::Char(1), 2)
+            .col("cd_marital_status", ColType::Char(1), 5)
+            .col("cd_education_status", ColType::Char(20), 7)
+            .col("cd_purchase_estimate", ColType::Int, 20)
+            .col("cd_credit_rating", ColType::Char(10), 4)
+            .col("cd_dep_count", ColType::Int, 7)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("household_demographics", 7_200)
+            .key("hd_demo_sk", ColType::Int)
+            .col("hd_income_band_sk", ColType::Int, 20)
+            .col("hd_buy_potential", ColType::Char(15), 6)
+            .col("hd_dep_count", ColType::Int, 10)
+            .col("hd_vehicle_count", ColType::Int, 6)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("store", n(10.2).max(12))
+            .key("s_store_sk", ColType::Int)
+            .col("s_store_name", ColType::VarChar(50), n(10.2).max(6))
+            .col("s_state", ColType::Char(2), 9)
+            .col("s_county", ColType::VarChar(30), 9)
+            .col("s_city", ColType::VarChar(60), 18)
+            .col("s_number_employees", ColType::Int, 100)
+            .col("s_market_id", ColType::Int, 10)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("call_center", 24)
+            .key("cc_call_center_sk", ColType::Int)
+            .col("cc_name", ColType::VarChar(50), 12)
+            .col("cc_class", ColType::VarChar(50), 3)
+            .col("cc_county", ColType::VarChar(30), 8)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("catalog_page", n(1_200.0))
+            .key("cp_catalog_page_sk", ColType::Int)
+            .col("cp_catalog_number", ColType::Int, 109)
+            .col("cp_catalog_page_number", ColType::Int, 188)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("web_site", 42)
+            .key("web_site_sk", ColType::Int)
+            .col("web_name", ColType::VarChar(50), 21)
+            .col("web_class", ColType::VarChar(50), 1)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("web_page", 200)
+            .key("wp_web_page_sk", ColType::Int)
+            .col("wp_char_count", ColType::Int, 150)
+            .col("wp_type", ColType::Char(50), 7)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("warehouse", 10)
+            .key("w_warehouse_sk", ColType::Int)
+            .col("w_warehouse_name", ColType::VarChar(20), 10)
+            .col("w_state", ColType::Char(2), 8)
+            .col("w_warehouse_sq_ft", ColType::Int, 10)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("ship_mode", 20)
+            .key("sm_ship_mode_sk", ColType::Int)
+            .col("sm_type", ColType::Char(30), 5)
+            .col("sm_carrier", ColType::Char(20), 20)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("reason", 45)
+            .key("r_reason_sk", ColType::Int)
+            .col("r_reason_desc", ColType::Char(100), 45)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("income_band", 20)
+            .key("ib_income_band_sk", ColType::Int)
+            .col("ib_lower_bound", ColType::Int, 20)
+            .col("ib_upper_bound", ColType::Int, 20)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("promotion", n(50.0))
+            .key("p_promo_sk", ColType::Int)
+            .col("p_channel_email", ColType::Char(1), 2)
+            .col("p_channel_tv", ColType::Char(1), 2)
+            .build(),
+    )
+    .unwrap();
+    s
+}
+
+/// Sales channel a query anchors on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Channel {
+    Store,
+    Catalog,
+    Web,
+    Inventory,
+}
+
+/// Column handles for one channel's fact table.
+struct Fact {
+    table: &'static str,
+    date_sk: &'static str,
+    item_sk: &'static str,
+    customer_sk: &'static str,
+    outlet_sk: &'static str,
+    outlet_dim: &'static str,
+    outlet_key: &'static str,
+    outlet_attr: &'static str,
+    promo_sk: &'static str,
+    order_no: &'static str,
+    quantity: &'static str,
+    sales_price: &'static str,
+    profit: &'static str,
+    returns_table: &'static str,
+    returns_item: &'static str,
+    returns_order: &'static str,
+    returns_amt: &'static str,
+}
+
+fn fact(channel: Channel) -> Fact {
+    match channel {
+        Channel::Store => Fact {
+            table: "store_sales",
+            date_sk: "ss_sold_date_sk",
+            item_sk: "ss_item_sk",
+            customer_sk: "ss_customer_sk",
+            outlet_sk: "ss_store_sk",
+            outlet_dim: "store",
+            outlet_key: "s_store_sk",
+            outlet_attr: "s_state",
+            promo_sk: "ss_promo_sk",
+            order_no: "ss_ticket_number",
+            quantity: "ss_quantity",
+            sales_price: "ss_ext_sales_price",
+            profit: "ss_net_profit",
+            returns_table: "store_returns",
+            returns_item: "sr_item_sk",
+            returns_order: "sr_ticket_number",
+            returns_amt: "sr_return_amt",
+        },
+        Channel::Catalog => Fact {
+            table: "catalog_sales",
+            date_sk: "cs_sold_date_sk",
+            item_sk: "cs_item_sk",
+            customer_sk: "cs_bill_customer_sk",
+            outlet_sk: "cs_call_center_sk",
+            outlet_dim: "call_center",
+            outlet_key: "cc_call_center_sk",
+            outlet_attr: "cc_county",
+            promo_sk: "cs_promo_sk",
+            order_no: "cs_order_number",
+            quantity: "cs_quantity",
+            sales_price: "cs_ext_sales_price",
+            profit: "cs_net_profit",
+            returns_table: "catalog_returns",
+            returns_item: "cr_item_sk",
+            returns_order: "cr_order_number",
+            returns_amt: "cr_return_amount",
+        },
+        Channel::Web | Channel::Inventory => Fact {
+            table: "web_sales",
+            date_sk: "ws_sold_date_sk",
+            item_sk: "ws_item_sk",
+            customer_sk: "ws_bill_customer_sk",
+            outlet_sk: "ws_web_site_sk",
+            outlet_dim: "web_site",
+            outlet_key: "web_site_sk",
+            outlet_attr: "web_name",
+            promo_sk: "ws_promo_sk",
+            order_no: "ws_order_number",
+            quantity: "ws_quantity",
+            sales_price: "ws_ext_sales_price",
+            profit: "ws_net_profit",
+            returns_table: "web_returns",
+            returns_item: "wr_item_sk",
+            returns_order: "wr_order_number",
+            returns_amt: "wr_return_amt",
+        },
+    }
+}
+
+struct Ctx<'a> {
+    schema: &'a Schema,
+}
+
+impl<'a> Ctx<'a> {
+    fn tid(&self, name: &str) -> TableId {
+        self.schema.table_by_name(name).expect("tpcds table")
+    }
+
+    fn qcol(&self, table: TableId, slot: crate::query::ScanSlot, name: &str) -> QCol {
+        let c = self
+            .schema
+            .table(table)
+            .column(name)
+            .unwrap_or_else(|| panic!("tpcds column {name}"));
+        QCol::new(slot, c)
+    }
+
+    fn sel_eq(&self, table: TableId, name: &str) -> f64 {
+        let c = self.schema.table(table).column(name).unwrap();
+        (1.0 / self.schema.table(table).col(c).ndv as f64).clamp(1e-9, 1.0)
+    }
+}
+
+/// Build query `qid` (1-based) over `schema`.
+fn build_query(ctx: &Ctx<'_>, qid: u32) -> Query {
+    let channel = match qid % 9 {
+        0..=3 => Channel::Store,
+        4..=6 => Channel::Catalog,
+        7 => Channel::Web,
+        _ => {
+            if qid % 18 == 8 {
+                Channel::Inventory
+            } else {
+                Channel::Web
+            }
+        }
+    };
+    let f = fact(channel);
+    let mut b = QueryBuilder::new(format!("q{qid}"));
+
+    if channel == Channel::Inventory {
+        // Inventory queries: inventory ⋈ date_dim ⋈ item ⋈ warehouse.
+        let inv_t = ctx.tid("inventory");
+        let inv = b.scan(inv_t);
+        let dd_t = ctx.tid("date_dim");
+        let dd = b.scan(dd_t);
+        let item_t = ctx.tid("item");
+        let it = b.scan(item_t);
+        let wh_t = ctx.tid("warehouse");
+        let wh = b.scan(wh_t);
+        b.join(
+            ctx.qcol(inv_t, inv, "inv_date_sk"),
+            ctx.qcol(dd_t, dd, "d_date_sk"),
+        );
+        b.join(
+            ctx.qcol(inv_t, inv, "inv_item_sk"),
+            ctx.qcol(item_t, it, "i_item_sk"),
+        );
+        b.join(
+            ctx.qcol(inv_t, inv, "inv_warehouse_sk"),
+            ctx.qcol(wh_t, wh, "w_warehouse_sk"),
+        );
+        b.eq(ctx.qcol(dd_t, dd, "d_year"), ctx.sel_eq(dd_t, "d_year"));
+        b.range(ctx.qcol(item_t, it, "i_current_price"), 0.2);
+        b.group_by(ctx.qcol(wh_t, wh, "w_warehouse_name"));
+        b.project(ctx.qcol(wh_t, wh, "w_warehouse_name"));
+        b.project(ctx.qcol(inv_t, inv, "inv_quantity_on_hand"));
+        b.order_by(ctx.qcol(wh_t, wh, "w_warehouse_name"));
+        return b.build();
+    }
+
+    let fact_t = ctx.tid(f.table);
+    let fs = b.scan(fact_t);
+    let dd_t = ctx.tid("date_dim");
+    let dd = b.scan(dd_t);
+    b.join(
+        ctx.qcol(fact_t, fs, f.date_sk),
+        ctx.qcol(dd_t, dd, "d_date_sk"),
+    );
+    // Date filter: the official queries bucket dates many different ways.
+    match qid % 5 {
+        0 => {
+            b.eq(ctx.qcol(dd_t, dd, "d_year"), ctx.sel_eq(dd_t, "d_year"));
+        }
+        1 => {
+            b.eq(ctx.qcol(dd_t, dd, "d_year"), ctx.sel_eq(dd_t, "d_year"));
+            b.eq(ctx.qcol(dd_t, dd, "d_moy"), ctx.sel_eq(dd_t, "d_moy"));
+        }
+        2 => {
+            b.range(ctx.qcol(dd_t, dd, "d_month_seq"), 12.0 / 2_400.0);
+        }
+        3 => {
+            b.eq(ctx.qcol(dd_t, dd, "d_year"), ctx.sel_eq(dd_t, "d_year"));
+            b.eq(ctx.qcol(dd_t, dd, "d_qoy"), ctx.sel_eq(dd_t, "d_qoy"));
+        }
+        _ => {
+            b.range(ctx.qcol(dd_t, dd, "d_date"), 30.0 / 73_049.0);
+        }
+    }
+
+    // Item dimension for most queries.
+    let item_t = ctx.tid("item");
+    let mut item_slot = None;
+    if !qid.is_multiple_of(5) {
+        let it = b.scan(item_t);
+        item_slot = Some(it);
+        b.join(
+            ctx.qcol(fact_t, fs, f.item_sk),
+            ctx.qcol(item_t, it, "i_item_sk"),
+        );
+        match qid % 4 {
+            0 => {
+                b.eq(
+                    ctx.qcol(item_t, it, "i_category"),
+                    ctx.sel_eq(item_t, "i_category"),
+                );
+            }
+            1 => {
+                b.eq(
+                    ctx.qcol(item_t, it, "i_manufact_id"),
+                    ctx.sel_eq(item_t, "i_manufact_id"),
+                );
+            }
+            2 => {
+                b.filter(
+                    ctx.qcol(item_t, it, "i_color"),
+                    FilterKind::Equality,
+                    3.0 * ctx.sel_eq(item_t, "i_color"),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // Customer path: customer (+ address or demographics).
+    if qid % 3 != 1 {
+        let cust_t = ctx.tid("customer");
+        let cs = b.scan(cust_t);
+        b.join(
+            ctx.qcol(fact_t, fs, f.customer_sk),
+            ctx.qcol(cust_t, cs, "c_customer_sk"),
+        );
+        if qid.is_multiple_of(2) {
+            let ca_t = ctx.tid("customer_address");
+            let ca = b.scan(ca_t);
+            b.join(
+                ctx.qcol(cust_t, cs, "c_current_addr_sk"),
+                ctx.qcol(ca_t, ca, "ca_address_sk"),
+            );
+            if qid.is_multiple_of(6) {
+                b.eq(ctx.qcol(ca_t, ca, "ca_state"), ctx.sel_eq(ca_t, "ca_state"));
+            }
+            b.group_by(ctx.qcol(ca_t, ca, "ca_state"));
+            b.project(ctx.qcol(ca_t, ca, "ca_state"));
+            b.order_by(ctx.qcol(ca_t, ca, "ca_state"));
+        } else {
+            let cd_t = ctx.tid("customer_demographics");
+            let cd = b.scan(cd_t);
+            b.join(
+                ctx.qcol(cust_t, cs, "c_current_cdemo_sk"),
+                ctx.qcol(cd_t, cd, "cd_demo_sk"),
+            );
+            b.eq(
+                ctx.qcol(cd_t, cd, "cd_gender"),
+                ctx.sel_eq(cd_t, "cd_gender"),
+            );
+            if qid.is_multiple_of(7) {
+                b.eq(
+                    ctx.qcol(cd_t, cd, "cd_marital_status"),
+                    ctx.sel_eq(cd_t, "cd_marital_status"),
+                );
+            }
+            b.project(ctx.qcol(cd_t, cd, "cd_education_status"));
+        }
+        if qid.is_multiple_of(8) {
+            let hd_t = ctx.tid("household_demographics");
+            let hd = b.scan(hd_t);
+            b.join(
+                ctx.qcol(cust_t, cs, "c_current_hdemo_sk"),
+                ctx.qcol(hd_t, hd, "hd_demo_sk"),
+            );
+            if qid.is_multiple_of(16) {
+                let ib_t = ctx.tid("income_band");
+                let ib = b.scan(ib_t);
+                b.join(
+                    ctx.qcol(hd_t, hd, "hd_income_band_sk"),
+                    ctx.qcol(ib_t, ib, "ib_income_band_sk"),
+                );
+            }
+        }
+        b.project(ctx.qcol(cust_t, cs, "c_last_name"));
+    }
+
+    // Outlet dimension (store / call center / web site).
+    if qid % 4 != 2 {
+        let od_t = ctx.tid(f.outlet_dim);
+        let od = b.scan(od_t);
+        b.join(
+            ctx.qcol(fact_t, fs, f.outlet_sk),
+            ctx.qcol(od_t, od, f.outlet_key),
+        );
+        b.group_by(ctx.qcol(od_t, od, f.outlet_attr));
+        b.project(ctx.qcol(od_t, od, f.outlet_attr));
+    }
+
+    // Promotion occasionally.
+    if qid % 10 == 5 {
+        let p_t = ctx.tid("promotion");
+        let ps = b.scan(p_t);
+        b.join(
+            ctx.qcol(fact_t, fs, f.promo_sk),
+            ctx.qcol(p_t, ps, "p_promo_sk"),
+        );
+        b.eq(
+            ctx.qcol(p_t, ps, "p_channel_email"),
+            ctx.sel_eq(p_t, "p_channel_email"),
+        );
+    }
+
+    // Returns join (sales-with-returns analyses).
+    if qid % 6 == 2 {
+        let r_t = ctx.tid(f.returns_table);
+        let rs = b.scan(r_t);
+        b.join(
+            ctx.qcol(fact_t, fs, f.item_sk),
+            ctx.qcol(r_t, rs, f.returns_item),
+        );
+        b.join(
+            ctx.qcol(fact_t, fs, f.order_no),
+            ctx.qcol(r_t, rs, f.returns_order),
+        );
+        b.project(ctx.qcol(r_t, rs, f.returns_amt));
+        if qid % 12 == 2 {
+            let re_t = ctx.tid("reason");
+            let re = b.scan(re_t);
+            let r_reason = match channel {
+                Channel::Store => "sr_reason_sk",
+                Channel::Catalog => "cr_reason_sk",
+                _ => "wr_reason_sk",
+            };
+            b.join(
+                ctx.qcol(r_t, rs, r_reason),
+                ctx.qcol(re_t, re, "r_reason_sk"),
+            );
+        }
+    }
+
+    // Cross-channel comparison: second fact joined through item.
+    if qid % 11 == 7 {
+        if let Some(it) = item_slot {
+            let other = fact(match channel {
+                Channel::Store => Channel::Catalog,
+                Channel::Catalog => Channel::Web,
+                _ => Channel::Store,
+            });
+            let of_t = ctx.tid(other.table);
+            let os = b.scan(of_t);
+            b.join(
+                ctx.qcol(item_t, it, "i_item_sk"),
+                ctx.qcol(of_t, os, other.item_sk),
+            );
+            b.project(ctx.qcol(of_t, os, other.sales_price));
+        }
+    }
+
+    // Fact-level measure filter for some queries.
+    if qid % 7 == 3 {
+        b.range(ctx.qcol(fact_t, fs, f.quantity), 0.25);
+    }
+
+    // Aggregated measures: the official queries aggregate different
+    // combinations of the fact measures, which changes what a covering
+    // index must carry per query.
+    let measures = [f.quantity, f.sales_price, f.profit, f.order_no];
+    b.project(ctx.qcol(fact_t, fs, measures[qid as usize % 4]));
+    b.project(ctx.qcol(fact_t, fs, measures[(qid as usize + 1) % 4]));
+    if let Some(it) = item_slot {
+        let group_cols = ["i_category", "i_class", "i_brand", "i_manager_id"];
+        let gc = group_cols[qid as usize % 4];
+        if qid % 2 == 1 {
+            b.group_by(ctx.qcol(item_t, it, gc));
+            b.project(ctx.qcol(item_t, it, gc));
+        } else if qid % 4 == 2 {
+            b.order_by(ctx.qcol(item_t, it, gc));
+            b.project(ctx.qcol(item_t, it, gc));
+        }
+    }
+    // A couple of wider queries sample an extra small dimension.
+    if qid % 13 == 4 {
+        let sm_t = ctx.tid("ship_mode");
+        if f.table != "store_sales" {
+            let sm = b.scan(sm_t);
+            let fk = if f.table == "catalog_sales" {
+                "cs_ship_mode_sk"
+            } else {
+                "ws_ship_mode_sk"
+            };
+            b.join(
+                ctx.qcol(fact_t, fs, fk),
+                ctx.qcol(sm_t, sm, "sm_ship_mode_sk"),
+            );
+        }
+    }
+    b.build()
+}
+
+/// Generate the TPC-DS benchmark instance at scale factor `sf`.
+pub fn generate(sf: f64) -> BenchmarkInstance {
+    let schema = schema(sf);
+    let ctx = Ctx { schema: &schema };
+    let queries: Vec<Query> = (1..=99).map(|qid| build_query(&ctx, qid)).collect();
+    let workload = Workload::new("TPC-DS", queries);
+    workload
+        .validate(&schema)
+        .expect("generated TPC-DS queries must validate");
+    BenchmarkInstance::new(schema, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_99_valid_queries() {
+        let inst = generate(10.0);
+        assert_eq!(inst.workload.len(), 99);
+        inst.workload.validate(&inst.schema).unwrap();
+    }
+
+    #[test]
+    fn schema_has_24_tables() {
+        assert_eq!(schema(10.0).len(), 24);
+    }
+
+    #[test]
+    fn stats_are_near_table1() {
+        let stats = generate(10.0).stats();
+        // Paper: 99 queries, 24 tables, avg joins 7.7, scans 8.8.
+        assert_eq!(stats.num_queries, 99);
+        assert_eq!(stats.num_tables, 24);
+        assert!(stats.avg_joins > 3.0 && stats.avg_joins < 9.0, "{stats:?}");
+        assert!(stats.avg_scans > 4.0 && stats.avg_scans < 10.0, "{stats:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(10.0);
+        let b = generate(10.0);
+        for (qa, qb) in a.workload.queries.iter().zip(&b.workload.queries) {
+            assert_eq!(qa.scans, qb.scans);
+            assert_eq!(qa.joins.len(), qb.joins.len());
+        }
+    }
+
+    #[test]
+    fn channels_vary_across_queries() {
+        let inst = generate(1.0);
+        let ss = inst.schema.table_by_name("store_sales").unwrap();
+        let ws = inst.schema.table_by_name("web_sales").unwrap();
+        let uses = |t| {
+            inst.workload
+                .queries
+                .iter()
+                .filter(|q| q.scans.contains(&t))
+                .count()
+        };
+        assert!(uses(ss) > 20);
+        assert!(uses(ws) > 10);
+    }
+}

@@ -1,0 +1,61 @@
+//! Schema and workload model for ixtune.
+//!
+//! This crate is the "workload parsing/analysis" box of the index-tuning
+//! architecture (Figure 1 in the paper): it defines the database schema
+//! model with the statistics the cost model needs ([`schema`]), the
+//! structural query/workload model ([`query`]), a mini-SQL front end
+//! ([`sql`]), Table 1-style workload statistics ([`stats`]), and the five
+//! benchmark workload generators ([`gen`]): TPC-H, TPC-DS, JOB, and the
+//! synthetic stand-ins for the paper's proprietary Real-D and Real-M
+//! workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use ixtune_workload::{ColType, Schema, TableBuilder};
+//! use ixtune_workload::sql::parse_query;
+//!
+//! let mut schema = Schema::new();
+//! schema.add_table(
+//!     TableBuilder::new("users", 1_000_000)
+//!         .key("id", ColType::Int)
+//!         .col("country", ColType::Char(2), 200)
+//!         .build(),
+//! ).unwrap();
+//!
+//! let q = parse_query(&schema, "q", "SELECT id FROM users WHERE country = 'DE'").unwrap();
+//! assert_eq!(q.num_scans(), 1);
+//! assert_eq!(q.filters.len(), 1);
+//! // Equality selectivity comes from the column's NDV: 1/200.
+//! assert!((q.filters[0].selectivity - 0.005).abs() < 1e-12);
+//! ```
+
+pub mod compress;
+pub mod gen;
+pub mod query;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+
+pub use query::{Filter, FilterKind, JoinEdge, QCol, Query, QueryBuilder, ScanSlot, Workload};
+pub use schema::{ColType, Column, Schema, Table, TableBuilder};
+pub use stats::WorkloadStats;
+
+/// A schema plus the workload defined over it: everything a tuning session
+/// takes as input.
+#[derive(Clone, Debug)]
+pub struct BenchmarkInstance {
+    pub schema: Schema,
+    pub workload: Workload,
+}
+
+impl BenchmarkInstance {
+    pub fn new(schema: Schema, workload: Workload) -> Self {
+        Self { schema, workload }
+    }
+
+    /// Table 1-style statistics for this instance.
+    pub fn stats(&self) -> WorkloadStats {
+        WorkloadStats::compute(&self.schema, &self.workload)
+    }
+}

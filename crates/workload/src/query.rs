@@ -1,0 +1,479 @@
+//! Query and workload model.
+//!
+//! A [`Query`] is the structural skeleton an index tuner needs: which base
+//! tables are scanned (possibly more than once — self joins), the filter
+//! predicates with selectivities, the join graph, grouping/ordering columns,
+//! and the projected columns (which decide whether an index can *cover* the
+//! query). Everything else about SQL (expressions, aggregation semantics,
+//! nested subqueries) is irrelevant to what-if costing at this level and is
+//! deliberately absent, mirroring the workload-analysis stage of Figure 1 in
+//! the paper.
+
+use crate::schema::Schema;
+use ixtune_common::{ColumnId, Error, QueryId, Result, TableId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A scan slot: one occurrence of a base table in a query's FROM list.
+/// Self-joins produce multiple slots over the same [`TableId`].
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ScanSlot(pub u16);
+
+impl ScanSlot {
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ScanSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A column of one scan slot: `(slot, column-within-table)`.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct QCol {
+    pub scan: ScanSlot,
+    pub column: ColumnId,
+}
+
+impl QCol {
+    pub const fn new(scan: ScanSlot, column: ColumnId) -> Self {
+        Self { scan, column }
+    }
+}
+
+/// The kind of a filter predicate. The tuner cares only about whether an
+/// index can *seek* on the predicate (equality and range can; the leading
+/// position rules differ) — see the indexable-column taxonomy of §2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterKind {
+    /// `col = literal` (also `IN` with a short literal list).
+    Equality,
+    /// `col < / <= / > / >= / BETWEEN` literal(s).
+    Range,
+    /// `col LIKE 'prefix%'` — seekable like a range on the prefix.
+    Like,
+    /// Non-seekable predicate (`<>`, `LIKE '%x%'`, complex expressions):
+    /// reduces cardinality but cannot drive an index seek.
+    Residual,
+}
+
+/// A filter predicate on a single column with its estimated selectivity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Filter {
+    pub col: QCol,
+    pub kind: FilterKind,
+    /// Fraction of rows satisfying the predicate, in `(0, 1]`.
+    pub selectivity: f64,
+}
+
+/// An equi-join edge between two scan slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinEdge {
+    pub left: QCol,
+    pub right: QCol,
+}
+
+/// A single query: the unit the tuner issues what-if calls for.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Query {
+    pub name: String,
+    /// FROM-list occurrences in join order (left-deep evaluation order).
+    pub scans: Vec<TableId>,
+    pub filters: Vec<Filter>,
+    pub joins: Vec<JoinEdge>,
+    pub group_by: Vec<QCol>,
+    pub order_by: Vec<QCol>,
+    /// Columns appearing in the SELECT list (payload for covering indexes).
+    pub projection: Vec<QCol>,
+    /// Relative frequency/weight of the query in the workload.
+    pub weight: f64,
+}
+
+impl Query {
+    /// Base table of a scan slot.
+    #[inline]
+    pub fn table_of(&self, slot: ScanSlot) -> TableId {
+        self.scans[slot.index()]
+    }
+
+    /// Number of scan slots.
+    #[inline]
+    pub fn num_scans(&self) -> usize {
+        self.scans.len()
+    }
+
+    /// Number of join edges.
+    #[inline]
+    pub fn num_joins(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Filters constraining a given scan slot.
+    pub fn filters_on(&self, slot: ScanSlot) -> impl Iterator<Item = &Filter> {
+        self.filters.iter().filter(move |f| f.col.scan == slot)
+    }
+
+    /// Join edges incident to a given scan slot, yielding the local column.
+    pub fn join_cols_on(&self, slot: ScanSlot) -> impl Iterator<Item = ColumnId> + '_ {
+        self.joins.iter().flat_map(move |j| {
+            let mut out = [None, None];
+            if j.left.scan == slot {
+                out[0] = Some(j.left.column);
+            }
+            if j.right.scan == slot {
+                out[1] = Some(j.right.column);
+            }
+            out.into_iter().flatten()
+        })
+    }
+
+    /// All columns of `slot` referenced anywhere in the query (filters,
+    /// joins, group-by, order-by, projection). An index on `slot`'s table
+    /// whose key+included columns cover this set makes the access path
+    /// *index-only* for this query.
+    pub fn referenced_columns(&self, slot: ScanSlot) -> BTreeSet<ColumnId> {
+        let mut cols = BTreeSet::new();
+        for f in self.filters_on(slot) {
+            cols.insert(f.col.column);
+        }
+        for c in self.join_cols_on(slot) {
+            cols.insert(c);
+        }
+        for qc in self
+            .group_by
+            .iter()
+            .chain(&self.order_by)
+            .chain(&self.projection)
+        {
+            if qc.scan == slot {
+                cols.insert(qc.column);
+            }
+        }
+        cols
+    }
+
+    /// Combined selectivity of all filters on `slot` (independence
+    /// assumption, clamped below to avoid zero cardinalities).
+    pub fn scan_selectivity(&self, slot: ScanSlot) -> f64 {
+        let s: f64 = self.filters_on(slot).map(|f| f.selectivity).product();
+        s.clamp(1e-9, 1.0)
+    }
+
+    /// Check internal consistency against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        let check = |qc: &QCol, what: &str| -> Result<()> {
+            let slot = qc.scan.index();
+            if slot >= self.scans.len() {
+                return Err(Error::Invalid(format!(
+                    "query {}: {what} references missing scan slot {slot}",
+                    self.name
+                )));
+            }
+            let table = schema.table(self.scans[slot]);
+            if qc.column.index() >= table.columns.len() {
+                return Err(Error::Invalid(format!(
+                    "query {}: {what} references missing column {} of table {}",
+                    self.name, qc.column, table.name
+                )));
+            }
+            Ok(())
+        };
+        for t in &self.scans {
+            if t.index() >= schema.len() {
+                return Err(Error::Invalid(format!(
+                    "query {}: scan of missing table {t}",
+                    self.name
+                )));
+            }
+        }
+        for f in &self.filters {
+            check(&f.col, "filter")?;
+            if !(f.selectivity > 0.0 && f.selectivity <= 1.0) {
+                return Err(Error::Invalid(format!(
+                    "query {}: filter selectivity {} out of (0,1]",
+                    self.name, f.selectivity
+                )));
+            }
+        }
+        for j in &self.joins {
+            check(&j.left, "join")?;
+            check(&j.right, "join")?;
+        }
+        for (qc, what) in self
+            .group_by
+            .iter()
+            .map(|c| (c, "group-by"))
+            .chain(self.order_by.iter().map(|c| (c, "order-by")))
+            .chain(self.projection.iter().map(|c| (c, "projection")))
+        {
+            check(qc, what)?;
+        }
+        if self.weight <= 0.0 {
+            return Err(Error::Invalid(format!(
+                "query {}: non-positive weight",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder used by the workload generators.
+pub struct QueryBuilder {
+    q: Query,
+}
+
+impl QueryBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            q: Query {
+                name: name.into(),
+                scans: Vec::new(),
+                filters: Vec::new(),
+                joins: Vec::new(),
+                group_by: Vec::new(),
+                order_by: Vec::new(),
+                projection: Vec::new(),
+                weight: 1.0,
+            },
+        }
+    }
+
+    /// Add a FROM occurrence; returns its slot.
+    pub fn scan(&mut self, table: TableId) -> ScanSlot {
+        let slot = ScanSlot(self.q.scans.len() as u16);
+        self.q.scans.push(table);
+        slot
+    }
+
+    pub fn filter(&mut self, col: QCol, kind: FilterKind, selectivity: f64) -> &mut Self {
+        self.q.filters.push(Filter {
+            col,
+            kind,
+            selectivity,
+        });
+        self
+    }
+
+    pub fn eq(&mut self, col: QCol, selectivity: f64) -> &mut Self {
+        self.filter(col, FilterKind::Equality, selectivity)
+    }
+
+    pub fn range(&mut self, col: QCol, selectivity: f64) -> &mut Self {
+        self.filter(col, FilterKind::Range, selectivity)
+    }
+
+    pub fn join(&mut self, left: QCol, right: QCol) -> &mut Self {
+        self.q.joins.push(JoinEdge { left, right });
+        self
+    }
+
+    pub fn group_by(&mut self, col: QCol) -> &mut Self {
+        self.q.group_by.push(col);
+        self
+    }
+
+    pub fn order_by(&mut self, col: QCol) -> &mut Self {
+        self.q.order_by.push(col);
+        self
+    }
+
+    pub fn project(&mut self, col: QCol) -> &mut Self {
+        self.q.projection.push(col);
+        self
+    }
+
+    pub fn weight(&mut self, w: f64) -> &mut Self {
+        self.q.weight = w;
+        self
+    }
+
+    pub fn build(self) -> Query {
+        self.q
+    }
+}
+
+/// A workload: a named set of queries over one schema.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    pub name: String,
+    pub queries: Vec<Query>,
+}
+
+impl Workload {
+    pub fn new(name: impl Into<String>, queries: Vec<Query>) -> Self {
+        Self {
+            name: name.into(),
+            queries,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    pub fn query(&self, id: QueryId) -> &Query {
+        &self.queries[id.index()]
+    }
+
+    /// Iterate `(id, query)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Query)> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QueryId::from(i), q))
+    }
+
+    /// Validate every query against the schema.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        self.queries.iter().try_for_each(|q| q.validate(schema))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, Schema, TableBuilder};
+
+    fn two_table_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            TableBuilder::new("r", 1000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 100)
+                .build(),
+        )
+        .unwrap();
+        s.add_table(
+            TableBuilder::new("s", 5000)
+                .key("c", ColType::Int)
+                .col("d", ColType::Int, 300)
+                .build(),
+        )
+        .unwrap();
+        s
+    }
+
+    /// The Q1 of the paper's Figure 3 running example:
+    /// `SELECT a, d FROM R, S WHERE R.b = S.c AND R.a = 5 AND S.d > 200`.
+    pub(crate) fn figure3_q1(schema: &Schema) -> Query {
+        let r = schema.table_by_name("r").unwrap();
+        let s = schema.table_by_name("s").unwrap();
+        let mut b = QueryBuilder::new("Q1");
+        let rs = b.scan(r);
+        let ss = b.scan(s);
+        let ra = QCol::new(rs, ColumnId::from(0usize));
+        let rb = QCol::new(rs, ColumnId::from(1usize));
+        let sc = QCol::new(ss, ColumnId::from(0usize));
+        let sd = QCol::new(ss, ColumnId::from(1usize));
+        b.eq(ra, 0.001)
+            .range(sd, 0.2)
+            .join(rb, sc)
+            .project(ra)
+            .project(sd);
+        b.build()
+    }
+
+    use ixtune_common::ColumnId;
+
+    #[test]
+    fn builder_and_accessors() {
+        let schema = two_table_schema();
+        let q = figure3_q1(&schema);
+        assert_eq!(q.num_scans(), 2);
+        assert_eq!(q.num_joins(), 1);
+        let r_slot = ScanSlot(0);
+        let s_slot = ScanSlot(1);
+        assert_eq!(q.filters_on(r_slot).count(), 1);
+        assert_eq!(q.filters_on(s_slot).count(), 1);
+        let r_join: Vec<ColumnId> = q.join_cols_on(r_slot).collect();
+        assert_eq!(r_join, vec![ColumnId::new(1)]);
+        q.validate(&schema).unwrap();
+    }
+
+    #[test]
+    fn referenced_columns_cover_all_clauses() {
+        let schema = two_table_schema();
+        let q = figure3_q1(&schema);
+        let r_cols = q.referenced_columns(ScanSlot(0));
+        // a (filter + projection), b (join)
+        assert_eq!(
+            r_cols.into_iter().collect::<Vec<_>>(),
+            vec![ColumnId::new(0), ColumnId::new(1)]
+        );
+        let s_cols = q.referenced_columns(ScanSlot(1));
+        // c (join), d (filter + projection)
+        assert_eq!(s_cols.len(), 2);
+    }
+
+    #[test]
+    fn scan_selectivity_multiplies() {
+        let schema = two_table_schema();
+        let r = schema.table_by_name("r").unwrap();
+        let mut b = QueryBuilder::new("q");
+        let slot = b.scan(r);
+        b.eq(QCol::new(slot, ColumnId::new(0)), 0.1)
+            .range(QCol::new(slot, ColumnId::new(1)), 0.5);
+        let q = b.build();
+        assert!((q.scan_selectivity(slot) - 0.05).abs() < 1e-12);
+        // Slot with no filters has selectivity 1.
+        assert_eq!(q.scan_selectivity(ScanSlot(9)), 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_references() {
+        let schema = two_table_schema();
+        let mut q = figure3_q1(&schema);
+        q.filters[0].col.scan = ScanSlot(7);
+        assert!(q.validate(&schema).is_err());
+
+        let mut q2 = figure3_q1(&schema);
+        q2.filters[0].selectivity = 0.0;
+        assert!(q2.validate(&schema).is_err());
+
+        let mut q3 = figure3_q1(&schema);
+        q3.weight = -1.0;
+        assert!(q3.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn workload_iteration() {
+        let schema = two_table_schema();
+        let w = Workload::new("toy", vec![figure3_q1(&schema)]);
+        assert_eq!(w.len(), 1);
+        let (id, q) = w.iter().next().unwrap();
+        assert_eq!(id, QueryId::new(0));
+        assert_eq!(q.name, "Q1");
+        w.validate(&schema).unwrap();
+    }
+
+    #[test]
+    fn self_join_slots() {
+        let schema = two_table_schema();
+        let r = schema.table_by_name("r").unwrap();
+        let mut b = QueryBuilder::new("self");
+        let s0 = b.scan(r);
+        let s1 = b.scan(r);
+        b.join(
+            QCol::new(s0, ColumnId::new(1)),
+            QCol::new(s1, ColumnId::new(0)),
+        );
+        let q = b.build();
+        assert_eq!(q.num_scans(), 2);
+        assert_eq!(q.table_of(s0), q.table_of(s1));
+        q.validate(&schema).unwrap();
+    }
+}

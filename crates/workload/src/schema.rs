@@ -1,0 +1,280 @@
+//! Database schema model: column types, tables with cardinalities and
+//! per-column distinct-value counts, and a schema catalog with name lookup.
+//!
+//! The simulated optimizer derives selectivities from column
+//! number-of-distinct-values (NDV) statistics and derives scan/seek costs
+//! from row counts and row widths, so those are the statistics a [`Table`]
+//! carries. Index size estimation (used by the storage constraint) also
+//! reads column widths from here.
+
+use ixtune_common::{ColumnId, Error, Result, TableId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Column data type. Widths feed row-size and index-size estimation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    Int,
+    BigInt,
+    Float,
+    /// Fixed-point numeric (stored as 8 bytes here).
+    Decimal,
+    Date,
+    Bool,
+    /// Fixed-width character data.
+    Char(u16),
+    /// Variable-width character data; the argument is the declared maximum,
+    /// and we assume half of it is used on average.
+    VarChar(u16),
+}
+
+impl ColType {
+    /// Average stored width in bytes.
+    pub fn width(self) -> u32 {
+        match self {
+            ColType::Int => 4,
+            ColType::BigInt | ColType::Float | ColType::Decimal => 8,
+            ColType::Date => 4,
+            ColType::Bool => 1,
+            ColType::Char(n) => n as u32,
+            ColType::VarChar(n) => (n as u32) / 2 + 2,
+        }
+    }
+}
+
+/// A column definition with the statistics the cost model consumes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ty: ColType,
+    /// Number of distinct values; drives equality selectivity `1/ndv`.
+    pub ndv: u64,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ty: ColType, ndv: u64) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            ndv: ndv.max(1),
+        }
+    }
+}
+
+/// A base table: name, row count, and columns.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    pub name: String,
+    pub rows: u64,
+    pub columns: Vec<Column>,
+    by_name: HashMap<String, ColumnId>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, rows: u64, columns: Vec<Column>) -> Self {
+        let by_name = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), ColumnId::from(i)))
+            .collect();
+        Self {
+            name: name.into(),
+            rows: rows.max(1),
+            columns,
+            by_name,
+        }
+    }
+
+    /// Look up a column by name.
+    pub fn column(&self, name: &str) -> Option<ColumnId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The column definition for `id`.
+    pub fn col(&self, id: ColumnId) -> &Column {
+        &self.columns[id.index()]
+    }
+
+    /// Average row width in bytes (sum of column widths plus a small
+    /// per-row header, as in typical slotted-page layouts).
+    pub fn row_width(&self) -> u32 {
+        8 + self.columns.iter().map(|c| c.ty.width()).sum::<u32>()
+    }
+
+    /// Estimated heap size of the table in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.rows * self.row_width() as u64
+    }
+}
+
+/// A schema: an ordered collection of tables with name lookup.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Schema {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+}
+
+impl Schema {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a table, returning its id. Replaces nothing: duplicate names are
+    /// rejected.
+    pub fn add_table(&mut self, table: Table) -> Result<TableId> {
+        if self.by_name.contains_key(&table.name) {
+            return Err(Error::Invalid(format!("duplicate table {}", table.name)));
+        }
+        let id = TableId::from(self.tables.len());
+        self.by_name.insert(table.name.clone(), id);
+        self.tables.push(table);
+        Ok(id)
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The table definition for `id`.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    /// Look up a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<TableId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolve `table.column` names to ids.
+    pub fn resolve(&self, table: &str, column: &str) -> Result<(TableId, ColumnId)> {
+        let tid = self
+            .table_by_name(table)
+            .ok_or_else(|| Error::UnknownName(table.to_string()))?;
+        let cid = self
+            .table(tid)
+            .column(column)
+            .ok_or_else(|| Error::UnknownName(format!("{table}.{column}")))?;
+        Ok((tid, cid))
+    }
+
+    /// Iterate `(id, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId::from(i), t))
+    }
+
+    /// Estimated total database size in bytes (sum of heap sizes). The DTA
+    /// storage constraint defaults to 3× this value.
+    pub fn database_size_bytes(&self) -> u64 {
+        self.tables.iter().map(Table::size_bytes).sum()
+    }
+}
+
+/// Convenience builder used heavily by workload generators.
+pub struct TableBuilder {
+    name: String,
+    rows: u64,
+    columns: Vec<Column>,
+}
+
+impl TableBuilder {
+    pub fn new(name: impl Into<String>, rows: u64) -> Self {
+        Self {
+            name: name.into(),
+            rows,
+            columns: Vec::new(),
+        }
+    }
+
+    /// Add a column with explicit NDV.
+    pub fn col(mut self, name: &str, ty: ColType, ndv: u64) -> Self {
+        self.columns.push(Column::new(name, ty, ndv));
+        self
+    }
+
+    /// Add a key-like column: NDV equals the row count.
+    pub fn key(self, name: &str, ty: ColType) -> Self {
+        let rows = self.rows;
+        self.col(name, ty, rows)
+    }
+
+    pub fn build(self) -> Table {
+        Table::new(self.name, self.rows, self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            TableBuilder::new("r", 1000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 50)
+                .build(),
+        )
+        .unwrap();
+        s.add_table(
+            TableBuilder::new("s", 5000)
+                .key("c", ColType::Int)
+                .col("d", ColType::VarChar(20), 200)
+                .build(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn width_model() {
+        assert_eq!(ColType::Int.width(), 4);
+        assert_eq!(ColType::Char(10).width(), 10);
+        assert_eq!(ColType::VarChar(20).width(), 12);
+    }
+
+    #[test]
+    fn resolve_names() {
+        let s = sample_schema();
+        let (t, c) = s.resolve("s", "d").unwrap();
+        assert_eq!(s.table(t).name, "s");
+        assert_eq!(s.table(t).col(c).name, "d");
+        assert!(s.resolve("nope", "d").is_err());
+        assert!(s.resolve("s", "nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut s = sample_schema();
+        let err = s.add_table(TableBuilder::new("r", 1).build());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        let s = sample_schema();
+        let r = s.table(s.table_by_name("r").unwrap());
+        assert_eq!(r.row_width(), 8 + 4 + 4);
+        assert_eq!(r.size_bytes(), 1000 * 16);
+        assert!(s.database_size_bytes() > r.size_bytes());
+    }
+
+    #[test]
+    fn ndv_clamped_to_one() {
+        let c = Column::new("x", ColType::Int, 0);
+        assert_eq!(c.ndv, 1);
+    }
+
+    #[test]
+    fn key_column_ndv_is_rows() {
+        let t = TableBuilder::new("t", 777).key("id", ColType::BigInt).build();
+        assert_eq!(t.col(ColumnId::new(0)).ndv, 777);
+    }
+}

@@ -1,0 +1,219 @@
+//! Tokenizer for the mini-SQL subset.
+
+use ixtune_common::{Error, Result};
+
+/// Token kinds. Keywords are recognized case-insensitively and carried as
+/// uppercase in [`TokenKind::Word`]; the parser matches on the uppercase
+/// spelling so identifiers stay case-preserving in `text`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (uppercased copy in the payload).
+    Word(String),
+    /// Numeric literal (verbatim text).
+    Number,
+    /// Single-quoted string literal (unquoted payload).
+    Str(String),
+    /// Punctuation / operator: `, . ( ) = < > <= >= <> + - * /`.
+    Sym(&'static str),
+    Eof,
+}
+
+/// A token with its source span for error reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Verbatim source text (empty for EOF).
+    pub text: String,
+    /// Byte offset in the source.
+    pub offset: usize,
+}
+
+fn err(offset: usize, message: impl Into<String>) -> Error {
+    Error::Parse {
+        offset,
+        message: message.into(),
+    }
+}
+
+/// Tokenize `src`, appending a trailing [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                out.push(Token {
+                    kind: TokenKind::Word(text.to_ascii_uppercase()),
+                    text: text.to_string(),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Number,
+                    text: src[start..i].to_string(),
+                    offset: start,
+                });
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let content_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(err(start, "unterminated string literal"));
+                }
+                let content = src[content_start..i].to_string();
+                i += 1; // closing quote
+                out.push(Token {
+                    kind: TokenKind::Str(content),
+                    text: src[start..i].to_string(),
+                    offset: start,
+                });
+            }
+            b'<' | b'>' => {
+                let start = i;
+                let two = bytes.get(i + 1).copied();
+                let sym: &'static str = match (b, two) {
+                    (b'<', Some(b'=')) => "<=",
+                    (b'<', Some(b'>')) => "<>",
+                    (b'>', Some(b'=')) => ">=",
+                    (b'<', _) => "<",
+                    (b'>', _) => ">",
+                    _ => unreachable!(),
+                };
+                i += sym.len();
+                out.push(Token {
+                    kind: TokenKind::Sym(sym),
+                    text: sym.to_string(),
+                    offset: start,
+                });
+            }
+            b',' | b'.' | b'(' | b')' | b'=' | b'+' | b'-' | b'*' | b'/' => {
+                let sym: &'static str = match b {
+                    b',' => ",",
+                    b'.' => ".",
+                    b'(' => "(",
+                    b')' => ")",
+                    b'=' => "=",
+                    b'+' => "+",
+                    b'-' => "-",
+                    b'*' => "*",
+                    b'/' => "/",
+                    _ => unreachable!(),
+                };
+                out.push(Token {
+                    kind: TokenKind::Sym(sym),
+                    text: sym.to_string(),
+                    offset: i,
+                });
+                i += 1;
+            }
+            _ => return Err(err(i, format!("unexpected character {:?}", b as char))),
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        text: String::new(),
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_are_uppercased_in_kind() {
+        let toks = tokenize("select Foo").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Word("SELECT".into()));
+        assert_eq!(toks[1].kind, TokenKind::Word("FOO".into()));
+        assert_eq!(toks[1].text, "Foo");
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = tokenize("42 3.14 'abc d'").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Number);
+        assert_eq!(toks[0].text, "42");
+        assert_eq!(toks[1].text, "3.14");
+        assert_eq!(toks[2].kind, TokenKind::Str("abc d".into()));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        assert_eq!(
+            kinds("< <= <> >= > ="),
+            vec![
+                TokenKind::Sym("<"),
+                TokenKind::Sym("<="),
+                TokenKind::Sym("<>"),
+                TokenKind::Sym(">="),
+                TokenKind::Sym(">"),
+                TokenKind::Sym("="),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("a -- comment\n b").unwrap();
+        assert_eq!(toks.len(), 3); // a, b, EOF
+        assert_eq!(toks[1].text, "b");
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn offsets_point_into_source() {
+        let toks = tokenize("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+
+    #[test]
+    fn punctuation_roundtrip() {
+        let toks = tokenize("t.a, (x)").unwrap();
+        let syms: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Sym(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec![".", ",", "(", ")"]);
+    }
+}

@@ -1,0 +1,20 @@
+//! A mini-SQL front end.
+//!
+//! Benchmark queries (TPC-H, JOB) are written in a compact SQL subset and
+//! parsed into the structural [`Query`](crate::query::Query) model. The
+//! subset covers what index tuning can observe: `SELECT` lists (plain
+//! columns and aggregates over arithmetic expressions), comma-style and
+//! `JOIN ... ON` from-lists with aliases, conjunctive `WHERE` clauses
+//! (equality, range, `BETWEEN`, `LIKE`, `IN`, `<>`, and equi-join
+//! predicates), `GROUP BY`, and `ORDER BY`.
+//!
+//! Selectivities are estimated at parse time from schema statistics
+//! (equality: `1/ndv`; `IN`: `k/ndv`; ranges: a deterministic hash of the
+//! literal mapped into a plausible band), mirroring how a real optimizer
+//! would consult its histograms.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{tokenize, Token, TokenKind};
+pub use parser::{parse_query, parse_workload};

@@ -1,0 +1,712 @@
+//! Recursive-descent parser from the mini-SQL subset to [`Query`].
+
+use super::lexer::{tokenize, Token, TokenKind};
+use crate::query::{FilterKind, Query, QueryBuilder, QCol, ScanSlot, Workload};
+use crate::schema::Schema;
+use ixtune_common::{ColumnId, Error, Result, TableId};
+
+/// Parse one SQL statement into a [`Query`] named `name`.
+pub fn parse_query(schema: &Schema, name: &str, src: &str) -> Result<Query> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        schema,
+        tokens,
+        pos: 0,
+        scopes: Vec::new(),
+        builder: QueryBuilder::new(name),
+    };
+    p.parse()?;
+    let q = p.builder.build();
+    q.validate(schema)?;
+    Ok(q)
+}
+
+/// Parse a list of `(name, sql)` statements into a [`Workload`].
+pub fn parse_workload(schema: &Schema, name: &str, sources: &[(&str, &str)]) -> Result<Workload> {
+    let queries = sources
+        .iter()
+        .map(|(qname, sql)| parse_query(schema, qname, sql))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Workload::new(name, queries))
+}
+
+struct Scope {
+    /// Lower-cased alias (or table name when no alias was given).
+    alias: String,
+    /// Lower-cased base table name.
+    table_name: String,
+    slot: ScanSlot,
+    table: TableId,
+}
+
+struct Parser<'a> {
+    schema: &'a Schema,
+    tokens: Vec<Token>,
+    pos: usize,
+    scopes: Vec<Scope>,
+    builder: QueryBuilder,
+}
+
+const AGGREGATES: [&str; 5] = ["SUM", "COUNT", "AVG", "MIN", "MAX"];
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        }
+    }
+
+    fn at_word(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Word(w) if w == kw)
+    }
+
+    fn eat_word(&mut self, kw: &str) -> bool {
+        if self.at_word(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, kw: &str) -> Result<()> {
+        if self.eat_word(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {:?}", self.peek().text)))
+        }
+    }
+
+    fn at_sym(&self, s: &str) -> bool {
+        matches!(self.peek().kind, TokenKind::Sym(sym) if sym == s)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.at_sym(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`, found {:?}", self.peek().text)))
+        }
+    }
+
+    fn parse(&mut self) -> Result<()> {
+        self.expect_word("SELECT")?;
+        // The select list references aliases declared in FROM, so scan ahead:
+        // remember the token range of the select list, parse FROM first, then
+        // come back.
+        let select_start = self.pos;
+        self.skip_until_from()?;
+        self.expect_word("FROM")?;
+        self.parse_from()?;
+        let after_from = self.pos;
+
+        // Re-parse the select list now that scopes exist.
+        self.pos = select_start;
+        self.parse_select_list()?;
+        self.pos = after_from;
+
+        if self.eat_word("WHERE") {
+            self.parse_conjunction()?;
+        }
+        if self.eat_word("GROUP") {
+            self.expect_word("BY")?;
+            loop {
+                let col = self.parse_column_ref()?;
+                self.builder.group_by(col);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_word("ORDER") {
+            self.expect_word("BY")?;
+            loop {
+                self.parse_order_item()?;
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_word("LIMIT") {
+            self.bump(); // the count
+        }
+        match self.peek().kind {
+            TokenKind::Eof => Ok(()),
+            _ => Err(self.err(format!("trailing input {:?}", self.peek().text))),
+        }
+    }
+
+    fn skip_until_from(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        loop {
+            match &self.peek().kind {
+                TokenKind::Eof => return Err(self.err("missing FROM clause")),
+                TokenKind::Sym("(") => {
+                    depth += 1;
+                    self.bump();
+                }
+                TokenKind::Sym(")") => {
+                    depth = depth.saturating_sub(1);
+                    self.bump();
+                }
+                TokenKind::Word(w) if w == "FROM" && depth == 0 => return Ok(()),
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn parse_from(&mut self) -> Result<()> {
+        self.parse_table_ref()?;
+        loop {
+            if self.eat_sym(",") {
+                self.parse_table_ref()?;
+            } else if self.at_word("JOIN") || self.at_word("INNER") {
+                self.eat_word("INNER");
+                self.expect_word("JOIN")?;
+                self.parse_table_ref()?;
+                if self.eat_word("ON") {
+                    self.parse_predicate()?;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_table_ref(&mut self) -> Result<()> {
+        let tok = self.bump();
+        let table_name = match tok.kind {
+            TokenKind::Word(_) => tok.text.to_ascii_lowercase(),
+            _ => return Err(self.err("expected table name")),
+        };
+        let table = self
+            .schema
+            .table_by_name(&table_name)
+            .ok_or_else(|| Error::UnknownName(table_name.clone()))?;
+        // Optional `AS alias` / bare alias — but stop at clause keywords.
+        let mut alias = table_name.clone();
+        if self.eat_word("AS") {
+            let t = self.bump();
+            alias = t.text.to_ascii_lowercase();
+        } else if let TokenKind::Word(w) = &self.peek().kind {
+            const CLAUSES: [&str; 9] = [
+                "WHERE", "GROUP", "ORDER", "JOIN", "INNER", "ON", "LIMIT", "FROM", "SELECT",
+            ];
+            if !CLAUSES.contains(&w.as_str()) {
+                let t = self.bump();
+                alias = t.text.to_ascii_lowercase();
+            }
+        }
+        let slot = self.builder.scan(table);
+        self.scopes.push(Scope {
+            alias,
+            table_name,
+            slot,
+            table,
+        });
+        Ok(())
+    }
+
+    fn parse_select_list(&mut self) -> Result<()> {
+        self.eat_word("DISTINCT");
+        loop {
+            if self.eat_sym("*") {
+                // SELECT *: every column of every scan is projected.
+                for scope in &self.scopes {
+                    let ncols = self.schema.table(scope.table).columns.len();
+                    for c in 0..ncols {
+                        self.builder.project(QCol::new(scope.slot, ColumnId::from(c)));
+                    }
+                }
+            } else {
+                let cols = self.parse_select_expr()?;
+                for col in cols {
+                    self.builder.project(col);
+                }
+                // Optional output alias.
+                if self.eat_word("AS") {
+                    self.bump();
+                }
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse one select item (aggregate call or arithmetic expression) and
+    /// return the column references it mentions.
+    fn parse_select_expr(&mut self) -> Result<Vec<QCol>> {
+        let mut cols = Vec::new();
+        self.parse_expr(&mut cols)?;
+        Ok(cols)
+    }
+
+    fn parse_expr(&mut self, cols: &mut Vec<QCol>) -> Result<()> {
+        self.parse_term(cols)?;
+        while self.at_sym("+") || self.at_sym("-") || self.at_sym("*") || self.at_sym("/") {
+            self.bump();
+            self.parse_term(cols)?;
+        }
+        Ok(())
+    }
+
+    fn parse_term(&mut self, cols: &mut Vec<QCol>) -> Result<()> {
+        match self.peek().kind.clone() {
+            TokenKind::Sym("(") => {
+                self.bump();
+                self.parse_expr(cols)?;
+                self.expect_sym(")")
+            }
+            TokenKind::Number | TokenKind::Str(_) => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Word(w) if AGGREGATES.contains(&w.as_str()) => {
+                self.bump();
+                self.expect_sym("(")?;
+                if self.eat_sym("*") {
+                    // COUNT(*): no column reference.
+                } else {
+                    self.eat_word("DISTINCT");
+                    self.parse_expr(cols)?;
+                }
+                self.expect_sym(")")
+            }
+            TokenKind::Word(_) => {
+                let col = self.parse_column_ref()?;
+                cols.push(col);
+                Ok(())
+            }
+            _ => Err(self.err(format!("unexpected token {:?}", self.peek().text))),
+        }
+    }
+
+    fn parse_order_item(&mut self) -> Result<()> {
+        // Aggregates and positional numbers in ORDER BY don't constrain
+        // index ordering; parse and ignore them.
+        match self.peek().kind.clone() {
+            TokenKind::Number => {
+                self.bump();
+            }
+            TokenKind::Word(w) if AGGREGATES.contains(&w.as_str()) => {
+                let mut sink = Vec::new();
+                self.parse_term(&mut sink)?;
+            }
+            _ => {
+                let col = self.parse_column_ref()?;
+                self.builder.order_by(col);
+            }
+        }
+        self.eat_word("ASC");
+        self.eat_word("DESC");
+        Ok(())
+    }
+
+    fn parse_conjunction(&mut self) -> Result<()> {
+        self.parse_predicate()?;
+        while self.eat_word("AND") {
+            self.parse_predicate()?;
+        }
+        Ok(())
+    }
+
+    fn parse_predicate(&mut self) -> Result<()> {
+        let lhs = self.parse_column_ref()?;
+        if self.eat_word("BETWEEN") {
+            let lo = self.parse_literal()?;
+            self.expect_word("AND")?;
+            let hi = self.parse_literal()?;
+            let sel = range_band(&format!("{lo}..{hi}"), 0.02, 0.30);
+            self.builder.range(lhs, sel);
+            return Ok(());
+        }
+        if self.eat_word("LIKE") {
+            let pat = self.parse_literal()?;
+            if pat.starts_with('%') {
+                self.builder
+                    .filter(lhs, FilterKind::Residual, range_band(&pat, 0.05, 0.20));
+            } else {
+                self.builder
+                    .filter(lhs, FilterKind::Like, range_band(&pat, 0.01, 0.10));
+            }
+            return Ok(());
+        }
+        if self.eat_word("IN") {
+            self.expect_sym("(")?;
+            let mut k = 0u64;
+            loop {
+                self.parse_literal()?;
+                k += 1;
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+            let ndv = self.ndv_of(lhs);
+            let sel = (k as f64 / ndv as f64).clamp(1e-9, 1.0);
+            self.builder.eq(lhs, sel);
+            return Ok(());
+        }
+        let op = match self.peek().kind {
+            TokenKind::Sym(s @ ("=" | "<" | "<=" | ">" | ">=" | "<>")) => {
+                self.bump();
+                s
+            }
+            _ => return Err(self.err(format!("expected predicate operator, found {:?}", self.peek().text))),
+        };
+        // Column on the right-hand side?
+        if self.rhs_is_column() {
+            let rhs = self.parse_column_ref()?;
+            if op == "=" {
+                self.builder.join(lhs, rhs);
+                return Ok(());
+            }
+            // Non-equi column comparison: residual on both sides.
+            self.builder.filter(lhs, FilterKind::Residual, 0.3);
+            self.builder.filter(rhs, FilterKind::Residual, 0.3);
+            return Ok(());
+        }
+        let lit = self.parse_literal()?;
+        let ndv = self.ndv_of(lhs);
+        match op {
+            "=" => {
+                self.builder.eq(lhs, (1.0 / ndv as f64).clamp(1e-9, 1.0));
+            }
+            "<>" => {
+                let sel = (1.0 - 1.0 / ndv as f64).clamp(1e-9, 1.0);
+                self.builder.filter(lhs, FilterKind::Residual, sel);
+            }
+            _ => {
+                self.builder.range(lhs, range_band(&lit, 0.05, 0.40));
+            }
+        }
+        Ok(())
+    }
+
+    /// Heuristic lookahead: is the token (or dotted pair) after the operator
+    /// a column reference rather than a literal?
+    fn rhs_is_column(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::Word(w) => {
+                if w == "DATE" {
+                    return false;
+                }
+                // `alias.col` or a bare column name known to some scope.
+                if matches!(self.peek2().kind, TokenKind::Sym(".")) {
+                    return true;
+                }
+                let lower = self.peek().text.to_ascii_lowercase();
+                self.scopes.iter().any(|s| {
+                    self.schema.table(s.table).column(&lower).is_some()
+                })
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Number => Ok(self.bump().text),
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::Word(w) if w == "DATE" => {
+                self.bump();
+                match self.peek().kind.clone() {
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        Ok(s)
+                    }
+                    _ => Err(self.err("expected string after DATE")),
+                }
+            }
+            _ => Err(self.err(format!("expected literal, found {:?}", self.peek().text))),
+        }
+    }
+
+    fn parse_column_ref(&mut self) -> Result<QCol> {
+        let first = self.bump();
+        let first_name = match first.kind {
+            TokenKind::Word(_) => first.text.to_ascii_lowercase(),
+            _ => {
+                return Err(Error::Parse {
+                    offset: first.offset,
+                    message: format!("expected column reference, found {:?}", first.text),
+                })
+            }
+        };
+        if self.eat_sym(".") {
+            let col_tok = self.bump();
+            let col_name = match col_tok.kind {
+                TokenKind::Word(_) => col_tok.text.to_ascii_lowercase(),
+                _ => {
+                    return Err(Error::Parse {
+                        offset: col_tok.offset,
+                        message: "expected column name after `.`".into(),
+                    })
+                }
+            };
+            let scope = self
+                .scopes
+                .iter()
+                .find(|s| s.alias == first_name)
+                .or_else(|| self.scopes.iter().find(|s| s.table_name == first_name))
+                .ok_or_else(|| Error::UnknownName(first_name.clone()))?;
+            let col = self
+                .schema
+                .table(scope.table)
+                .column(&col_name)
+                .ok_or_else(|| Error::UnknownName(format!("{first_name}.{col_name}")))?;
+            Ok(QCol::new(scope.slot, col))
+        } else {
+            // Unqualified: must resolve uniquely across scopes.
+            let mut found: Option<QCol> = None;
+            for scope in &self.scopes {
+                if let Some(col) = self.schema.table(scope.table).column(&first_name) {
+                    if found.is_some() {
+                        return Err(Error::Parse {
+                            offset: first.offset,
+                            message: format!("ambiguous column {first_name}"),
+                        });
+                    }
+                    found = Some(QCol::new(scope.slot, col));
+                }
+            }
+            found.ok_or(Error::UnknownName(first_name))
+        }
+    }
+
+    fn ndv_of(&self, col: QCol) -> u64 {
+        // The builder owns the scan list; scopes mirror it.
+        let scope = &self.scopes[col.scan.index()];
+        self.schema.table(scope.table).col(col.column).ndv
+    }
+}
+
+/// Deterministically map a literal's text into a selectivity band
+/// `[lo, hi]` — a stand-in for histogram lookups, stable across runs.
+fn range_band(literal: &str, lo: f64, hi: f64) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in literal.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    lo + unit * (hi - lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColType, TableBuilder};
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_table(
+            TableBuilder::new("r", 10_000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 500)
+                .col("name", ColType::VarChar(32), 9000)
+                .build(),
+        )
+        .unwrap();
+        s.add_table(
+            TableBuilder::new("s", 50_000)
+                .key("c", ColType::Int)
+                .col("d", ColType::Int, 2000)
+                .col("e", ColType::Date, 365)
+                .build(),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn figure3_q1_parses() {
+        let schema = schema();
+        let q = parse_query(
+            &schema,
+            "Q1",
+            "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200",
+        )
+        .unwrap();
+        assert_eq!(q.num_scans(), 2);
+        assert_eq!(q.num_joins(), 1);
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.projection.len(), 2);
+        // Equality selectivity is 1/ndv of r.a.
+        let eq = q
+            .filters
+            .iter()
+            .find(|f| f.kind == FilterKind::Equality)
+            .unwrap();
+        assert!((eq.selectivity - 1.0 / 10_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aliases_and_join_syntax() {
+        let schema = schema();
+        let q = parse_query(
+            &schema,
+            "q",
+            "SELECT x.a FROM r AS x JOIN s y ON x.b = y.c WHERE y.e >= DATE '1995-01-01'",
+        )
+        .unwrap();
+        assert_eq!(q.num_joins(), 1);
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.filters[0].kind, FilterKind::Range);
+    }
+
+    #[test]
+    fn self_join_with_aliases() {
+        let schema = schema();
+        let q = parse_query(
+            &schema,
+            "q",
+            "SELECT r1.a FROM r r1, r r2 WHERE r1.b = r2.a AND r2.b = 3",
+        )
+        .unwrap();
+        assert_eq!(q.num_scans(), 2);
+        assert_eq!(q.scans[0], q.scans[1]);
+        assert_eq!(q.num_joins(), 1);
+    }
+
+    #[test]
+    fn aggregates_group_order() {
+        let schema = schema();
+        let q = parse_query(
+            &schema,
+            "q",
+            "SELECT b, SUM(a * 2) AS total, COUNT(*) FROM r GROUP BY b ORDER BY b DESC, SUM(a) LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 1);
+        // b appears in select; a appears inside SUM.
+        assert_eq!(q.projection.len(), 2);
+    }
+
+    #[test]
+    fn in_and_between_and_like() {
+        let schema = schema();
+        let q = parse_query(
+            &schema,
+            "q",
+            "SELECT a FROM r WHERE b IN (1, 2, 3) AND a BETWEEN 5 AND 10 AND name LIKE 'ab%'",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 3);
+        let kinds: Vec<FilterKind> = q.filters.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FilterKind::Equality)); // IN
+        assert!(kinds.contains(&FilterKind::Range)); // BETWEEN
+        assert!(kinds.contains(&FilterKind::Like));
+        let in_f = q
+            .filters
+            .iter()
+            .find(|f| f.kind == FilterKind::Equality)
+            .unwrap();
+        assert!((in_f.selectivity - 3.0 / 500.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leading_wildcard_like_is_residual() {
+        let schema = schema();
+        let q = parse_query(&schema, "q", "SELECT a FROM r WHERE name LIKE '%x%'").unwrap();
+        assert_eq!(q.filters[0].kind, FilterKind::Residual);
+    }
+
+    #[test]
+    fn neq_is_residual() {
+        let schema = schema();
+        let q = parse_query(&schema, "q", "SELECT a FROM r WHERE b <> 7").unwrap();
+        assert_eq!(q.filters[0].kind, FilterKind::Residual);
+        assert!(q.filters[0].selectivity > 0.99);
+    }
+
+    #[test]
+    fn select_star_projects_everything() {
+        let schema = schema();
+        let q = parse_query(&schema, "q", "SELECT * FROM r WHERE a = 1").unwrap();
+        assert_eq!(q.projection.len(), 3);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let schema = schema();
+        assert!(parse_query(&schema, "q", "SELECT a FROM nope").is_err());
+        assert!(parse_query(&schema, "q", "SELECT zz FROM r").is_err());
+        assert!(parse_query(&schema, "q", "SELECT r.zz FROM r").is_err());
+    }
+
+    #[test]
+    fn ambiguous_unqualified_column_errors() {
+        let mut s = Schema::new();
+        s.add_table(TableBuilder::new("t1", 10).col("x", ColType::Int, 5).build())
+            .unwrap();
+        s.add_table(TableBuilder::new("t2", 10).col("x", ColType::Int, 5).build())
+            .unwrap();
+        assert!(parse_query(&s, "q", "SELECT x FROM t1, t2").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_errors() {
+        let schema = schema();
+        assert!(parse_query(&schema, "q", "SELECT a FROM r garbage garbage").is_err());
+    }
+
+    #[test]
+    fn workload_parsing() {
+        let schema = schema();
+        let w = parse_workload(
+            &schema,
+            "toy",
+            &[
+                ("q1", "SELECT a FROM r WHERE b = 1"),
+                ("q2", "SELECT d FROM s WHERE e > DATE '2000-01-01'"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.queries[0].name, "q1");
+    }
+
+    #[test]
+    fn range_band_is_deterministic_and_bounded() {
+        let a = range_band("1995-01-01", 0.05, 0.4);
+        let b = range_band("1995-01-01", 0.05, 0.4);
+        assert_eq!(a, b);
+        assert!((0.05..=0.4).contains(&a));
+        assert_ne!(range_band("x", 0.0, 1.0), range_band("y", 0.0, 1.0));
+    }
+}

@@ -1,0 +1,116 @@
+//! Workload statistics — the columns of the paper's Table 1.
+
+use crate::query::Workload;
+use crate::schema::Schema;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Summary statistics for a (schema, workload) pair, matching Table 1 of
+/// the paper: database size, number of queries, number of tables, and the
+/// per-query averages of joins, filters, and scans.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct WorkloadStats {
+    pub name: String,
+    pub size_gb: f64,
+    pub num_queries: usize,
+    /// Tables in the schema (the paper counts schema tables, not only
+    /// referenced ones).
+    pub num_tables: usize,
+    /// Distinct tables actually referenced by at least one query.
+    pub num_tables_referenced: usize,
+    pub avg_joins: f64,
+    pub avg_filters: f64,
+    pub avg_scans: f64,
+}
+
+impl WorkloadStats {
+    /// Compute statistics for `workload` over `schema`.
+    pub fn compute(schema: &Schema, workload: &Workload) -> Self {
+        let m = workload.len().max(1) as f64;
+        let total_joins: usize = workload.queries.iter().map(|q| q.num_joins()).sum();
+        let total_filters: usize = workload.queries.iter().map(|q| q.filters.len()).sum();
+        let total_scans: usize = workload.queries.iter().map(|q| q.num_scans()).sum();
+        let referenced: BTreeSet<_> = workload
+            .queries
+            .iter()
+            .flat_map(|q| q.scans.iter().copied())
+            .collect();
+        Self {
+            name: workload.name.clone(),
+            size_gb: schema.database_size_bytes() as f64 / (1u64 << 30) as f64,
+            num_queries: workload.len(),
+            num_tables: schema.len(),
+            num_tables_referenced: referenced.len(),
+            avg_joins: total_joins as f64 / m,
+            avg_filters: total_filters as f64 / m,
+            avg_scans: total_scans as f64 / m,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:10} {:>8.1}GB {:>5} queries {:>6} tables  joins {:>5.1}  filters {:>4.1}  scans {:>5.1}",
+            self.name,
+            self.size_gb,
+            self.num_queries,
+            self.num_tables,
+            self.avg_joins,
+            self.avg_filters,
+            self.avg_scans,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{QCol, QueryBuilder};
+    use crate::schema::{ColType, TableBuilder};
+    use ixtune_common::ColumnId;
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let mut schema = Schema::new();
+        let r = schema
+            .add_table(
+                TableBuilder::new("r", 1 << 20)
+                    .key("a", ColType::Int)
+                    .col("b", ColType::Int, 100)
+                    .build(),
+            )
+            .unwrap();
+        let s = schema
+            .add_table(
+                TableBuilder::new("s", 1 << 18)
+                    .key("c", ColType::Int)
+                    .build(),
+            )
+            .unwrap();
+        schema
+            .add_table(TableBuilder::new("unused", 10).key("x", ColType::Int).build())
+            .unwrap();
+
+        let mut b1 = QueryBuilder::new("q1");
+        let s0 = b1.scan(r);
+        let s1 = b1.scan(s);
+        b1.eq(QCol::new(s0, ColumnId::new(0)), 0.1)
+            .join(QCol::new(s0, ColumnId::new(1)), QCol::new(s1, ColumnId::new(0)));
+        let mut b2 = QueryBuilder::new("q2");
+        let t0 = b2.scan(r);
+        b2.eq(QCol::new(t0, ColumnId::new(1)), 0.5);
+
+        let w = Workload::new("toy", vec![b1.build(), b2.build()]);
+        let stats = WorkloadStats::compute(&schema, &w);
+        assert_eq!(stats.num_queries, 2);
+        assert_eq!(stats.num_tables, 3);
+        assert_eq!(stats.num_tables_referenced, 2);
+        assert!((stats.avg_joins - 0.5).abs() < 1e-12);
+        assert!((stats.avg_filters - 1.0).abs() < 1e-12);
+        assert!((stats.avg_scans - 1.5).abs() < 1e-12);
+        assert!(stats.size_gb > 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Bring your own workload: define a star schema, write analytic SQL,
+//! inspect the budget allocation, and tune with a storage constraint.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! Demonstrates the pieces a downstream user combines: the SQL front end,
+//! candidate generation knobs, storage-constrained tuning, and the budget
+//! allocation matrix view of where the what-if calls went (§3.2).
+
+use ixtune::candidates::{generate, GenOptions};
+use ixtune::core::prelude::*;
+use ixtune::optimizer::{CostModel, SimulatedOptimizer};
+use ixtune::workload::sql::parse_workload;
+use ixtune::workload::{BenchmarkInstance, ColType, Schema, TableBuilder};
+
+fn build_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_table(
+        TableBuilder::new("sales", 50_000_000)
+            .key("sale_id", ColType::BigInt)
+            .col("customer_id", ColType::Int, 2_000_000)
+            .col("product_id", ColType::Int, 40_000)
+            .col("store_id", ColType::Int, 500)
+            .col("sold_on", ColType::Date, 1_460)
+            .col("quantity", ColType::Int, 100)
+            .col("amount", ColType::Decimal, 1_000_000)
+            .col("discount", ColType::Decimal, 20)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("customers", 2_000_000)
+            .key("customer_id", ColType::Int)
+            .col("region", ColType::Char(2), 50)
+            .col("segment", ColType::VarChar(16), 8)
+            .col("name", ColType::VarChar(60), 1_900_000)
+            .build(),
+    )
+    .unwrap();
+    s.add_table(
+        TableBuilder::new("products", 40_000)
+            .key("product_id", ColType::Int)
+            .col("category", ColType::VarChar(24), 40)
+            .col("brand", ColType::VarChar(24), 600)
+            .col("unit_cost", ColType::Decimal, 9_000)
+            .build(),
+    )
+    .unwrap();
+    s
+}
+
+fn main() {
+    let schema = build_schema();
+    let workload = parse_workload(
+        &schema,
+        "retail",
+        &[
+            (
+                "daily-revenue",
+                "SELECT sold_on, SUM(amount) FROM sales \
+                 WHERE sold_on >= DATE '2024-01-01' GROUP BY sold_on ORDER BY sold_on",
+            ),
+            (
+                "segment-mix",
+                "SELECT c.segment, SUM(s.amount) FROM sales s, customers c \
+                 WHERE s.customer_id = c.customer_id AND c.region = 'US' GROUP BY c.segment",
+            ),
+            (
+                "category-margin",
+                "SELECT p.category, SUM(s.amount - p.unit_cost * s.quantity) \
+                 FROM sales s, products p WHERE s.product_id = p.product_id \
+                 AND p.brand = 'Acme' GROUP BY p.category",
+            ),
+            (
+                "store-velocity",
+                "SELECT store_id, COUNT(*) FROM sales \
+                 WHERE sold_on BETWEEN DATE '2024-06-01' AND DATE '2024-06-30' \
+                 GROUP BY store_id ORDER BY COUNT(*) DESC LIMIT 10",
+            ),
+        ],
+    )
+    .expect("SQL parses");
+    let instance = BenchmarkInstance::new(schema, workload);
+
+    // Tighter candidate generation than the default.
+    let cands = generate(
+        &instance,
+        &GenOptions {
+            max_key_columns: 2,
+            max_include_columns: 4,
+            max_per_query: 12,
+        },
+    );
+    let opt = SimulatedOptimizer::new(instance, cands.indexes.clone(), CostModel::default());
+    let ctx = TuningContext::new(&opt, &cands);
+
+    // Storage constraint: the database's own size (enough for a couple of
+    // fact-table indexes, not for everything).
+    let limit = opt.schema().database_size_bytes();
+    let constraints = Constraints::with_storage(4, limit);
+    println!(
+        "tuning with K = 4 and a storage limit of {} GB",
+        limit / (1 << 30)
+    );
+
+    let result = MctsTuner::default().tune(&ctx, &constraints, 60, 7);
+    println!("\nrecommendation ({:.1}% improvement):", result.improvement_pct());
+    for id in result.config.iter() {
+        let idx = opt.candidate(id);
+        println!(
+            "  {}  (~{} MB)",
+            idx.describe(opt.schema()),
+            idx.size_bytes(opt.schema()) / (1 << 20)
+        );
+    }
+
+    // Where did the budget go? The layout of the allocation matrix.
+    let layout = &result.layout;
+    println!(
+        "\nbudget allocation: {} calls over {} configurations × {} queries",
+        layout.len(),
+        layout.distinct_configurations(),
+        layout.distinct_queries()
+    );
+    for (size, count) in layout.calls_by_config_size() {
+        println!("  configurations of size {size}: {count} calls");
+    }
+}

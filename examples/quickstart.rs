@@ -1,0 +1,84 @@
+//! Quickstart: tune a small workload end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline of Figure 1 in the paper: define a schema, write
+//! queries in SQL, generate candidate indexes, and search for the best
+//! configuration under a what-if call budget with the MCTS tuner.
+
+use ixtune::candidates::generate_default;
+use ixtune::core::prelude::*;
+use ixtune::optimizer::{CostModel, SimulatedOptimizer};
+use ixtune::workload::sql::parse_workload;
+use ixtune::workload::{BenchmarkInstance, ColType, Schema, TableBuilder};
+
+fn main() {
+    // 1. Schema — the running example of the paper's Figure 3, scaled up.
+    let mut schema = Schema::new();
+    schema
+        .add_table(
+            TableBuilder::new("r", 2_000_000)
+                .key("a", ColType::Int)
+                .col("b", ColType::Int, 10_000)
+                .col("payload", ColType::VarChar(80), 1_500_000)
+                .build(),
+        )
+        .unwrap();
+    schema
+        .add_table(
+            TableBuilder::new("s", 8_000_000)
+                .key("c", ColType::Int)
+                .col("d", ColType::Int, 50_000)
+                .col("note", ColType::VarChar(120), 6_000_000)
+                .build(),
+        )
+        .unwrap();
+
+    // 2. Workload — plain SQL, parsed by the mini-SQL front end.
+    let workload = parse_workload(
+        &schema,
+        "quickstart",
+        &[
+            ("Q1", "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200"),
+            ("Q2", "SELECT a FROM r, s WHERE r.b = s.c AND r.a = 40"),
+            ("Q3", "SELECT d, COUNT(*) FROM s WHERE d BETWEEN 100 AND 900 GROUP BY d"),
+        ],
+    )
+    .expect("workload parses");
+    let instance = BenchmarkInstance::new(schema, workload);
+
+    // 3. Candidate indexes (Figure 3 step 2).
+    let cands = generate_default(&instance);
+    println!("candidate indexes ({}):", cands.len());
+    for idx in &cands.indexes {
+        println!("  {}", idx.describe(&instance.schema));
+    }
+
+    // 4. The simulated optimizer provides the what-if API.
+    let opt = SimulatedOptimizer::new(instance, cands.indexes.clone(), CostModel::default());
+    let ctx = TuningContext::new(&opt, &cands);
+
+    // 5. Budget-aware tuning: at most K = 2 indexes, 30 what-if calls.
+    let constraints = Constraints::cardinality(2);
+    let budget = 30;
+    let result = MctsTuner::default().tune(&ctx, &constraints, budget, 42);
+
+    println!("\nMCTS recommendation (B = {budget} what-if calls):");
+    for id in result.config.iter() {
+        println!("  CREATE INDEX ... ON {}", opt.candidate(id).describe(opt.schema()));
+    }
+    println!(
+        "improvement: {:.1}% of workload cost, using {} calls",
+        result.improvement_pct(),
+        result.calls_used
+    );
+
+    // 6. Compare with the budget-aware greedy baseline at the same budget.
+    let greedy = VanillaGreedy.tune(&ctx, &constraints, budget, 0);
+    println!(
+        "vanilla greedy at the same budget: {:.1}%",
+        greedy.improvement_pct()
+    );
+}

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Append a measured-results digest to EXPERIMENTS.md from results/*.csv.
+
+Regenerate with:
+    cargo run -p ixtune-bench --release --bin experiments -- all --seeds 3
+    python3 scripts/summarize_results.py
+"""
+import io
+import json
+import os
+import sys
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def load(name):
+    path = os.path.join(RESULTS, name + ".json")
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        return json.load(f)
+
+
+def table(rows, k):
+    rows = [r for r in rows if r["k"] == k]
+    budgets = sorted({r["budget"] for r in rows})
+    algos = []
+    for r in rows:
+        if r["algorithm"] not in algos:
+            algos.append(r["algorithm"])
+    out = io.StringIO()
+    out.write("| budget | " + " | ".join(algos) + " |\n")
+    out.write("|---" * (len(algos) + 1) + "|\n")
+    for b in budgets:
+        cells = []
+        for a in algos:
+            match = [r for r in rows if r["budget"] == b and r["algorithm"] == a]
+            if match:
+                r = match[0]
+                std = r["std_pct"]
+                v = f"{r['mean_pct']:.1f}%"
+                if r["seeds"] > 1:
+                    v += f" ± {std:.1f}"
+                cells.append(v)
+            else:
+                cells.append("-")
+        out.write(f"| {b} | " + " | ".join(cells) + " |\n")
+    return out.getvalue()
+
+
+SECTIONS = [
+    ("fig8", "Figure 8 — TPC-DS, greedy variants vs MCTS", [5, 10, 20]),
+    ("fig9", "Figure 9 — Real-D, greedy variants vs MCTS", [10]),
+    ("fig10", "Figure 10 — Real-M, greedy variants vs MCTS", [10]),
+    ("fig11", "Figure 11 — TPC-DS, RL baselines vs MCTS", [10]),
+    ("fig12", "Figure 12 — Real-D, RL baselines vs MCTS", [10]),
+    ("fig13", "Figure 13 — Real-M, RL baselines vs MCTS", [10]),
+    ("fig15a-sc", "Figure 15(a) — TPC-DS, DTA vs MCTS (with SC)", [10]),
+    ("fig15a-nosc", "Figure 15(d) — TPC-DS, DTA vs MCTS (no SC)", [10]),
+    ("fig16", "Figure 16 — JOB, greedy variants vs MCTS", [10]),
+    ("fig17", "Figure 17 — TPC-H, greedy variants vs MCTS", [5, 10, 20]),
+    ("fig18", "Figure 18 — JOB, RL baselines vs MCTS", [10]),
+    ("fig19", "Figure 19 — TPC-H, RL baselines vs MCTS", [10]),
+    ("fig20b-sc", "Figure 20(b) — TPC-H, DTA vs MCTS (with SC)", [10]),
+    ("fig22-tpc-h", "Figure 22 (TPC-H) — ablation, fixed-step rollout", [10]),
+    ("fig22-tpc-ds", "Figure 22 (TPC-DS) — ablation, fixed-step rollout", [10]),
+    ("fig23-tpc-h", "Figure 23 (TPC-H) — ablation, random-step rollout", [10]),
+    ("fig23-real-m", "Figure 23 (Real-M) — ablation, random-step rollout", [10]),
+    ("robustness-tpc-h", "Extra — robustness to non-monotone costs (TPC-H)", [10]),
+    ("extensions-tpc-h", "Extra — RAVE / Boltzmann / classic ε (TPC-H)", [10]),
+]
+
+
+def main():
+    out = io.StringIO()
+    out.write("\n## Measured results (seeds = 3, improvement %, mean ± std)\n")
+    for name, title, ks in SECTIONS:
+        rows = load(name)
+        if not rows:
+            continue
+        for k in ks:
+            if not any(r["k"] == k for r in rows):
+                continue
+            out.write(f"\n### {title}, K = {k}\n\n")
+            out.write(table(rows, k))
+    digest = out.getvalue()
+
+    exp_path = os.path.join(os.path.dirname(__file__), "..", "EXPERIMENTS.md")
+    with open(exp_path) as f:
+        content = f.read()
+    marker = "\n## Measured results"
+    if marker in content:
+        content = content[: content.index(marker)]
+    with open(exp_path, "w") as f:
+        f.write(content + digest)
+    print(f"wrote digest ({len(digest)} bytes) into EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,181 @@
+//! `ixtune` — command-line front end for budget-aware index tuning.
+//!
+//! ```text
+//! ixtune stats <workload>
+//! ixtune candidates <workload> [--limit N]
+//! ixtune tune <workload> [--algo NAME] [--budget B] [--k K]
+//!                        [--seed S] [--storage-gb G]
+//! ixtune compress [--instances N]
+//! ```
+//!
+//! `<workload>` ∈ {tpch, tpcds, job, reald, realm}. Algorithms:
+//! `mcts` (default), `vanilla`, `two-phase`, `autoadmin`, `bandits`,
+//! `nodba`, `dta`.
+
+use ixtune::baselines::{DbaBandits, DtaTuner, NoDba};
+use ixtune::candidates::generate_default;
+use ixtune::core::prelude::*;
+use ixtune::optimizer::{CostModel, SimulatedOptimizer};
+use ixtune::workload::compress::compress;
+use ixtune::workload::gen::{tpch, BenchmarkKind};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         ixtune stats <workload>\n  \
+         ixtune candidates <workload> [--limit N]\n  \
+         ixtune tune <workload> [--algo mcts|vanilla|two-phase|autoadmin|bandits|nodba|dta]\n\
+         \x20                   [--budget B] [--k K] [--seed S] [--storage-gb G]\n  \
+         ixtune compress [--instances N]\n\n\
+         workloads: tpch tpcds job reald realm"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if let Some(value) = args.get(i + 1) {
+                flags.insert(name.to_string(), value.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn tuner_by_name(name: &str) -> Option<Box<dyn Tuner>> {
+    match name {
+        "mcts" => Some(Box::new(MctsTuner::default())),
+        "vanilla" => Some(Box::new(VanillaGreedy)),
+        "two-phase" | "twophase" => Some(Box::new(TwoPhaseGreedy)),
+        "autoadmin" => Some(Box::new(AutoAdminGreedy::default())),
+        "bandits" => Some(Box::new(DbaBandits::default())),
+        "nodba" => Some(Box::new(NoDba::default())),
+        "dta" => Some(Box::new(DtaTuner::default())),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+
+    match cmd.as_str() {
+        "stats" => {
+            let Some(kind) = args.get(1).and_then(|s| BenchmarkKind::parse(s)) else {
+                return usage();
+            };
+            let inst = kind.generate();
+            println!("{}", inst.stats());
+        }
+        "candidates" => {
+            let Some(kind) = args.get(1).and_then(|s| BenchmarkKind::parse(s)) else {
+                return usage();
+            };
+            let flags = parse_flags(&args[2..]);
+            let limit: usize = flags
+                .get("limit")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(40);
+            let inst = kind.generate();
+            let cands = generate_default(&inst);
+            println!(
+                "{} candidate indexes for {} ({} query-index pairs):",
+                cands.len(),
+                kind.name(),
+                cands.num_query_index_pairs()
+            );
+            for idx in cands.indexes.iter().take(limit) {
+                println!(
+                    "  {}  (~{} MB)",
+                    idx.describe(&inst.schema),
+                    idx.size_bytes(&inst.schema) / (1 << 20)
+                );
+            }
+            if cands.len() > limit {
+                println!("  … {} more (raise --limit)", cands.len() - limit);
+            }
+        }
+        "tune" => {
+            let Some(kind) = args.get(1).and_then(|s| BenchmarkKind::parse(s)) else {
+                return usage();
+            };
+            let flags = parse_flags(&args[2..]);
+            let algo = flags.get("algo").map(String::as_str).unwrap_or("mcts");
+            let Some(tuner) = tuner_by_name(algo) else {
+                eprintln!("unknown algorithm `{algo}`");
+                return usage();
+            };
+            let budget: usize = flags
+                .get("budget")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| kind.budget_grid()[kind.budget_grid().len() / 2]);
+            let k: usize = flags.get("k").and_then(|v| v.parse().ok()).unwrap_or(10);
+            let seed: u64 = flags.get("seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+
+            let inst = kind.generate();
+            let cands = generate_default(&inst);
+            let opt =
+                SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+            let ctx = TuningContext::new(&opt, &cands);
+            let constraints = match flags.get("storage-gb").and_then(|v| v.parse::<f64>().ok())
+            {
+                Some(gb) => Constraints::with_storage(k, (gb * (1u64 << 30) as f64) as u64),
+                None => Constraints::cardinality(k),
+            };
+
+            let start = std::time::Instant::now();
+            let result = tuner.tune(&ctx, &constraints, budget, seed);
+            println!(
+                "{} on {} (K={k}, B={budget}, seed={seed}): {:.1}% improvement, {} calls, {:.2?}",
+                result.algorithm,
+                kind.name(),
+                result.improvement_pct(),
+                result.calls_used,
+                start.elapsed()
+            );
+            for id in result.config.iter() {
+                let idx = opt.candidate(id);
+                println!(
+                    "  CREATE INDEX ... {}  (~{} MB)",
+                    idx.describe(opt.schema()),
+                    idx.size_bytes(opt.schema()) / (1 << 20)
+                );
+            }
+            println!(
+                "total index size ~{} MB; budget spent on {} configurations × {} queries",
+                opt.config_size_bytes(&result.config) / (1 << 20),
+                result.layout.distinct_configurations(),
+                result.layout.distinct_queries()
+            );
+        }
+        "compress" => {
+            let flags = parse_flags(&args[1..]);
+            let instances: usize = flags
+                .get("instances")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(5);
+            let multi = tpch::generate_multi(1.0, instances, 7);
+            let c = compress(&multi.workload);
+            println!(
+                "TPC-H multi-instance: {} instances → {} templates (ratio {:.1}x)",
+                c.original_len,
+                c.workload.len(),
+                c.ratio()
+            );
+            for (q, &size) in c.workload.queries.iter().zip(&c.cluster_sizes) {
+                println!("  {:<8} {} instances, weight {}", q.name, size, q.weight);
+            }
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

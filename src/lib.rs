@@ -1,0 +1,28 @@
+//! # ixtune — budget-aware index tuning with reinforcement learning
+//!
+//! A reproduction of *"Budget-aware Index Tuning with Reinforcement
+//! Learning"* (Wu et al., SIGMOD 2022). This facade crate re-exports the
+//! workspace crates under one roof:
+//!
+//! * [`workload`] — schema/query model, mini-SQL parser, and the five
+//!   benchmark workload generators (TPC-H, TPC-DS, JOB, Real-D, Real-M);
+//! * [`optimizer`] — the simulated query optimizer with its what-if API,
+//!   cache, and budget meter;
+//! * [`candidates`] — candidate index generation;
+//! * [`core`] — cost derivation, the budget-aware greedy variants, and the
+//!   MCTS tuner (the paper's contribution);
+//! * [`nn`] — the small MLP library behind the deep-RL baseline;
+//! * [`baselines`] — DBA bandits, No DBA (DQN), and the DTA-style tuner.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use ixtune_baselines as baselines;
+pub use ixtune_candidates as candidates;
+pub use ixtune_common as common;
+pub use ixtune_core as core;
+pub use ixtune_nn as nn;
+pub use ixtune_optimizer as optimizer;
+pub use ixtune_workload as workload;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
