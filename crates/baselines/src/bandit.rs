@@ -6,11 +6,11 @@
 //! configuration's cost and update the linear model.
 
 use crate::features::{featurize, DIM};
-use ixtune_core::budget::MeteredWhatIf;
-use ixtune_core::matrix::Layout;
-use ixtune_core::tuner::{Constraints, Tuner, TuningContext, TuningResult};
 use ixtune_common::rng::derive;
 use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_core::budget::MeteredWhatIf;
+use ixtune_core::matrix::Layout;
+use ixtune_core::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use rand::RngExt;
 
 /// Ridge-regularized linear bandit state: `A = λI + Σ x xᵀ`, `b = Σ r x`.
@@ -64,8 +64,9 @@ fn solve(mut a: [[f64; DIM]; DIM], mut b: [f64; DIM]) -> [f64; DIM] {
         }
         for row in col + 1..DIM {
             let f = a[row][col] / diag;
-            for k in col..DIM {
-                a[row][k] -= f * a[col][k];
+            let (head, tail) = a.split_at_mut(row);
+            for (x, &base) in tail[0][col..].iter_mut().zip(&head[col][col..]) {
+                *x -= f * base;
             }
             b[row] -= f * b[col];
         }
@@ -109,18 +110,24 @@ impl DbaBandits {
     pub fn tune_traced(
         &self,
         ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
+        req: &TuningRequest,
     ) -> (TuningResult, Vec<f64>) {
+        let constraints = &req.constraints;
         let n = ctx.universe();
         let m = ctx.num_queries();
-        let mut rng = derive(seed, "dba-bandits");
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+        let mut rng = derive(req.seed, "dba-bandits");
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let mut model = LinModel::new(self.ridge);
 
         let features: Vec<[f64; DIM]> = (0..n)
-            .map(|i| featurize(ctx.opt.schema(), ctx.opt.workload(), ctx.cands, IndexId::from(i)))
+            .map(|i| {
+                featurize(
+                    ctx.opt.schema(),
+                    ctx.opt.workload(),
+                    ctx.cands,
+                    IndexId::from(i),
+                )
+            })
             .collect();
 
         let mut best: Option<(IndexSet, f64)> = None;
@@ -187,20 +194,23 @@ impl DbaBandits {
             }
             let best_imp = best
                 .as_ref()
-                .map(|(_, c)| if base > 0.0 { (1.0 - c / base).max(0.0) } else { 0.0 })
+                .map(|(_, c)| {
+                    if base > 0.0 {
+                        (1.0 - c / base).max(0.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .unwrap_or(0.0);
             trace.push(best_imp);
         }
 
         let config = best.map(|(c, _)| c).unwrap_or_else(|| IndexSet::empty(n));
         let used = mw.meter().used();
-        let result = TuningResult::evaluate(
-            self.name(),
-            ctx,
-            config,
-            used,
-            Layout::new(mw.into_trace()),
-        );
+        let telemetry = mw.telemetry();
+        let result =
+            TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
+                .with_telemetry(telemetry);
         (result, trace)
     }
 }
@@ -210,14 +220,12 @@ impl Tuner for DbaBandits {
         "DBA Bandits".into()
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
-    ) -> TuningResult {
-        self.tune_traced(ctx, constraints, budget, seed).0
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        self.tune_traced(ctx, req).0
     }
 }
 
@@ -254,7 +262,8 @@ mod tests {
         let (opt, cands) = setup(1);
         let ctx = TuningContext::new(&opt, &cands);
         for budget in [0usize, 3, 40] {
-            let r = DbaBandits::default().tune(&ctx, &Constraints::cardinality(2), budget, 5);
+            let r = DbaBandits::default()
+                .tune(&ctx, &TuningRequest::cardinality(2, budget).with_seed(5));
             assert!(r.calls_used <= budget);
             assert!(r.config.len() <= 2);
         }
@@ -266,8 +275,8 @@ mod tests {
         let ctx = TuningContext::new(&opt, &cands);
         let m = ctx.num_queries();
         let budget = m * 3 + 1;
-        let (r, trace) =
-            DbaBandits::default().tune_traced(&ctx, &Constraints::cardinality(2), budget, 5);
+        let (r, trace) = DbaBandits::default()
+            .tune_traced(&ctx, &TuningRequest::cardinality(2, budget).with_seed(5));
         // Some rounds may hit cached entries (free), so the round count is
         // at least the budget-implied floor.
         assert!(trace.len() >= 3, "rounds {} budget {budget}", trace.len());
@@ -280,8 +289,8 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let (_, trace) =
-            DbaBandits::default().tune_traced(&ctx, &Constraints::cardinality(5), 500, 3);
+        let (_, trace) = DbaBandits::default()
+            .tune_traced(&ctx, &TuningRequest::cardinality(5, 500).with_seed(3));
         assert!(!trace.is_empty());
         assert!(trace.windows(2).all(|w| w[1] >= w[0] - 1e-12));
     }
@@ -292,7 +301,8 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let r = DbaBandits::default().tune(&ctx, &Constraints::cardinality(10), 1_000, 7);
+        let r =
+            DbaBandits::default().tune(&ctx, &TuningRequest::cardinality(10, 1_000).with_seed(7));
         assert!(r.improvement > 0.0, "got {}", r.improvement);
     }
 }

@@ -9,11 +9,11 @@
 //! to a replay buffer and the network trains on sampled minibatches with a
 //! periodically-synced target network.
 
-use ixtune_core::budget::MeteredWhatIf;
-use ixtune_core::matrix::Layout;
-use ixtune_core::tuner::{Constraints, Tuner, TuningContext, TuningResult};
 use ixtune_common::rng::derive;
 use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_core::budget::MeteredWhatIf;
+use ixtune_core::matrix::Layout;
+use ixtune_core::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_nn::{Adam, Mlp, Optimizer, ReplayBuffer};
 use rand::RngExt;
 
@@ -73,14 +73,13 @@ impl NoDba {
     pub fn tune_traced(
         &self,
         ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
+        req: &TuningRequest,
     ) -> (TuningResult, Vec<f64>) {
+        let constraints = &req.constraints;
         let n = ctx.universe();
         let m = ctx.num_queries();
-        let mut rng = derive(seed, "no-dba");
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+        let mut rng = derive(req.seed, "no-dba");
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let base = mw.empty_workload_cost();
 
         // The paper's architecture: three hidden layers of 96 relu units.
@@ -112,8 +111,7 @@ impl NoDba {
                 let filter = constraints.extension_filter(ctx, &config);
                 let admissible: Vec<usize> = (0..n)
                     .filter(|&i| {
-                        !config.contains(IndexId::from(i))
-                            && filter.admits(ctx, IndexId::from(i))
+                        !config.contains(IndexId::from(i)) && filter.admits(ctx, IndexId::from(i))
                     })
                     .collect();
                 if admissible.is_empty() {
@@ -201,7 +199,13 @@ impl NoDba {
             }
             let best_imp = best
                 .as_ref()
-                .map(|(_, c)| if base > 0.0 { (1.0 - c / base).max(0.0) } else { 0.0 })
+                .map(|(_, c)| {
+                    if base > 0.0 {
+                        (1.0 - c / base).max(0.0)
+                    } else {
+                        0.0
+                    }
+                })
                 .unwrap_or(0.0);
             trace.push(best_imp);
             round += 1;
@@ -209,13 +213,10 @@ impl NoDba {
 
         let config = best.map(|(c, _)| c).unwrap_or_else(|| IndexSet::empty(n));
         let used = mw.meter().used();
-        let result = TuningResult::evaluate(
-            self.name(),
-            ctx,
-            config,
-            used,
-            Layout::new(mw.into_trace()),
-        );
+        let telemetry = mw.telemetry();
+        let result =
+            TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
+                .with_telemetry(telemetry);
         (result, trace)
     }
 }
@@ -225,14 +226,12 @@ impl Tuner for NoDba {
         "No DBA".into()
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
-    ) -> TuningResult {
-        self.tune_traced(ctx, constraints, budget, seed).0
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        self.tune_traced(ctx, req).0
     }
 }
 
@@ -262,7 +261,7 @@ mod tests {
         let (opt, cands) = setup(1);
         let ctx = TuningContext::new(&opt, &cands);
         for budget in [0usize, 5, 60] {
-            let r = small().tune(&ctx, &Constraints::cardinality(2), budget, 3);
+            let r = small().tune(&ctx, &TuningRequest::cardinality(2, budget).with_seed(3));
             assert!(r.calls_used <= budget);
             assert!(r.config.len() <= 2);
         }
@@ -272,9 +271,9 @@ mod tests {
     fn deterministic_given_seed() {
         let (opt, cands) = setup(2);
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(2);
-        let a = small().tune(&ctx, &c, 40, 11);
-        let b = small().tune(&ctx, &c, 40, 11);
+        let req = TuningRequest::cardinality(2, 40).with_seed(11);
+        let a = small().tune(&ctx, &req);
+        let b = small().tune(&ctx, &req);
         assert_eq!(a.config, b.config);
     }
 
@@ -283,7 +282,8 @@ mod tests {
         let (opt, cands) = setup(3);
         let ctx = TuningContext::new(&opt, &cands);
         let m = ctx.num_queries();
-        let (_, trace) = small().tune_traced(&ctx, &Constraints::cardinality(2), m * 5, 4);
+        let (_, trace) =
+            small().tune_traced(&ctx, &TuningRequest::cardinality(2, m * 5).with_seed(4));
         assert!(trace.len() >= 4);
         assert!(trace.windows(2).all(|w| w[1] >= w[0] - 1e-12));
     }
@@ -294,7 +294,7 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let r = small().tune(&ctx, &Constraints::cardinality(5), 1_000, 6);
+        let r = small().tune(&ctx, &TuningRequest::cardinality(5, 1_000).with_seed(6));
         // Even random exploration should find *some* improving config on
         // TPC-H across ~45 rounds.
         assert!(r.improvement >= 0.0);

@@ -11,18 +11,18 @@
 //! tuning of the batch, global greedy refinement over winners so far, FCFS
 //! budget — on top of the same what-if client as every other tuner. A
 //! storage constraint (3× database size by default in the experiments)
-//! is honored through [`Constraints`].
+//! is honored through [`Constraints`](ixtune_core::tuner::Constraints).
 //!
 //! Simplifications versus the real tool: index merging and "table subset"
 //! selection are approximated by restricting each slice to candidates on
 //! tables its batch references; anytime checkpoint tuning of the
 //! recommendation quality is the per-slice refresh.
 
+use ixtune_common::{IndexId, IndexSet, QueryId};
 use ixtune_core::budget::MeteredWhatIf;
 use ixtune_core::greedy::greedy_enumerate;
 use ixtune_core::matrix::Layout;
-use ixtune_core::tuner::{Constraints, Tuner, TuningContext, TuningResult};
-use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_core::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 
 /// The DTA-style baseline.
 #[derive(Clone, Copy, Debug)]
@@ -58,15 +58,10 @@ impl Tuner for DtaTuner {
         "DTA".into()
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        _seed: u64,
-    ) -> TuningResult {
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        let constraints = &req.constraints;
         let m = ctx.num_queries();
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
 
         // Cost-based priority queue: most expensive queries first.
         let mut order: Vec<QueryId> = (0..m).map(QueryId::from).collect();
@@ -101,6 +96,7 @@ impl Tuner for DtaTuner {
         }
 
         let used = mw.meter().used();
+        let telemetry = mw.telemetry();
         TuningResult::evaluate(
             self.name(),
             ctx,
@@ -108,6 +104,7 @@ impl Tuner for DtaTuner {
             used,
             Layout::new(mw.into_trace()),
         )
+        .with_telemetry(telemetry)
     }
 }
 
@@ -115,6 +112,7 @@ impl Tuner for DtaTuner {
 mod tests {
     use super::*;
     use ixtune_candidates::{generate_default, CandidateSet};
+    use ixtune_core::tuner::Constraints;
     use ixtune_optimizer::{CostModel, SimulatedOptimizer};
     use ixtune_workload::gen::{synth, tpch};
 
@@ -130,7 +128,7 @@ mod tests {
         let (opt, cands) = setup(1);
         let ctx = TuningContext::new(&opt, &cands);
         for budget in [0usize, 10, 200] {
-            let r = DtaTuner::default().tune(&ctx, &Constraints::cardinality(3), budget, 0);
+            let r = DtaTuner::default().tune(&ctx, &TuningRequest::cardinality(3, budget));
             assert!(r.calls_used <= budget);
             assert!(r.config.len() <= 3);
         }
@@ -143,8 +141,8 @@ mod tests {
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
         let limit = 3 * opt.schema().database_size_bytes();
-        let c = Constraints::with_storage(10, limit);
-        let r = DtaTuner::default().tune(&ctx, &c, 2_000, 0);
+        let req = TuningRequest::new(Constraints::with_storage(10, limit), 2_000);
+        let r = DtaTuner::default().tune(&ctx, &req);
         assert!(opt.config_size_bytes(&r.config) <= limit);
     }
 
@@ -154,7 +152,7 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let r = DtaTuner::default().tune(&ctx, &Constraints::cardinality(10), 20_000, 0);
+        let r = DtaTuner::default().tune(&ctx, &TuningRequest::cardinality(10, 20_000));
         assert!(r.improvement > 0.1, "got {}", r.improvement);
     }
 
@@ -165,7 +163,7 @@ mod tests {
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
         // Tiny budget: only the first slice runs.
-        let r = DtaTuner::default().tune(&ctx, &Constraints::cardinality(5), 15, 0);
+        let r = DtaTuner::default().tune(&ctx, &TuningRequest::cardinality(5, 15));
         let mw = MeteredWhatIf::new(&opt, 0);
         let max_cost = (0..ctx.num_queries())
             .map(|q| mw.empty_cost(QueryId::from(q)))

@@ -43,10 +43,7 @@ pub fn featurize(
         .count() as f64;
     let q_frac = num_queries / workload.len().max(1) as f64;
 
-    let width: u32 = idx
-        .all_columns()
-        .map(|c| table.col(c).ty.width())
-        .sum();
+    let width: u32 = idx.all_columns().map(|c| table.col(c).ty.width()).sum();
     let width_ratio = width as f64 / table.row_width() as f64;
 
     let lead_is_joinish = idx
@@ -117,9 +114,9 @@ mod tests {
     fn join_hint_flags_join_indexes() {
         let inst = tpch::generate(1.0);
         let cands = generate_default(&inst);
-        let any_join = (0..cands.len()).map(IndexId::from).any(|id| {
-            featurize(&inst.schema, &inst.workload, &cands, id)[7] == 1.0
-        });
+        let any_join = (0..cands.len())
+            .map(IndexId::from)
+            .any(|id| featurize(&inst.schema, &inst.workload, &cands, id)[7] == 1.0);
         assert!(any_join, "TPC-H must have join-keyed candidates");
     }
 }

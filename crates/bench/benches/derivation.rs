@@ -19,10 +19,7 @@ fn primed_client(session: &Session, entries: usize) -> MeteredWhatIf<'_> {
     while !mw.meter().exhausted() {
         let q = QueryId::from(rng.random_range(0..m));
         let size = rng.random_range(1..4usize);
-        let cfg = IndexSet::from_ids(
-            n,
-            (0..size).map(|_| IndexId::from(rng.random_range(0..n))),
-        );
+        let cfg = IndexSet::from_ids(n, (0..size).map(|_| IndexId::from(rng.random_range(0..n))));
         mw.what_if(q, &cfg);
     }
     mw
@@ -48,12 +45,7 @@ fn bench_derivation(c: &mut Criterion) {
         group.bench_function(format!("derived-with-extra-{entries}-entries"), |b| {
             let base = cache.derived(QueryId::new(0), &probe);
             b.iter(|| {
-                black_box(cache.derived_with_extra(
-                    QueryId::new(0),
-                    &probe,
-                    IndexId::new(21),
-                    base,
-                ))
+                black_box(cache.derived_with_extra(QueryId::new(0), &probe, IndexId::new(21), base))
             })
         });
     }

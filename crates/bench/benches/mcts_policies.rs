@@ -14,11 +14,15 @@ fn bench_policies(c: &mut Criterion) {
 
     let session = Session::build(BenchmarkKind::TpcDs);
     let ctx = session.ctx();
-    let cons = Constraints::cardinality(10);
-    let budget = 1_000;
+    let req = TuningRequest::cardinality(10, 1_000).with_seed(1);
 
     let variants = [
-        ("uct-bce-random", SelectionPolicy::uct(), RolloutPolicy::RandomStep, Extraction::Bce),
+        (
+            "uct-bce-random",
+            SelectionPolicy::uct(),
+            RolloutPolicy::RandomStep,
+            Extraction::Bce,
+        ),
         (
             "uct-bg-fixed0",
             SelectionPolicy::uct(),
@@ -39,15 +43,11 @@ fn bench_policies(c: &mut Criterion) {
         ),
     ];
     for (name, selection, rollout, extraction) in variants {
-        let tuner = MctsTuner {
-            selection,
-            rollout,
-            extraction,
-            ..MctsTuner::default()
-        };
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(tuner.tune(&ctx, &cons, budget, 1)))
-        });
+        let tuner = MctsTuner::default()
+            .with_selection(selection)
+            .with_rollout(rollout)
+            .with_extraction(extraction);
+        group.bench_function(name, |b| b.iter(|| black_box(tuner.tune(&ctx, &req))));
     }
     group.finish();
 }

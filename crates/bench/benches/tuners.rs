@@ -14,8 +14,7 @@ fn bench_tuners(c: &mut Criterion) {
 
     let session = Session::build(BenchmarkKind::TpcH);
     let ctx = session.ctx();
-    let cons = Constraints::cardinality(10);
-    let budget = 200;
+    let req = TuningRequest::cardinality(10, 200).with_seed(1);
 
     let tuners: Vec<Box<dyn Tuner>> = vec![
         Box::new(VanillaGreedy),
@@ -28,7 +27,7 @@ fn bench_tuners(c: &mut Criterion) {
     ];
     for tuner in &tuners {
         group.bench_function(tuner.name(), |b| {
-            b.iter(|| black_box(tuner.tune(&ctx, &cons, budget, 1)))
+            b.iter(|| black_box(tuner.tune(&ctx, &req)))
         });
     }
     group.finish();

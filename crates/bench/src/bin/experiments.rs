@@ -2,10 +2,12 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [--out DIR] [--seeds N] <id>...
+//! experiments [--quick] [--out DIR] [--seeds N] [--jobs N] <id>...
 //! experiments all
 //! experiments list
 //! ```
+//! `--jobs N` sets the number of sweep worker threads (default: all
+//! cores; `--jobs 1` runs serially — results are identical either way).
 //! Experiment ids: `table1 fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23`.
 
@@ -130,6 +132,10 @@ fn main() {
                 i += 1;
                 let n: usize = args.get(i).expect("--seeds N").parse().expect("numeric");
                 cfg.seeds = (1..=n as u64).collect();
+            }
+            "--jobs" => {
+                i += 1;
+                cfg.jobs = args.get(i).expect("--jobs N").parse().expect("numeric")
             }
             "list" => {
                 println!("available experiments: {}", ALL.join(" "));

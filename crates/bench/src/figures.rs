@@ -21,6 +21,8 @@ pub struct ExpConfig {
     pub seeds: Vec<u64>,
     /// Cardinality constraints swept (the paper uses {5, 10, 20}).
     pub ks: Vec<usize>,
+    /// Worker threads for grid sweeps (1 = serial).
+    pub jobs: usize,
 }
 
 impl ExpConfig {
@@ -29,6 +31,9 @@ impl ExpConfig {
             out_dir: out_dir.into(),
             seeds: vec![1, 2, 3, 4, 5],
             ks: vec![5, 10, 20],
+            jobs: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
@@ -42,18 +47,18 @@ impl ExpConfig {
 
 fn greedy_algos() -> Vec<Algo> {
     vec![
-        Algo::new(VanillaGreedy, false),
-        Algo::new(TwoPhaseGreedy, false),
-        Algo::new(AutoAdminGreedy::default(), false),
-        Algo::new(MctsTuner::default(), true),
+        Algo::new(VanillaGreedy),
+        Algo::new(TwoPhaseGreedy),
+        Algo::new(AutoAdminGreedy::default()),
+        Algo::new(MctsTuner::default()),
     ]
 }
 
 fn rl_algos() -> Vec<Algo> {
     vec![
-        Algo::new(DbaBandits::default(), true),
-        Algo::new(NoDba::default(), true),
-        Algo::new(MctsTuner::default(), true),
+        Algo::new(DbaBandits::default()),
+        Algo::new(NoDba::default()),
+        Algo::new(MctsTuner::default()),
     ]
 }
 
@@ -63,13 +68,21 @@ fn sweep(
     cfg: &ExpConfig,
     name: &str,
     title: &str,
-    constraints: impl Fn(usize) -> Constraints,
+    constraints: impl Fn(usize) -> Constraints + Sync,
 ) -> String {
     let budgets = session.kind.budget_grid();
     let mut out = String::new();
     let mut all_cells: Vec<Cell> = Vec::new();
     for &k in &cfg.ks {
-        let cells = run_grid(session, &algos, &[k], budgets, &cfg.seeds, &constraints);
+        let cells = run_grid(
+            session,
+            &algos,
+            &[k],
+            budgets,
+            &cfg.seeds,
+            cfg.jobs,
+            &constraints,
+        );
         let _ = writeln!(
             out,
             "{}",
@@ -124,7 +137,7 @@ pub fn fig2(cfg: &ExpConfig) -> String {
     );
     let mut rows = Vec::new();
     for &budget in BenchmarkKind::TpcDs.budget_grid() {
-        let r = TwoPhaseGreedy.tune(&ctx, &Constraints::cardinality(20), budget, 0);
+        let r = TwoPhaseGreedy.tune(&ctx, &TuningRequest::cardinality(20, budget));
         let mut clock = TuningClock::new(&model);
         for (q, _) in r.layout.cells() {
             clock.record_call(&model, session.opt.query(*q));
@@ -188,18 +201,24 @@ pub fn rl_comparison(kind: BenchmarkKind, fig: &str, cfg: &ExpConfig) -> String 
 
 /// Figures 14/21: per-round convergence of DBA bandits and No DBA, with the
 /// MCTS average as a reference line.
-pub fn convergence(kind: BenchmarkKind, k: usize, budget: usize, fig: &str, cfg: &ExpConfig) -> String {
+pub fn convergence(
+    kind: BenchmarkKind,
+    k: usize,
+    budget: usize,
+    fig: &str,
+    cfg: &ExpConfig,
+) -> String {
     let session = Session::build(kind);
     let ctx = session.ctx();
-    let cons = Constraints::cardinality(k);
     let seed = cfg.seeds.first().copied().unwrap_or(1);
+    let req = TuningRequest::cardinality(k, budget).with_seed(seed);
 
-    let (_, bandit_trace) = DbaBandits::default().tune_traced(&ctx, &cons, budget, seed);
-    let (_, dqn_trace) = NoDba::default().tune_traced(&ctx, &cons, budget, seed);
+    let (_, bandit_trace) = DbaBandits::default().tune_traced(&ctx, &req);
+    let (_, dqn_trace) = NoDba::default().tune_traced(&ctx, &req);
     let mcts_runs: Vec<_> = cfg
         .seeds
         .iter()
-        .map(|&s| MctsTuner::default().tune(&ctx, &cons, budget, s))
+        .map(|&s| MctsTuner::default().tune(&ctx, &req.with_seed(s)))
         .collect();
     let mcts_mean =
         mcts_runs.iter().map(|r| r.improvement_pct()).sum::<f64>() / mcts_runs.len() as f64;
@@ -239,8 +258,8 @@ pub fn dta_comparison(kind: BenchmarkKind, with_sc: bool, fig: &str, cfg: &ExpCo
     let session = Session::build(kind);
     let limit = session.storage_limit_3x();
     let algos = vec![
-        Algo::new(DtaTuner::default(), false),
-        Algo::new(MctsTuner::default(), true),
+        Algo::new(DtaTuner::default()),
+        Algo::new(MctsTuner::default()),
     ];
     let sc_label = if with_sc { "with SC" } else { "without SC" };
     sweep(
@@ -263,33 +282,30 @@ pub fn dta_comparison(kind: BenchmarkKind, with_sc: bool, fig: &str, cfg: &ExpCo
 /// Best-Greedy} under a fixed (Fig 22) or randomized (Fig 23) rollout step.
 pub fn ablation(kind: BenchmarkKind, rollout: RolloutPolicy, fig: &str, cfg: &ExpConfig) -> String {
     let session = Session::build(kind);
-    let variant = |selection, extraction| MctsTuner {
-        selection,
-        rollout,
-        extraction,
-        ..MctsTuner::default()
+    let variant = |selection, extraction| {
+        MctsTuner::default()
+            .with_selection(selection)
+            .with_rollout(rollout)
+            .with_extraction(extraction)
     };
     let algos = vec![
-        Algo::new(variant(SelectionPolicy::uct(), Extraction::Bce), true),
-        Algo::new(variant(SelectionPolicy::uct(), Extraction::BestGreedy), true),
-        Algo::new(
-            variant(SelectionPolicy::EpsilonGreedyPrior, Extraction::Bce),
-            true,
-        ),
-        Algo::new(
-            variant(SelectionPolicy::EpsilonGreedyPrior, Extraction::BestGreedy),
-            true,
-        ),
+        Algo::new(variant(SelectionPolicy::uct(), Extraction::Bce)),
+        Algo::new(variant(SelectionPolicy::uct(), Extraction::BestGreedy)),
+        Algo::new(variant(
+            SelectionPolicy::EpsilonGreedyPrior,
+            Extraction::Bce,
+        )),
+        Algo::new(variant(
+            SelectionPolicy::EpsilonGreedyPrior,
+            Extraction::BestGreedy,
+        )),
     ];
     sweep(
         &session,
         algos,
         cfg,
         fig,
-        &format!(
-            "Figure {fig} — MCTS ablation ({} rollout)",
-            rollout.label()
-        ),
+        &format!("Figure {fig} — MCTS ablation ({} rollout)", rollout.label()),
         Constraints::cardinality,
     )
 }
@@ -321,42 +337,14 @@ pub fn robustness(kind: BenchmarkKind, eps: f64, cfg: &ExpConfig) -> String {
 pub fn extensions(kind: BenchmarkKind, cfg: &ExpConfig) -> String {
     let session = Session::build(kind);
     let algos = vec![
-        Algo::new(MctsTuner::default(), true),
+        Algo::new(MctsTuner::default()),
+        Algo::new(MctsTuner::default().with_update(UpdatePolicy::Rave { k: 50.0 })),
+        Algo::new(MctsTuner::default().with_selection(SelectionPolicy::Boltzmann { tau: 0.1 })),
         Algo::new(
-            MctsTuner {
-                update: UpdatePolicy::Rave { k: 50.0 },
-                ..MctsTuner::default()
-            },
-            true,
+            MctsTuner::default().with_selection(SelectionPolicy::ClassicEpsilon { epsilon: 0.1 }),
         ),
-        Algo::new(
-            MctsTuner {
-                selection: SelectionPolicy::Boltzmann { tau: 0.1 },
-                ..MctsTuner::default()
-            },
-            true,
-        ),
-        Algo::new(
-            MctsTuner {
-                selection: SelectionPolicy::ClassicEpsilon { epsilon: 0.1 },
-                ..MctsTuner::default()
-            },
-            true,
-        ),
-        Algo::new(
-            MctsTuner {
-                extraction: Extraction::TreeByValue,
-                ..MctsTuner::default()
-            },
-            true,
-        ),
-        Algo::new(
-            MctsTuner {
-                extraction: Extraction::TreeByVisits,
-                ..MctsTuner::default()
-            },
-            true,
-        ),
+        Algo::new(MctsTuner::default().with_extraction(Extraction::TreeByValue)),
+        Algo::new(MctsTuner::default().with_extraction(Extraction::TreeByVisits)),
     ];
     sweep(
         &session,
@@ -377,6 +365,7 @@ mod tests {
             out_dir: std::env::temp_dir().join("ixtune-fig-test"),
             seeds: vec![1],
             ks: vec![5],
+            jobs: 2,
         }
     }
 

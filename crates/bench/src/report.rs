@@ -68,12 +68,54 @@ pub fn to_csv(cells: &[Cell]) -> String {
     out
 }
 
-/// Write CSV and JSON sidecars for an experiment into `dir`.
+/// Per-cell telemetry sidecar: one JSON object per cell with the cell's
+/// coordinates and its summed session counters.
+pub fn to_telemetry_json(cells: &[Cell]) -> String {
+    #[derive(serde::Serialize)]
+    struct Row {
+        algorithm: String,
+        k: usize,
+        budget: usize,
+        seeds: usize,
+        what_if_calls: usize,
+        cache_hits: usize,
+        derivations: usize,
+        priors_calls: usize,
+        selection_calls: usize,
+        rollout_calls: usize,
+        other_calls: usize,
+        wall_clock_ms: f64,
+    }
+    let rows: Vec<Row> = cells
+        .iter()
+        .map(|c| Row {
+            algorithm: c.algorithm.clone(),
+            k: c.k,
+            budget: c.budget,
+            seeds: c.seeds,
+            what_if_calls: c.telemetry.what_if_calls,
+            cache_hits: c.telemetry.cache_hits,
+            derivations: c.telemetry.derivations,
+            priors_calls: c.telemetry.priors_calls,
+            selection_calls: c.telemetry.selection_calls,
+            rollout_calls: c.telemetry.rollout_calls,
+            other_calls: c.telemetry.other_calls,
+            wall_clock_ms: c.telemetry.wall_clock_ms,
+        })
+        .collect();
+    serde_json::to_string_pretty(&rows).expect("telemetry rows serialize")
+}
+
+/// Write CSV, JSON, and telemetry sidecars for an experiment into `dir`.
 pub fn write_results(dir: &Path, name: &str, cells: &[Cell]) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     fs::write(dir.join(format!("{name}.csv")), to_csv(cells))?;
     let json = serde_json::to_string_pretty(cells).expect("cells serialize");
     fs::write(dir.join(format!("{name}.json")), json)?;
+    fs::write(
+        dir.join(format!("{name}.telemetry.json")),
+        to_telemetry_json(cells),
+    )?;
     Ok(())
 }
 
@@ -108,6 +150,8 @@ pub fn render_series(title: &str, xlabel: &str, columns: &[(&str, &[f64])]) -> S
 mod tests {
     use super::*;
 
+    use crate::runner::CellTelemetry;
+
     fn cells() -> Vec<Cell> {
         vec![
             Cell {
@@ -118,6 +162,14 @@ mod tests {
                 std_pct: 1.0,
                 seeds: 5,
                 calls_used: 100,
+                telemetry: CellTelemetry {
+                    what_if_calls: 100,
+                    cache_hits: 40,
+                    derivations: 25,
+                    other_calls: 100,
+                    wall_clock_ms: 12.5,
+                    ..CellTelemetry::default()
+                },
             },
             Cell {
                 algorithm: "B".into(),
@@ -127,6 +179,7 @@ mod tests {
                 std_pct: 0.0,
                 seeds: 1,
                 calls_used: 90,
+                telemetry: CellTelemetry::default(),
             },
         ]
     }
@@ -166,7 +219,32 @@ mod tests {
         write_results(&dir, "t", &cells()).unwrap();
         assert!(dir.join("t.csv").exists());
         assert!(dir.join("t.json").exists());
+        assert!(dir.join("t.telemetry.json").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_json_has_counters_for_every_cell() {
+        let json = to_telemetry_json(&cells());
+        for key in [
+            "algorithm",
+            "k",
+            "budget",
+            "what_if_calls",
+            "cache_hits",
+            "derivations",
+            "priors_calls",
+            "selection_calls",
+            "rollout_calls",
+            "other_calls",
+            "wall_clock_ms",
+        ] {
+            // One occurrence per cell.
+            assert_eq!(json.matches(&format!("\"{key}\"")).count(), 2, "{key}");
+        }
+        assert!(json.contains("\"what_if_calls\": 100"));
+        assert!(json.contains("\"cache_hits\": 40"));
+        assert!(json.contains("\"wall_clock_ms\": 12.5"));
     }
 
     #[test]

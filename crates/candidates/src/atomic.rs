@@ -95,12 +95,7 @@ mod tests {
                 .build(),
         )
         .unwrap();
-        let q = parse_query(
-            &s,
-            "q",
-            "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 7",
-        )
-        .unwrap();
+        let q = parse_query(&s, "q", "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 7").unwrap();
         BenchmarkInstance::new(s, Workload::new("w", vec![q]))
     }
 
@@ -109,7 +104,10 @@ mod tests {
         let sets = singletons(5);
         assert_eq!(sets.len(), 5);
         assert!(sets.iter().all(|s| s.len() == 1));
-        assert!(sets.iter().enumerate().all(|(i, s)| s.contains(IndexId::from(i))));
+        assert!(sets
+            .iter()
+            .enumerate()
+            .all(|(i, s)| s.contains(IndexId::from(i))));
     }
 
     #[test]
@@ -120,10 +118,7 @@ mod tests {
         assert!(!pairs.is_empty(), "expected r.b/s.c atomic pairs");
         for p in &pairs {
             assert_eq!(p.len(), 2);
-            let tables: Vec<_> = p
-                .iter()
-                .map(|id| cands.indexes[id.index()].table)
-                .collect();
+            let tables: Vec<_> = p.iter().map(|id| cands.indexes[id.index()].table).collect();
             assert_ne!(tables[0], tables[1]);
         }
     }

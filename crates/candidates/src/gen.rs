@@ -69,9 +69,7 @@ impl CandidateSet {
     /// large tables", §6.1).
     pub fn by_table_size(&self, schema: &Schema, ids: &[IndexId]) -> Vec<IndexId> {
         let mut v: Vec<IndexId> = ids.to_vec();
-        v.sort_by_key(|id| {
-            std::cmp::Reverse(schema.table(self.indexes[id.index()].table).rows)
-        });
+        v.sort_by_key(|id| std::cmp::Reverse(schema.table(self.indexes[id.index()].table).rows));
         v
     }
 }
@@ -117,7 +115,11 @@ fn per_query_candidates(q: &Query, opts: &GenOptions) -> Vec<IndexDef> {
         }
         if !filter_keys.is_empty() {
             push(IndexDef::new(table, filter_keys.clone(), vec![]));
-            push(IndexDef::new(table, filter_keys.clone(), include_for(&filter_keys)));
+            push(IndexDef::new(
+                table,
+                filter_keys.clone(),
+                include_for(&filter_keys),
+            ));
         }
 
         // Per-column filter variants: each of the two most selective

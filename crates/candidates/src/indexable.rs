@@ -225,11 +225,7 @@ mod tests {
             .unwrap();
         let mut b = QueryBuilder::new("q");
         let rs = b.scan(r);
-        b.filter(
-            QCol::new(rs, ColumnId::new(1)),
-            FilterKind::Residual,
-            0.5,
-        );
+        b.filter(QCol::new(rs, ColumnId::new(1)), FilterKind::Residual, 0.5);
         let q = b.build();
         let cols = extract(&q, ScanSlot(0));
         assert!(cols.equality.is_empty() && cols.range.is_empty());

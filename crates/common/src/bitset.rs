@@ -148,12 +148,13 @@ impl IndexSet {
 
     /// Iterate over member ids in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = IndexId> + '_ {
-        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
-            BlockIter {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, &block)| BlockIter {
                 block,
                 base: bi * BITS,
-            }
-        })
+            })
     }
 
     /// Iterate over the complement (ids in the universe but not in the set) —

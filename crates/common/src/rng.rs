@@ -7,7 +7,7 @@
 //! reports mean ± std; we do the same).
 
 use rand::rngs::StdRng;
-use rand::{RngExt as _, SeedableRng};
+use rand::SeedableRng;
 
 /// Construct the standard generator from a seed.
 pub fn seeded(seed: u64) -> StdRng {

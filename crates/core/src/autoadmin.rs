@@ -6,7 +6,7 @@
 use crate::budget::MeteredWhatIf;
 use crate::greedy::greedy_enumerate;
 use crate::matrix::Layout;
-use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+use crate::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use crate::twophase::TwoPhaseGreedy;
 use ixtune_candidates::atomic::single_join_pairs;
 use ixtune_common::{IndexSet, QueryId};
@@ -32,14 +32,9 @@ impl Tuner for AutoAdminGreedy {
         "AutoAdmin Greedy".into()
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        _seed: u64,
-    ) -> TuningResult {
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        let constraints = &req.constraints;
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let atomic_pairs: HashSet<IndexSet> =
             single_join_pairs(ctx.opt.workload(), ctx.cands, self.max_join_pairs)
                 .into_iter()
@@ -57,9 +52,8 @@ impl Tuner for AutoAdminGreedy {
         };
 
         // Phase 1 (per query) restricted to atomic what-if calls.
-        let union = TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, |mw, q, c| {
-            cost_atomic(mw, q, c)
-        });
+        let union =
+            TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, |mw, q, c| cost_atomic(mw, q, c));
 
         // Phase 2 over the union, still atomic-restricted.
         let m = ctx.num_queries();
@@ -69,7 +63,9 @@ impl Tuner for AutoAdminGreedy {
                 .sum()
         });
         let used = mw.meter().used();
+        let telemetry = mw.telemetry();
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
+            .with_telemetry(telemetry)
     }
 }
 
@@ -93,7 +89,7 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let r = AutoAdminGreedy::default().tune(&ctx, &Constraints::cardinality(10), 500, 0);
+        let r = AutoAdminGreedy::default().tune(&ctx, &TuningRequest::cardinality(10, 500));
         let sizes = r.layout.calls_by_config_size();
         // All budgeted calls are for configurations of size ≤ 2 (singletons
         // and join pairs).
@@ -108,7 +104,7 @@ mod tests {
         let (opt, cands) = setup(21);
         let ctx = TuningContext::new(&opt, &cands);
         for (budget, k) in [(0usize, 2usize), (9, 2), (200, 4)] {
-            let r = AutoAdminGreedy::default().tune(&ctx, &Constraints::cardinality(k), budget, 0);
+            let r = AutoAdminGreedy::default().tune(&ctx, &TuningRequest::cardinality(k, budget));
             assert!(r.calls_used <= budget);
             assert!(r.config.len() <= k);
         }
@@ -120,7 +116,7 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let r = AutoAdminGreedy::default().tune(&ctx, &Constraints::cardinality(10), 10_000, 0);
+        let r = AutoAdminGreedy::default().tune(&ctx, &TuningRequest::cardinality(10, 10_000));
         assert!(r.improvement > 0.0, "TPC-H should be improvable");
     }
 }

@@ -11,6 +11,49 @@
 use crate::derived::WhatIfCache;
 use ixtune_common::{IndexSet, QueryId};
 use ixtune_optimizer::WhatIfOptimizer;
+use serde::{Deserialize, Serialize};
+
+/// Which part of a tuning session a budgeted what-if call is attributed to.
+/// MCTS sets this around its phases (Algorithm 3/4); other tuners leave it
+/// at [`Phase::Other`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Phase {
+    /// Singleton-prior bootstrap (Algorithm 4).
+    Priors,
+    /// Episode evaluation of a configuration reached by tree selection.
+    Selection,
+    /// Episode evaluation of a configuration completed by a rollout.
+    Rollout,
+    /// Anything else (greedy enumeration, baselines, extraction).
+    #[default]
+    Other,
+}
+
+/// Per-session instrumentation: how the what-if client answered cost
+/// questions, and where the budget went. Collected by [`MeteredWhatIf`]
+/// and surfaced on [`TuningResult`](crate::tuner::TuningResult); the
+/// experiment runner adds the wall-clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionTelemetry {
+    /// Budget-consuming optimizer invocations.
+    pub what_if_calls: usize,
+    /// What-if requests answered from the cache (free).
+    pub cache_hits: usize,
+    /// Cost evaluations answered by Eq. 1 derivation instead of a stored
+    /// what-if result (includes FCFS fallbacks after budget exhaustion).
+    pub derivations: usize,
+    /// Budgeted calls spent in the priors phase ([`Phase::Priors`]).
+    pub priors_calls: usize,
+    /// Budgeted calls spent evaluating selection-terminal configurations.
+    pub selection_calls: usize,
+    /// Budgeted calls spent evaluating rollout-completed configurations.
+    pub rollout_calls: usize,
+    /// Budgeted calls outside any labelled phase.
+    pub other_calls: usize,
+    /// Wall-clock of the tuning session in milliseconds (stamped by the
+    /// experiment runner; 0 when run outside the runner).
+    pub wall_clock_ms: f64,
+}
 
 /// Exact what-if call accounting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,7 +95,8 @@ impl BudgetMeter {
     }
 }
 
-/// The tuner-side what-if client: optimizer + cache + meter + call trace.
+/// The tuner-side what-if client: optimizer + cache + meter + call trace,
+/// instrumented with per-session [`SessionTelemetry`].
 pub struct MeteredWhatIf<'a> {
     opt: &'a dyn WhatIfOptimizer,
     cache: WhatIfCache,
@@ -60,6 +104,11 @@ pub struct MeteredWhatIf<'a> {
     /// Chronological record of budget-consuming calls — the layout of the
     /// budget allocation matrix (§3.2).
     trace: Vec<(QueryId, IndexSet)>,
+    /// Attribution for subsequent budgeted calls.
+    phase: Phase,
+    /// Calls issued vs served from cache, and the per-phase budget split.
+    /// Derivation counts live in the cache (they happen behind `&self`).
+    counters: SessionTelemetry,
 }
 
 impl<'a> MeteredWhatIf<'a> {
@@ -77,6 +126,23 @@ impl<'a> MeteredWhatIf<'a> {
             cache: WhatIfCache::new(universe, empty_costs),
             meter: BudgetMeter::new(budget),
             trace: Vec::new(),
+            phase: Phase::Other,
+            counters: SessionTelemetry::default(),
+        }
+    }
+
+    /// Attribute subsequent budgeted calls to `phase`. Returns the
+    /// previous phase so callers can restore it.
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Snapshot of the session's telemetry so far (derivation counts come
+    /// from the cache).
+    pub fn telemetry(&self) -> SessionTelemetry {
+        SessionTelemetry {
+            derivations: self.cache.derivations(),
+            ..self.counters
         }
     }
 
@@ -113,10 +179,18 @@ impl<'a> MeteredWhatIf<'a> {
     /// * Miss without budget → `None`.
     pub fn what_if(&mut self, q: QueryId, config: &IndexSet) -> Option<f64> {
         if let Some(c) = self.cache.get(q, config) {
+            self.counters.cache_hits += 1;
             return Some(c);
         }
         if !self.meter.try_consume() {
             return None;
+        }
+        self.counters.what_if_calls += 1;
+        match self.phase {
+            Phase::Priors => self.counters.priors_calls += 1,
+            Phase::Selection => self.counters.selection_calls += 1,
+            Phase::Rollout => self.counters.rollout_calls += 1,
+            Phase::Other => self.counters.other_calls += 1,
         }
         let cost = self.opt.what_if_cost(q, config);
         self.cache.put(q, config, cost);
@@ -236,6 +310,68 @@ mod tests {
         let cfg = IndexSet::from_ids(n, [IndexId::new(0), IndexId::new(1)]);
         let c = mw.what_if(q, &cfg).unwrap();
         assert_eq!(mw.derived(q, &cfg), c);
+    }
+
+    #[test]
+    fn telemetry_counts_calls_hits_and_derivations() {
+        let opt = optimizer(8);
+        let n = opt.num_candidates();
+        assert!(n >= 2, "need candidates");
+        let mut mw = MeteredWhatIf::new(&opt, 2);
+        let q = QueryId::new(0);
+        let c0 = IndexSet::singleton(n, IndexId::new(0));
+        let c1 = IndexSet::singleton(n, IndexId::new(1));
+
+        // Scripted sequence: miss (budgeted), hit, miss (budgeted), hit,
+        // then exhaustion → FCFS derivation fallback.
+        assert!(mw.what_if(q, &c0).is_some());
+        assert!(mw.what_if(q, &c0).is_some());
+        assert!(mw.what_if(q, &c1).is_some());
+        assert!(mw.what_if(q, &c1).is_some());
+        let pair = IndexSet::from_ids(n, [IndexId::new(0), IndexId::new(1)]);
+        let _ = mw.cost_fcfs(q, &pair);
+
+        let t = mw.telemetry();
+        assert_eq!(t.what_if_calls, 2);
+        assert_eq!(t.cache_hits, 2);
+        assert_eq!(t.derivations, 1, "exhausted FCFS derives");
+        assert_eq!(t.other_calls, 2, "no phase set → Other");
+        assert_eq!(t.priors_calls + t.selection_calls + t.rollout_calls, 0);
+        assert_eq!(t.wall_clock_ms, 0.0, "runner stamps wall clock");
+    }
+
+    #[test]
+    fn telemetry_attributes_calls_to_the_active_phase() {
+        let opt = optimizer(9);
+        let n = opt.num_candidates();
+        assert!(n >= 4, "need candidates");
+        let mut mw = MeteredWhatIf::new(&opt, 10);
+        let q = QueryId::new(0);
+        let cfg = |i: u32| IndexSet::singleton(n, IndexId::new(i));
+
+        let prev = mw.set_phase(Phase::Priors);
+        assert_eq!(prev, Phase::Other);
+        mw.what_if(q, &cfg(0));
+        mw.set_phase(Phase::Selection);
+        mw.what_if(q, &cfg(1));
+        mw.what_if(q, &cfg(2));
+        mw.set_phase(Phase::Rollout);
+        mw.what_if(q, &cfg(3));
+        mw.what_if(q, &cfg(3)); // cache hit: not attributed to any phase
+        mw.set_phase(Phase::Other);
+
+        let t = mw.telemetry();
+        assert_eq!(t.priors_calls, 1);
+        assert_eq!(t.selection_calls, 2);
+        assert_eq!(t.rollout_calls, 1);
+        assert_eq!(t.other_calls, 0);
+        assert_eq!(t.what_if_calls, 4);
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(
+            t.priors_calls + t.selection_calls + t.rollout_calls + t.other_calls,
+            t.what_if_calls,
+            "phase split partitions the budgeted calls"
+        );
     }
 
     #[test]

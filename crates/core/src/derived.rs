@@ -10,6 +10,7 @@
 //! ascending cost so the subset scan can stop at the first hit.
 
 use ixtune_common::{IndexId, IndexSet, QueryId};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Per-session what-if cache with derivation.
@@ -30,6 +31,10 @@ pub struct WhatIfCache {
     max_multi_size: Vec<usize>,
     /// Number of distinct (q, C) what-if results stored (excluding ∅).
     stored: usize,
+    /// Telemetry: cost evaluations answered by derivation (Eq. 1/Eq. 2)
+    /// rather than a stored what-if result. `Cell` because derivation
+    /// happens behind `&self`.
+    derivations: Cell<usize>,
 }
 
 impl WhatIfCache {
@@ -45,7 +50,14 @@ impl WhatIfCache {
             exact: vec![HashMap::new(); m],
             max_multi_size: vec![0; m],
             stored: 0,
+            derivations: Cell::new(0),
         }
+    }
+
+    /// Telemetry: how many cost evaluations were answered by derivation
+    /// instead of a stored what-if result.
+    pub fn derivations(&self) -> usize {
+        self.derivations.get()
     }
 
     pub fn universe(&self) -> usize {
@@ -120,6 +132,7 @@ impl WhatIfCache {
         if let Some(c) = self.get(q, config) {
             return c;
         }
+        self.derivations.set(self.derivations.get() + 1);
         let mut best = self.empty[qi];
         // Singleton fast path: members of `config` with known costs.
         for id in config.iter() {
@@ -144,6 +157,7 @@ impl WhatIfCache {
     /// Derived cost restricted to singleton subsets (Eq. 2) — the variant
     /// whose benefit function is provably submodular (Theorem 1).
     pub fn derived_singleton(&self, q: QueryId, config: &IndexSet) -> f64 {
+        self.derivations.set(self.derivations.get() + 1);
         let qi = q.index();
         let mut best = self.empty[qi];
         for id in config.iter() {
@@ -186,6 +200,7 @@ impl WhatIfCache {
         extra: IndexId,
         current: f64,
     ) -> f64 {
+        self.derivations.set(self.derivations.get() + 1);
         let qi = q.index();
         let mut best = current;
         let s = self.singleton[qi][extra.index()];

@@ -3,7 +3,7 @@
 
 use crate::budget::MeteredWhatIf;
 use crate::matrix::Layout;
-use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::{IndexId, IndexSet, QueryId};
 
 /// Algorithm 1: greedily grow the configuration from `pool`, committing the
@@ -61,21 +61,17 @@ impl Tuner for VanillaGreedy {
         "Vanilla Greedy".into()
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        _seed: u64,
-    ) -> TuningResult {
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let pool: Vec<IndexId> = (0..ctx.universe()).map(IndexId::from).collect();
         let m = ctx.num_queries();
-        let config = greedy_enumerate(ctx, constraints, &pool, |c| {
+        let config = greedy_enumerate(ctx, &req.constraints, &pool, |c| {
             (0..m).map(|q| mw.cost_fcfs(QueryId::from(q), c)).sum()
         });
         let used = mw.meter().used();
+        let telemetry = mw.telemetry();
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
+            .with_telemetry(telemetry)
     }
 }
 
@@ -98,7 +94,7 @@ mod tests {
         let (opt, cands) = setup(1);
         let ctx = TuningContext::new(&opt, &cands);
         for budget in [0usize, 1, 5, 50] {
-            let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(3), budget, 0);
+            let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(3, budget));
             assert!(r.calls_used <= budget, "used {} > {budget}", r.calls_used);
             assert_eq!(r.layout.len(), r.calls_used);
         }
@@ -109,7 +105,7 @@ mod tests {
         let (opt, cands) = setup(2);
         let ctx = TuningContext::new(&opt, &cands);
         for k in [1usize, 2, 4] {
-            let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(k), 10_000, 0);
+            let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(k, 10_000));
             assert!(r.config.len() <= k);
         }
     }
@@ -118,7 +114,7 @@ mod tests {
     fn zero_budget_yields_empty_config() {
         let (opt, cands) = setup(3);
         let ctx = TuningContext::new(&opt, &cands);
-        let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(3), 0, 0);
+        let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(3, 0));
         // With no what-if information every derived cost equals the empty
         // cost, so nothing can look better than ∅.
         assert!(r.config.is_empty());
@@ -129,7 +125,7 @@ mod tests {
     fn unlimited_budget_reaches_good_configs() {
         let (opt, cands) = setup(4);
         let ctx = TuningContext::new(&opt, &cands);
-        let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(5), 1_000_000, 0);
+        let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(5, 1_000_000));
         // Greedy with full information should find something at least as
         // good as the best singleton.
         let n = ctx.universe();
@@ -148,7 +144,7 @@ mod tests {
     fn layout_is_row_major() {
         let (opt, cands) = setup(5);
         let ctx = TuningContext::new(&opt, &cands);
-        let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(3), 37, 0);
+        let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(3, 37));
         assert!(r.layout.is_row_major(), "FCFS vanilla greedy fills rows");
     }
 
@@ -160,9 +156,11 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(5);
-        let lo = VanillaGreedy.tune(&ctx, &c, 50, 0).improvement;
-        let hi = VanillaGreedy.tune(&ctx, &c, 5_000, 0).improvement;
+        let req = TuningRequest::cardinality(5, 50);
+        let lo = VanillaGreedy.tune(&ctx, &req).improvement;
+        let hi = VanillaGreedy
+            .tune(&ctx, &req.with_budget(5_000))
+            .improvement;
         assert!(hi >= lo - 0.05, "lo={lo} hi={hi}");
         assert!(hi > 0.0, "full-budget greedy should improve TPC-H");
     }
@@ -171,13 +169,9 @@ mod tests {
     fn storage_constraint_limits_selection() {
         let (opt, cands) = setup(6);
         let ctx = TuningContext::new(&opt, &cands);
-        let r_unlimited = VanillaGreedy.tune(&ctx, &Constraints::cardinality(5), 10_000, 0);
-        let r_tight = VanillaGreedy.tune(
-            &ctx,
-            &Constraints::with_storage(5, 1),
-            10_000,
-            0,
-        );
+        let r_unlimited = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(5, 10_000));
+        let r_tight =
+            VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(5, 10_000).with_storage(1));
         assert!(r_tight.config.is_empty());
         assert!(r_tight.improvement <= r_unlimited.improvement + 1e-12);
     }

@@ -24,7 +24,8 @@
 //! let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
 //! let ctx = TuningContext::new(&opt, &cands);
 //!
-//! let result = MctsTuner::default().tune(&ctx, &Constraints::cardinality(3), 50, 1);
+//! let req = TuningRequest::cardinality(3, 50).with_seed(1);
+//! let result = MctsTuner::default().tune(&ctx, &req);
 //! assert!(result.calls_used <= 50);
 //! assert!(result.config.len() <= 3);
 //! ```
@@ -39,7 +40,7 @@ pub mod tuner;
 pub mod twophase;
 
 pub use autoadmin::AutoAdminGreedy;
-pub use budget::{BudgetMeter, MeteredWhatIf};
+pub use budget::{BudgetMeter, MeteredWhatIf, Phase, SessionTelemetry};
 pub use derived::WhatIfCache;
 pub use greedy::{greedy_enumerate, VanillaGreedy};
 pub use matrix::Layout;
@@ -48,19 +49,19 @@ pub use mcts::policy::{AmafTable, SelectionPolicy};
 pub use mcts::priors::QuerySelection;
 pub use mcts::rollout::RolloutPolicy;
 pub use mcts::{MctsTuner, UpdatePolicy};
-pub use tuner::{Constraints, Tuner, TuningContext, TuningResult};
+pub use tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 pub use twophase::TwoPhaseGreedy;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::autoadmin::AutoAdminGreedy;
-    pub use crate::budget::{BudgetMeter, MeteredWhatIf};
+    pub use crate::budget::{BudgetMeter, MeteredWhatIf, Phase, SessionTelemetry};
     pub use crate::greedy::VanillaGreedy;
     pub use crate::mcts::extract::Extraction;
     pub use crate::mcts::policy::SelectionPolicy;
     pub use crate::mcts::priors::QuerySelection;
     pub use crate::mcts::rollout::RolloutPolicy;
     pub use crate::mcts::{MctsTuner, UpdatePolicy};
-    pub use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+    pub use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
     pub use crate::twophase::TwoPhaseGreedy;
 }

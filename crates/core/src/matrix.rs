@@ -157,17 +157,9 @@ mod tests {
 
     #[test]
     fn column_major_detection() {
-        let cm = Layout::new(vec![
-            (q(0), s(&[0])),
-            (q(0), s(&[1])),
-            (q(1), s(&[0])),
-        ]);
+        let cm = Layout::new(vec![(q(0), s(&[0])), (q(0), s(&[1])), (q(1), s(&[0]))]);
         assert!(cm.is_column_major());
-        let not_cm = Layout::new(vec![
-            (q(0), s(&[0])),
-            (q(1), s(&[0])),
-            (q(0), s(&[1])),
-        ]);
+        let not_cm = Layout::new(vec![(q(0), s(&[0])), (q(1), s(&[0])), (q(0), s(&[1]))]);
         assert!(!not_cm.is_column_major());
     }
 

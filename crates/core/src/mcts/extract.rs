@@ -193,7 +193,8 @@ mod tests {
         let none = Extraction::Bce.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), None);
         assert!(none.is_empty());
         let tracked = IndexSet::singleton(ctx.universe(), IndexId::new(0));
-        let got = Extraction::Bce.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), Some(&tracked));
+        let got =
+            Extraction::Bce.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), Some(&tracked));
         assert_eq!(got, tracked);
     }
 
@@ -244,7 +245,8 @@ mod tests {
         }
         let c = Constraints::cardinality(3);
         let tracked = IndexSet::singleton(ctx.universe(), IndexId::new(0));
-        let h = Extraction::Hybrid.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), Some(&tracked));
+        let h =
+            Extraction::Hybrid.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), Some(&tracked));
         let bce_cost = mw.derived_workload(&tracked);
         let bg = Extraction::BestGreedy.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), None);
         let bg_cost = mw.derived_workload(&bg);

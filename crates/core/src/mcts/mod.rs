@@ -16,9 +16,9 @@ pub mod priors;
 pub mod rollout;
 pub mod tree;
 
-use crate::budget::MeteredWhatIf;
+use crate::budget::{MeteredWhatIf, Phase};
 use crate::matrix::Layout;
-use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use extract::Extraction;
 use ixtune_common::rng::{derive, weighted_choice};
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -72,6 +72,37 @@ pub enum UpdatePolicy {
 use serde::{Deserialize, Serialize};
 
 impl MctsTuner {
+    /// Set the selection policy (builder-style; start from
+    /// `MctsTuner::default()`).
+    pub fn with_selection(mut self, selection: SelectionPolicy) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Set the rollout policy.
+    pub fn with_rollout(mut self, rollout: RolloutPolicy) -> Self {
+        self.rollout = rollout;
+        self
+    }
+
+    /// Set the extraction policy.
+    pub fn with_extraction(mut self, extraction: Extraction) -> Self {
+        self.extraction = extraction;
+        self
+    }
+
+    /// Set the reward back-up policy.
+    pub fn with_update(mut self, update: UpdatePolicy) -> Self {
+        self.update = update;
+        self
+    }
+
+    /// Set the priors-phase query-selection strategy (Algorithm 4).
+    pub fn with_query_selection(mut self, query_selection: priors::QuerySelection) -> Self {
+        self.query_selection = query_selection;
+        self
+    }
+
     /// The configuration labels used by the ablation figures, e.g.
     /// `"Prior + Greedy"`.
     pub fn ablation_label(&self) -> String {
@@ -91,11 +122,9 @@ impl MctsTuner {
     pub fn tune_traced(
         &self,
         ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
+        req: &TuningRequest,
     ) -> (TuningResult, Vec<f64>) {
-        self.run(ctx, constraints, budget, seed)
+        self.run(ctx, req)
     }
 
     /// `EvaluateCostWithBudget` (Algorithm 3): estimate `cost(W, C)` with a
@@ -114,8 +143,13 @@ impl MctsTuner {
         let pick = weighted_choice(rng, &derived)?;
         let q = QueryId::from(pick);
         let exact = mw.what_if(q, config)?;
-        let total: f64 =
-            exact + derived.iter().enumerate().filter(|(i, _)| *i != pick).map(|(_, d)| d).sum::<f64>();
+        let total: f64 = exact
+            + derived
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pick)
+                .map(|(_, d)| d)
+                .sum::<f64>();
         Some(total)
     }
 
@@ -136,23 +170,19 @@ impl MctsTuner {
         // --- Selection / expansion (SampleConfiguration) ---
         let mut path: Vec<(usize, IndexId)> = Vec::new();
         let mut node = Tree::ROOT;
-        let config = loop {
+        let (config, via_rollout) = loop {
             let n = tree.node(node);
             let is_leaf = n.children.is_empty();
             let terminal = n.config.len() >= constraints.k;
             if is_leaf && !n.visited && node != Tree::ROOT {
                 // Unvisited leaf: simulate via rollout.
-                break self.rollout.rollout(
-                    ctx,
-                    constraints,
-                    &self.selection,
-                    priors,
-                    &n.config,
-                    rng,
-                );
+                let completed =
+                    self.rollout
+                        .rollout(ctx, constraints, &self.selection, priors, &n.config, rng);
+                break (completed, true);
             }
             if terminal {
-                break n.config.clone();
+                break (n.config.clone(), false);
             }
             let filter = constraints.extension_filter(ctx, &n.config);
             let actions: Vec<IndexId> = n
@@ -160,9 +190,11 @@ impl MctsTuner {
                 .complement_iter()
                 .filter(|&a| filter.admits(ctx, a))
                 .collect();
-            let Some(action) = self.selection.select(n, &actions, priors, amaf.as_ref(), rng)
+            let Some(action) = self
+                .selection
+                .select(n, &actions, priors, amaf.as_ref(), rng)
             else {
-                break n.config.clone();
+                break (n.config.clone(), false);
             };
             let child = tree.get_or_create_child(node, action);
             path.push((node, action));
@@ -170,6 +202,11 @@ impl MctsTuner {
         };
 
         // --- Evaluation (one budgeted what-if call) ---
+        mw.set_phase(if via_rollout {
+            Phase::Rollout
+        } else {
+            Phase::Selection
+        });
         let Some(cost) = self.evaluate_with_budget(mw, &config, rng) else {
             return false;
         };
@@ -187,9 +224,7 @@ impl MctsTuner {
         }
 
         // Track the best explored configuration (for BCE / Hybrid).
-        if constraints.satisfied_by(ctx, &config)
-            && best.as_ref().is_none_or(|(_, c)| cost < *c)
-        {
+        if constraints.satisfied_by(ctx, &config) && best.as_ref().is_none_or(|(_, c)| cost < *c) {
             *best = Some((config, cost));
         }
         true
@@ -221,26 +256,20 @@ impl Tuner for MctsTuner {
         }
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
-    ) -> TuningResult {
-        self.run(ctx, constraints, budget, seed).0
+    fn is_stochastic(&self) -> bool {
+        true
+    }
+
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        self.run(ctx, req).0
     }
 }
 
 impl MctsTuner {
-    fn run(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
-    ) -> (TuningResult, Vec<f64>) {
-        let mut rng = derive(seed, "mcts");
+    fn run(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> (TuningResult, Vec<f64>) {
+        let constraints = &req.constraints;
+        let budget = req.budget;
+        let mut rng = derive(req.seed, "mcts");
         let mut mw = MeteredWhatIf::new(ctx.opt, budget);
 
         // Priors (Algorithm 4) — UCT is the only policy that ignores them.
@@ -283,23 +312,27 @@ impl MctsTuner {
                 idle_streak = 0;
                 let best_imp = best
                     .as_ref()
-                    .map(|(_, c)| if base > 0.0 { (1.0 - c / base).max(0.0) } else { 0.0 })
+                    .map(|(_, c)| {
+                        if base > 0.0 {
+                            (1.0 - c / base).max(0.0)
+                        } else {
+                            0.0
+                        }
+                    })
                     .unwrap_or(0.0);
                 trace.push(best_imp);
             }
         }
 
         // Extraction.
-        let config = self.extraction.extract(
-            ctx,
-            constraints,
-            &mw,
-            &tree,
-            best.as_ref().map(|(c, _)| c),
-        );
+        let config =
+            self.extraction
+                .extract(ctx, constraints, &mw, &tree, best.as_ref().map(|(c, _)| c));
         let used = mw.meter().used();
+        let telemetry = mw.telemetry();
         let result =
-            TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()));
+            TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
+                .with_telemetry(telemetry);
         (result, trace)
     }
 }
@@ -330,7 +363,8 @@ mod tests {
         let (opt, cands) = setup(1);
         let ctx = TuningContext::new(&opt, &cands);
         for budget in [0usize, 1, 3, 25, 100] {
-            let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(3), budget, 7);
+            let r = MctsTuner::default()
+                .tune(&ctx, &TuningRequest::cardinality(3, budget).with_seed(7));
             assert!(r.calls_used <= budget, "{} > {budget}", r.calls_used);
         }
     }
@@ -340,7 +374,8 @@ mod tests {
         let (opt, cands) = setup(2);
         let ctx = TuningContext::new(&opt, &cands);
         for k in [1usize, 2, 5] {
-            let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(k), 60, 3);
+            let r =
+                MctsTuner::default().tune(&ctx, &TuningRequest::cardinality(k, 60).with_seed(3));
             assert!(r.config.len() <= k);
         }
     }
@@ -349,9 +384,9 @@ mod tests {
     fn deterministic_given_seed() {
         let (opt, cands) = setup(3);
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(3);
-        let a = MctsTuner::default().tune(&ctx, &c, 50, 42);
-        let b = MctsTuner::default().tune(&ctx, &c, 50, 42);
+        let req = TuningRequest::cardinality(3, 50).with_seed(42);
+        let a = MctsTuner::default().tune(&ctx, &req);
+        let b = MctsTuner::default().tune(&ctx, &req);
         assert_eq!(a.config, b.config);
         assert_eq!(a.calls_used, b.calls_used);
     }
@@ -360,7 +395,7 @@ mod tests {
     fn finds_improvement_on_tpch() {
         let (opt, cands) = tpch_ctx();
         let ctx = TuningContext::new(&opt, &cands);
-        let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(5), 200, 1);
+        let r = MctsTuner::default().tune(&ctx, &TuningRequest::cardinality(5, 200).with_seed(1));
         assert!(
             r.improvement > 0.05,
             "MCTS with 200 calls should improve TPC-H, got {}",
@@ -372,13 +407,11 @@ mod tests {
     fn uct_variant_runs_and_respects_budget() {
         let (opt, cands) = tpch_ctx();
         let ctx = TuningContext::new(&opt, &cands);
-        let tuner = MctsTuner {
-            selection: SelectionPolicy::uct(),
-            rollout: RolloutPolicy::RandomStep,
-            extraction: Extraction::Bce,
-            ..MctsTuner::default()
-        };
-        let r = tuner.tune(&ctx, &Constraints::cardinality(5), 100, 5);
+        let tuner = MctsTuner::default()
+            .with_selection(SelectionPolicy::uct())
+            .with_rollout(RolloutPolicy::RandomStep)
+            .with_extraction(Extraction::Bce);
+        let r = tuner.tune(&ctx, &TuningRequest::cardinality(5, 100).with_seed(5));
         assert!(r.calls_used <= 100);
         assert!(r.improvement >= 0.0);
     }
@@ -387,7 +420,7 @@ mod tests {
     fn all_policy_combinations_run() {
         let (opt, cands) = setup(6);
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(2);
+        let req = TuningRequest::cardinality(2, 30).with_seed(9);
         for selection in [SelectionPolicy::uct(), SelectionPolicy::EpsilonGreedyPrior] {
             for rollout in [
                 RolloutPolicy::RandomStep,
@@ -395,13 +428,11 @@ mod tests {
                 RolloutPolicy::FixedStep(1),
             ] {
                 for extraction in [Extraction::Bce, Extraction::BestGreedy, Extraction::Hybrid] {
-                    let tuner = MctsTuner {
-                        selection,
-                        rollout,
-                        extraction,
-                        ..MctsTuner::default()
-                    };
-                    let r = tuner.tune(&ctx, &c, 30, 9);
+                    let tuner = MctsTuner::default()
+                        .with_selection(selection)
+                        .with_rollout(rollout)
+                        .with_extraction(extraction);
+                    let r = tuner.tune(&ctx, &req);
                     assert!(r.calls_used <= 30, "{}", tuner.name());
                     assert!(r.config.len() <= 2);
                 }
@@ -413,39 +444,23 @@ mod tests {
     fn rave_and_alternate_policies_respect_budget() {
         let (opt, cands) = setup(7);
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(3);
+        let req = TuningRequest::cardinality(3, 60).with_seed(4);
         let variants = [
-            MctsTuner {
-                update: UpdatePolicy::Rave { k: 50.0 },
-                ..MctsTuner::default()
-            },
-            MctsTuner {
-                selection: SelectionPolicy::Boltzmann { tau: 0.1 },
-                ..MctsTuner::default()
-            },
-            MctsTuner {
-                selection: SelectionPolicy::ClassicEpsilon { epsilon: 0.2 },
-                ..MctsTuner::default()
-            },
-            MctsTuner {
-                selection: SelectionPolicy::uct(),
-                update: UpdatePolicy::Rave { k: 20.0 },
-                ..MctsTuner::default()
-            },
-            MctsTuner {
-                query_selection: QuerySelection::CostWeighted,
-                ..MctsTuner::default()
-            },
-            MctsTuner {
-                query_selection: QuerySelection::RandomSubset { per_mille: 500 },
-                ..MctsTuner::default()
-            },
+            MctsTuner::default().with_update(UpdatePolicy::Rave { k: 50.0 }),
+            MctsTuner::default().with_selection(SelectionPolicy::Boltzmann { tau: 0.1 }),
+            MctsTuner::default().with_selection(SelectionPolicy::ClassicEpsilon { epsilon: 0.2 }),
+            MctsTuner::default()
+                .with_selection(SelectionPolicy::uct())
+                .with_update(UpdatePolicy::Rave { k: 20.0 }),
+            MctsTuner::default().with_query_selection(QuerySelection::CostWeighted),
+            MctsTuner::default()
+                .with_query_selection(QuerySelection::RandomSubset { per_mille: 500 }),
         ];
         for tuner in variants {
-            let r = tuner.tune(&ctx, &c, 60, 4);
+            let r = tuner.tune(&ctx, &req);
             assert!(r.calls_used <= 60, "{}", tuner.name());
             assert!(r.config.len() <= 3, "{}", tuner.name());
-            let again = tuner.tune(&ctx, &c, 60, 4);
+            let again = tuner.tune(&ctx, &req);
             assert_eq!(r.config, again.config, "{} not deterministic", tuner.name());
         }
     }
@@ -456,13 +471,10 @@ mod tests {
     fn tree_walk_extractions_respect_constraints_and_budget() {
         let (opt, cands) = tpch_ctx();
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(5);
+        let req = TuningRequest::cardinality(5, 150).with_seed(3);
         for extraction in [Extraction::TreeByValue, Extraction::TreeByVisits] {
-            let tuner = MctsTuner {
-                extraction,
-                ..MctsTuner::default()
-            };
-            let r = tuner.tune(&ctx, &c, 150, 3);
+            let tuner = MctsTuner::default().with_extraction(extraction);
+            let r = tuner.tune(&ctx, &req);
             assert!(r.calls_used <= 150, "{}", tuner.name());
             assert!(r.config.len() <= 5, "{}", tuner.name());
             assert!(r.improvement >= 0.0);
@@ -473,8 +485,8 @@ mod tests {
     fn traced_run_reports_monotone_best_so_far() {
         let (opt, cands) = tpch_ctx();
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(5);
-        let (r, trace) = MctsTuner::default().tune_traced(&ctx, &c, 150, 2);
+        let req = TuningRequest::cardinality(5, 150).with_seed(2);
+        let (r, trace) = MctsTuner::default().tune_traced(&ctx, &req);
         assert!(!trace.is_empty());
         assert!(trace.windows(2).all(|w| w[1] >= w[0] - 1e-12));
         assert!(r.calls_used <= 150);
@@ -505,12 +517,10 @@ mod tests {
     #[test]
     fn names_and_labels() {
         assert_eq!(MctsTuner::default().name(), "MCTS");
-        let t = MctsTuner {
-            selection: SelectionPolicy::uct(),
-            rollout: RolloutPolicy::RandomStep,
-            extraction: Extraction::Bce,
-            ..MctsTuner::default()
-        };
+        let t = MctsTuner::default()
+            .with_selection(SelectionPolicy::uct())
+            .with_rollout(RolloutPolicy::RandomStep)
+            .with_extraction(Extraction::Bce);
         assert_eq!(t.ablation_label(), "UCT Only");
         assert!(t.name().contains("UCT"));
         let d = MctsTuner::default();
@@ -523,8 +533,8 @@ mod tests {
         let ctx = TuningContext::new(&opt, &cands);
         // Limit to ~one small index worth of bytes.
         let limit = 50 * 1024 * 1024;
-        let c = Constraints::with_storage(10, limit);
-        let r = MctsTuner::default().tune(&ctx, &c, 150, 2);
+        let req = TuningRequest::new(Constraints::with_storage(10, limit), 150).with_seed(2);
+        let r = MctsTuner::default().tune(&ctx, &req);
         assert!(opt.config_size_bytes(&r.config) <= limit);
     }
 }

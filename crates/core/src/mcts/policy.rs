@@ -100,9 +100,7 @@ impl SelectionPolicy {
                 let unvisited: Vec<IndexId> = actions
                     .iter()
                     .enumerate()
-                    .filter(|(i, &a)| {
-                        local_n[*i] == 0 && amaf.is_none_or(|t| t.visits(a) == 0)
-                    })
+                    .filter(|(i, &a)| local_n[*i] == 0 && amaf.is_none_or(|t| t.visits(a) == 0))
                     .map(|(_, &a)| a)
                     .collect();
                 if !unvisited.is_empty() {
@@ -126,8 +124,7 @@ impl SelectionPolicy {
                 let tau = tau.max(1e-6);
                 // Softmax with max-shift for numeric stability.
                 let peak = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let weights: Vec<f64> =
-                    values.iter().map(|v| ((v - peak) / tau).exp()).collect();
+                let weights: Vec<f64> = values.iter().map(|v| ((v - peak) / tau).exp()).collect();
                 weighted_choice(rng, &weights).map(|i| actions[i])
             }
             SelectionPolicy::ClassicEpsilon { epsilon } => {
@@ -236,7 +233,13 @@ mod tests {
         // Despite id(0)'s perfect reward, unvisited ids must be picked.
         for _ in 0..20 {
             let a = SelectionPolicy::uct()
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &[], None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &[],
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             assert_ne!(a, id(0));
         }
@@ -254,7 +257,13 @@ mod tests {
         }
         let mut rng = seeded(3);
         let a = SelectionPolicy::uct()
-            .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &[], None, &mut rng)
+            .select(
+                t.node(Tree::ROOT),
+                &[id(0), id(1), id(2)],
+                &[],
+                None,
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(a, id(0));
     }
@@ -266,7 +275,13 @@ mod tests {
         let mut rng = seeded(4);
         for _ in 0..50 {
             let a = SelectionPolicy::EpsilonGreedyPrior
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             assert_eq!(a, id(2), "only nonzero-prior action should be sampled");
         }
@@ -284,7 +299,13 @@ mod tests {
         let mut counts = [0usize; 3];
         for _ in 0..10_000 {
             let a = SelectionPolicy::EpsilonGreedyPrior
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             counts[a.index()] += 1;
         }
@@ -302,7 +323,13 @@ mod tests {
         let mut counts = [0usize; 3];
         for _ in 0..500 {
             let a = SelectionPolicy::Boltzmann { tau: 0.05 }
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             counts[a.index()] += 1;
         }
@@ -311,11 +338,20 @@ mod tests {
         let mut hot = [0usize; 3];
         for _ in 0..3_000 {
             let a = SelectionPolicy::Boltzmann { tau: 100.0 }
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             hot[a.index()] += 1;
         }
-        assert!(hot.iter().all(|&c| c > 700), "high τ ≈ uniform, got {hot:?}");
+        assert!(
+            hot.iter().all(|&c| c > 700),
+            "high τ ≈ uniform, got {hot:?}"
+        );
     }
 
     #[test]
@@ -326,14 +362,26 @@ mod tests {
         // ε = 0: always the best.
         for _ in 0..50 {
             let a = SelectionPolicy::ClassicEpsilon { epsilon: 0.0 }
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             assert_eq!(a, id(1));
         }
         // ε = 1: never the best (uniform over the rest).
         for _ in 0..50 {
             let a = SelectionPolicy::ClassicEpsilon { epsilon: 1.0 }
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             assert_ne!(a, id(1));
         }
@@ -342,8 +390,9 @@ mod tests {
     #[test]
     fn amaf_table_blends_towards_local_with_visits() {
         let mut table = AmafTable::new(4, 10.0);
-        let cfg: ixtune_common::IndexSet =
-            [id(0), id(2)].into_iter().collect::<ixtune_common::IndexSet>();
+        let cfg: ixtune_common::IndexSet = [id(0), id(2)]
+            .into_iter()
+            .collect::<ixtune_common::IndexSet>();
         // Give action 0 a strong AMAF signal.
         let full = ixtune_common::IndexSet::from_ids(4, cfg.iter());
         for _ in 0..20 {
@@ -370,7 +419,13 @@ mod tests {
         // All actions have AMAF data, so UCT must go straight to UCB
         // scoring instead of the unvisited-first sweep.
         let got = SelectionPolicy::uct()
-            .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &[], Some(&table), &mut rng)
+            .select(
+                t.node(Tree::ROOT),
+                &[id(0), id(1), id(2)],
+                &[],
+                Some(&table),
+                &mut rng,
+            )
             .unwrap();
         assert!([id(0), id(1), id(2)].contains(&got));
     }
@@ -391,7 +446,13 @@ mod tests {
         let mut seen = [false; 3];
         for _ in 0..200 {
             let a = SelectionPolicy::EpsilonGreedyPrior
-                .select(t.node(Tree::ROOT), &[id(0), id(1), id(2)], &priors, None, &mut rng)
+                .select(
+                    t.node(Tree::ROOT),
+                    &[id(0), id(1), id(2)],
+                    &priors,
+                    None,
+                    &mut rng,
+                )
                 .unwrap();
             seen[a.index()] = true;
         }

@@ -8,7 +8,7 @@
 //! index selection** within a query (indexes on big tables matter most
 //! under a cardinality constraint — §6.1).
 
-use crate::budget::MeteredWhatIf;
+use crate::budget::{MeteredWhatIf, Phase};
 use crate::tuner::TuningContext;
 use ixtune_common::rng::{derive, weighted_choice};
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -65,6 +65,7 @@ pub fn compute_priors(
     budget_prime: usize,
     strategy: QuerySelection,
 ) -> Vec<f64> {
+    let prev_phase = mw.set_phase(Phase::Priors);
     let n = ctx.universe();
     let m = ctx.num_queries();
     let base = mw.empty_workload_cost();
@@ -119,7 +120,9 @@ pub fn compute_priors(
         };
         qi += 1;
         // IndexSelection: next unevaluated candidate of this query.
-        let next = queues[q].iter().position(|id| !evaluated.contains(&(q, *id)));
+        let next = queues[q]
+            .iter()
+            .position(|id| !evaluated.contains(&(q, *id)));
         let Some(pos) = next else {
             idle_rounds += 1;
             continue;
@@ -136,6 +139,7 @@ pub fn compute_priors(
         cost_w[id.index()] += c - mw.empty_cost(qid);
     }
 
+    mw.set_phase(prev_phase);
     cost_w
         .into_iter()
         .map(|c| {

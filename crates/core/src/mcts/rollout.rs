@@ -170,8 +170,14 @@ mod tests {
         let c = Constraints::cardinality(2);
         let cfg = IndexSet::from_ids(n, [IndexId::new(0), IndexId::new(1)]);
         let mut rng = seeded(4);
-        let out =
-            RolloutPolicy::RandomStep.rollout(&ctx, &c, &SelectionPolicy::uct(), &[], &cfg, &mut rng);
+        let out = RolloutPolicy::RandomStep.rollout(
+            &ctx,
+            &c,
+            &SelectionPolicy::uct(),
+            &[],
+            &cfg,
+            &mut rng,
+        );
         assert_eq!(out, cfg);
     }
 

@@ -2,12 +2,14 @@
 //!
 //! A [`TuningContext`] bundles the simulated optimizer and the candidate
 //! set; [`Constraints`] carries the cardinality constraint `K` and the
-//! optional storage constraint; [`Tuner::tune`] runs one budgeted session
-//! and returns a [`TuningResult`] whose improvement is measured against an
-//! *unmetered* oracle evaluation of the final configuration, exactly as the
-//! paper measures "percentage improvement in terms of the actual what-if
-//! cost" (§7).
+//! optional storage constraint; a [`TuningRequest`] packages constraints,
+//! what-if budget, and seed for one session. [`Tuner::tune`] runs the
+//! session and returns a [`TuningResult`] whose improvement is measured
+//! against an *unmetered* oracle evaluation of the final configuration,
+//! exactly as the paper measures "percentage improvement in terms of the
+//! actual what-if cost" (§7).
 
+use crate::budget::SessionTelemetry;
 use crate::matrix::Layout;
 use ixtune_candidates::CandidateSet;
 use ixtune_common::{IndexId, IndexSet};
@@ -88,13 +90,9 @@ impl Constraints {
     }
 
     /// Precompute the admission state for extending `config` by one index.
-    pub fn extension_filter(
-        &self,
-        ctx: &TuningContext<'_>,
-        config: &IndexSet,
-    ) -> ExtensionFilter {
+    pub fn extension_filter(&self, ctx: &TuningContext<'_>, config: &IndexSet) -> ExtensionFilter {
         ExtensionFilter {
-            len_ok: config.len() + 1 <= self.k,
+            len_ok: config.len() < self.k,
             used_bytes: match self.storage_bytes {
                 Some(_) => ctx.opt.config_size_bytes(config),
                 None => 0,
@@ -129,10 +127,70 @@ impl ExtensionFilter {
         self.len_ok
             && match self.limit {
                 None => true,
-                Some(limit) => {
-                    self.used_bytes + ctx.opt.candidate_size_bytes(extra) <= limit
-                }
+                Some(limit) => self.used_bytes + ctx.opt.candidate_size_bytes(extra) <= limit,
             }
+    }
+}
+
+/// Everything one tuning session is asked to do: the outcome constraints,
+/// the what-if call budget, and the seed for any internal randomization.
+///
+/// Constructed builder-style:
+///
+/// ```
+/// use ixtune_core::tuner::{Constraints, TuningRequest};
+///
+/// let req = TuningRequest::cardinality(10, 500).with_seed(3);
+/// assert_eq!(req.constraints.k, 10);
+/// assert_eq!(req.budget, 500);
+/// assert_eq!(req.seed, 3);
+///
+/// let sc = TuningRequest::new(Constraints::cardinality(5), 200)
+///     .with_storage(1 << 30);
+/// assert_eq!(sc.constraints.storage_bytes, Some(1 << 30));
+/// assert_eq!(sc.seed, 0);
+/// ```
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TuningRequest {
+    /// Constraints on the recommended configuration.
+    pub constraints: Constraints,
+    /// What-if call budget `B` for the search.
+    pub budget: usize,
+    /// Seed for stochastic tuners; deterministic tuners ignore it.
+    pub seed: u64,
+}
+
+impl TuningRequest {
+    /// A request with the given constraints and budget, seed 0.
+    pub fn new(constraints: Constraints, budget: usize) -> Self {
+        Self {
+            constraints,
+            budget,
+            seed: 0,
+        }
+    }
+
+    /// The common case: a cardinality constraint `K` and a budget.
+    pub fn cardinality(k: usize, budget: usize) -> Self {
+        Self::new(Constraints::cardinality(k), budget)
+    }
+
+    /// Set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a storage constraint (max total index size in bytes).
+    pub fn with_storage(mut self, bytes: u64) -> Self {
+        self.constraints.storage_bytes = Some(bytes);
+        self
     }
 }
 
@@ -149,6 +207,8 @@ pub struct TuningResult {
     pub improvement: f64,
     /// The layout of budget-consuming calls.
     pub layout: Layout,
+    /// Instrumentation counters from the session's what-if client.
+    pub telemetry: SessionTelemetry,
 }
 
 impl TuningResult {
@@ -167,7 +227,14 @@ impl TuningResult {
             calls_used,
             improvement,
             layout,
+            telemetry: SessionTelemetry::default(),
         }
+    }
+
+    /// Attach the session's telemetry counters.
+    pub fn with_telemetry(mut self, telemetry: SessionTelemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Improvement as a percentage (the paper's y-axis).
@@ -177,21 +244,23 @@ impl TuningResult {
 }
 
 /// A budget-aware configuration enumeration algorithm.
-pub trait Tuner {
+///
+/// `Sync` is a supertrait so tuners can be shared by reference across the
+/// parallel experiment runner's worker threads; every tuner here is plain
+/// configuration data, so the bound is free.
+pub trait Tuner: Sync {
     /// Display name (used in reports and figures).
     fn name(&self) -> String;
 
-    /// Run one tuning session with what-if budget `budget`.
-    ///
-    /// `seed` controls any randomization inside the tuner; deterministic
-    /// tuners ignore it.
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        seed: u64,
-    ) -> TuningResult;
+    /// Whether results vary with [`TuningRequest::seed`]. Stochastic
+    /// tuners are run once per seed by the experiment grid; deterministic
+    /// ones once per cell.
+    fn is_stochastic(&self) -> bool {
+        false
+    }
+
+    /// Run one tuning session described by `req`.
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult;
 }
 
 #[cfg(test)]

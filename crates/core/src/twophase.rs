@@ -8,7 +8,7 @@
 use crate::budget::MeteredWhatIf;
 use crate::greedy::greedy_enumerate;
 use crate::matrix::Layout;
-use crate::tuner::{Constraints, Tuner, TuningContext, TuningResult};
+use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::{IndexId, IndexSet, QueryId};
 
 /// Two-phase greedy with FCFS budget allocation.
@@ -44,14 +44,9 @@ impl Tuner for TwoPhaseGreedy {
         "Two-phase Greedy".into()
     }
 
-    fn tune(
-        &self,
-        ctx: &TuningContext<'_>,
-        constraints: &Constraints,
-        budget: usize,
-        _seed: u64,
-    ) -> TuningResult {
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+    fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        let constraints = &req.constraints;
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
 
         // Phase 1: each query as its own workload.
         let union = Self::phase1(ctx, constraints, &mut mw, |mw, q, c| mw.cost_fcfs(q, c));
@@ -62,7 +57,9 @@ impl Tuner for TwoPhaseGreedy {
             (0..m).map(|q| mw.cost_fcfs(QueryId::from(q), c)).sum()
         });
         let used = mw.meter().used();
+        let telemetry = mw.telemetry();
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
+            .with_telemetry(telemetry)
     }
 }
 
@@ -86,7 +83,7 @@ mod tests {
         let (opt, cands) = setup(11);
         let ctx = TuningContext::new(&opt, &cands);
         for (budget, k) in [(0usize, 2usize), (7, 1), (100, 3)] {
-            let r = TwoPhaseGreedy.tune(&ctx, &Constraints::cardinality(k), budget, 0);
+            let r = TwoPhaseGreedy.tune(&ctx, &TuningRequest::cardinality(k, budget));
             assert!(r.calls_used <= budget);
             assert!(r.config.len() <= k);
         }
@@ -100,7 +97,7 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let r = TwoPhaseGreedy.tune(&ctx, &Constraints::cardinality(5), 20, 0);
+        let r = TwoPhaseGreedy.tune(&ctx, &TuningRequest::cardinality(5, 20));
         let queries_touched = r.layout.distinct_queries();
         assert!(
             queries_touched <= 5,
@@ -116,9 +113,9 @@ mod tests {
         let cands = generate_default(&inst);
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
-        let c = Constraints::cardinality(10);
-        let two = TwoPhaseGreedy.tune(&ctx, &c, 100, 0).improvement;
-        let one = VanillaGreedy.tune(&ctx, &c, 100, 0).improvement;
+        let req = TuningRequest::cardinality(10, 100);
+        let two = TwoPhaseGreedy.tune(&ctx, &req).improvement;
+        let one = VanillaGreedy.tune(&ctx, &req).improvement;
         assert!(
             two >= one - 0.02,
             "two-phase {two} should not lose badly to vanilla {one} at B=100"
@@ -129,13 +126,13 @@ mod tests {
     fn unlimited_budget_finds_improvement() {
         let (opt, cands) = setup(13);
         let ctx = TuningContext::new(&opt, &cands);
-        let r = TwoPhaseGreedy.tune(&ctx, &Constraints::cardinality(5), 1_000_000, 0);
+        let r = TwoPhaseGreedy.tune(&ctx, &TuningRequest::cardinality(5, 1_000_000));
         assert!(r.improvement >= 0.0);
         // Phase-2 pool is a union of per-query winners: all members of the
         // final config must be candidates of at least one query.
         for id in r.config.iter() {
-            let attributed = (0..ctx.num_queries())
-                .any(|q| ctx.cands.for_query(QueryId::from(q)).contains(&id));
+            let attributed =
+                (0..ctx.num_queries()).any(|q| ctx.cands.for_query(QueryId::from(q)).contains(&id));
             assert!(attributed);
         }
     }

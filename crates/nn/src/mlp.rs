@@ -204,7 +204,10 @@ mod tests {
         // Loss = 0.5 * Σ (y - t)^2, dL/dy = y - t.
         let loss = |net: &Mlp| -> f64 {
             let y = net.forward(&x);
-            y.iter().zip(&target).map(|(a, b)| 0.5 * (a - b).powi(2)).sum()
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| 0.5 * (a - b).powi(2))
+                .sum()
         };
         net.zero_grad();
         let cache = net.forward_cached(&x);

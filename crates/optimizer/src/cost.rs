@@ -307,7 +307,9 @@ impl CostModel {
             let mut inl_cost = f64::INFINITY;
             if !edges.is_empty() {
                 for idx in &idxs {
-                    let Some(&lead) = idx.keys.first() else { continue };
+                    let Some(&lead) = idx.keys.first() else {
+                        continue;
+                    };
                     if !edges.contains(&lead) {
                         continue;
                     }
@@ -360,9 +362,8 @@ impl CostModel {
                 slot != comp[0]
                     && avail(slot).iter().any(|idx| {
                         idx.keys.first().is_some_and(|&lead| {
-                            q.filters_on(slot).any(|f| {
-                                f.col.column == lead && f.kind != FilterKind::Residual
-                            })
+                            q.filters_on(slot)
+                                .any(|f| f.col.column == lead && f.kind != FilterKind::Residual)
                         })
                     })
             })

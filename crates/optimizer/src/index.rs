@@ -4,8 +4,8 @@
 //! columns plus an unordered set of included payload columns, exactly the
 //! `[key columns; included columns]` notation of the paper's Figure 3.
 
-use ixtune_workload::Schema;
 use ixtune_common::{ColumnId, TableId};
+use ixtune_workload::Schema;
 use serde::{Deserialize, Serialize};
 
 /// Bytes per B+-tree page, used by size and cost estimation.
@@ -70,7 +70,11 @@ impl IndexDef {
     /// Human-readable `table([keys]; [includes])` form.
     pub fn describe(&self, schema: &Schema) -> String {
         let table = schema.table(self.table);
-        let keys: Vec<&str> = self.keys.iter().map(|&c| table.col(c).name.as_str()).collect();
+        let keys: Vec<&str> = self
+            .keys
+            .iter()
+            .map(|&c| table.col(c).name.as_str())
+            .collect();
         let incs: Vec<&str> = self
             .includes
             .iter()

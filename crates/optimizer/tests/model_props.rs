@@ -23,7 +23,9 @@ fn config_from(seed: u64, size: usize) -> IndexSet {
     let mut s = seed | 1;
     let mut cfg = IndexSet::empty(n);
     for _ in 0..size {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         cfg.insert(IndexId::from((s >> 33) as usize % n));
     }
     cfg

@@ -58,7 +58,11 @@ pub fn signature(q: &Query) -> Signature {
         joins,
         group_by: q.group_by.iter().map(|c| (c.scan.0, c.column.0)).collect(),
         order_by: q.order_by.iter().map(|c| (c.scan.0, c.column.0)).collect(),
-        projection: q.projection.iter().map(|c| (c.scan.0, c.column.0)).collect(),
+        projection: q
+            .projection
+            .iter()
+            .map(|c| (c.scan.0, c.column.0))
+            .collect(),
     }
 }
 
@@ -143,7 +147,11 @@ mod tests {
     fn identical_structures_collapse_and_weights_add() {
         let w = Workload::new(
             "multi",
-            vec![instance(0.01, 1.0), instance(0.02, 2.0), instance(0.30, 1.0)],
+            vec![
+                instance(0.01, 1.0),
+                instance(0.02, 2.0),
+                instance(0.30, 1.0),
+            ],
         );
         let c = compress(&w);
         assert_eq!(c.workload.len(), 1);

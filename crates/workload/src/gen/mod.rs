@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn budget_grids_match_paper() {
-        assert_eq!(BenchmarkKind::TpcH.budget_grid(), &[50, 100, 200, 500, 1000]);
+        assert_eq!(
+            BenchmarkKind::TpcH.budget_grid(),
+            &[50, 100, 200, 500, 1000]
+        );
         assert_eq!(
             BenchmarkKind::RealM.budget_grid(),
             &[1000, 2000, 3000, 4000, 5000]

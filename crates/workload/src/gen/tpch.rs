@@ -322,8 +322,8 @@ pub fn query_texts() -> Vec<(&'static str, &'static str)> {
 /// Generate the TPC-H benchmark instance at scale factor `sf`.
 pub fn generate(sf: f64) -> BenchmarkInstance {
     let schema = schema(sf);
-    let workload = parse_workload(&schema, "TPC-H", &query_texts())
-        .expect("TPC-H templates must parse");
+    let workload =
+        parse_workload(&schema, "TPC-H", &query_texts()).expect("TPC-H templates must parse");
     BenchmarkInstance::new(schema, workload)
 }
 

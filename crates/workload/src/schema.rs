@@ -274,7 +274,9 @@ mod tests {
 
     #[test]
     fn key_column_ndv_is_rows() {
-        let t = TableBuilder::new("t", 777).key("id", ColType::BigInt).build();
+        let t = TableBuilder::new("t", 777)
+            .key("id", ColType::BigInt)
+            .build();
         assert_eq!(t.col(ColumnId::new(0)).ndv, 777);
     }
 }

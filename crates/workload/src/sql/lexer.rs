@@ -52,9 +52,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let text = &src[start..i];
@@ -66,9 +64,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             }
             b'0'..=b'9' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
                     i += 1;
                 }
                 out.push(Token {

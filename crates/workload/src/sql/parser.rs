@@ -1,7 +1,7 @@
 //! Recursive-descent parser from the mini-SQL subset to [`Query`].
 
 use super::lexer::{tokenize, Token, TokenKind};
-use crate::query::{FilterKind, Query, QueryBuilder, QCol, ScanSlot, Workload};
+use crate::query::{FilterKind, QCol, Query, QueryBuilder, ScanSlot, Workload};
 use crate::schema::Schema;
 use ixtune_common::{ColumnId, Error, Result, TableId};
 
@@ -243,7 +243,8 @@ impl<'a> Parser<'a> {
                 for scope in &self.scopes {
                     let ncols = self.schema.table(scope.table).columns.len();
                     for c in 0..ncols {
-                        self.builder.project(QCol::new(scope.slot, ColumnId::from(c)));
+                        self.builder
+                            .project(QCol::new(scope.slot, ColumnId::from(c)));
                     }
                 }
             } else {
@@ -382,7 +383,12 @@ impl<'a> Parser<'a> {
                 self.bump();
                 s
             }
-            _ => return Err(self.err(format!("expected predicate operator, found {:?}", self.peek().text))),
+            _ => {
+                return Err(self.err(format!(
+                    "expected predicate operator, found {:?}",
+                    self.peek().text
+                )))
+            }
         };
         // Column on the right-hand side?
         if self.rhs_is_column() {
@@ -426,9 +432,9 @@ impl<'a> Parser<'a> {
                     return true;
                 }
                 let lower = self.peek().text.to_ascii_lowercase();
-                self.scopes.iter().any(|s| {
-                    self.schema.table(s.table).column(&lower).is_some()
-                })
+                self.scopes
+                    .iter()
+                    .any(|s| self.schema.table(s.table).column(&lower).is_some())
             }
             _ => false,
         }
@@ -672,10 +678,18 @@ mod tests {
     #[test]
     fn ambiguous_unqualified_column_errors() {
         let mut s = Schema::new();
-        s.add_table(TableBuilder::new("t1", 10).col("x", ColType::Int, 5).build())
-            .unwrap();
-        s.add_table(TableBuilder::new("t2", 10).col("x", ColType::Int, 5).build())
-            .unwrap();
+        s.add_table(
+            TableBuilder::new("t1", 10)
+                .col("x", ColType::Int, 5)
+                .build(),
+        )
+        .unwrap();
+        s.add_table(
+            TableBuilder::new("t2", 10)
+                .col("x", ColType::Int, 5)
+                .build(),
+        )
+        .unwrap();
         assert!(parse_query(&s, "q", "SELECT x FROM t1, t2").is_err());
     }
 

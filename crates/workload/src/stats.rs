@@ -91,14 +91,20 @@ mod tests {
             )
             .unwrap();
         schema
-            .add_table(TableBuilder::new("unused", 10).key("x", ColType::Int).build())
+            .add_table(
+                TableBuilder::new("unused", 10)
+                    .key("x", ColType::Int)
+                    .build(),
+            )
             .unwrap();
 
         let mut b1 = QueryBuilder::new("q1");
         let s0 = b1.scan(r);
         let s1 = b1.scan(s);
-        b1.eq(QCol::new(s0, ColumnId::new(0)), 0.1)
-            .join(QCol::new(s0, ColumnId::new(1)), QCol::new(s1, ColumnId::new(0)));
+        b1.eq(QCol::new(s0, ColumnId::new(0)), 0.1).join(
+            QCol::new(s0, ColumnId::new(1)),
+            QCol::new(s1, ColumnId::new(0)),
+        );
         let mut b2 = QueryBuilder::new("q2");
         let t0 = b2.scan(r);
         b2.eq(QCol::new(t0, ColumnId::new(1)), 0.5);

@@ -28,7 +28,6 @@ fn main() {
     let cands = generate_default(&instance);
     let opt = SimulatedOptimizer::new(instance, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
-    let constraints = Constraints::cardinality(k);
 
     let tuners: Vec<Box<dyn Tuner>> = vec![
         Box::new(VanillaGreedy),
@@ -47,8 +46,9 @@ fn main() {
     println!();
     for &budget in kind.budget_grid() {
         print!("{budget:>8}");
+        let req = TuningRequest::cardinality(k, budget).with_seed(1);
         for t in &tuners {
-            let r = t.tune(&ctx, &constraints, budget, 1);
+            let r = t.tune(&ctx, &req);
             print!(" | {:>16.1}%", r.improvement_pct());
         }
         println!();

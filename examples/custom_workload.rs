@@ -99,14 +99,17 @@ fn main() {
     // Storage constraint: the database's own size (enough for a couple of
     // fact-table indexes, not for everything).
     let limit = opt.schema().database_size_bytes();
-    let constraints = Constraints::with_storage(4, limit);
+    let req = TuningRequest::new(Constraints::with_storage(4, limit), 60).with_seed(7);
     println!(
         "tuning with K = 4 and a storage limit of {} GB",
         limit / (1 << 30)
     );
 
-    let result = MctsTuner::default().tune(&ctx, &constraints, 60, 7);
-    println!("\nrecommendation ({:.1}% improvement):", result.improvement_pct());
+    let result = MctsTuner::default().tune(&ctx, &req);
+    println!(
+        "\nrecommendation ({:.1}% improvement):",
+        result.improvement_pct()
+    );
     for id in result.config.iter() {
         let idx = opt.candidate(id);
         println!(

@@ -41,9 +41,15 @@ fn main() {
         &schema,
         "quickstart",
         &[
-            ("Q1", "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200"),
+            (
+                "Q1",
+                "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200",
+            ),
             ("Q2", "SELECT a FROM r, s WHERE r.b = s.c AND r.a = 40"),
-            ("Q3", "SELECT d, COUNT(*) FROM s WHERE d BETWEEN 100 AND 900 GROUP BY d"),
+            (
+                "Q3",
+                "SELECT d, COUNT(*) FROM s WHERE d BETWEEN 100 AND 900 GROUP BY d",
+            ),
         ],
     )
     .expect("workload parses");
@@ -61,13 +67,16 @@ fn main() {
     let ctx = TuningContext::new(&opt, &cands);
 
     // 5. Budget-aware tuning: at most K = 2 indexes, 30 what-if calls.
-    let constraints = Constraints::cardinality(2);
     let budget = 30;
-    let result = MctsTuner::default().tune(&ctx, &constraints, budget, 42);
+    let req = TuningRequest::cardinality(2, budget).with_seed(42);
+    let result = MctsTuner::default().tune(&ctx, &req);
 
     println!("\nMCTS recommendation (B = {budget} what-if calls):");
     for id in result.config.iter() {
-        println!("  CREATE INDEX ... ON {}", opt.candidate(id).describe(opt.schema()));
+        println!(
+            "  CREATE INDEX ... ON {}",
+            opt.candidate(id).describe(opt.schema())
+        );
     }
     println!(
         "improvement: {:.1}% of workload cost, using {} calls",
@@ -76,7 +85,7 @@ fn main() {
     );
 
     // 6. Compare with the budget-aware greedy baseline at the same budget.
-    let greedy = VanillaGreedy.tune(&ctx, &constraints, budget, 0);
+    let greedy = VanillaGreedy.tune(&ctx, &req);
     println!(
         "vanilla greedy at the same budget: {:.1}%",
         greedy.improvement_pct()

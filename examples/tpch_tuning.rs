@@ -23,15 +23,15 @@ fn main() {
     println!("{} candidate indexes generated\n", cands.len());
     let opt = SimulatedOptimizer::new(instance, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
-    let constraints = Constraints::cardinality(10);
 
     println!(
         "{:>8} | {:>28} | {:>28}",
         "budget", "MCTS", "AutoAdmin greedy"
     );
     for budget in [50usize, 100, 200, 500, 1000] {
-        let mcts = MctsTuner::default().tune(&ctx, &constraints, budget, 1);
-        let greedy = AutoAdminGreedy::default().tune(&ctx, &constraints, budget, 0);
+        let req = TuningRequest::cardinality(10, budget).with_seed(1);
+        let mcts = MctsTuner::default().tune(&ctx, &req);
+        let greedy = AutoAdminGreedy::default().tune(&ctx, &req);
         println!(
             "{budget:>8} | {:>20.1}% ({:>4} calls) | {:>20.1}% ({:>4} calls)",
             mcts.improvement_pct(),
@@ -42,7 +42,7 @@ fn main() {
     }
 
     // Show the actual recommendation at the largest budget.
-    let best = MctsTuner::default().tune(&ctx, &constraints, 1_000, 1);
+    let best = MctsTuner::default().tune(&ctx, &TuningRequest::cardinality(10, 1_000).with_seed(1));
     println!("\nrecommended configuration at B=1000 (K=10):");
     for id in best.config.iter() {
         let idx = opt.candidate(id);

@@ -123,17 +123,16 @@ fn main() -> ExitCode {
 
             let inst = kind.generate();
             let cands = generate_default(&inst);
-            let opt =
-                SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+            let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
             let ctx = TuningContext::new(&opt, &cands);
-            let constraints = match flags.get("storage-gb").and_then(|v| v.parse::<f64>().ok())
-            {
+            let constraints = match flags.get("storage-gb").and_then(|v| v.parse::<f64>().ok()) {
                 Some(gb) => Constraints::with_storage(k, (gb * (1u64 << 30) as f64) as u64),
                 None => Constraints::cardinality(k),
             };
 
+            let req = TuningRequest::new(constraints, budget).with_seed(seed);
             let start = std::time::Instant::now();
-            let result = tuner.tune(&ctx, &constraints, budget, seed);
+            let result = tuner.tune(&ctx, &req);
             println!(
                 "{} on {} (K={k}, B={budget}, seed={seed}): {:.1}% improvement, {} calls, {:.2?}",
                 result.algorithm,

@@ -31,10 +31,15 @@ fn all_tuners() -> Vec<Box<dyn Tuner>> {
 fn every_tuner_respects_budget_and_constraints_on_tpch() {
     let (opt, cands) = session(BenchmarkKind::TpcH);
     let ctx = TuningContext::new(&opt, &cands);
-    let constraints = Constraints::cardinality(5);
+    let req = TuningRequest::cardinality(5, 120).with_seed(1);
     for tuner in all_tuners() {
-        let r = tuner.tune(&ctx, &constraints, 120, 1);
-        assert!(r.calls_used <= 120, "{} overspent: {}", r.algorithm, r.calls_used);
+        let r = tuner.tune(&ctx, &req);
+        assert!(
+            r.calls_used <= 120,
+            "{} overspent: {}",
+            r.algorithm,
+            r.calls_used
+        );
         assert!(r.config.len() <= 5, "{} too many indexes", r.algorithm);
         assert!(
             (0.0..=1.0).contains(&r.improvement),
@@ -42,7 +47,12 @@ fn every_tuner_respects_budget_and_constraints_on_tpch() {
             r.algorithm,
             r.improvement
         );
-        assert_eq!(r.layout.len(), r.calls_used, "{} layout mismatch", r.algorithm);
+        assert_eq!(
+            r.layout.len(),
+            r.calls_used,
+            "{} layout mismatch",
+            r.algorithm
+        );
     }
 }
 
@@ -53,7 +63,7 @@ fn pipeline_works_on_every_benchmark() {
     for kind in BenchmarkKind::ALL {
         let (opt, cands) = session(kind);
         let ctx = TuningContext::new(&opt, &cands);
-        let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(5), 100, 3);
+        let r = MctsTuner::default().tune(&ctx, &TuningRequest::cardinality(5, 100).with_seed(3));
         assert!(r.calls_used <= 100, "{}", kind.name());
         assert!(r.improvement >= 0.0, "{}", kind.name());
     }
@@ -65,9 +75,9 @@ fn mcts_beats_vanilla_greedy_at_small_budget_on_tpcds() {
     // better configurations than FCFS vanilla greedy.
     let (opt, cands) = session(BenchmarkKind::TpcDs);
     let ctx = TuningContext::new(&opt, &cands);
-    let c = Constraints::cardinality(10);
-    let mcts = MctsTuner::default().tune(&ctx, &c, 1_000, 1);
-    let vanilla = VanillaGreedy.tune(&ctx, &c, 1_000, 0);
+    let req = TuningRequest::cardinality(10, 1_000);
+    let mcts = MctsTuner::default().tune(&ctx, &req.with_seed(1));
+    let vanilla = VanillaGreedy.tune(&ctx, &req.with_seed(0));
     assert!(
         mcts.improvement > vanilla.improvement + 0.10,
         "MCTS {:.3} should clearly beat vanilla {:.3} at B=1000",
@@ -82,10 +92,14 @@ fn mcts_beats_vanilla_by_an_order_of_magnitude_on_real_m() {
     // ~35-40% — a 7-8x relative gap.
     let (opt, cands) = session(BenchmarkKind::RealM);
     let ctx = TuningContext::new(&opt, &cands);
-    let c = Constraints::cardinality(10);
-    let mcts = MctsTuner::default().tune(&ctx, &c, 2_000, 1);
-    let vanilla = VanillaGreedy.tune(&ctx, &c, 2_000, 0);
-    assert!(vanilla.improvement < 0.05, "vanilla {:.3}", vanilla.improvement);
+    let req = TuningRequest::cardinality(10, 2_000);
+    let mcts = MctsTuner::default().tune(&ctx, &req.with_seed(1));
+    let vanilla = VanillaGreedy.tune(&ctx, &req.with_seed(0));
+    assert!(
+        vanilla.improvement < 0.05,
+        "vanilla {:.3}",
+        vanilla.improvement
+    );
     assert!(mcts.improvement > 0.25, "mcts {:.3}", mcts.improvement);
 }
 
@@ -93,10 +107,10 @@ fn mcts_beats_vanilla_by_an_order_of_magnitude_on_real_m() {
 fn improvement_grows_with_budget_for_greedy_variants() {
     let (opt, cands) = session(BenchmarkKind::TpcH);
     let ctx = TuningContext::new(&opt, &cands);
-    let c = Constraints::cardinality(10);
+    let req = TuningRequest::cardinality(10, 50);
     for tuner in [&VanillaGreedy as &dyn Tuner, &TwoPhaseGreedy] {
-        let lo = tuner.tune(&ctx, &c, 50, 0).improvement;
-        let hi = tuner.tune(&ctx, &c, 2_000, 0).improvement;
+        let lo = tuner.tune(&ctx, &req).improvement;
+        let hi = tuner.tune(&ctx, &req.with_budget(2_000)).improvement;
         assert!(hi >= lo - 0.05, "{}: lo {lo} hi {hi}", tuner.name());
     }
 }
@@ -106,9 +120,9 @@ fn storage_constraint_is_honored_by_every_tuner() {
     let (opt, cands) = session(BenchmarkKind::TpcH);
     let ctx = TuningContext::new(&opt, &cands);
     let limit = opt.schema().database_size_bytes() / 2;
-    let c = Constraints::with_storage(10, limit);
+    let req = TuningRequest::new(Constraints::with_storage(10, limit), 150).with_seed(2);
     for tuner in all_tuners() {
-        let r = tuner.tune(&ctx, &c, 150, 2);
+        let r = tuner.tune(&ctx, &req);
         assert!(
             opt.config_size_bytes(&r.config) <= limit,
             "{} violated storage limit",
@@ -121,14 +135,19 @@ fn storage_constraint_is_honored_by_every_tuner() {
 fn stochastic_tuners_are_reproducible() {
     let (opt, cands) = session(BenchmarkKind::TpcH);
     let ctx = TuningContext::new(&opt, &cands);
-    let c = Constraints::cardinality(5);
+    let req = TuningRequest::cardinality(5, 150).with_seed(99);
     for tuner in [
         Box::new(MctsTuner::default()) as Box<dyn Tuner>,
         Box::new(DbaBandits::default()),
         Box::new(NoDba::default()),
     ] {
-        let a = tuner.tune(&ctx, &c, 150, 99);
-        let b = tuner.tune(&ctx, &c, 150, 99);
+        assert!(
+            tuner.is_stochastic(),
+            "{} should be stochastic",
+            tuner.name()
+        );
+        let a = tuner.tune(&ctx, &req);
+        let b = tuner.tune(&ctx, &req);
         assert_eq!(a.config, b.config, "{} not deterministic", a.algorithm);
         assert_eq!(a.calls_used, b.calls_used);
     }
@@ -150,8 +169,11 @@ fn compressed_multi_instance_workload_tunes_like_the_original() {
     assert_eq!(compressed.workload.len(), 22);
 
     let full_cands = generate_default(&multi);
-    let full_opt =
-        SimulatedOptimizer::new(multi.clone(), full_cands.indexes.clone(), CostModel::default());
+    let full_opt = SimulatedOptimizer::new(
+        multi.clone(),
+        full_cands.indexes.clone(),
+        CostModel::default(),
+    );
     let full_ctx = TuningContext::new(&full_opt, &full_cands);
 
     let comp_inst = BenchmarkInstance::new(multi.schema.clone(), compressed.workload);
@@ -160,9 +182,9 @@ fn compressed_multi_instance_workload_tunes_like_the_original() {
         SimulatedOptimizer::new(comp_inst, comp_cands.indexes.clone(), CostModel::default());
     let comp_ctx = TuningContext::new(&comp_opt, &comp_cands);
 
-    let c = Constraints::cardinality(10);
-    let direct = MctsTuner::default().tune(&full_ctx, &c, 500, 1);
-    let via_compression = MctsTuner::default().tune(&comp_ctx, &c, 500, 1);
+    let req = TuningRequest::cardinality(10, 500).with_seed(1);
+    let direct = MctsTuner::default().tune(&full_ctx, &req);
+    let via_compression = MctsTuner::default().tune(&comp_ctx, &req);
 
     // Evaluate the compressed recommendation against the FULL workload by
     // mapping candidate definitions across universes.
@@ -202,7 +224,7 @@ fn synthetic_instances_round_trip_all_tuners() {
         let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
         let ctx = TuningContext::new(&opt, &cands);
         for tuner in all_tuners() {
-            let r = tuner.tune(&ctx, &Constraints::cardinality(3), 40, seed);
+            let r = tuner.tune(&ctx, &TuningRequest::cardinality(3, 40).with_seed(seed));
             assert!(r.calls_used <= 40);
             assert!(r.config.len() <= 3);
         }

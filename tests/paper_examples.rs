@@ -37,7 +37,10 @@ fn figure3_instance() -> BenchmarkInstance {
         &schema,
         "fig3",
         &[
-            ("Q1", "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200"),
+            (
+                "Q1",
+                "SELECT a, d FROM r, s WHERE r.b = s.c AND r.a = 5 AND s.d > 200",
+            ),
             ("Q2", "SELECT a FROM r, s WHERE r.b = s.c AND r.a = 40"),
         ],
     )
@@ -84,7 +87,7 @@ fn example1_greedy_monotone_steps_and_early_stop() {
     let cands = generate_default(&inst);
     let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
-    let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(2), 100_000, 0);
+    let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(2, 100_000));
     assert!(r.config.len() <= 2);
     assert!(r.improvement > 0.0, "Figure 3's workload is improvable");
 
@@ -104,7 +107,7 @@ fn figure5_vanilla_fill_is_row_major() {
     let cands = generate_default(&inst);
     let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
-    let r = VanillaGreedy.tune(&ctx, &Constraints::cardinality(2), 7, 0);
+    let r = VanillaGreedy.tune(&ctx, &TuningRequest::cardinality(2, 7));
     assert!(r.layout.is_row_major(), "Figure 5(b): row-major FCFS fill");
 }
 
@@ -115,7 +118,7 @@ fn figure5_twophase_fill_starts_column_major() {
     let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
     // Budget small enough to stay inside phase 1.
-    let r = TwoPhaseGreedy.tune(&ctx, &Constraints::cardinality(2), 4, 0);
+    let r = TwoPhaseGreedy.tune(&ctx, &TuningRequest::cardinality(2, 4));
     assert!(
         r.layout.is_column_major(),
         "Figure 5(c): phase 1 fills query columns first"
@@ -128,7 +131,7 @@ fn figure5_autoadmin_only_fills_atomic_rows() {
     let cands = generate_default(&inst);
     let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
-    let r = AutoAdminGreedy::default().tune(&ctx, &Constraints::cardinality(2), 1_000, 0);
+    let r = AutoAdminGreedy::default().tune(&ctx, &TuningRequest::cardinality(2, 1_000));
     assert!(
         r.layout.calls_by_config_size().keys().all(|&s| s <= 2),
         "Figure 5(d): atomic configurations only"
@@ -157,7 +160,7 @@ fn figure7_episode_expands_tree_and_respects_terminal_depth() {
     let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
     let ctx = TuningContext::new(&opt, &cands);
     let k = 2;
-    let r = MctsTuner::default().tune(&ctx, &Constraints::cardinality(k), 60, 5);
+    let r = MctsTuner::default().tune(&ctx, &TuningRequest::cardinality(k, 60).with_seed(5));
     // Terminal states have |s| = K, so nothing larger is ever evaluated.
     assert!(
         r.layout.cells().iter().all(|(_, c)| c.len() <= k),

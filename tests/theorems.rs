@@ -36,7 +36,9 @@ fn small_optimizer(seed: u64) -> SimulatedOptimizer {
 fn subset_of(universe: usize, mask: u64) -> IndexSet {
     IndexSet::from_ids(
         universe,
-        (0..universe.min(64)).filter(|i| mask >> i & 1 == 1).map(IndexId::from),
+        (0..universe.min(64))
+            .filter(|i| mask >> i & 1 == 1)
+            .map(IndexId::from),
     )
 }
 

@@ -1,0 +1,102 @@
+//! Vendored stand-in for the `crossbeam` crate, providing the scoped-thread
+//! API this workspace uses (`crossbeam::thread::scope` + `Scope::spawn`),
+//! implemented on top of `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantics match crossbeam where the workspace relies on them: spawned
+//! threads may borrow from the enclosing stack frame, `scope` joins all
+//! threads before returning, and a panic — in the closure or in an
+//! unjoined child — surfaces as `Err` from `scope` rather than unwinding
+//! through the caller.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload: boxed panic values from child threads, like crossbeam.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Scope handle passed to `scope`'s closure; `spawn` mirrors
+    /// crossbeam's signature, handing the closure a `&Scope` so nested
+    /// spawns are possible (call sites typically write `s.spawn(|_| ...)`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            // `inner` is Copy (&'scope std Scope), so the spawned closure
+            // can rebuild a wrapper Scope that outlives the thread.
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing spawns are allowed. All
+    /// spawned threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn borrows_and_joins() {
+            let data = [1u64, 2, 3, 4];
+            let total = std::sync::atomic::AtomicU64::new(0);
+            super::scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        total.fetch_add(
+                            chunk.iter().sum::<u64>(),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(total.into_inner(), 10);
+        }
+
+        #[test]
+        fn child_panic_is_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("child down"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_handle() {
+            let r = super::scope(|s| {
+                let h = s.spawn(|s2| {
+                    let inner = s2.spawn(|_| 21u32);
+                    inner.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(r, 42);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Vendored stand-in for `serde_derive`, written directly against the
+//! `proc_macro` API (no `syn`/`quote` — they are unavailable offline).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//! - structs with named fields → JSON objects
+//! - newtype structs → transparent (the inner value)
+//! - other tuple structs → arrays
+//! - enums with unit variants → strings, and data-carrying variants →
+//!   externally tagged single-key objects (matching serde's JSON defaults)
+//!
+//! Generic parameters and `#[serde(...)]` attributes are not supported;
+//! the workspace uses neither. Unsupported input produces a
+//! `compile_error!` so failures are loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({:?});", msg),
+    };
+    code.parse()
+        .expect("serde_derive: generated code failed to parse")
+}
+
+// --- parsed representation ----------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments arrive as #[doc = ...]) and
+    // visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(named_field_names(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(split_top_commas(g.stream()).len()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Item { name, body })
+}
+
+/// Split a token stream on commas that sit at angle-bracket depth zero.
+/// Commas nested in `(...)`/`[...]`/`{...}` are invisible here (those are
+/// single `Group` trees), but commas inside generics like
+/// `HashMap<String, TableId>` are top-level punctuation and must not split
+/// a field — hence the depth tracking.
+fn split_top_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in ts {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        chunks.push(cur);
+    }
+    chunks
+}
+
+/// Extract the field name from one named-field chunk: skip attributes and
+/// visibility, take the identifier before the `:`.
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Ok(id.to_string()),
+            other => return Err(format!("unexpected token in field: {other:?}")),
+        }
+    }
+    Err("field without a name".to_string())
+}
+
+fn named_field_names(ts: TokenStream) -> Result<Vec<String>, String> {
+    split_top_commas(ts).iter().map(|c| field_name(c)).collect()
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_commas(ts) {
+        let mut i = 0;
+        // Skip variant attributes (doc comments).
+        while matches!(&chunk.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match chunk.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(split_top_commas(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(named_field_names(g.stream())?)
+            }
+            None => Fields::Unit,
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// --- code generation -----------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            // Newtype structs are transparent, matching serde's JSON output.
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", entries.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(ser_variant_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_variant_arm(v: &Variant) -> String {
+    let name = &v.name;
+    match &v.fields {
+        Fields::Unit => {
+            format!("Self::{name} => ::serde::Value::Str({name:?}.to_string()),")
+        }
+        Fields::Tuple(1) => format!(
+            "Self::{name}(f0) => ::serde::Value::Obj(vec![({name:?}.to_string(), \
+             ::serde::Serialize::to_value(f0))]),"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let vals: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "Self::{name}({}) => ::serde::Value::Obj(vec![({name:?}.to_string(), \
+                 ::serde::Value::Arr(vec![{}]))]),",
+                binds.join(", "),
+                vals.join(", ")
+            )
+        }
+        Fields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                .collect();
+            format!(
+                "Self::{name} {{ {binds} }} => ::serde::Value::Obj(vec![({name:?}.to_string(), \
+                 ::serde::Value::Obj(vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         v.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            "Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i})\
+                         .ok_or_else(|| ::serde::DeError::msg(\"array too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{ ::serde::Value::Arr(items) => Ok(Self({})), \
+                 _ => Err(::serde::DeError::msg(\"expected array\")) }}",
+                inits.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => "Ok(Self)".to_string(),
+        Body::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("{:?} => return Ok(Self::{}),", v.name, v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| match &v.fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "{:?} => return Ok(Self::{}(::serde::Deserialize::from_value(inner)?)),",
+                v.name, v.name
+            )),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({i})\
+                             .ok_or_else(|| ::serde::DeError::msg(\"variant array too short\"))?)?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{:?} => return match inner {{ ::serde::Value::Arr(items) => \
+                     Ok(Self::{}({})), _ => Err(::serde::DeError::msg(\"expected array\")) }},",
+                    v.name,
+                    v.name,
+                    inits.join(", ")
+                ))
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             inner.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "{:?} => return Ok(Self::{} {{ {} }}),",
+                    v.name,
+                    v.name,
+                    inits.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    format!(
+        "if let Some(s) = v.as_str() {{\n\
+           match s {{ {} _ => return Err(::serde::DeError::msg(\
+             format!(\"unknown {name} variant: {{s}}\"))), }}\n\
+         }}\n\
+         if let ::serde::Value::Obj(fields) = v {{\n\
+           if fields.len() == 1 {{\n\
+             let (tag, inner) = &fields[0];\n\
+             let _ = inner;\n\
+             match tag.as_str() {{ {} _ => return Err(::serde::DeError::msg(\
+               format!(\"unknown {name} variant: {{tag}}\"))), }}\n\
+           }}\n\
+         }}\n\
+         Err(::serde::DeError::msg(\"expected {name} as string or single-key object\"))",
+        unit_arms.join(" "),
+        tagged_arms.join(" ")
+    )
+}

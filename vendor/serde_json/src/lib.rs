@@ -1,0 +1,198 @@
+//! Vendored, dependency-free stand-in for the `serde_json` crate.
+//!
+//! Re-exports the [`Value`] tree from the vendored `serde` and provides the
+//! pieces this workspace uses: [`to_value`], [`to_string`],
+//! [`to_string_pretty`], and the [`json!`] macro (object literals with
+//! string keys, array literals, and bare `Serialize` expressions).
+
+use std::fmt;
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Serialization failure. The vendored `Serialize` is infallible, so this
+/// exists only to keep `to_string*` signatures source-compatible with the
+/// real crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any `Serialize` value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON encoding.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Human-readable JSON encoding with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] in place: `json!(null)`, `json!([a, b])`,
+/// `json!({"key": expr, ...})`, or `json!(expr)` for any `Serialize` type.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Arr(vec![ $($crate::to_value(&$elem)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Obj(vec![ $(($key.to_string(), $crate::to_value(&$val))),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(out, *f),
+        Value::Str(s) => write_escaped(out, s),
+        Value::Arr(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            '[',
+            ']',
+            indent,
+            depth,
+            |out, item, indent, depth| {
+                write_value(out, item, indent, depth);
+            },
+        ),
+        Value::Obj(fields) => write_seq(
+            out,
+            fields.iter(),
+            fields.len(),
+            '{',
+            '}',
+            indent,
+            depth,
+            |out, (k, v), indent, depth| {
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    len: usize,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        // JSON has no NaN/Infinity; serde_json emits null for them too.
+        out.push_str("null");
+    } else if f == f.trunc() && f.abs() < 1e15 {
+        // Keep the decimal point so the value round-trips as a float.
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_encoding() {
+        let v = json!({"a": 1u32, "b": [1.5f64, 2.0f64], "s": "x\"y"});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.5,2.0],"s":"x\"y"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_encoding() {
+        let v = json!({"k": [1u32]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn bare_exprs_and_null() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3u64), Value::U64(3));
+        let xs = vec![1u32, 2];
+        assert_eq!(json!(xs), Value::Arr(vec![Value::U64(1), Value::U64(2)]));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(to_string_pretty(&Value::Arr(vec![])).unwrap(), "[]");
+        assert_eq!(to_string(&Value::Obj(vec![])).unwrap(), "{}");
+    }
+}
