@@ -5,7 +5,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use ixtune_bench::Session;
 use ixtune_common::rng::seeded;
 use ixtune_common::{IndexId, IndexSet, QueryId};
-use ixtune_core::MeteredWhatIf;
+use ixtune_core::{
+    Constraints, DerivationState, MeteredWhatIf, RolloutPolicy, SelectionPolicy, TuningContext,
+    WhatIfCache,
+};
 use ixtune_optimizer::WhatIfOptimizer;
 use ixtune_workload::gen::BenchmarkKind;
 use rand::RngExt;
@@ -48,9 +51,109 @@ fn bench_derivation(c: &mut Criterion) {
                 black_box(cache.derived_with_extra(QueryId::new(0), &probe, IndexId::new(21), base))
             })
         });
+        // The pre-postings shape: same derivation, linear scan of every
+        // multi entry instead of the inverted postings for `extra`.
+        group.bench_function(format!("derived-with-extra-scan-{entries}-entries"), |b| {
+            let base = cache.derived(QueryId::new(0), &probe);
+            b.iter(|| {
+                black_box(cache.derived_with_extra_scan(
+                    QueryId::new(0),
+                    &probe,
+                    IndexId::new(21),
+                    base,
+                ))
+            })
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_derivation);
+/// Synthetic cache with a controlled universe size: `queries` queries,
+/// `entries` multi-index what-if results per query drawn uniformly.
+fn synthetic_cache(universe: usize, queries: usize, entries: usize) -> WhatIfCache {
+    let mut rng = seeded(universe as u64);
+    let mut cache = WhatIfCache::new(universe, vec![1000.0; queries]);
+    for q in 0..queries {
+        let q = QueryId::from(q);
+        let mut stored = 0;
+        while stored < entries {
+            let size = rng.random_range(2..4usize);
+            let cfg = IndexSet::from_ids(
+                universe,
+                (0..size).map(|_| IndexId::from(rng.random_range(0..universe))),
+            );
+            let cost = rng.random_range(100..900) as f64;
+            if cache.put(q, &cfg, cost) {
+                stored += 1;
+            }
+        }
+    }
+    cache
+}
+
+/// One greedy step — score every candidate extension of a committed
+/// configuration — in the shape the enumerators had before this change
+/// (materialize `C ∪ {x}`, full `derived_workload` rescan) and after
+/// (allocation-free `DerivationState::probe_extend` over the postings).
+fn bench_greedy_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy-step");
+    group.sample_size(10);
+
+    for universe in [64usize, 256, 1024] {
+        let cache = synthetic_cache(universe, 20, 200);
+        let mut state = DerivationState::workload(&cache);
+        for i in 0..4 {
+            state.commit_recompute(&cache, IndexId::from(i * universe / 5));
+        }
+        let config = state.config().clone();
+
+        group.bench_function(format!("full-rescan-u{universe}"), |b| {
+            b.iter(|| {
+                let mut best = f64::INFINITY;
+                for x in config.complement_iter() {
+                    let total = cache.derived_workload(&config.with(x));
+                    if total < best {
+                        best = total;
+                    }
+                }
+                black_box(best)
+            })
+        });
+        group.bench_function(format!("incremental-u{universe}"), |b| {
+            b.iter(|| {
+                let mut best = f64::INFINITY;
+                for x in config.complement_iter() {
+                    let total = state.probe_extend(&cache, x);
+                    if total < best {
+                        best = total;
+                    }
+                }
+                black_box(best)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// MCTS rollout completion — the other inner loop rewritten to reuse
+/// its action/weight buffers instead of collecting fresh `Vec`s per step.
+fn bench_rollout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rollout");
+    group.sample_size(20);
+
+    let session = Session::build(BenchmarkKind::TpcDs);
+    let ctx = TuningContext::new(&session.opt, &session.cands);
+    let constraints = Constraints::cardinality(8);
+    let policy = RolloutPolicy::RandomStep;
+    let selection = SelectionPolicy::uct();
+    let empty = IndexSet::empty(ctx.universe());
+    let mut rng = seeded(11);
+
+    group.bench_function("random-step-completion", |b| {
+        b.iter(|| black_box(policy.rollout(&ctx, &constraints, &selection, &[], &empty, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_derivation, bench_greedy_step, bench_rollout);
 criterion_main!(benches);

@@ -35,8 +35,14 @@ impl IndexSet {
     /// The full configuration (all candidates).
     pub fn full(universe: usize) -> Self {
         let mut s = Self::empty(universe);
-        for i in 0..universe {
-            s.insert(IndexId::from(i));
+        for b in &mut s.blocks {
+            *b = u64::MAX;
+        }
+        if let Some(last) = s.blocks.last_mut() {
+            let tail = universe % BITS;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
         }
         s
     }
@@ -124,6 +130,25 @@ impl IndexSet {
         other.is_subset(self)
     }
 
+    /// `self \ {excluded} ⊆ other`, without materializing the difference.
+    ///
+    /// This is the subset test cost derivation performs for every posting
+    /// hit (`S ⊆ C ∪ {x} ⇔ S \ {x} ⊆ C`), so it must not clone.
+    #[inline]
+    pub fn is_subset_except(&self, other: &Self, excluded: IndexId) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.check(excluded);
+        let (eb, em) = (excluded.index() / BITS, 1u64 << (excluded.index() % BITS));
+        self.blocks
+            .iter()
+            .enumerate()
+            .zip(&other.blocks)
+            .all(|((bi, &a), &b)| {
+                let mask = if bi == eb { !em } else { u64::MAX };
+                a & mask & !b == 0
+            })
+    }
+
     /// In-place union.
     pub fn union_with(&mut self, other: &Self) {
         debug_assert_eq!(self.universe, other.universe);
@@ -158,12 +183,27 @@ impl IndexSet {
     }
 
     /// Iterate over the complement (ids in the universe but not in the set) —
-    /// the action set `A(s) = I − s` of the MDP.
+    /// the action set `A(s) = I − s` of the MDP. Walks negated blocks with
+    /// `trailing_zeros` (this sits in the MCTS action-set and rollout inner
+    /// loops, where a per-id `contains` probe is measurably slower).
     pub fn complement_iter(&self) -> impl Iterator<Item = IndexId> + '_ {
         let n = self.universe();
-        (0..n)
-            .map(IndexId::from)
-            .filter(move |&id| !self.contains(id))
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(move |(bi, &block)| {
+                let base = bi * BITS;
+                // Mask off bits beyond the universe in the last block.
+                let valid = if n - base >= BITS {
+                    u64::MAX
+                } else {
+                    (1u64 << (n - base)) - 1
+                };
+                BlockIter {
+                    block: !block & valid,
+                    base,
+                }
+            })
     }
 
     /// Collect members into a vector.
@@ -297,9 +337,37 @@ mod tests {
 
     #[test]
     fn full_set() {
-        let s = IndexSet::full(67);
-        assert_eq!(s.len(), 67);
-        assert!(IndexSet::from_ids(67, ids(&[66])).is_subset(&s));
+        for n in [0usize, 1, 63, 64, 65, 67, 128, 130] {
+            let s = IndexSet::full(n);
+            assert_eq!(s.len(), n, "universe {n}");
+            assert_eq!(s.to_vec(), (0..n).map(IndexId::from).collect::<Vec<_>>());
+            assert_eq!(s.complement_iter().count(), 0, "universe {n}");
+        }
+        assert!(IndexSet::from_ids(67, ids(&[66])).is_subset(&IndexSet::full(67)));
+    }
+
+    #[test]
+    fn complement_crosses_block_boundaries() {
+        let s = IndexSet::from_ids(130, ids(&[0, 63, 64, 127, 128]));
+        let comp: Vec<IndexId> = s.complement_iter().collect();
+        let naive: Vec<IndexId> = (0..130usize)
+            .map(IndexId::from)
+            .filter(|&id| !s.contains(id))
+            .collect();
+        assert_eq!(comp, naive);
+        assert_eq!(comp.len(), 125);
+    }
+
+    #[test]
+    fn subset_except_matches_materialized_difference() {
+        let a = IndexSet::from_ids(200, ids(&[1, 64, 130]));
+        let b = IndexSet::from_ids(200, ids(&[1, 130, 199]));
+        // a \ {64} = {1, 130} ⊆ b, but a itself is not.
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset_except(&b, IndexId::new(64)));
+        // Excluding a non-member changes nothing.
+        assert!(!a.is_subset_except(&b, IndexId::new(2)));
+        assert!(a.is_subset_except(&a, IndexId::new(64)));
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! configuration is priced by cost derivation.
 
 use crate::budget::MeteredWhatIf;
-use crate::greedy::greedy_enumerate;
+use crate::derivation_state::DerivationState;
+use crate::greedy::greedy_enumerate_incremental;
 use crate::matrix::Layout;
 use crate::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use crate::twophase::TwoPhaseGreedy;
 use ixtune_candidates::atomic::single_join_pairs;
-use ixtune_common::{IndexSet, QueryId};
+use ixtune_common::{IndexId, IndexSet, QueryId};
 use std::collections::HashSet;
 
 /// AutoAdmin-style greedy with atomic-configuration budget allocation.
@@ -41,27 +42,34 @@ impl Tuner for AutoAdminGreedy {
                 .collect();
 
         // Atomic cost: what-if for singletons and single-join pairs, derived
-        // for everything else.
+        // for everything else. `c` is the extension `C ∪ {x}` and `cur` the
+        // query's committed cost — the non-atomic branch derives
+        // incrementally off it.
         let is_atomic = |c: &IndexSet| c.len() <= 1 || atomic_pairs.contains(c);
-        let cost_atomic = |mw: &mut MeteredWhatIf<'_>, q: QueryId, c: &IndexSet| {
-            if is_atomic(c) {
-                mw.cost_fcfs(q, c)
-            } else {
-                mw.derived(q, c)
-            }
-        };
+        let cost_atomic =
+            |mw: &mut MeteredWhatIf<'_>, q: QueryId, c: &IndexSet, x: IndexId, cur: f64| {
+                if is_atomic(c) {
+                    mw.cost_fcfs_extend(q, c, x, cur)
+                } else {
+                    mw.cache().derived_with_extra(q, c, x, cur)
+                }
+            };
 
         // Phase 1 (per query) restricted to atomic what-if calls.
-        let union =
-            TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, |mw, q, c| cost_atomic(mw, q, c));
+        let union = TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, |mw, q, c, x, cur| {
+            cost_atomic(mw, q, c, x, cur)
+        });
 
         // Phase 2 over the union, still atomic-restricted.
-        let m = ctx.num_queries();
-        let config = greedy_enumerate(ctx, constraints, &union, |c| {
-            (0..m)
-                .map(|qi| cost_atomic(&mut mw, QueryId::from(qi), c))
-                .sum()
-        });
+        let universe = ctx.universe();
+        let empty = IndexSet::empty(universe);
+        let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
+        let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
+        let mut state = DerivationState::for_queries(universe, queries, init);
+        let config =
+            greedy_enumerate_incremental(ctx, constraints, &union, &mut state, |q, c, x, cur| {
+                cost_atomic(&mut mw, q, c, x, cur)
+            });
         let used = mw.meter().used();
         let telemetry = mw.telemetry();
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))

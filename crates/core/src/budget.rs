@@ -9,7 +9,7 @@
 //! calls is recorded as the session's [`Layout`](crate::matrix::Layout).
 
 use crate::derived::WhatIfCache;
-use ixtune_common::{IndexSet, QueryId};
+use ixtune_common::{IndexId, IndexSet, QueryId};
 use ixtune_optimizer::WhatIfOptimizer;
 use serde::{Deserialize, Serialize};
 
@@ -193,7 +193,9 @@ impl<'a> MeteredWhatIf<'a> {
             Phase::Other => self.counters.other_calls += 1,
         }
         let cost = self.opt.what_if_cost(q, config);
-        self.cache.put(q, config, cost);
+        // The `get` above already established the miss, so skip `put`'s
+        // duplicate probe.
+        self.cache.put_new(q, config, cost);
         self.trace.push((q, config.clone()));
         Some(cost)
     }
@@ -204,6 +206,25 @@ impl<'a> MeteredWhatIf<'a> {
         match self.what_if(q, config) {
             Some(c) => c,
             None => self.cache.derived(q, config),
+        }
+    }
+
+    /// FCFS cost of an *extension* `C ∪ {extra}` given `cur = cost(q, C)`:
+    /// the what-if cost while budget lasts, the postings-guided incremental
+    /// derivation afterwards. Same value (and same telemetry) as
+    /// [`cost_fcfs`](Self::cost_fcfs) on `C ∪ {extra}`, without the full
+    /// subset rescan. `config` must already include `extra`.
+    pub fn cost_fcfs_extend(
+        &mut self,
+        q: QueryId,
+        config: &IndexSet,
+        extra: IndexId,
+        cur: f64,
+    ) -> f64 {
+        debug_assert!(config.contains(extra));
+        match self.what_if(q, config) {
+            Some(c) => c,
+            None => self.cache.derived_with_extra(q, config, extra, cur),
         }
     }
 

@@ -19,10 +19,18 @@ pub struct WhatIfCache {
     universe: usize,
     /// `c(q, ∅)` for every query — computed up front, not budgeted.
     empty: Vec<f64>,
+    /// `Σ_q c(q, ∅)`, cached so `improvement()` does not re-sum per call.
+    empty_total: f64,
     /// Dense singleton costs: `singleton[q][i] = c(q, {I_i})`, NaN if unknown.
     singleton: Vec<Vec<f64>>,
     /// Multi-index entries per query, sorted by ascending cost.
     multi: Vec<Vec<(IndexSet, f64)>>,
+    /// Inverted postings: `postings[q][i]` = ascending positions into
+    /// `multi[q]` of entries containing index `i`. Because `multi` is
+    /// sorted by cost, position order *is* cost order, so
+    /// [`derived_with_extra`](Self::derived_with_extra) can scan only the
+    /// entries that mention `extra` and still early-exit on cost.
+    postings: Vec<Vec<Vec<u32>>>,
     /// Exact lookup across all entry sizes.
     exact: Vec<HashMap<IndexSet, f64>>,
     /// Largest multi-entry size stored per query: configurations bigger
@@ -42,11 +50,14 @@ impl WhatIfCache {
     /// seeded with the empty-configuration costs.
     pub fn new(universe: usize, empty_costs: Vec<f64>) -> Self {
         let m = empty_costs.len();
+        let empty_total = empty_costs.iter().sum();
         Self {
             universe,
             empty: empty_costs,
+            empty_total,
             singleton: vec![vec![f64::NAN; universe]; m],
             multi: vec![Vec::new(); m],
+            postings: vec![vec![Vec::new(); universe]; m],
             exact: vec![HashMap::new(); m],
             max_multi_size: vec![0; m],
             stored: 0,
@@ -73,9 +84,9 @@ impl WhatIfCache {
         self.empty[q.index()]
     }
 
-    /// `cost(W, ∅)`.
+    /// `cost(W, ∅)` (cached at construction).
     pub fn empty_workload_cost(&self) -> f64 {
-        self.empty.iter().sum()
+        self.empty_total
     }
 
     /// Exact lookup: the what-if cost if one was recorded for `(q, config)`.
@@ -98,13 +109,26 @@ impl WhatIfCache {
 
     /// Record a what-if result. Returns `true` if it was new.
     pub fn put(&mut self, q: QueryId, config: &IndexSet, cost: f64) -> bool {
-        if config.is_empty() {
+        if config.is_empty() || self.get(q, config).is_some() {
             return false;
         }
-        if self.get(q, config).is_some() {
-            return false;
-        }
-        let qi = q.index();
+        self.insert_entry(q.index(), config, cost);
+        true
+    }
+
+    /// Record a what-if result known to be absent — the miss path of
+    /// `MeteredWhatIf::what_if`, which already probed [`get`](Self::get)
+    /// and so can skip the duplicate check (and its bitset hash).
+    pub fn put_new(&mut self, q: QueryId, config: &IndexSet, cost: f64) {
+        debug_assert!(!config.is_empty(), "∅ is seeded at construction");
+        debug_assert!(
+            self.get(q, config).is_none(),
+            "put_new on an already-cached entry"
+        );
+        self.insert_entry(q.index(), config, cost);
+    }
+
+    fn insert_entry(&mut self, qi: usize, config: &IndexSet, cost: f64) {
         if config.len() == 1 {
             let id = config.iter().next().unwrap();
             self.singleton[qi][id.index()] = cost;
@@ -114,9 +138,24 @@ impl WhatIfCache {
             let pos = list.partition_point(|(_, c)| *c < cost);
             list.insert(pos, (config.clone(), cost));
             self.max_multi_size[qi] = self.max_multi_size[qi].max(config.len());
+            // Maintain the inverted postings: positions at or past the
+            // insertion point shift by one (lists stay sorted), then the
+            // new position joins each member's list. Puts are bounded by
+            // the budget; probes are not — so this is the cheap side.
+            let p = pos as u32;
+            for slot in &mut self.postings[qi] {
+                let from = slot.partition_point(|&v| v < p);
+                for v in &mut slot[from..] {
+                    *v += 1;
+                }
+            }
+            for id in config.iter() {
+                let slot = &mut self.postings[qi][id.index()];
+                let at = slot.partition_point(|&v| v < p);
+                slot.insert(at, p);
+            }
         }
         self.stored += 1;
-        true
     }
 
     /// Known singleton cost `c(q, {id})`, if evaluated.
@@ -191,9 +230,47 @@ impl WhatIfCache {
     /// Incremental derivation: `d(q, C ∪ {extra})` given `d(q, C)`.
     ///
     /// Exploits `d(q, C ∪ {x}) = min(d(q,C), c(q,{x}), min over known
-    /// entries that contain x and fit in C ∪ {x})`, avoiding the full
-    /// subset scan in greedy inner loops.
+    /// entries that contain x and fit in C ∪ {x})`. The inverted postings
+    /// narrow the scan to exactly the multi entries containing `extra`, in
+    /// ascending-cost order, so the early exit still applies; the subset
+    /// test runs block-wise without materializing `set \ {extra}`.
+    ///
+    /// Returns bit-for-bit the same value as the full scan
+    /// ([`derived_with_extra_scan`](Self::derived_with_extra_scan)): both
+    /// visit the qualifying entries in the same order and take the same
+    /// `min` over the same set of `f64`s.
     pub fn derived_with_extra(
+        &self,
+        q: QueryId,
+        config: &IndexSet,
+        extra: IndexId,
+        current: f64,
+    ) -> f64 {
+        self.derivations.set(self.derivations.get() + 1);
+        let qi = q.index();
+        let mut best = current;
+        let s = self.singleton[qi][extra.index()];
+        if !s.is_nan() && s < best {
+            best = s;
+        }
+        let list = &self.multi[qi];
+        for &pos in &self.postings[qi][extra.index()] {
+            let (set, cost) = &list[pos as usize];
+            if *cost >= best {
+                break;
+            }
+            // set ⊆ C ∪ {extra} ⇔ set \ {extra} ⊆ C.
+            if set.is_subset_except(config, extra) {
+                best = *cost;
+            }
+        }
+        best
+    }
+
+    /// Reference implementation of [`derived_with_extra`](Self::derived_with_extra)
+    /// that scans every multi entry instead of the postings. Kept as the
+    /// equivalence oracle for the proptest and the before/after benchmark.
+    pub fn derived_with_extra_scan(
         &self,
         q: QueryId,
         config: &IndexSet,
@@ -211,11 +288,8 @@ impl WhatIfCache {
             if *cost >= best {
                 break;
             }
-            if set.contains(extra) {
-                // set ⊆ C ∪ {extra} ⇔ set \ {extra} ⊆ C.
-                if set.without(extra).is_subset(config) {
-                    best = *cost;
-                }
+            if set.contains(extra) && set.without(extra).is_subset(config) {
+                best = *cost;
             }
         }
         best
@@ -305,6 +379,56 @@ mod tests {
         c.put(QueryId::new(1), &set(4, &[0]), 150.0);
         assert_eq!(c.derived_workload(&set(4, &[0])), 160.0);
         assert_eq!(c.derived_workload(&set(4, &[3])), 300.0);
+    }
+
+    #[test]
+    fn with_extra_matches_scan_and_full_derivation() {
+        let mut c = cache();
+        let q = QueryId::new(0);
+        // Out-of-cost-order inserts force postings shifts.
+        c.put(q, &set(4, &[0, 1]), 30.0);
+        c.put(q, &set(4, &[1, 2]), 25.0);
+        c.put(q, &set(4, &[0, 2, 3]), 20.0);
+        c.put(q, &set(4, &[2]), 60.0);
+        for cfg in [set(4, &[]), set(4, &[0]), set(4, &[0, 3]), set(4, &[1, 2])] {
+            let cur = c.derived(q, &cfg);
+            for x in 0..4 {
+                let extra = IndexId::new(x);
+                if cfg.contains(extra) {
+                    continue;
+                }
+                let fast = c.derived_with_extra(q, &cfg, extra, cur);
+                let slow = c.derived_with_extra_scan(q, &cfg, extra, cur);
+                let full = c.derived(q, &cfg.with(extra));
+                assert_eq!(fast, slow, "cfg={cfg:?} extra={x}");
+                assert_eq!(fast, full, "cfg={cfg:?} extra={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn put_new_behaves_like_put() {
+        let mut a = cache();
+        let mut b = cache();
+        let q = QueryId::new(0);
+        let entries = [
+            (set(4, &[0, 1]), 30.0),
+            (set(4, &[2, 3]), 20.0),
+            (set(4, &[1, 2, 3]), 25.0),
+            (set(4, &[3]), 50.0),
+        ];
+        for (cfg, cost) in &entries {
+            assert!(a.put(q, cfg, *cost));
+            b.put_new(q, cfg, *cost);
+        }
+        assert_eq!(a.stored_results(), b.stored_results());
+        for cfg in [
+            set(4, &[0, 1, 2]),
+            set(4, &[1, 2, 3]),
+            set(4, &[0, 1, 2, 3]),
+        ] {
+            assert_eq!(a.derived(q, &cfg), b.derived(q, &cfg));
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! the paper) and its budget-aware vanilla variant (§4.2.1).
 
 use crate::budget::MeteredWhatIf;
+use crate::derivation_state::DerivationState;
 use crate::matrix::Layout;
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -13,7 +14,9 @@ use ixtune_common::{IndexId, IndexSet, QueryId};
 /// `cost_of` is the workload-level cost function — the caller decides
 /// whether it spends budget (FCFS), restricts calls to atomic
 /// configurations, or uses derived costs only (as in MCTS's Best-Greedy
-/// extraction).
+/// extraction). Candidates are probed through a scratch set (insert,
+/// evaluate, remove) rather than a fresh `config.with(id)` clone per
+/// candidate per step.
 pub fn greedy_enumerate(
     ctx: &TuningContext<'_>,
     constraints: &Constraints,
@@ -32,7 +35,11 @@ pub fn greedy_enumerate(
             if !filter.admits(ctx, id) {
                 continue;
             }
-            let cost = cost_of(&config.with(id));
+            let fresh = config.insert(id);
+            let cost = cost_of(&config);
+            if fresh {
+                config.remove(id);
+            }
             if best.is_none_or(|(_, b)| cost < b) {
                 best = Some((pos, cost));
             }
@@ -49,6 +56,50 @@ pub fn greedy_enumerate(
     config
 }
 
+/// Algorithm 1 over a [`DerivationState`]: the same candidate order,
+/// tie-breaking, and stopping rule as [`greedy_enumerate`], but each
+/// candidate is priced per query by `eval(q, C ∪ {id}, id, cost(q, C))`
+/// through [`DerivationState::probe_with`] — no full-workload rescan and no
+/// allocation in the inner loop. The best candidate's per-query buffer is
+/// staged and committed with [`DerivationState::commit_staged`].
+///
+/// The caller seeds `state` with the per-query costs of the empty
+/// configuration (through the metered client, so telemetry matches the
+/// rescan implementation) and supplies the same `eval` it would have used
+/// per `(query, configuration)` pair before.
+pub fn greedy_enumerate_incremental(
+    ctx: &TuningContext<'_>,
+    constraints: &Constraints,
+    pool: &[IndexId],
+    state: &mut DerivationState,
+    mut eval: impl FnMut(QueryId, &IndexSet, IndexId, f64) -> f64,
+) -> IndexSet {
+    let mut remaining: Vec<IndexId> = pool.to_vec();
+
+    while !remaining.is_empty() && state.config().len() < constraints.k {
+        let filter = constraints.extension_filter(ctx, state.config());
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &id) in remaining.iter().enumerate() {
+            if !filter.admits(ctx, id) {
+                continue;
+            }
+            let cost = state.probe_with(id, &mut eval);
+            if best.is_none_or(|(_, b)| cost < b) {
+                best = Some((pos, cost));
+                state.stage_probe();
+            }
+        }
+        match best {
+            Some((pos, cost)) if cost < state.total() => {
+                let id = remaining.swap_remove(pos);
+                state.commit_staged(id, cost);
+            }
+            _ => break,
+        }
+    }
+    state.config().clone()
+}
+
 /// Vanilla greedy with first-come-first-serve budget allocation
 /// (Figure 5(b)): workload-level Algorithm 1 where every configuration
 /// evaluation uses what-if calls until the budget runs out, then derived
@@ -63,11 +114,19 @@ impl Tuner for VanillaGreedy {
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
-        let pool: Vec<IndexId> = (0..ctx.universe()).map(IndexId::from).collect();
-        let m = ctx.num_queries();
-        let config = greedy_enumerate(ctx, &req.constraints, &pool, |c| {
-            (0..m).map(|q| mw.cost_fcfs(QueryId::from(q), c)).sum()
-        });
+        let universe = ctx.universe();
+        let pool: Vec<IndexId> = (0..universe).map(IndexId::from).collect();
+        let empty = IndexSet::empty(universe);
+        let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
+        let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
+        let mut state = DerivationState::for_queries(universe, queries, init);
+        let config = greedy_enumerate_incremental(
+            ctx,
+            &req.constraints,
+            &pool,
+            &mut state,
+            |q, c, x, cur| mw.cost_fcfs_extend(q, c, x, cur),
+        );
         let used = mw.meter().used();
         let telemetry = mw.telemetry();
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))

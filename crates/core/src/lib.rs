@@ -1,6 +1,8 @@
 //! Budget-aware index configuration enumeration — the core of the paper.
 //!
 //! * [`derived`] — what-if cache and cost derivation (Eq. 1 / Eq. 2);
+//! * [`derivation_state`] — incremental workload-level derivation used by
+//!   every enumerator's inner loop;
 //! * [`budget`] — the budget meter and the tuner-side metered what-if
 //!   client;
 //! * [`matrix`] — budget-allocation-matrix layouts (§3.2);
@@ -32,6 +34,7 @@
 
 pub mod autoadmin;
 pub mod budget;
+pub mod derivation_state;
 pub mod derived;
 pub mod greedy;
 pub mod matrix;
@@ -41,8 +44,9 @@ pub mod twophase;
 
 pub use autoadmin::AutoAdminGreedy;
 pub use budget::{BudgetMeter, MeteredWhatIf, Phase, SessionTelemetry};
+pub use derivation_state::DerivationState;
 pub use derived::WhatIfCache;
-pub use greedy::{greedy_enumerate, VanillaGreedy};
+pub use greedy::{greedy_enumerate, greedy_enumerate_incremental, VanillaGreedy};
 pub use matrix::Layout;
 pub use mcts::extract::Extraction;
 pub use mcts::policy::{AmafTable, SelectionPolicy};

@@ -10,8 +10,9 @@
 //!   mitigation discussed in the ablation appendix).
 
 use crate::budget::MeteredWhatIf;
+use crate::derivation_state::DerivationState;
 use crate::tuner::{Constraints, TuningContext};
-use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_common::{IndexId, IndexSet};
 use serde::{Deserialize, Serialize};
 
 /// Extraction strategy.
@@ -117,14 +118,12 @@ fn tree_walk(
     tree.node(node).config.clone()
 }
 
-/// Best-Greedy over derived costs, implemented incrementally: the greedy
-/// inner loop evaluates every `(candidate, query)` pair per step, so it
-/// maintains the per-query derived cost of the committed configuration and
-/// extends it with [`WhatIfCache::derived_with_extra`] instead of re-running
-/// the full subset scan — identical results to Algorithm 1 over
-/// `d(W, C)`, but linear per step.
-///
-/// [`WhatIfCache::derived_with_extra`]: crate::derived::WhatIfCache::derived_with_extra
+/// Best-Greedy over derived costs, implemented incrementally on a
+/// [`DerivationState`]: each candidate is priced with
+/// [`DerivationState::probe_extend`] (postings-guided, no mutation, no
+/// allocation) and the winner committed with
+/// [`DerivationState::commit_recompute`] — identical results to
+/// Algorithm 1 over `d(W, C)`, but linear per step.
 fn best_greedy(
     ctx: &TuningContext<'_>,
     constraints: &Constraints,
@@ -132,40 +131,31 @@ fn best_greedy(
 ) -> IndexSet {
     let cache = mw.cache();
     let n = ctx.universe();
-    let m = ctx.num_queries();
-    let mut config = IndexSet::empty(n);
-    let mut per_query: Vec<f64> = (0..m).map(|q| cache.empty_cost(QueryId::from(q))).collect();
-    let mut cost_min: f64 = per_query.iter().sum();
+    let mut state = DerivationState::workload(cache);
     let mut remaining: Vec<IndexId> = (0..n).map(IndexId::from).collect();
 
-    while !remaining.is_empty() && config.len() < constraints.k {
-        let filter = constraints.extension_filter(ctx, &config);
+    while !remaining.is_empty() && state.config().len() < constraints.k {
+        let filter = constraints.extension_filter(ctx, state.config());
         let mut best: Option<(usize, f64)> = None;
         for (pos, &id) in remaining.iter().enumerate() {
             if !filter.admits(ctx, id) {
                 continue;
             }
-            let mut total = 0.0;
-            for (qi, &cur) in per_query.iter().enumerate() {
-                total += cache.derived_with_extra(QueryId::from(qi), &config, id, cur);
-            }
+            let total = state.probe_extend(cache, id);
             if best.is_none_or(|(_, b)| total < b) {
                 best = Some((pos, total));
             }
         }
         match best {
-            Some((pos, total)) if total < cost_min => {
+            Some((pos, total)) if total < state.total() => {
                 let id = remaining.swap_remove(pos);
-                for (qi, cur) in per_query.iter_mut().enumerate() {
-                    *cur = cache.derived_with_extra(QueryId::from(qi), &config, id, *cur);
-                }
-                config.insert(id);
-                cost_min = total;
+                state.commit_recompute(cache, id);
+                debug_assert_eq!(state.total(), total);
             }
             _ => break,
         }
     }
-    config
+    state.config().clone()
 }
 
 #[cfg(test)]

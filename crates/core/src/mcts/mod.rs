@@ -130,17 +130,18 @@ impl MctsTuner {
     /// `EvaluateCostWithBudget` (Algorithm 3): estimate `cost(W, C)` with a
     /// single budgeted what-if call against a query sampled proportionally
     /// to its derived cost. Returns `None` once the budget is exhausted.
+    /// `derived` is a reusable scratch buffer owned by the episode loop.
     fn evaluate_with_budget(
         &self,
         mw: &mut MeteredWhatIf<'_>,
         config: &IndexSet,
         rng: &mut StdRng,
+        derived: &mut Vec<f64>,
     ) -> Option<f64> {
         let m = mw.num_queries();
-        let derived: Vec<f64> = (0..m)
-            .map(|q| mw.derived(QueryId::from(q), config))
-            .collect();
-        let pick = weighted_choice(rng, &derived)?;
+        derived.clear();
+        derived.extend((0..m).map(|q| mw.derived(QueryId::from(q), config)));
+        let pick = weighted_choice(rng, derived)?;
         let q = QueryId::from(pick);
         let exact = mw.what_if(q, config)?;
         let total: f64 = exact
@@ -166,10 +167,12 @@ impl MctsTuner {
         amaf: &mut Option<policy::AmafTable>,
         best: &mut Option<(IndexSet, f64)>,
         rng: &mut StdRng,
+        buffers: &mut EpisodeBuffers,
     ) -> bool {
         // --- Selection / expansion (SampleConfiguration) ---
         let mut path: Vec<(usize, IndexId)> = Vec::new();
         let mut node = Tree::ROOT;
+        let actions = &mut buffers.actions;
         let (config, via_rollout) = loop {
             let n = tree.node(node);
             let is_leaf = n.children.is_empty();
@@ -185,14 +188,15 @@ impl MctsTuner {
                 break (n.config.clone(), false);
             }
             let filter = constraints.extension_filter(ctx, &n.config);
-            let actions: Vec<IndexId> = n
-                .config
-                .complement_iter()
-                .filter(|&a| filter.admits(ctx, a))
-                .collect();
+            actions.clear();
+            actions.extend(
+                n.config
+                    .complement_iter()
+                    .filter(|&a| filter.admits(ctx, a)),
+            );
             let Some(action) = self
                 .selection
-                .select(n, &actions, priors, amaf.as_ref(), rng)
+                .select(n, actions, priors, amaf.as_ref(), rng)
             else {
                 break (n.config.clone(), false);
             };
@@ -207,7 +211,7 @@ impl MctsTuner {
         } else {
             Phase::Selection
         });
-        let Some(cost) = self.evaluate_with_budget(mw, &config, rng) else {
+        let Some(cost) = self.evaluate_with_budget(mw, &config, rng, &mut buffers.derived) else {
             return false;
         };
 
@@ -229,6 +233,16 @@ impl MctsTuner {
         }
         true
     }
+}
+
+/// Reusable per-episode scratch buffers, hoisted into [`MctsTuner::run`] so
+/// the episode loop allocates nothing per episode.
+#[derive(Default)]
+struct EpisodeBuffers {
+    /// Per-query derived costs for `EvaluateCostWithBudget`.
+    derived: Vec<f64>,
+    /// Admissible action set for tree selection.
+    actions: Vec<IndexId>,
 }
 
 impl Tuner for MctsTuner {
@@ -292,6 +306,7 @@ impl MctsTuner {
         let base = mw.empty_workload_cost();
         let mut trace: Vec<f64> = Vec::new();
         let mut idle_streak = 0usize;
+        let mut buffers = EpisodeBuffers::default();
         while !mw.meter().exhausted() && idle_streak < 500 {
             let before = mw.meter().used();
             if !self.run_episode(
@@ -303,6 +318,7 @@ impl MctsTuner {
                 &mut amaf,
                 &mut best,
                 &mut rng,
+                &mut buffers,
             ) {
                 break;
             }

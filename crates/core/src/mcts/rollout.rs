@@ -60,20 +60,23 @@ impl RolloutPolicy {
         };
 
         let mut out = config.clone();
+        // Action and weight buffers are reused across rollout steps.
+        let mut actions: Vec<IndexId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
         for _ in 0..steps {
             let filter = constraints.extension_filter(ctx, &out);
-            let actions: Vec<IndexId> = out
-                .complement_iter()
-                .filter(|&a| filter.admits(ctx, a))
-                .collect();
+            actions.clear();
+            actions.extend(out.complement_iter().filter(|&a| filter.admits(ctx, a)));
             if actions.is_empty() {
                 break;
             }
             let pick = if selection.uses_priors() {
-                let weights: Vec<f64> = actions
-                    .iter()
-                    .map(|a| priors.get(a.index()).copied().unwrap_or(0.0).max(0.0))
-                    .collect();
+                weights.clear();
+                weights.extend(
+                    actions
+                        .iter()
+                        .map(|a| priors.get(a.index()).copied().unwrap_or(0.0).max(0.0)),
+                );
                 weighted_choice(rng, &weights).map(|i| actions[i])
             } else {
                 actions.choose(rng).copied()

@@ -6,7 +6,8 @@
 //! allocation matrix column-major first (Figure 5(c)).
 
 use crate::budget::MeteredWhatIf;
-use crate::greedy::greedy_enumerate;
+use crate::derivation_state::DerivationState;
+use crate::greedy::greedy_enumerate_incremental;
 use crate::matrix::Layout;
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -17,18 +18,27 @@ pub struct TwoPhaseGreedy;
 
 impl TwoPhaseGreedy {
     /// Phase 1: per-query tuning; returns the union of per-query winners.
-    /// Exposed for reuse by the AutoAdmin variant.
+    /// Exposed for reuse by the AutoAdmin variant. `eval` prices one
+    /// extension `C ∪ {extra}` for one query given `cur = cost(q, C)` (see
+    /// [`greedy_enumerate_incremental`]).
     pub(crate) fn phase1(
         ctx: &TuningContext<'_>,
         constraints: &Constraints,
         mw: &mut MeteredWhatIf<'_>,
-        mut cost_of: impl FnMut(&mut MeteredWhatIf<'_>, QueryId, &IndexSet) -> f64,
+        mut eval: impl FnMut(&mut MeteredWhatIf<'_>, QueryId, &IndexSet, IndexId, f64) -> f64,
     ) -> Vec<IndexId> {
+        let universe = ctx.universe();
+        let empty = IndexSet::empty(universe);
         let mut union: Vec<IndexId> = Vec::new();
         for qi in 0..ctx.num_queries() {
             let q = QueryId::from(qi);
             let pool = ctx.cands.for_query(q);
-            let best = greedy_enumerate(ctx, constraints, pool, |c| cost_of(mw, q, c));
+            let init = vec![mw.cost_fcfs(q, &empty)];
+            let mut state = DerivationState::for_queries(universe, vec![q], init);
+            let best =
+                greedy_enumerate_incremental(ctx, constraints, pool, &mut state, |q, c, x, cur| {
+                    eval(mw, q, c, x, cur)
+                });
             for id in best.iter() {
                 if !union.contains(&id) {
                     union.push(id);
@@ -49,13 +59,20 @@ impl Tuner for TwoPhaseGreedy {
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
 
         // Phase 1: each query as its own workload.
-        let union = Self::phase1(ctx, constraints, &mut mw, |mw, q, c| mw.cost_fcfs(q, c));
+        let union = Self::phase1(ctx, constraints, &mut mw, |mw, q, c, x, cur| {
+            mw.cost_fcfs_extend(q, c, x, cur)
+        });
 
         // Phase 2: workload-level greedy over the refined candidate set.
-        let m = ctx.num_queries();
-        let config = greedy_enumerate(ctx, constraints, &union, |c| {
-            (0..m).map(|q| mw.cost_fcfs(QueryId::from(q), c)).sum()
-        });
+        let universe = ctx.universe();
+        let empty = IndexSet::empty(universe);
+        let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
+        let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
+        let mut state = DerivationState::for_queries(universe, queries, init);
+        let config =
+            greedy_enumerate_incremental(ctx, constraints, &union, &mut state, |q, c, x, cur| {
+                mw.cost_fcfs_extend(q, c, x, cur)
+            });
         let used = mw.meter().used();
         let telemetry = mw.telemetry();
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))

@@ -1,0 +1,175 @@
+//! Property tests pinning the incremental derivation engine to the full
+//! rescan it replaced. The enumerators were rewritten around
+//! `DerivationState` + `WhatIfCache::derived_with_extra` on the promise of
+//! *bit-for-bit* equality with fresh `derived_workload` recomputation —
+//! these tests check `==` on `f64`s, not approximate closeness.
+//!
+//! Caches are generated monotone (cost of a superset never exceeds the
+//! cost of a subset), matching Assumption 1 of the paper; the exact-hit
+//! shortcut in `WhatIfCache::derived` relies on it.
+
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_core::{DerivationState, WhatIfCache};
+use proptest::prelude::*;
+
+const UNIVERSE: usize = 12;
+const QUERIES: usize = 3;
+
+/// Deterministic monotone cost model: `c(q, C) = empty_q · Π_{i∈C} f_{q,i}`
+/// with every factor in `[0.5, 1)`. A function of the set, so repeated
+/// inserts of the same configuration are consistent, and adding an index
+/// never increases the cost.
+fn true_cost(empty: f64, factors: &[f64], config: &IndexSet) -> f64 {
+    config
+        .iter()
+        .fold(empty, |acc, id| acc * factors[id.index()])
+}
+
+fn build_set(ids: &[usize]) -> IndexSet {
+    IndexSet::from_ids(UNIVERSE, ids.iter().map(|&i| IndexId::from(i)))
+}
+
+/// A random cache primed with what-if results for random configurations.
+/// Returns the cache and the list of distinct non-empty configs inserted.
+fn primed(
+    empties: &[f64],
+    factors: &[Vec<f64>],
+    entries: &[(usize, Vec<usize>)],
+) -> (WhatIfCache, Vec<(usize, IndexSet)>) {
+    let mut cache = WhatIfCache::new(UNIVERSE, empties.to_vec());
+    let mut inserted = Vec::new();
+    for (q, ids) in entries {
+        let config = build_set(ids);
+        if config.is_empty() {
+            continue;
+        }
+        let cost = true_cost(empties[*q], &factors[*q], &config);
+        if cache.put(QueryId::from(*q), &config, cost) {
+            inserted.push((*q, config));
+        }
+    }
+    (cache, inserted)
+}
+
+/// Per-query empty costs, per-(query, index) cost factors, and a batch of
+/// (query, config) what-if results to prime the cache with.
+type CacheInputs = (Vec<f64>, Vec<Vec<f64>>, Vec<(usize, Vec<usize>)>);
+
+fn cache_inputs() -> impl Strategy<Value = CacheInputs> {
+    (
+        prop::collection::vec(50.0..150.0f64, QUERIES),
+        prop::collection::vec(prop::collection::vec(0.5..1.0f64, UNIVERSE), QUERIES),
+        prop::collection::vec(
+            (0..QUERIES, prop::collection::vec(0..UNIVERSE, 0..4)),
+            0..40,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The postings-guided `derived_with_extra` equals the linear-scan
+    /// oracle *and* a fresh full derivation of `C ∪ {x}`, exactly.
+    #[test]
+    fn with_extra_equals_scan_and_fresh_derivation(
+        (empties, factors, entries) in cache_inputs(),
+        config_ids in prop::collection::vec(0..UNIVERSE, 0..5),
+        extra in 0..UNIVERSE,
+    ) {
+        let (cache, _) = primed(&empties, &factors, &entries);
+        let mut config = build_set(&config_ids);
+        config.remove(IndexId::from(extra));
+        let x = IndexId::from(extra);
+        for q in 0..QUERIES {
+            let q = QueryId::from(q);
+            let current = cache.derived(q, &config);
+            let fast = cache.derived_with_extra(q, &config, x, current);
+            let scan = cache.derived_with_extra_scan(q, &config, x, current);
+            let fresh = cache.derived(q, &config.with(x));
+            prop_assert_eq!(fast.to_bits(), scan.to_bits());
+            prop_assert_eq!(fast.to_bits(), fresh.to_bits());
+        }
+    }
+
+    /// Probe / stage / commit sequences over a random action list agree
+    /// exactly with fresh `derived_workload` recomputation, for both
+    /// commit flavors, and the derivation telemetry counter advances by
+    /// exactly one per (query, probe).
+    #[test]
+    fn state_tracks_fresh_recomputation(
+        (empties, factors, entries) in cache_inputs(),
+        actions in prop::collection::vec((0..UNIVERSE, any::<bool>()), 1..8),
+    ) {
+        let (cache, _) = primed(&empties, &factors, &entries);
+        let mut state = DerivationState::workload(&cache);
+        prop_assert_eq!(state.total().to_bits(), cache.empty_workload_cost().to_bits());
+
+        for (idx, staged_commit) in actions {
+            let x = IndexId::from(idx);
+            if state.config().contains(x) {
+                continue;
+            }
+
+            let before = cache.derivations();
+            let probed = state.probe_extend(&cache, x);
+            prop_assert_eq!(cache.derivations(), before + QUERIES);
+
+            let fresh = cache.derived_workload(&state.config().with(x));
+            prop_assert_eq!(probed.to_bits(), fresh.to_bits());
+
+            if staged_commit {
+                // FCFS-style path: probe via the buffer, stage, commit free.
+                let total = state.probe_with(x, &mut |q, cfg, extra, cur| {
+                    cache.derived_with_extra(q, cfg, extra, cur)
+                });
+                prop_assert_eq!(total.to_bits(), probed.to_bits());
+                state.stage_probe();
+                state.commit_staged(x, total);
+            } else {
+                // Best-Greedy path: re-derive at commit time.
+                state.commit_recompute(&cache, x);
+            }
+
+            prop_assert_eq!(
+                state.total().to_bits(),
+                cache.derived_workload(state.config()).to_bits()
+            );
+            for (i, &v) in state.per_query().iter().enumerate() {
+                let fresh_q = cache.derived(QueryId::from(i), state.config());
+                prop_assert_eq!(v.to_bits(), fresh_q.to_bits());
+            }
+        }
+    }
+
+    /// `put_new` (the unchecked insert used by `MeteredWhatIf::what_if`)
+    /// builds a cache indistinguishable from one built with checked `put`s.
+    #[test]
+    fn put_new_cache_is_indistinguishable(
+        (empties, factors, entries) in cache_inputs(),
+        probe_ids in prop::collection::vec(0..UNIVERSE, 0..5),
+    ) {
+        let (checked, _) = primed(&empties, &factors, &entries);
+        let mut unchecked = WhatIfCache::new(UNIVERSE, empties.clone());
+        for (q, ids) in &entries {
+            let config = build_set(ids);
+            if config.is_empty() {
+                continue;
+            }
+            let q = QueryId::from(*q);
+            if unchecked.get(q, &config).is_none() {
+                let cost = true_cost(empties[q.index()], &factors[q.index()], &config);
+                unchecked.put_new(q, &config, cost);
+            }
+        }
+        prop_assert_eq!(checked.stored_results(), unchecked.stored_results());
+        let probe = build_set(&probe_ids);
+        for q in 0..QUERIES {
+            let q = QueryId::from(q);
+            prop_assert_eq!(
+                checked.derived(q, &probe).to_bits(),
+                unchecked.derived(q, &probe).to_bits()
+            );
+        }
+    }
+}

@@ -69,6 +69,13 @@ impl Default for CostModel {
     }
 }
 
+/// Visitor-style "which indexes exist on this slot" callback: the cost
+/// model calls it with a scan slot and a sink, and the callback invokes the
+/// sink once per available index. Unlike a `-> Vec<&IndexDef>` closure this
+/// allocates nothing, which matters because every what-if call visits every
+/// slot several times.
+pub type SlotIndexVisitor<'s> = dyn Fn(ScanSlot, &mut dyn FnMut(&IndexDef)) + 's;
+
 /// Result of choosing an access path for one scan slot.
 #[derive(Clone, Debug)]
 struct Access {
@@ -94,7 +101,7 @@ impl CostModel {
         schema: &Schema,
         q: &Query,
         slot: ScanSlot,
-        avail: &[&IndexDef],
+        avail: &SlotIndexVisitor<'_>,
         require_order: &[ColumnId],
     ) -> Option<Access> {
         let table_id = q.table_of(slot);
@@ -105,16 +112,11 @@ impl CostModel {
         let referenced: BTreeSet<ColumnId> = q.referenced_columns(slot);
 
         let mut best: Option<f64> = None;
-        let mut consider = |c: f64| {
-            if best.is_none_or(|b| c < b) {
-                best = Some(c);
-            }
-        };
 
         if require_order.is_empty() {
             // Heap scan is always available.
             let scan = self.heap_pages(schema, table_id) * self.page_io + rows * self.row_cpu;
-            consider(scan);
+            best = Some(scan);
         }
 
         // Filter columns by seekable kind.
@@ -139,15 +141,20 @@ impl CostModel {
                 .product()
         };
 
-        for idx in avail {
+        avail(slot, &mut |idx: &IndexDef| {
             debug_assert_eq!(idx.table, table_id);
+            let mut consider = |c: f64| {
+                if best.is_none_or(|b| c < b) {
+                    best = Some(c);
+                }
+            };
             if !require_order.is_empty() {
                 // Order-providing: required columns must be the leading keys
                 // in order.
                 if idx.keys.len() < require_order.len()
                     || idx.keys[..require_order.len()] != *require_order
                 {
-                    continue;
+                    return;
                 }
             }
             // Seek-prefix matching: consume equality keys, then at most one
@@ -189,7 +196,7 @@ impl CostModel {
                 let idx_pages = (rows * idx_width / PAGE_BYTES as f64).max(1.0);
                 consider(idx_pages * self.page_io + rows * (self.row_cpu + self.rid_lookup));
             }
-        }
+        });
 
         best.map(|cost| Access { cost, rows_out })
     }
@@ -232,12 +239,12 @@ impl CostModel {
     /// ordered path does not exist.
     /// Cost one connected component with the given `driver` slot placed
     /// first, trying every remaining slot in join-connected order.
-    fn component_cost<'a>(
+    fn component_cost(
         &self,
         schema: &Schema,
         q: &Query,
         comp: &[ScanSlot],
-        avail: &dyn Fn(ScanSlot) -> Vec<&'a IndexDef>,
+        avail: &SlotIndexVisitor<'_>,
         driver: ScanSlot,
         order_slot: Option<(ScanSlot, &[ColumnId])>,
     ) -> Option<(f64, f64)> {
@@ -257,8 +264,7 @@ impl CostModel {
             _ => driver,
         };
         remaining.retain(|&s| s != first);
-        let idxs = avail(first);
-        let acc = self.best_access(schema, q, first, &idxs, forced(first))?;
+        let acc = self.best_access(schema, q, first, avail, forced(first))?;
         let mut cost = acc.cost;
         let mut card = acc.rows_out;
         placed.push(first);
@@ -277,7 +283,6 @@ impl CostModel {
                 })
                 .unwrap_or(0);
             let slot = remaining.remove(pos);
-            let idxs = avail(slot);
             let table = schema.table(q.table_of(slot));
             let rows = table.rows as f64;
 
@@ -297,7 +302,7 @@ impl CostModel {
                 })
                 .collect();
 
-            let acc = self.best_access(schema, q, slot, &idxs, &[])?;
+            let acc = self.best_access(schema, q, slot, avail, &[])?;
 
             // Hash join: access the inner, build, probe.
             let hash_cost = acc.cost + acc.rows_out * self.hash_build + card * self.hash_probe;
@@ -306,12 +311,12 @@ impl CostModel {
             // the join columns lets each outer row probe directly.
             let mut inl_cost = f64::INFINITY;
             if !edges.is_empty() {
-                for idx in &idxs {
+                avail(slot, &mut |idx: &IndexDef| {
                     let Some(&lead) = idx.keys.first() else {
-                        continue;
+                        return;
                     };
                     if !edges.contains(&lead) {
-                        continue;
+                        return;
                     }
                     let ndv = table.col(lead).ndv.max(1) as f64;
                     let per_probe_rows = (rows / ndv).max(1e-3);
@@ -321,7 +326,7 @@ impl CostModel {
                         per_probe += per_probe_rows * self.rid_lookup;
                     }
                     inl_cost = inl_cost.min(card * per_probe);
-                }
+                });
             }
             cost += hash_cost.min(inl_cost);
 
@@ -347,25 +352,33 @@ impl CostModel {
     /// optimizer would consider starting the plan from a selective seek).
     /// Capped at the 3 most selective seekable slots — the option set only
     /// grows with more indexes, so the plan-space minimum stays monotone.
-    fn driver_candidates<'a>(
+    fn driver_candidates(
         &self,
         schema: &Schema,
         q: &Query,
         comp: &[ScanSlot],
-        avail: &dyn Fn(ScanSlot) -> Vec<&'a IndexDef>,
+        avail: &SlotIndexVisitor<'_>,
     ) -> Vec<ScanSlot> {
         let mut out = vec![comp[0]];
         let mut seekable: Vec<(f64, ScanSlot)> = comp
             .iter()
             .copied()
             .filter(|&slot| {
-                slot != comp[0]
-                    && avail(slot).iter().any(|idx| {
-                        idx.keys.first().is_some_and(|&lead| {
+                if slot == comp[0] {
+                    return false;
+                }
+                let mut can_seek = false;
+                avail(slot, &mut |idx: &IndexDef| {
+                    if !can_seek
+                        && idx.keys.first().is_some_and(|&lead| {
                             q.filters_on(slot)
                                 .any(|f| f.col.column == lead && f.kind != FilterKind::Residual)
                         })
-                    })
+                    {
+                        can_seek = true;
+                    }
+                });
+                can_seek
             })
             .map(|slot| {
                 let rows = schema.table(q.table_of(slot)).rows as f64;
@@ -378,12 +391,12 @@ impl CostModel {
     }
 
     /// Minimum component cost over the admissible driver choices.
-    fn best_component_cost<'a>(
+    fn best_component_cost(
         &self,
         schema: &Schema,
         q: &Query,
         comp: &[ScanSlot],
-        avail: &dyn Fn(ScanSlot) -> Vec<&'a IndexDef>,
+        avail: &SlotIndexVisitor<'_>,
         order_slot: Option<(ScanSlot, &[ColumnId])>,
     ) -> Option<(f64, f64)> {
         // A forced order pins the driver; no enumeration needed.
@@ -399,13 +412,25 @@ impl CostModel {
     /// What-if cost of `q` under the available indexes per slot.
     ///
     /// `avail` maps each scan slot to the candidate indexes (on that slot's
-    /// table) present in the hypothetical configuration.
+    /// table) present in the hypothetical configuration. Convenience
+    /// wrapper over [`query_cost_with`](Self::query_cost_with) that accepts
+    /// an allocating `-> Vec<&IndexDef>` closure.
     pub fn query_cost<'a>(
         &self,
         schema: &Schema,
         q: &Query,
         avail: &dyn Fn(ScanSlot) -> Vec<&'a IndexDef>,
     ) -> f64 {
+        self.query_cost_with(schema, q, &|slot, sink| {
+            for idx in avail(slot) {
+                sink(idx);
+            }
+        })
+    }
+
+    /// What-if cost of `q` with a visitor-style `avail` — the
+    /// allocation-free path used by `SimulatedOptimizer::what_if_cost`.
+    pub fn query_cost_with(&self, schema: &Schema, q: &Query, avail: &SlotIndexVisitor<'_>) -> f64 {
         let comps = self.components(q);
 
         // Sort requirement: GROUP BY wins over ORDER BY (a grouped stream

@@ -46,7 +46,7 @@ pub mod index;
 pub mod latency;
 pub mod whatif;
 
-pub use cost::CostModel;
+pub use cost::{CostModel, SlotIndexVisitor};
 pub use index::{IndexDef, PAGE_BYTES};
 pub use latency::{LatencyModel, TuningClock};
 pub use whatif::{SimulatedOptimizer, WhatIfOptimizer};

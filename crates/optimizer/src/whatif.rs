@@ -136,13 +136,16 @@ impl WhatIfOptimizer for SimulatedOptimizer {
         self.calls.fetch_add(1, Ordering::Relaxed);
         let query = self.workload.query(q);
         let slots = &self.per_query_slot[q.index()];
-        self.model.query_cost(&self.schema, query, &|slot| {
-            slots[slot.index()]
-                .iter()
-                .filter(|id| config.contains(**id))
-                .map(|id| &self.candidates[id.index()])
-                .collect()
-        })
+        // Visitor form: walk the precomputed slot postings directly instead
+        // of materializing a `Vec<&IndexDef>` per slot per call.
+        self.model
+            .query_cost_with(&self.schema, query, &|slot, sink| {
+                for id in &slots[slot.index()] {
+                    if config.contains(*id) {
+                        sink(&self.candidates[id.index()]);
+                    }
+                }
+            })
     }
 
     fn calls_served(&self) -> u64 {

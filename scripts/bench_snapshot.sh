@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Run the derivation micro-benchmarks and write a machine-readable
+# snapshot of median ns-per-op to BENCH_2.json (or $1 if given).
+#
+# The vendored criterion stand-in appends one JSON line per benchmark to
+# $CRITERION_SNAPSHOT; this script collects the lines and adds the
+# headline ratio — the greedy-step speedup of the incremental
+# DerivationState probe over the full derived_workload rescan it replaced.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+CRITERION_SNAPSHOT="$tmp" cargo bench -p ixtune-bench --bench derivation
+
+python3 - "$tmp" "$out" <<'EOF'
+import json
+import sys
+
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+medians = {e["bench"]: e["median_ns"] for e in lines}
+doc = {"median_ns_per_op": medians}
+for universe in (64, 256, 1024):
+    full = medians.get(f"greedy-step/full-rescan-u{universe}")
+    inc = medians.get(f"greedy-step/incremental-u{universe}")
+    if full and inc:
+        doc[f"greedy_step_u{universe}_speedup"] = round(full / inc, 2)
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=1, sort_keys=True)
+    f.write("\n")
+print("wrote", sys.argv[2])
+EOF

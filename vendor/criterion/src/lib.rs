@@ -4,12 +4,26 @@
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
 //! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
 //! [`Bencher::iter_batched`], and the `criterion_group!`/`criterion_main!`
-//! macros — with a simple mean/min/max wall-clock report instead of
-//! criterion's statistical machinery. Good enough to spot order-of-
+//! macros — with a simple median/mean/min/max wall-clock report instead
+//! of criterion's statistical machinery. Good enough to spot order-of-
 //! magnitude regressions offline; not a replacement for real criterion
 //! when it is available.
+//!
+//! Two environment variables extend the runner:
+//!
+//! * `CRITERION_SNAPSHOT=<path>` — append one JSON line per benchmark
+//!   (`{"bench":"group/id","median_ns":…}`); `scripts/bench_snapshot.sh`
+//!   assembles the lines into a snapshot file.
+//! * `CRITERION_SMOKE=1` — run a single sample per benchmark (plus the
+//!   warm-up pass), so CI can execute every bench target in seconds as a
+//!   does-it-run check without paying for stable timings.
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
+
+fn smoke_mode() -> bool {
+    std::env::var_os("CRITERION_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
 
 /// How batched inputs are grouped; retained for signature compatibility
 /// (this runner always sets up one input per measured invocation).
@@ -73,8 +87,9 @@ impl<'a> BenchmarkGroup<'a> {
         let mut bencher = Bencher::new(1);
         f(&mut bencher);
 
-        let mut samples = Vec::with_capacity(self.sample_size);
-        for _ in 0..self.sample_size {
+        let sample_size = if smoke_mode() { 1 } else { self.sample_size };
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
             let mut bencher = Bencher::new(1);
             f(&mut bencher);
             samples.push(bencher.per_iteration());
@@ -82,10 +97,34 @@ impl<'a> BenchmarkGroup<'a> {
         let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
         let max = samples.iter().max().copied().unwrap_or_default();
+        let median = {
+            let mut sorted = samples.clone();
+            sorted.sort();
+            let n = sorted.len();
+            if n % 2 == 0 {
+                (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+            } else {
+                sorted[n / 2]
+            }
+        };
         println!(
-            "  {}/{id}: mean {mean:?} (min {min:?}, max {max:?}, n={})",
-            self.name, self.sample_size
+            "  {}/{id}: median {median:?}, mean {mean:?} (min {min:?}, max {max:?}, n={})",
+            self.name, sample_size
         );
+        if let Some(path) = std::env::var_os("CRITERION_SNAPSHOT") {
+            let line = format!(
+                "{{\"bench\":\"{}/{}\",\"median_ns\":{}}}\n",
+                self.name,
+                id,
+                median.as_nanos()
+            );
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(line.as_bytes()))
+                .unwrap_or_else(|e| panic!("writing snapshot {path:?}: {e}"));
+        }
         self
     }
 

@@ -202,6 +202,15 @@ pub mod strategy {
 
     int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
     macro_rules! tuple_strategy {
         ($(($($t:ident),+))*) => {$(
             impl<$($t: Strategy),+> Strategy for ($($t,)+) {
