@@ -6,8 +6,8 @@ use ixtune_bench::Session;
 use ixtune_common::rng::seeded;
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use ixtune_core::{
-    Constraints, DerivationState, MeteredWhatIf, RolloutPolicy, SelectionPolicy, TuningContext,
-    WhatIfCache,
+    frozen_argmin, Constraints, DerivationState, FrozenEval, MctsTuner, MeteredWhatIf,
+    RolloutPolicy, SelectionPolicy, Tuner, TuningContext, WhatIfCache,
 };
 use ixtune_optimizer::WhatIfOptimizer;
 use ixtune_workload::gen::BenchmarkKind;
@@ -131,7 +131,53 @@ fn bench_greedy_step(c: &mut Criterion) {
                 black_box(best)
             })
         });
+        // The frozen-cache batched kernel behind `--session-threads`: same
+        // argmin, priced via one ascending-cost entry pass per query
+        // instead of one postings walk per (candidate, query) pair, fanned
+        // out over 4 logical threads. Smaller universes stay serial in the
+        // real enumerators (MIN_PARALLEL_WORK), so they are not measured.
+        if universe >= 256 {
+            let queries: Vec<QueryId> = (0..20usize).map(QueryId::from).collect();
+            let per_query = state.per_query().to_vec();
+            let admissible: Vec<(usize, IndexId)> = config.complement_iter().enumerate().collect();
+            cache.freeze();
+            group.bench_function(format!("parallel-u{universe}"), |b| {
+                b.iter(|| {
+                    black_box(frozen_argmin(
+                        &cache,
+                        &queries,
+                        &per_query,
+                        &config,
+                        &admissible,
+                        FrozenEval::Derive,
+                        4,
+                    ))
+                })
+            });
+        }
     }
+    group.finish();
+}
+
+/// Whole MCTS sessions, single-tree vs root-parallel: 4 worker trees on
+/// private budget shares merged into the master — the session-level shape
+/// of the tentpole, not just the scan kernel.
+fn bench_mcts_episodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcts");
+    group.sample_size(10);
+
+    let session = Session::build(BenchmarkKind::TpcDs);
+    let ctx = TuningContext::new(&session.opt, &session.cands);
+    let req = ixtune_core::TuningRequest::cardinality(8, 200).with_seed(5);
+
+    group.bench_function("episodes-serial", |b| {
+        let tuner = MctsTuner::default();
+        b.iter(|| black_box(tuner.tune(&ctx, &req.with_session_threads(1))))
+    });
+    group.bench_function("episodes-parallel", |b| {
+        let tuner = MctsTuner::default().with_root_workers(4);
+        b.iter(|| black_box(tuner.tune(&ctx, &req.with_session_threads(4))))
+    });
     group.finish();
 }
 
@@ -155,5 +201,11 @@ fn bench_rollout(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_derivation, bench_greedy_step, bench_rollout);
+criterion_group!(
+    benches,
+    bench_derivation,
+    bench_greedy_step,
+    bench_rollout,
+    bench_mcts_episodes
+);
 criterion_main!(benches);

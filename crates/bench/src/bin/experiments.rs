@@ -2,12 +2,17 @@
 //!
 //! Usage:
 //! ```text
-//! experiments [--quick] [--out DIR] [--seeds N] [--jobs N] <id>...
+//! experiments [--quick] [--out DIR] [--seeds N] [--jobs N]
+//!             [--session-threads N] <id>...
 //! experiments all
 //! experiments list
 //! ```
 //! `--jobs N` sets the number of sweep worker threads (default: all
 //! cores; `--jobs 1` runs serially — results are identical either way).
+//! `--session-threads N` sets the logical threads *inside* each tuning
+//! session (default 0 = auto; results are bit-identical for every value).
+//! When `jobs × session_threads` exceeds the host's parallelism, sessions
+//! are capped with a warning so the sweep never oversubscribes.
 //! Experiment ids: `table1 fig2 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 //! fig15 fig16 fig17 fig18 fig19 fig20 fig21 fig22 fig23`.
 
@@ -136,6 +141,14 @@ fn main() {
             "--jobs" => {
                 i += 1;
                 cfg.jobs = args.get(i).expect("--jobs N").parse().expect("numeric")
+            }
+            "--session-threads" => {
+                i += 1;
+                cfg.session_threads = args
+                    .get(i)
+                    .expect("--session-threads N")
+                    .parse()
+                    .expect("numeric")
             }
             "list" => {
                 println!("available experiments: {}", ALL.join(" "));

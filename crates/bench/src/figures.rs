@@ -3,7 +3,7 @@
 //! sidecars into the output directory. See DESIGN.md §4 for the index.
 
 use crate::report::{render_series, render_table, write_results};
-use crate::runner::{run_grid, Algo, Cell};
+use crate::runner::{cap_session_threads, run_grid, Algo, Cell};
 use crate::session::Session;
 use ixtune_baselines::{DbaBandits, DtaTuner, NoDba};
 use ixtune_core::prelude::*;
@@ -23,6 +23,10 @@ pub struct ExpConfig {
     pub ks: Vec<usize>,
     /// Worker threads for grid sweeps (1 = serial).
     pub jobs: usize,
+    /// Logical threads per tuning session (0 = auto-detect). Results are
+    /// invariant to it; `jobs × session_threads` is capped to the host's
+    /// parallelism by [`cap_session_threads`] before sweeps run.
+    pub session_threads: usize,
 }
 
 impl ExpConfig {
@@ -34,6 +38,7 @@ impl ExpConfig {
             jobs: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            session_threads: 0,
         }
     }
 
@@ -71,6 +76,7 @@ fn sweep(
     constraints: impl Fn(usize) -> Constraints + Sync,
 ) -> String {
     let budgets = session.kind.budget_grid();
+    let session_threads = cap_session_threads(cfg.jobs, cfg.session_threads);
     let mut out = String::new();
     let mut all_cells: Vec<Cell> = Vec::new();
     for &k in &cfg.ks {
@@ -81,6 +87,7 @@ fn sweep(
             budgets,
             &cfg.seeds,
             cfg.jobs,
+            session_threads,
             &constraints,
         );
         let _ = writeln!(
@@ -366,6 +373,7 @@ mod tests {
             seeds: vec![1],
             ks: vec![5],
             jobs: 2,
+            session_threads: 1,
         }
     }
 

@@ -84,6 +84,10 @@ pub fn to_telemetry_json(cells: &[Cell]) -> String {
         selection_calls: usize,
         rollout_calls: usize,
         other_calls: usize,
+        session_threads: usize,
+        parallel_scans: usize,
+        tree_merges: usize,
+        reservation_shortfalls: usize,
         wall_clock_ms: f64,
     }
     let rows: Vec<Row> = cells
@@ -100,6 +104,10 @@ pub fn to_telemetry_json(cells: &[Cell]) -> String {
             selection_calls: c.telemetry.selection_calls,
             rollout_calls: c.telemetry.rollout_calls,
             other_calls: c.telemetry.other_calls,
+            session_threads: c.telemetry.session_threads,
+            parallel_scans: c.telemetry.parallel_scans,
+            tree_merges: c.telemetry.tree_merges,
+            reservation_shortfalls: c.telemetry.reservation_shortfalls,
             wall_clock_ms: c.telemetry.wall_clock_ms,
         })
         .collect();
@@ -237,6 +245,10 @@ mod tests {
             "selection_calls",
             "rollout_calls",
             "other_calls",
+            "session_threads",
+            "parallel_scans",
+            "tree_merges",
+            "reservation_shortfalls",
             "wall_clock_ms",
         ] {
             // One occurrence per cell.

@@ -44,6 +44,15 @@ pub struct CellTelemetry {
     pub rollout_calls: usize,
     /// What-if calls outside any labelled phase (greedy/baseline tuners).
     pub other_calls: usize,
+    /// Logical session thread count the cell's sessions resolved (max
+    /// across seeds — they all resolve the same request).
+    pub session_threads: usize,
+    /// Frozen-cache parallel candidate scans across the cell's sessions.
+    pub parallel_scans: usize,
+    /// Root-parallel MCTS tree merges across the cell's sessions.
+    pub tree_merges: usize,
+    /// Under-granted batched budget reservations (should stay 0).
+    pub reservation_shortfalls: usize,
     /// Wall-clock spent tuning, summed across seeds, in milliseconds.
     pub wall_clock_ms: f64,
 }
@@ -57,6 +66,10 @@ impl CellTelemetry {
         self.selection_calls += t.selection_calls;
         self.rollout_calls += t.rollout_calls;
         self.other_calls += t.other_calls;
+        self.session_threads = self.session_threads.max(t.session_threads);
+        self.parallel_scans += t.parallel_scans;
+        self.tree_merges += t.tree_merges;
+        self.reservation_shortfalls += t.reservation_shortfalls;
         self.wall_clock_ms += t.wall_clock_ms;
     }
 }
@@ -99,10 +112,35 @@ pub fn aggregate(algorithm: &str, k: usize, budget: usize, runs: &[TuningResult]
     }
 }
 
+/// Cap the per-session thread count so `jobs` concurrent sessions cannot
+/// oversubscribe the host: with `jobs > 1`, each session gets at most
+/// `available_parallelism / jobs` threads (floored to 1). `requested = 0`
+/// (auto) resolves to the available parallelism before capping. Returns
+/// the capped value and warns on stderr when it actually clamps.
+pub fn cap_session_threads(jobs: usize, requested: usize) -> usize {
+    let avail = ixtune_common::sync::available_parallelism();
+    let requested = if requested == 0 { avail } else { requested };
+    let jobs = jobs.max(1);
+    let cap = (avail / jobs).max(1);
+    if requested > cap {
+        eprintln!(
+            "warning: --session-threads {requested} x --jobs {jobs} oversubscribes \
+             {avail} available threads; capping sessions to {cap} thread(s)"
+        );
+        cap
+    } else {
+        requested
+    }
+}
+
 /// Run `algos` over the cross product of `ks` × `budgets`, with `seeds`
 /// seeds for stochastic algorithms, on `jobs` worker threads (`jobs <= 1`
-/// runs inline). `constraints` builds the constraint for each K (so storage
+/// runs inline). Each tuning session runs with `session_threads` logical
+/// intra-session threads (results are invariant to it; see
+/// [`cap_session_threads`] for the oversubscription guard callers should
+/// apply). `constraints` builds the constraint for each K (so storage
 /// limits can be attached).
+#[allow(clippy::too_many_arguments)]
 pub fn run_grid(
     session: &Session,
     algos: &[Algo],
@@ -110,6 +148,7 @@ pub fn run_grid(
     budgets: &[usize],
     seeds: &[u64],
     jobs: usize,
+    session_threads: usize,
     constraints: impl Fn(usize) -> Constraints + Sync,
 ) -> Vec<Cell> {
     // Flatten the grid in serial order; this is the output order.
@@ -134,10 +173,15 @@ pub fn run_grid(
         let runs: Vec<TuningResult> = seed_list
             .iter()
             .map(|&s| {
+                // `Instant` is monotonic, so wall-clock readings cannot go
+                // negative even if the system clock is adjusted mid-sweep.
                 let start = Instant::now();
-                let mut r = algo
-                    .tuner
-                    .tune(&ctx, &TuningRequest::new(cons, budget).with_seed(s));
+                let mut r = algo.tuner.tune(
+                    &ctx,
+                    &TuningRequest::new(cons, budget)
+                        .with_seed(s)
+                        .with_session_threads(session_threads),
+                );
                 r.telemetry.wall_clock_ms = start.elapsed().as_secs_f64() * 1e3;
                 r
             })
@@ -233,6 +277,7 @@ mod tests {
             &[50, 100],
             &[1, 2],
             1,
+            1,
             Constraints::cardinality,
         );
         assert_eq!(cells.len(), 4);
@@ -267,6 +312,9 @@ mod tests {
             ]
         };
         let run = |jobs: usize| {
+            // Pin an explicit session thread count for both runs: results
+            // must not depend on it, and pinning keeps the comparison
+            // independent of the host's core count.
             run_grid(
                 &session,
                 &mk_algos(),
@@ -274,6 +322,7 @@ mod tests {
                 &[30, 60],
                 &[1, 2],
                 jobs,
+                2,
                 Constraints::cardinality,
             )
         };
@@ -295,5 +344,23 @@ mod tests {
             serde_json::to_string(&serial).unwrap(),
             serde_json::to_string(&parallel).unwrap()
         );
+    }
+
+    #[test]
+    fn session_thread_cap_prevents_oversubscription() {
+        let avail = ixtune_common::sync::available_parallelism();
+        // jobs = 1: requests pass through (auto resolves to the host).
+        assert_eq!(cap_session_threads(1, 1), 1);
+        assert_eq!(cap_session_threads(1, 0), avail);
+        assert_eq!(cap_session_threads(0, 1), 1, "jobs floor at 1");
+        // More jobs than cores: sessions fall back to a single thread.
+        assert_eq!(cap_session_threads(2 * avail, 0), 1);
+        assert_eq!(cap_session_threads(2 * avail, 8), 1);
+        // The cap never exceeds the per-job share.
+        for jobs in 1..=4usize {
+            let c = cap_session_threads(jobs, 0);
+            assert!(c * jobs <= avail.max(jobs), "cap {c} x jobs {jobs}");
+            assert!(c >= 1);
+        }
     }
 }

@@ -67,6 +67,14 @@ impl IndexSet {
         self.universe as usize
     }
 
+    /// Raw bit blocks (64 ids per block, ascending). Exposed for batch
+    /// scans that do block-wise set algebra across many sets without
+    /// materializing intermediate differences.
+    #[inline]
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
     #[inline]
     fn check(&self, id: IndexId) {
         debug_assert!(

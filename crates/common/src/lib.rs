@@ -9,12 +9,15 @@
 //!   subset tests that cost derivation is built on;
 //! * [`error`] — the workspace error type;
 //! * [`rng`] — deterministic RNG construction helpers so that every
-//!   stochastic component is reproducible from an explicit seed.
+//!   stochastic component is reproducible from an explicit seed;
+//! * [`sync`] — atomic budget reservation and thread-count resolution for
+//!   intra-session parallelism.
 
 pub mod bitset;
 pub mod error;
 pub mod ids;
 pub mod rng;
+pub mod sync;
 
 pub use bitset::IndexSet;
 pub use error::{Error, Result};

@@ -1,0 +1,119 @@
+//! Small concurrency primitives for intra-session parallelism.
+//!
+//! The what-if budget `B` bounds *optimizer calls*, not CPU, so a session
+//! may fan work out across threads — but no interleaving may ever let the
+//! workers collectively consume more than `B` calls. [`AtomicBudget`] is
+//! the shared reservation pool that enforces this: workers draw batched
+//! grants up front and run against their private grant, so the per-call
+//! hot path stays free of shared-state traffic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared pool of remaining what-if calls, drawn down in batches.
+///
+/// `reserve(n)` grants `min(n, remaining)` atomically: the sum of all
+/// grants can never exceed the initial pool, regardless of how reserving
+/// threads interleave.
+#[derive(Debug)]
+pub struct AtomicBudget {
+    remaining: AtomicUsize,
+}
+
+impl AtomicBudget {
+    pub fn new(remaining: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(remaining),
+        }
+    }
+
+    /// Calls still available in the pool.
+    pub fn remaining(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Reserve up to `n` calls; returns the number actually granted
+    /// (`min(n, remaining)` at the instant the CAS succeeds, so the grant
+    /// can never overshoot the pool).
+    pub fn reserve(&self, n: usize) -> usize {
+        let mut cur = self.remaining.load(Ordering::Acquire);
+        loop {
+            let granted = n.min(cur);
+            if granted == 0 {
+                return 0;
+            }
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - granted,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return granted,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Threads the host can actually run in parallel (`1` if unknown).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve a requested session thread count: `0` means "auto" (use all
+/// available hardware parallelism); any explicit value is honored as the
+/// *logical* thread count — results are invariant to it by construction,
+/// and the execution layer separately clamps the number of OS threads it
+/// actually spawns to the hardware.
+pub fn effective_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_parallelism()
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_grants_at_most_remaining() {
+        let pool = AtomicBudget::new(5);
+        assert_eq!(pool.reserve(3), 3);
+        assert_eq!(pool.remaining(), 2);
+        // remaining < n: partial grant, pool drains to zero.
+        assert_eq!(pool.reserve(10), 2);
+        assert_eq!(pool.remaining(), 0);
+    }
+
+    #[test]
+    fn reserve_on_empty_pool_grants_zero() {
+        let pool = AtomicBudget::new(0);
+        assert_eq!(pool.reserve(1), 0);
+        assert_eq!(pool.reserve(0), 0);
+        assert_eq!(pool.remaining(), 0);
+    }
+
+    #[test]
+    fn concurrent_reserves_never_oversubscribe() {
+        let pool = AtomicBudget::new(1000);
+        let granted: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| (0..100).map(|_| pool.reserve(3)).sum::<usize>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(granted + pool.remaining(), 1000);
+        assert!(granted <= 1000);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(4), 4);
+        assert_eq!(effective_threads(0), available_parallelism());
+        assert!(effective_threads(0) >= 1);
+    }
+}

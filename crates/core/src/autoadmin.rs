@@ -5,12 +5,13 @@
 
 use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
-use crate::greedy::greedy_enumerate_incremental;
+use crate::greedy::{greedy_enumerate_metered, MeteredEval};
 use crate::matrix::Layout;
 use crate::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use crate::twophase::TwoPhaseGreedy;
 use ixtune_candidates::atomic::single_join_pairs;
-use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_common::sync::effective_threads;
+use ixtune_common::{IndexSet, QueryId};
 use std::collections::HashSet;
 
 /// AutoAdmin-style greedy with atomic-configuration budget allocation.
@@ -35,30 +36,21 @@ impl Tuner for AutoAdminGreedy {
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
         let constraints = &req.constraints;
+        let threads = effective_threads(req.session_threads);
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let atomic_pairs: HashSet<IndexSet> =
             single_join_pairs(ctx.opt.workload(), ctx.cands, self.max_join_pairs)
                 .into_iter()
                 .collect();
 
-        // Atomic cost: what-if for singletons and single-join pairs, derived
-        // for everything else. `c` is the extension `C ∪ {x}` and `cur` the
-        // query's committed cost — the non-atomic branch derives
-        // incrementally off it.
-        let is_atomic = |c: &IndexSet| c.len() <= 1 || atomic_pairs.contains(c);
-        let cost_atomic =
-            |mw: &mut MeteredWhatIf<'_>, q: QueryId, c: &IndexSet, x: IndexId, cur: f64| {
-                if is_atomic(c) {
-                    mw.cost_fcfs_extend(q, c, x, cur)
-                } else {
-                    mw.cache().derived_with_extra(q, c, x, cur)
-                }
-            };
+        // Atomic cost mode: what-if for singletons and single-join pairs,
+        // derived for everything else (the scratch set handed to the
+        // evaluator is the extension `C ∪ {x}`; the non-atomic branch
+        // derives incrementally off the committed per-query cost).
+        let mode = MeteredEval::Atomic(&atomic_pairs);
 
         // Phase 1 (per query) restricted to atomic what-if calls.
-        let union = TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, |mw, q, c, x, cur| {
-            cost_atomic(mw, q, c, x, cur)
-        });
+        let union = TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, mode, threads);
 
         // Phase 2 over the union, still atomic-restricted.
         let universe = ctx.universe();
@@ -67,11 +59,10 @@ impl Tuner for AutoAdminGreedy {
         let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
         let mut state = DerivationState::for_queries(universe, queries, init);
         let config =
-            greedy_enumerate_incremental(ctx, constraints, &union, &mut state, |q, c, x, cur| {
-                cost_atomic(&mut mw, q, c, x, cur)
-            });
+            greedy_enumerate_metered(ctx, constraints, &union, &mut state, &mut mw, mode, threads);
         let used = mw.meter().used();
-        let telemetry = mw.telemetry();
+        let mut telemetry = mw.telemetry();
+        telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
     }

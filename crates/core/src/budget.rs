@@ -50,8 +50,21 @@ pub struct SessionTelemetry {
     pub rollout_calls: usize,
     /// Budgeted calls outside any labelled phase.
     pub other_calls: usize,
+    /// Logical session thread count the tuner resolved for this run
+    /// (1 = serial). Results are invariant to it; recorded so telemetry
+    /// JSON shows how a session was executed.
+    pub session_threads: usize,
+    /// Candidate scans executed through the frozen-cache parallel kernel
+    /// (enumeration steps only; 0 under serial execution).
+    pub parallel_scans: usize,
+    /// Root-parallel MCTS worker trees merged into the master tree.
+    pub tree_merges: usize,
+    /// Batched budget reservations that were granted less than requested
+    /// (should stay 0 — the static shares partition the remaining budget).
+    pub reservation_shortfalls: usize,
     /// Wall-clock of the tuning session in milliseconds (stamped by the
-    /// experiment runner; 0 when run outside the runner).
+    /// experiment runner from a monotonic clock; 0 when run outside the
+    /// runner).
     pub wall_clock_ms: f64,
 }
 
@@ -76,6 +89,17 @@ impl BudgetMeter {
         } else {
             false
         }
+    }
+
+    /// Reserve up to `n` calls in one batch; returns the number granted
+    /// (`min(n, remaining)`), never more than the remaining budget. The
+    /// batched-reservation entry point for parallel workers drawing their
+    /// shares of `B`.
+    #[inline]
+    pub fn reserve(&mut self, n: usize) -> usize {
+        let granted = n.min(self.remaining());
+        self.used += granted;
+        granted
     }
 
     pub fn budget(&self) -> usize {
@@ -131,6 +155,23 @@ impl<'a> MeteredWhatIf<'a> {
         }
     }
 
+    /// Create a client over an existing cache snapshot — the root-parallel
+    /// worker entry point: the worker starts from a clone of the master's
+    /// cache (priors and earlier calls visible, hits stay free) but with a
+    /// private budget grant and zeroed derivation counters, so its
+    /// telemetry reports only its own activity.
+    pub fn with_cache(opt: &'a dyn WhatIfOptimizer, budget: usize, cache: WhatIfCache) -> Self {
+        cache.reset_derivations();
+        Self {
+            opt,
+            cache,
+            meter: BudgetMeter::new(budget),
+            trace: Vec::new(),
+            phase: Phase::Other,
+            counters: SessionTelemetry::default(),
+        }
+    }
+
     /// Attribute subsequent budgeted calls to `phase`. Returns the
     /// previous phase so callers can restore it.
     pub fn set_phase(&mut self, phase: Phase) -> Phase {
@@ -169,6 +210,37 @@ impl<'a> MeteredWhatIf<'a> {
     /// Take the trace out of the client (for result reporting).
     pub fn into_trace(self) -> Vec<(QueryId, IndexSet)> {
         self.trace
+    }
+
+    /// Flip the cache into its frozen read-only phase (see the publish
+    /// protocol in [`WhatIfCache`]). Called by enumeration drivers before
+    /// sharing the cache across scan threads.
+    pub fn freeze_cache(&self) {
+        self.cache.freeze();
+    }
+
+    /// Account one frozen-cache parallel scan: `hits` cache hits observed
+    /// by the kernel (its derivation counts flow through the cache's
+    /// per-shard counters directly).
+    pub(crate) fn note_parallel_scan(&mut self, hits: usize) {
+        self.counters.cache_hits += hits;
+        self.counters.parallel_scans += 1;
+    }
+
+    /// Direct access to the telemetry counters — root-parallel merge code
+    /// folds worker counters into the master's here.
+    pub(crate) fn counters_mut(&mut self) -> &mut SessionTelemetry {
+        &mut self.counters
+    }
+
+    /// Merge one budget-consuming call observed by a root-parallel worker:
+    /// publish its result into the master cache (duplicate-safe — several
+    /// workers may have paid for the same cell) and append it to the
+    /// layout trace (both workers did consume budget, so the layout keeps
+    /// both calls). Telemetry counters are merged separately.
+    pub(crate) fn absorb_call(&mut self, q: QueryId, config: IndexSet, cost: f64) {
+        self.cache.put(q, &config, cost);
+        self.trace.push((q, config));
     }
 
     /// Attempt a what-if call for `(q, config)`.
@@ -280,6 +352,54 @@ mod tests {
         assert_eq!(m.used(), 2);
         assert_eq!(m.remaining(), 0);
         assert!(m.exhausted());
+    }
+
+    #[test]
+    fn reserve_never_exceeds_remaining() {
+        let mut m = BudgetMeter::new(5);
+        assert_eq!(m.reserve(3), 3);
+        assert_eq!(m.used(), 3);
+        // remaining < n: partial grant drains the meter exactly.
+        assert_eq!(m.reserve(10), 2);
+        assert_eq!(m.used(), 5);
+        assert!(m.exhausted());
+        // remaining = 0: nothing granted, accounting unchanged.
+        assert_eq!(m.reserve(1), 0);
+        assert_eq!(m.reserve(0), 0);
+        assert_eq!(m.used(), 5);
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn reserve_zero_budget_boundary() {
+        let mut m = BudgetMeter::new(0);
+        assert_eq!(m.reserve(4), 0);
+        assert_eq!(m.used(), 0);
+        assert!(m.exhausted());
+    }
+
+    #[test]
+    fn with_cache_starts_from_snapshot_with_fresh_counters() {
+        let opt = optimizer(11);
+        let n = opt.num_candidates();
+        let q = QueryId::new(0);
+        let mut master = MeteredWhatIf::new(&opt, 5);
+        let c0 = IndexSet::singleton(n, IndexId::new(0));
+        master.what_if(q, &c0).unwrap();
+        let _ = master.derived(
+            q,
+            &IndexSet::from_ids(n, [IndexId::new(0), IndexId::new(1)]),
+        );
+        assert!(master.telemetry().derivations > 0);
+
+        let mut worker = MeteredWhatIf::with_cache(&opt, 2, master.cache().clone());
+        let t = worker.telemetry();
+        assert_eq!(t.derivations, 0, "worker counters start clean");
+        assert_eq!(t.what_if_calls, 0);
+        // Master's entries are visible: re-asking c0 is a free hit.
+        assert!(worker.what_if(q, &c0).is_some());
+        assert_eq!(worker.meter().used(), 0);
+        assert_eq!(worker.telemetry().cache_hits, 1);
     }
 
     #[test]

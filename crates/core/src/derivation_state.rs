@@ -86,6 +86,11 @@ impl DerivationState {
         &self.config
     }
 
+    /// The workload slice this state prices, in evaluation order.
+    pub fn queries(&self) -> &[QueryId] {
+        &self.queries
+    }
+
     /// `cost(W, C)` — sum of the committed per-query costs.
     pub fn total(&self) -> f64 {
         self.total
@@ -147,6 +152,17 @@ impl DerivationState {
     pub fn commit_staged(&mut self, extra: IndexId, total: f64) {
         self.config.insert(extra);
         std::mem::swap(&mut self.per_query, &mut self.staged);
+        self.total = total;
+    }
+
+    /// Commit caller-computed per-query values directly: `C ← C ∪ {extra}`
+    /// and adopt `values`/`total` as-is. The parallel scan kernel uses
+    /// this after re-pricing the winning candidate (its probes — and
+    /// their telemetry — already happened inside the scan).
+    pub fn commit_values(&mut self, extra: IndexId, values: &[f64], total: f64) {
+        debug_assert_eq!(values.len(), self.per_query.len());
+        self.config.insert(extra);
+        self.per_query.copy_from_slice(values);
         self.total = total;
     }
 

@@ -8,41 +8,116 @@
 //! entries have a dense fast path (the restriction of Eq. 2 that the
 //! paper's analysis in §3.1.2 builds on); larger entries are kept sorted by
 //! ascending cost so the subset scan can stop at the first hit.
+//!
+//! # Sharding and the publish/freeze protocol
+//!
+//! Storage is split into shards by `query_id % shards`. A tuning session
+//! alternates between two phases:
+//!
+//! * **write phase** — while budget remains, what-if results are appended
+//!   through `&mut self` (single-threaded by construction; the FCFS call
+//!   order *defines* the cache contents, so parallel writes would change
+//!   the derived costs);
+//! * **frozen read phase** — once the budget is exhausted, [`freeze`]
+//!   flips the cache read-only and enumeration fans derivation probes out
+//!   across threads against `&self`. Readers are lock-free: the only
+//!   shared mutable state is the per-shard derivation counter, a relaxed
+//!   atomic that parallel scans bump in per-query batches rather than
+//!   per probe.
+//!
+//! [`freeze`]: WhatIfCache::freeze
 
 use ixtune_common::{IndexId, IndexSet, QueryId};
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Number of query shards (capped by the query count).
+const DEFAULT_SHARDS: usize = 8;
+
+/// One shard's storage: rows for the queries with `q % shards == s`,
+/// addressed by local row `q / shards`.
+#[derive(Debug)]
+struct CacheShard {
+    /// Dense singleton costs: `singleton[lq][i] = c(q, {I_i})`, NaN if unknown.
+    singleton: Vec<Vec<f64>>,
+    /// Multi-index entries per local row, sorted by ascending cost.
+    multi: Vec<Vec<(IndexSet, f64)>>,
+    /// Inverted postings: `postings[lq][i]` = ascending positions into
+    /// `multi[lq]` of entries containing index `i`. Because `multi` is
+    /// sorted by cost, position order *is* cost order, so
+    /// [`WhatIfCache::derived_with_extra`] can scan only the entries that
+    /// mention `extra` and still early-exit on cost.
+    postings: Vec<Vec<Vec<u32>>>,
+    /// Exact lookup across all entry sizes.
+    exact: Vec<HashMap<IndexSet, f64>>,
+    /// Largest multi-entry size stored per local row: configurations
+    /// bigger than this can skip the exact-map probe entirely, which
+    /// avoids hashing wide bitsets in greedy inner loops.
+    max_multi_size: Vec<usize>,
+    /// Telemetry: cost evaluations answered by derivation (Eq. 1/Eq. 2)
+    /// rather than a stored what-if result. Atomic (relaxed) because
+    /// derivation happens behind `&self`, possibly from several threads;
+    /// per-shard so concurrent scans of different queries do not contend
+    /// on one cache line.
+    derivations: AtomicUsize,
+}
+
+impl CacheShard {
+    fn new(rows: usize, universe: usize) -> Self {
+        Self {
+            singleton: vec![vec![f64::NAN; universe]; rows],
+            multi: vec![Vec::new(); rows],
+            postings: vec![vec![Vec::new(); universe]; rows],
+            exact: vec![HashMap::new(); rows],
+            max_multi_size: vec![0; rows],
+            derivations: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Clone for CacheShard {
+    fn clone(&self) -> Self {
+        Self {
+            singleton: self.singleton.clone(),
+            multi: self.multi.clone(),
+            postings: self.postings.clone(),
+            exact: self.exact.clone(),
+            max_multi_size: self.max_multi_size.clone(),
+            derivations: AtomicUsize::new(self.derivations.load(Ordering::Relaxed)),
+        }
+    }
+}
 
 /// Per-session what-if cache with derivation.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct WhatIfCache {
     universe: usize,
     /// `c(q, ∅)` for every query — computed up front, not budgeted.
     empty: Vec<f64>,
     /// `Σ_q c(q, ∅)`, cached so `improvement()` does not re-sum per call.
     empty_total: f64,
-    /// Dense singleton costs: `singleton[q][i] = c(q, {I_i})`, NaN if unknown.
-    singleton: Vec<Vec<f64>>,
-    /// Multi-index entries per query, sorted by ascending cost.
-    multi: Vec<Vec<(IndexSet, f64)>>,
-    /// Inverted postings: `postings[q][i]` = ascending positions into
-    /// `multi[q]` of entries containing index `i`. Because `multi` is
-    /// sorted by cost, position order *is* cost order, so
-    /// [`derived_with_extra`](Self::derived_with_extra) can scan only the
-    /// entries that mention `extra` and still early-exit on cost.
-    postings: Vec<Vec<Vec<u32>>>,
-    /// Exact lookup across all entry sizes.
-    exact: Vec<HashMap<IndexSet, f64>>,
-    /// Largest multi-entry size stored per query: configurations bigger
-    /// than this can skip the exact-map probe entirely, which avoids
-    /// hashing wide bitsets in greedy inner loops.
-    max_multi_size: Vec<usize>,
+    /// Query-sharded storage: query `q` lives in shard `q % shards.len()`
+    /// at local row `q / shards.len()`.
+    shards: Vec<CacheShard>,
     /// Number of distinct (q, C) what-if results stored (excluding ∅).
     stored: usize,
-    /// Telemetry: cost evaluations answered by derivation (Eq. 1/Eq. 2)
-    /// rather than a stored what-if result. `Cell` because derivation
-    /// happens behind `&self`.
-    derivations: Cell<usize>,
+    /// Publish-protocol latch: once set, the cache is in its read-only
+    /// phase and append paths are debug-asserted unreachable. Cloning
+    /// starts a fresh (unfrozen) write phase.
+    frozen: AtomicBool,
+}
+
+impl Clone for WhatIfCache {
+    fn clone(&self) -> Self {
+        Self {
+            universe: self.universe,
+            empty: self.empty.clone(),
+            empty_total: self.empty_total,
+            shards: self.shards.clone(),
+            stored: self.stored,
+            frozen: AtomicBool::new(false),
+        }
+    }
 }
 
 impl WhatIfCache {
@@ -51,24 +126,69 @@ impl WhatIfCache {
     pub fn new(universe: usize, empty_costs: Vec<f64>) -> Self {
         let m = empty_costs.len();
         let empty_total = empty_costs.iter().sum();
+        let num_shards = DEFAULT_SHARDS.min(m.max(1));
+        let shards = (0..num_shards)
+            .map(|s| CacheShard::new((m + num_shards - 1 - s) / num_shards, universe))
+            .collect();
         Self {
             universe,
             empty: empty_costs,
             empty_total,
-            singleton: vec![vec![f64::NAN; universe]; m],
-            multi: vec![Vec::new(); m],
-            postings: vec![vec![Vec::new(); universe]; m],
-            exact: vec![HashMap::new(); m],
-            max_multi_size: vec![0; m],
+            shards,
             stored: 0,
-            derivations: Cell::new(0),
+            frozen: AtomicBool::new(false),
         }
+    }
+
+    #[inline]
+    fn slot(&self, qi: usize) -> (&CacheShard, usize) {
+        let s = self.shards.len();
+        (&self.shards[qi % s], qi / s)
     }
 
     /// Telemetry: how many cost evaluations were answered by derivation
     /// instead of a stored what-if result.
     pub fn derivations(&self) -> usize {
-        self.derivations.get()
+        self.shards
+            .iter()
+            .map(|s| s.derivations.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    #[inline]
+    fn count_derivation(&self, qi: usize) {
+        self.shards[qi % self.shards.len()]
+            .derivations
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bulk-count `n` derivations against `q`'s shard — parallel scan
+    /// kernels account one batch per (query, chunk) instead of one atomic
+    /// add per probe.
+    pub(crate) fn add_derivations(&self, q: QueryId, n: usize) {
+        self.shards[q.index() % self.shards.len()]
+            .derivations
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Zero the derivation counters — used when a root-parallel worker
+    /// starts from a clone of the master cache and must report only its
+    /// own activity.
+    pub(crate) fn reset_derivations(&self) {
+        for s in &self.shards {
+            s.derivations.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Enter the read-only phase: parallel enumeration may now share the
+    /// cache across threads. Appends after this point are a logic error
+    /// (debug-asserted); cloning yields a fresh unfrozen cache.
+    pub fn freeze(&self) {
+        self.frozen.store(true, Ordering::Release);
+    }
+
+    pub fn is_frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
     }
 
     pub fn universe(&self) -> usize {
@@ -77,6 +197,11 @@ impl WhatIfCache {
 
     pub fn num_queries(&self) -> usize {
         self.empty.len()
+    }
+
+    /// Number of query shards (diagnostics).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// `c(q, ∅)`.
@@ -94,17 +219,18 @@ impl WhatIfCache {
         if config.is_empty() {
             return Some(self.empty[q.index()]);
         }
+        let (shard, lq) = self.slot(q.index());
         if config.len() == 1 {
             let id = config.iter().next().unwrap();
-            let v = self.singleton[q.index()][id.index()];
+            let v = shard.singleton[lq][id.index()];
             return if v.is_nan() { None } else { Some(v) };
         }
         // Nothing of this size (or larger) was ever stored: skip the probe
         // and its bitset hash — the hot case in greedy inner loops.
-        if config.len() > self.max_multi_size[q.index()] {
+        if config.len() > shard.max_multi_size[lq] {
             return None;
         }
-        self.exact[q.index()].get(config).copied()
+        shard.exact[lq].get(config).copied()
     }
 
     /// Record a what-if result. Returns `true` if it was new.
@@ -129,28 +255,34 @@ impl WhatIfCache {
     }
 
     fn insert_entry(&mut self, qi: usize, config: &IndexSet, cost: f64) {
+        debug_assert!(
+            !self.is_frozen(),
+            "append to a frozen cache (write phase is over)"
+        );
+        let s = self.shards.len();
+        let (shard, lq) = (&mut self.shards[qi % s], qi / s);
         if config.len() == 1 {
             let id = config.iter().next().unwrap();
-            self.singleton[qi][id.index()] = cost;
+            shard.singleton[lq][id.index()] = cost;
         } else {
-            self.exact[qi].insert(config.clone(), cost);
-            let list = &mut self.multi[qi];
+            shard.exact[lq].insert(config.clone(), cost);
+            let list = &mut shard.multi[lq];
             let pos = list.partition_point(|(_, c)| *c < cost);
             list.insert(pos, (config.clone(), cost));
-            self.max_multi_size[qi] = self.max_multi_size[qi].max(config.len());
+            shard.max_multi_size[lq] = shard.max_multi_size[lq].max(config.len());
             // Maintain the inverted postings: positions at or past the
             // insertion point shift by one (lists stay sorted), then the
             // new position joins each member's list. Puts are bounded by
             // the budget; probes are not — so this is the cheap side.
             let p = pos as u32;
-            for slot in &mut self.postings[qi] {
+            for slot in &mut shard.postings[lq] {
                 let from = slot.partition_point(|&v| v < p);
                 for v in &mut slot[from..] {
                     *v += 1;
                 }
             }
             for id in config.iter() {
-                let slot = &mut self.postings[qi][id.index()];
+                let slot = &mut shard.postings[lq][id.index()];
                 let at = slot.partition_point(|&v| v < p);
                 slot.insert(at, p);
             }
@@ -160,8 +292,29 @@ impl WhatIfCache {
 
     /// Known singleton cost `c(q, {id})`, if evaluated.
     pub fn singleton_cost(&self, q: QueryId, id: IndexId) -> Option<f64> {
-        let v = self.singleton[q.index()][id.index()];
+        let (shard, lq) = self.slot(q.index());
+        let v = shard.singleton[lq][id.index()];
         (!v.is_nan()).then_some(v)
+    }
+
+    /// Dense singleton row for `q` (`NaN` = unknown) — read side of the
+    /// frozen-phase batch kernel.
+    pub(crate) fn singleton_row(&self, q: QueryId) -> &[f64] {
+        let (shard, lq) = self.slot(q.index());
+        &shard.singleton[lq]
+    }
+
+    /// Largest multi-entry size stored for `q`.
+    pub(crate) fn max_multi_len(&self, q: QueryId) -> usize {
+        let (shard, lq) = self.slot(q.index());
+        shard.max_multi_size[lq]
+    }
+
+    /// Exact-map probe only (no ∅/singleton fast paths) — the frozen-phase
+    /// kernel handles those cases itself from the dense row.
+    pub(crate) fn exact_get(&self, q: QueryId, config: &IndexSet) -> Option<f64> {
+        let (shard, lq) = self.slot(q.index());
+        shard.exact[lq].get(config).copied()
     }
 
     /// Derived cost `d(q, C)` per Eq. 1 (general subsets).
@@ -171,18 +324,19 @@ impl WhatIfCache {
         if let Some(c) = self.get(q, config) {
             return c;
         }
-        self.derivations.set(self.derivations.get() + 1);
+        self.count_derivation(qi);
+        let (shard, lq) = self.slot(qi);
         let mut best = self.empty[qi];
         // Singleton fast path: members of `config` with known costs.
         for id in config.iter() {
-            let v = self.singleton[qi][id.index()];
+            let v = shard.singleton[lq][id.index()];
             if !v.is_nan() && v < best {
                 best = v;
             }
         }
         // Multi-index entries: sorted ascending, so stop once entries can no
         // longer improve.
-        for (set, cost) in &self.multi[qi] {
+        for (set, cost) in &shard.multi[lq] {
             if *cost >= best {
                 break;
             }
@@ -196,11 +350,12 @@ impl WhatIfCache {
     /// Derived cost restricted to singleton subsets (Eq. 2) — the variant
     /// whose benefit function is provably submodular (Theorem 1).
     pub fn derived_singleton(&self, q: QueryId, config: &IndexSet) -> f64 {
-        self.derivations.set(self.derivations.get() + 1);
         let qi = q.index();
+        self.count_derivation(qi);
+        let (shard, lq) = self.slot(qi);
         let mut best = self.empty[qi];
         for id in config.iter() {
-            let v = self.singleton[qi][id.index()];
+            let v = shard.singleton[lq][id.index()];
             if !v.is_nan() && v < best {
                 best = v;
             }
@@ -224,7 +379,8 @@ impl WhatIfCache {
     /// material for incremental derivation (see
     /// [`Extraction`](https://docs.rs/ixtune-core)'s fast Best-Greedy path).
     pub fn multi_entries(&self, q: QueryId) -> &[(IndexSet, f64)] {
-        &self.multi[q.index()]
+        let (shard, lq) = self.slot(q.index());
+        &shard.multi[lq]
     }
 
     /// Incremental derivation: `d(q, C ∪ {extra})` given `d(q, C)`.
@@ -246,15 +402,28 @@ impl WhatIfCache {
         extra: IndexId,
         current: f64,
     ) -> f64 {
-        self.derivations.set(self.derivations.get() + 1);
-        let qi = q.index();
+        self.count_derivation(q.index());
+        self.derived_with_extra_uncounted(q, config, extra, current)
+    }
+
+    /// The derivation itself, without bumping the telemetry counter —
+    /// used to re-price a scan winner whose probes were already accounted
+    /// in batch by the parallel kernel.
+    pub(crate) fn derived_with_extra_uncounted(
+        &self,
+        q: QueryId,
+        config: &IndexSet,
+        extra: IndexId,
+        current: f64,
+    ) -> f64 {
+        let (shard, lq) = self.slot(q.index());
         let mut best = current;
-        let s = self.singleton[qi][extra.index()];
+        let s = shard.singleton[lq][extra.index()];
         if !s.is_nan() && s < best {
             best = s;
         }
-        let list = &self.multi[qi];
-        for &pos in &self.postings[qi][extra.index()] {
+        let list = &shard.multi[lq];
+        for &pos in &shard.postings[lq][extra.index()] {
             let (set, cost) = &list[pos as usize];
             if *cost >= best {
                 break;
@@ -277,14 +446,15 @@ impl WhatIfCache {
         extra: IndexId,
         current: f64,
     ) -> f64 {
-        self.derivations.set(self.derivations.get() + 1);
         let qi = q.index();
+        self.count_derivation(qi);
+        let (shard, lq) = self.slot(qi);
         let mut best = current;
-        let s = self.singleton[qi][extra.index()];
+        let s = shard.singleton[lq][extra.index()];
         if !s.is_nan() && s < best {
             best = s;
         }
-        for (set, cost) in &self.multi[qi] {
+        for (set, cost) in &shard.multi[lq] {
             if *cost >= best {
                 break;
             }
@@ -439,5 +609,65 @@ mod tests {
         c.put(q, &set(4, &[0]), 2.0);
         c.put(q, &set(4, &[0, 1]), 3.0);
         assert_eq!(c.stored_results(), 2);
+    }
+
+    #[test]
+    fn sharded_routing_is_transparent() {
+        // More queries than shards: rows land in every shard and wrap.
+        let m = 19;
+        let empties: Vec<f64> = (0..m).map(|q| 100.0 + q as f64).collect();
+        let mut c = WhatIfCache::new(6, empties.clone());
+        assert_eq!(c.num_shards(), 8);
+        for q in 0..m {
+            let qid = QueryId::from(q);
+            c.put(qid, &set(6, &[(q % 6) as u32]), 10.0 + q as f64);
+            c.put(qid, &set(6, &[0, ((q % 5) + 1) as u32]), 5.0 + q as f64);
+        }
+        for (q, &empty) in empties.iter().enumerate() {
+            let qid = QueryId::from(q);
+            assert_eq!(c.empty_cost(qid), empty);
+            assert_eq!(
+                c.get(qid, &set(6, &[(q % 6) as u32])),
+                Some(10.0 + q as f64)
+            );
+            assert_eq!(
+                c.get(qid, &set(6, &[0, ((q % 5) + 1) as u32])),
+                Some(5.0 + q as f64)
+            );
+            // Full set derives each query's cheapest entry.
+            assert_eq!(c.derived(qid, &IndexSet::full(6)), 5.0 + q as f64);
+        }
+        assert_eq!(c.stored_results(), 2 * m);
+    }
+
+    #[test]
+    fn freeze_latches_and_clone_unfreezes() {
+        let mut c = cache();
+        c.put(QueryId::new(0), &set(4, &[0]), 10.0);
+        assert!(!c.is_frozen());
+        c.freeze();
+        assert!(c.is_frozen());
+        // Reads still work and still count derivations.
+        let before = c.derivations();
+        assert_eq!(c.derived(QueryId::new(0), &set(4, &[0, 1])), 10.0);
+        assert_eq!(c.derivations(), before + 1);
+        // A clone starts a new write phase with the same contents.
+        let mut d = c.clone();
+        assert!(!d.is_frozen());
+        assert!(d.put(QueryId::new(0), &set(4, &[1]), 9.0));
+        assert_eq!(d.get(QueryId::new(0), &set(4, &[0])), Some(10.0));
+    }
+
+    #[test]
+    fn derivation_counters_batch_and_reset() {
+        let c = cache();
+        c.add_derivations(QueryId::new(0), 7);
+        c.add_derivations(QueryId::new(1), 3);
+        assert_eq!(c.derivations(), 10);
+        let d = c.clone();
+        assert_eq!(d.derivations(), 10, "clone carries counters");
+        d.reset_derivations();
+        assert_eq!(d.derivations(), 0);
+        assert_eq!(c.derivations(), 10, "reset is per-instance");
     }
 }

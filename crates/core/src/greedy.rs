@@ -4,8 +4,11 @@
 use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
 use crate::matrix::Layout;
+use crate::parallel::{frozen_argmin, winner_values, FrozenEval, MIN_PARALLEL_WORK};
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
+use ixtune_common::sync::effective_threads;
 use ixtune_common::{IndexId, IndexSet, QueryId};
+use std::collections::HashSet;
 
 /// Algorithm 1: greedily grow the configuration from `pool`, committing the
 /// extension with the lowest `cost_of` per step, stopping when no extension
@@ -100,6 +103,137 @@ pub fn greedy_enumerate_incremental(
     state.config().clone()
 }
 
+/// How a metered greedy step prices one `(q, C ∪ {x})` cell — the two
+/// budget-aware evaluator families shared by the greedy drivers. Each
+/// variant has a matching [`FrozenEval`] replica for the post-exhaustion
+/// parallel scan.
+#[derive(Clone, Copy)]
+pub(crate) enum MeteredEval<'a> {
+    /// FCFS: what-if calls while budget lasts, incremental derivation
+    /// afterwards (`MeteredWhatIf::cost_fcfs_extend`).
+    Fcfs,
+    /// AutoAdmin's rule: atomic configurations (singletons and the listed
+    /// pairs) go through FCFS, everything else is priced by derivation.
+    Atomic(&'a HashSet<IndexSet>),
+}
+
+impl<'a> MeteredEval<'a> {
+    #[inline]
+    fn eval(
+        &self,
+        mw: &mut MeteredWhatIf<'_>,
+        q: QueryId,
+        c: &IndexSet,
+        x: IndexId,
+        cur: f64,
+    ) -> f64 {
+        match self {
+            MeteredEval::Fcfs => mw.cost_fcfs_extend(q, c, x, cur),
+            MeteredEval::Atomic(pairs) => {
+                if c.len() <= 1 || pairs.contains(c) {
+                    mw.cost_fcfs_extend(q, c, x, cur)
+                } else {
+                    mw.cache().derived_with_extra(q, c, x, cur)
+                }
+            }
+        }
+    }
+
+    fn frozen(&self) -> FrozenEval<'a> {
+        match self {
+            MeteredEval::Fcfs => FrozenEval::Fcfs,
+            MeteredEval::Atomic(pairs) => FrozenEval::Atomic(pairs),
+        }
+    }
+}
+
+/// [`greedy_enumerate_incremental`] with budget metering and parallel
+/// post-exhaustion steps: while budget remains (or the scan is too small
+/// to be worth fanning out) each step is the exact serial loop; once the
+/// meter is exhausted *at step start*, the cache is frozen and the step's
+/// candidate scan runs through [`frozen_argmin`], which is bit-identical
+/// to the serial scan by construction. Deciding at step start matters: a
+/// step that exhausts the budget midway keeps its serial FCFS semantics.
+pub(crate) fn greedy_enumerate_metered(
+    ctx: &TuningContext<'_>,
+    constraints: &Constraints,
+    pool: &[IndexId],
+    state: &mut DerivationState,
+    mw: &mut MeteredWhatIf<'_>,
+    mode: MeteredEval<'_>,
+    threads: usize,
+) -> IndexSet {
+    let mut remaining: Vec<IndexId> = pool.to_vec();
+    let mut admissible: Vec<(usize, IndexId)> = Vec::new();
+    let mut winner_buf: Vec<f64> = Vec::new();
+
+    while !remaining.is_empty() && state.config().len() < constraints.k {
+        let filter = constraints.extension_filter(ctx, state.config());
+        let parallel = threads > 1
+            && mw.meter().exhausted()
+            && remaining.len() * state.queries().len() >= MIN_PARALLEL_WORK;
+        if parallel {
+            mw.freeze_cache();
+            admissible.clear();
+            admissible.extend(
+                remaining
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &id)| filter.admits(ctx, id))
+                    .map(|(pos, &id)| (pos, id)),
+            );
+            let fmode = mode.frozen();
+            let (best, hits) = frozen_argmin(
+                mw.cache(),
+                state.queries(),
+                state.per_query(),
+                state.config(),
+                &admissible,
+                fmode,
+                threads,
+            );
+            mw.note_parallel_scan(hits);
+            match best {
+                Some((pos, id, cost)) if cost < state.total() => {
+                    let total = winner_values(
+                        mw.cache(),
+                        state.queries(),
+                        state.per_query(),
+                        state.config(),
+                        id,
+                        fmode,
+                        &mut winner_buf,
+                    );
+                    debug_assert_eq!(total.to_bits(), cost.to_bits());
+                    remaining.swap_remove(pos);
+                    state.commit_values(id, &winner_buf, cost);
+                }
+                _ => break,
+            }
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for (pos, &id) in remaining.iter().enumerate() {
+                if !filter.admits(ctx, id) {
+                    continue;
+                }
+                let cost = state.probe_with(id, &mut |q, c, x, cur| mode.eval(mw, q, c, x, cur));
+                if best.is_none_or(|(_, b)| cost < b) {
+                    best = Some((pos, cost));
+                    state.stage_probe();
+                }
+            }
+            match best {
+                Some((pos, cost)) if cost < state.total() => {
+                    let id = remaining.swap_remove(pos);
+                    state.commit_staged(id, cost);
+                }
+                _ => break,
+            }
+        }
+    }
+    state.config().clone()
+}
+
 /// Vanilla greedy with first-come-first-serve budget allocation
 /// (Figure 5(b)): workload-level Algorithm 1 where every configuration
 /// evaluation uses what-if calls until the budget runs out, then derived
@@ -113,6 +247,7 @@ impl Tuner for VanillaGreedy {
     }
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        let threads = effective_threads(req.session_threads);
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let universe = ctx.universe();
         let pool: Vec<IndexId> = (0..universe).map(IndexId::from).collect();
@@ -120,15 +255,18 @@ impl Tuner for VanillaGreedy {
         let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
         let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
         let mut state = DerivationState::for_queries(universe, queries, init);
-        let config = greedy_enumerate_incremental(
+        let config = greedy_enumerate_metered(
             ctx,
             &req.constraints,
             &pool,
             &mut state,
-            |q, c, x, cur| mw.cost_fcfs_extend(q, c, x, cur),
+            &mut mw,
+            MeteredEval::Fcfs,
+            threads,
         );
         let used = mw.meter().used();
-        let telemetry = mw.telemetry();
+        let mut telemetry = mw.telemetry();
+        telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
     }

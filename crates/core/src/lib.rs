@@ -11,7 +11,9 @@
 //! * [`greedy`] / [`twophase`] / [`autoadmin`] — the budget-aware greedy
 //!   variants of §4.2;
 //! * [`mcts`] — the MCTS tuner of §5–6 with its selection, rollout, and
-//!   extraction policies.
+//!   extraction policies;
+//! * [`parallel`] — the frozen-cache parallel candidate-scan kernel
+//!   (deterministic to the bit; see DESIGN.md §5c).
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@ pub mod derived;
 pub mod greedy;
 pub mod matrix;
 pub mod mcts;
+pub mod parallel;
 pub mod tuner;
 pub mod twophase;
 
@@ -53,6 +56,7 @@ pub use mcts::policy::{AmafTable, SelectionPolicy};
 pub use mcts::priors::QuerySelection;
 pub use mcts::rollout::RolloutPolicy;
 pub use mcts::{MctsTuner, UpdatePolicy};
+pub use parallel::{frozen_argmin, winner_values, FrozenEval, MIN_PARALLEL_WORK};
 pub use tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 pub use twophase::TwoPhaseGreedy;
 

@@ -9,8 +9,9 @@
 //! * **Hybrid**: take whichever of the two has the lower derived cost (the
 //!   mitigation discussed in the ablation appendix).
 
-use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
+use crate::derived::WhatIfCache;
+use crate::parallel::{frozen_argmin, FrozenEval, MIN_PARALLEL_WORK};
 use crate::tuner::{Constraints, TuningContext};
 use ixtune_common::{IndexId, IndexSet};
 use serde::{Deserialize, Serialize};
@@ -47,26 +48,29 @@ impl Extraction {
     /// Extract the final configuration.
     ///
     /// `best_explored` is the best (configuration, estimated cost) pair
-    /// tracked during the episodes; `mw` provides derived costs; `tree` is
-    /// the expanded search tree (used by the tree-walk strategies).
+    /// tracked during the episodes; `cache` provides derived costs; `tree`
+    /// is the expanded search tree (used by the tree-walk strategies).
+    /// `threads` is the logical thread count for the Best-Greedy scan —
+    /// results are bit-identical for every value.
     pub fn extract(
         &self,
         ctx: &TuningContext<'_>,
         constraints: &Constraints,
-        mw: &MeteredWhatIf<'_>,
+        cache: &WhatIfCache,
         tree: &crate::mcts::tree::Tree,
         best_explored: Option<&IndexSet>,
+        threads: usize,
     ) -> IndexSet {
         let empty = IndexSet::empty(ctx.universe());
         let bce = || best_explored.cloned().unwrap_or_else(|| empty.clone());
-        let bg = || best_greedy(ctx, constraints, mw);
+        let bg = || best_greedy(ctx, constraints, cache, threads);
         match self {
             Extraction::Bce => bce(),
             Extraction::BestGreedy => bg(),
             Extraction::Hybrid => {
                 let a = bce();
                 let b = bg();
-                if mw.derived_workload(&a) <= mw.derived_workload(&b) {
+                if cache.derived_workload(&a) <= cache.derived_workload(&b) {
                     a
                 } else {
                     b
@@ -124,28 +128,57 @@ fn tree_walk(
 /// allocation) and the winner committed with
 /// [`DerivationState::commit_recompute`] — identical results to
 /// Algorithm 1 over `d(W, C)`, but linear per step.
+///
+/// With `threads > 1` and enough work, each step's candidate scan runs
+/// through the frozen-cache kernel ([`frozen_argmin`] in `Derive` mode),
+/// which prices the same probes with the same telemetry and reduces to
+/// the same first-strict-min — the commit stays serial either way.
 fn best_greedy(
     ctx: &TuningContext<'_>,
     constraints: &Constraints,
-    mw: &MeteredWhatIf<'_>,
+    cache: &WhatIfCache,
+    threads: usize,
 ) -> IndexSet {
-    let cache = mw.cache();
     let n = ctx.universe();
     let mut state = DerivationState::workload(cache);
     let mut remaining: Vec<IndexId> = (0..n).map(IndexId::from).collect();
 
     while !remaining.is_empty() && state.config().len() < constraints.k {
         let filter = constraints.extension_filter(ctx, state.config());
-        let mut best: Option<(usize, f64)> = None;
-        for (pos, &id) in remaining.iter().enumerate() {
-            if !filter.admits(ctx, id) {
-                continue;
+        let parallel = threads > 1 && remaining.len() * state.queries().len() >= MIN_PARALLEL_WORK;
+        let best: Option<(usize, f64)> = if parallel {
+            // Extraction spends no budget, so the cache is read-only for
+            // the rest of the session: latch it and fan the scan out.
+            cache.freeze();
+            let admissible: Vec<(usize, IndexId)> = remaining
+                .iter()
+                .enumerate()
+                .filter(|&(_, &id)| filter.admits(ctx, id))
+                .map(|(pos, &id)| (pos, id))
+                .collect();
+            let (found, _hits) = frozen_argmin(
+                cache,
+                state.queries(),
+                state.per_query(),
+                state.config(),
+                &admissible,
+                FrozenEval::Derive,
+                threads,
+            );
+            found.map(|(pos, _, total)| (pos, total))
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for (pos, &id) in remaining.iter().enumerate() {
+                if !filter.admits(ctx, id) {
+                    continue;
+                }
+                let total = state.probe_extend(cache, id);
+                if best.is_none_or(|(_, b)| total < b) {
+                    best = Some((pos, total));
+                }
             }
-            let total = state.probe_extend(cache, id);
-            if best.is_none_or(|(_, b)| total < b) {
-                best = Some((pos, total));
-            }
-        }
+            best
+        };
         match best {
             Some((pos, total)) if total < state.total() => {
                 let id = remaining.swap_remove(pos);
@@ -161,6 +194,7 @@ fn best_greedy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::MeteredWhatIf;
     use crate::mcts::tree::Tree;
     use ixtune_candidates::{generate_default, CandidateSet};
     use ixtune_common::QueryId;
@@ -180,11 +214,18 @@ mod tests {
         let ctx = TuningContext::new(&opt, &cands);
         let mw = MeteredWhatIf::new(&opt, 0);
         let c = Constraints::cardinality(3);
-        let none = Extraction::Bce.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), None);
+        let none =
+            Extraction::Bce.extract(&ctx, &c, mw.cache(), &Tree::new(ctx.universe()), None, 1);
         assert!(none.is_empty());
         let tracked = IndexSet::singleton(ctx.universe(), IndexId::new(0));
-        let got =
-            Extraction::Bce.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), Some(&tracked));
+        let got = Extraction::Bce.extract(
+            &ctx,
+            &c,
+            mw.cache(),
+            &Tree::new(ctx.universe()),
+            Some(&tracked),
+            1,
+        );
         assert_eq!(got, tracked);
     }
 
@@ -203,7 +244,14 @@ mod tests {
             }
         }
         let c = Constraints::cardinality(3);
-        let bg = Extraction::BestGreedy.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), None);
+        let bg = Extraction::BestGreedy.extract(
+            &ctx,
+            &c,
+            mw.cache(),
+            &Tree::new(ctx.universe()),
+            None,
+            1,
+        );
         assert!(bg.len() <= 3);
         // With full singleton information, BG's derived cost is at most the
         // empty cost.
@@ -216,7 +264,14 @@ mod tests {
         let ctx = TuningContext::new(&opt, &cands);
         let mw = MeteredWhatIf::new(&opt, 0);
         let c = Constraints::cardinality(3);
-        let bg = Extraction::BestGreedy.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), None);
+        let bg = Extraction::BestGreedy.extract(
+            &ctx,
+            &c,
+            mw.cache(),
+            &Tree::new(ctx.universe()),
+            None,
+            1,
+        );
         assert!(bg.is_empty(), "no cache entries → nothing beats ∅");
     }
 
@@ -235,10 +290,23 @@ mod tests {
         }
         let c = Constraints::cardinality(3);
         let tracked = IndexSet::singleton(ctx.universe(), IndexId::new(0));
-        let h =
-            Extraction::Hybrid.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), Some(&tracked));
+        let h = Extraction::Hybrid.extract(
+            &ctx,
+            &c,
+            mw.cache(),
+            &Tree::new(ctx.universe()),
+            Some(&tracked),
+            1,
+        );
         let bce_cost = mw.derived_workload(&tracked);
-        let bg = Extraction::BestGreedy.extract(&ctx, &c, &mw, &Tree::new(ctx.universe()), None);
+        let bg = Extraction::BestGreedy.extract(
+            &ctx,
+            &c,
+            mw.cache(),
+            &Tree::new(ctx.universe()),
+            None,
+            1,
+        );
         let bg_cost = mw.derived_workload(&bg);
         assert!(mw.derived_workload(&h) <= bce_cost.min(bg_cost) + 1e-9);
     }
@@ -266,13 +334,44 @@ mod tests {
                 mw.what_if(q, &cfg);
             }
             let c = Constraints::cardinality(4);
-            let fast = best_greedy(&ctx, &c, &mw);
+            let fast = best_greedy(&ctx, &c, mw.cache(), 1);
             let pool: Vec<IndexId> = (0..n).map(IndexId::from).collect();
             let naive = greedy_enumerate(&ctx, &c, &pool, |cfg| mw.derived_workload(cfg));
             assert_eq!(
                 mw.derived_workload(&fast),
                 mw.derived_workload(&naive),
                 "seed {seed}: fast BG must match Algorithm 1 over derived costs"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_bg_matches_serial_bit_for_bit() {
+        for seed in 0..4u64 {
+            let (opt, cands) = setup(seed + 60);
+            let ctx = TuningContext::new(&opt, &cands);
+            let mut mw = MeteredWhatIf::new(&opt, 80);
+            let n = ctx.universe();
+            let mut rng = ixtune_common::rng::seeded(seed ^ 0x517);
+            use rand::RngExt;
+            while !mw.meter().exhausted() {
+                let a = IndexId::from(rng.random_range(0..n));
+                let b = IndexId::from(rng.random_range(0..n));
+                let q = QueryId::from(rng.random_range(0..ctx.num_queries()));
+                let cfg = if rng.random::<bool>() {
+                    IndexSet::singleton(n, a)
+                } else {
+                    IndexSet::from_ids(n, [a, b])
+                };
+                mw.what_if(q, &cfg);
+            }
+            let c = Constraints::cardinality(4);
+            let serial = best_greedy(&ctx, &c, mw.cache(), 1);
+            let par = best_greedy(&ctx, &c, mw.cache(), 4);
+            assert_eq!(serial, par, "seed {seed}: BG must be thread-invariant");
+            assert_eq!(
+                mw.cache().derived_workload(&serial).to_bits(),
+                mw.cache().derived_workload(&par).to_bits()
             );
         }
     }

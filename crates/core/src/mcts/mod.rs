@@ -20,11 +20,13 @@ use crate::budget::{MeteredWhatIf, Phase};
 use crate::matrix::Layout;
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use extract::Extraction;
-use ixtune_common::rng::{derive, weighted_choice};
+use ixtune_common::rng::{derive, derive_indexed, weighted_choice};
+use ixtune_common::sync::{available_parallelism, effective_threads, AtomicBudget};
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use policy::SelectionPolicy;
 use rand::rngs::StdRng;
 use rollout::RolloutPolicy;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tree::Tree;
 
 /// The MCTS-based budget-aware tuner.
@@ -37,6 +39,13 @@ pub struct MctsTuner {
     pub query_selection: priors::QuerySelection,
     /// How episode rewards are backed up into the tree.
     pub update: UpdatePolicy,
+    /// Root-parallel worker count (§ DESIGN.md 5c): `1` runs the classic
+    /// single-tree search; `L > 1` splits the post-priors budget across
+    /// `L` workers with private trees and RNG streams, merging their
+    /// statistics into one master tree before extraction. This is a
+    /// *logical* count — results depend on it, but not on how many OS
+    /// threads execute the workers (`TuningRequest::session_threads`).
+    pub root_workers: usize,
 }
 
 impl Default for MctsTuner {
@@ -50,6 +59,7 @@ impl Default for MctsTuner {
             extraction: Extraction::BestGreedy,
             query_selection: priors::QuerySelection::RoundRobin,
             update: UpdatePolicy::Average,
+            root_workers: 1,
         }
     }
 }
@@ -100,6 +110,12 @@ impl MctsTuner {
     /// Set the priors-phase query-selection strategy (Algorithm 4).
     pub fn with_query_selection(mut self, query_selection: priors::QuerySelection) -> Self {
         self.query_selection = query_selection;
+        self
+    }
+
+    /// Set the root-parallel worker count (`1` = classic single tree).
+    pub fn with_root_workers(mut self, root_workers: usize) -> Self {
+        self.root_workers = root_workers.max(1);
         self
     }
 
@@ -253,6 +269,7 @@ impl Tuner for MctsTuner {
             && self.extraction == default.extraction
             && self.query_selection == default.query_selection
             && self.update == default.update
+            && self.root_workers == default.root_workers
         {
             "MCTS".into()
         } else {
@@ -260,12 +277,18 @@ impl Tuner for MctsTuner {
                 UpdatePolicy::Average => String::new(),
                 UpdatePolicy::Rave { k } => format!(", RAVE(k={k})"),
             };
+            let workers = if self.root_workers > 1 {
+                format!(", W={}", self.root_workers)
+            } else {
+                String::new()
+            };
             format!(
-                "MCTS[{}, {}, {}{}]",
+                "MCTS[{}, {}, {}{}{}]",
                 self.selection.label(),
                 self.rollout.label(),
                 self.extraction.label(),
-                update
+                update,
+                workers
             )
         }
     }
@@ -280,31 +303,28 @@ impl Tuner for MctsTuner {
 }
 
 impl MctsTuner {
-    fn run(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> (TuningResult, Vec<f64>) {
-        let constraints = &req.constraints;
-        let budget = req.budget;
-        let mut rng = derive(req.seed, "mcts");
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
-
-        // Priors (Algorithm 4) — UCT is the only policy that ignores them.
-        let priors = if self.selection.uses_priors() {
-            let bp = priors::priors_budget(budget, ctx);
-            priors::compute_priors(ctx, &mut mw, bp, self.query_selection)
-        } else {
-            vec![0.0; ctx.universe()]
-        };
-
-        // Episodes: one budgeted call each, until the budget is exhausted.
-        let mut tree = Tree::new(ctx.universe());
-        let mut best: Option<(IndexSet, f64)> = None;
+    /// The episode phase of Algorithm 3: run episodes (one budgeted call
+    /// each) until the budget is exhausted. Episodes whose evaluation hits
+    /// the cache are free; the idle-streak cap keeps a fully-cached search
+    /// space from spinning forever. Appends the best-so-far estimated
+    /// improvement to `trace` after every budget-consuming episode.
+    #[allow(clippy::too_many_arguments)]
+    fn episode_loop(
+        &self,
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        mw: &mut MeteredWhatIf<'_>,
+        tree: &mut Tree,
+        priors: &[f64],
+        rng: &mut StdRng,
+        best: &mut Option<(IndexSet, f64)>,
+        trace: &mut Vec<f64>,
+    ) {
         let mut amaf = match self.update {
             UpdatePolicy::Average => None,
             UpdatePolicy::Rave { k } => Some(policy::AmafTable::new(ctx.universe(), k)),
         };
-        // Episodes whose evaluation hits the cache are free; cap the idle
-        // streak so a fully-cached search space cannot spin forever.
         let base = mw.empty_workload_cost();
-        let mut trace: Vec<f64> = Vec::new();
         let mut idle_streak = 0usize;
         let mut buffers = EpisodeBuffers::default();
         while !mw.meter().exhausted() && idle_streak < 500 {
@@ -312,12 +332,12 @@ impl MctsTuner {
             if !self.run_episode(
                 ctx,
                 constraints,
-                &mut mw,
-                &mut tree,
-                &priors,
+                mw,
+                tree,
+                priors,
                 &mut amaf,
-                &mut best,
-                &mut rng,
+                best,
+                rng,
                 &mut buffers,
             ) {
                 break;
@@ -339,17 +359,239 @@ impl MctsTuner {
                 trace.push(best_imp);
             }
         }
+    }
+
+    fn run(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> (TuningResult, Vec<f64>) {
+        if self.root_workers > 1 {
+            return self.run_root_parallel(ctx, req);
+        }
+        let constraints = &req.constraints;
+        let budget = req.budget;
+        let threads = effective_threads(req.session_threads);
+        let mut rng = derive(req.seed, "mcts");
+        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
+
+        // Priors (Algorithm 4) — UCT is the only policy that ignores them.
+        let priors = if self.selection.uses_priors() {
+            let bp = priors::priors_budget(budget, ctx);
+            priors::compute_priors(ctx, &mut mw, bp, self.query_selection)
+        } else {
+            vec![0.0; ctx.universe()]
+        };
+
+        let mut tree = Tree::new(ctx.universe());
+        let mut best: Option<(IndexSet, f64)> = None;
+        let mut trace: Vec<f64> = Vec::new();
+        self.episode_loop(
+            ctx,
+            constraints,
+            &mut mw,
+            &mut tree,
+            &priors,
+            &mut rng,
+            &mut best,
+            &mut trace,
+        );
 
         // Extraction.
-        let config =
-            self.extraction
-                .extract(ctx, constraints, &mw, &tree, best.as_ref().map(|(c, _)| c));
+        let config = self.extraction.extract(
+            ctx,
+            constraints,
+            mw.cache(),
+            &tree,
+            best.as_ref().map(|(c, _)| c),
+            threads,
+        );
         let used = mw.meter().used();
-        let telemetry = mw.telemetry();
+        let mut telemetry = mw.telemetry();
+        telemetry.session_threads = threads;
         let result =
             TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
                 .with_telemetry(telemetry);
         (result, trace)
+    }
+
+    /// Root-parallel search: after the (shared, once-only) priors phase,
+    /// the remaining budget is partitioned into static per-worker shares
+    /// drawn through an atomic reservation pool, and each worker runs the
+    /// classic episode loop on a private tree, a private clone of the
+    /// master cache, and a private RNG stream split from the session seed.
+    /// Worker statistics are merged into the master tree *in worker order*,
+    /// so the result depends on `root_workers` but not on
+    /// `session_threads` (which only chooses how many OS threads execute
+    /// the workers).
+    fn run_root_parallel(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+    ) -> (TuningResult, Vec<f64>) {
+        let constraints = &req.constraints;
+        let budget = req.budget;
+        let threads = effective_threads(req.session_threads);
+        let mut master = MeteredWhatIf::new(ctx.opt, budget);
+
+        let priors = if self.selection.uses_priors() {
+            let bp = priors::priors_budget(budget, ctx);
+            priors::compute_priors(ctx, &mut master, bp, self.query_selection)
+        } else {
+            vec![0.0; ctx.universe()]
+        };
+
+        let workers = self.root_workers;
+        let remaining = master.meter().remaining();
+        let pool = AtomicBudget::new(remaining);
+        let snapshot = master.cache().clone();
+
+        struct WorkerOut {
+            tree: Tree,
+            best: Option<(IndexSet, f64)>,
+            /// Budget-consuming calls in this worker's chronological order.
+            calls: Vec<(QueryId, IndexSet, f64)>,
+            conv: Vec<f64>,
+            telemetry: crate::budget::SessionTelemetry,
+            used: usize,
+            shortfall: bool,
+        }
+
+        let run_worker = |w: usize| -> WorkerOut {
+            // Static shares partition `remaining` exactly, so every
+            // reservation is fully granted no matter in which order the
+            // workers reach the pool — grants are deterministic.
+            let share = remaining / workers + usize::from(w < remaining % workers);
+            let granted = pool.reserve(share);
+            let shortfall = granted < share;
+            let mut mw = MeteredWhatIf::with_cache(ctx.opt, granted, snapshot.clone());
+            let mut rng = derive_indexed(req.seed, "mcts-root-worker", w as u64);
+            let mut tree = Tree::new(ctx.universe());
+            let mut best: Option<(IndexSet, f64)> = None;
+            let mut conv: Vec<f64> = Vec::new();
+            self.episode_loop(
+                ctx,
+                constraints,
+                &mut mw,
+                &mut tree,
+                &priors,
+                &mut rng,
+                &mut best,
+                &mut conv,
+            );
+            let calls: Vec<(QueryId, IndexSet, f64)> = mw
+                .trace()
+                .iter()
+                .map(|(q, cfg)| {
+                    let cost = mw.cache().get(*q, cfg).expect("traced call is cached");
+                    (*q, cfg.clone(), cost)
+                })
+                .collect();
+            WorkerOut {
+                tree,
+                best,
+                calls,
+                conv,
+                telemetry: mw.telemetry(),
+                used: mw.meter().used(),
+                shortfall,
+            }
+        };
+
+        let os_threads = threads.min(available_parallelism()).min(workers);
+        let outs: Vec<WorkerOut> = if os_threads <= 1 {
+            (0..workers).map(run_worker).collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<WorkerOut>> = (0..workers).map(|_| None).collect();
+            let collected = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..os_threads)
+                    .map(|_| {
+                        let next = &next;
+                        let run_worker = &run_worker;
+                        s.spawn(move |_| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= workers {
+                                    return mine;
+                                }
+                                mine.push((i, run_worker(i)));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("mcts root worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("mcts root-parallel scope panicked");
+            for (i, out) in collected {
+                slots[i] = Some(out);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every worker ran exactly once"))
+                .collect()
+        };
+
+        // Merge in worker order: tree statistics, telemetry counters,
+        // budget-consuming calls (into the master cache and layout trace),
+        // the global best, and the concatenated convergence segments.
+        let mut tree = Tree::new(ctx.universe());
+        let mut best: Option<(IndexSet, f64)> = None;
+        let mut conv: Vec<f64> = Vec::new();
+        let mut worker_used = 0usize;
+        let mut worker_derivs = 0usize;
+        for out in outs {
+            tree.merge_from(&out.tree);
+            {
+                let c = master.counters_mut();
+                c.what_if_calls += out.telemetry.what_if_calls;
+                c.cache_hits += out.telemetry.cache_hits;
+                c.priors_calls += out.telemetry.priors_calls;
+                c.selection_calls += out.telemetry.selection_calls;
+                c.rollout_calls += out.telemetry.rollout_calls;
+                c.other_calls += out.telemetry.other_calls;
+                c.parallel_scans += out.telemetry.parallel_scans;
+                c.tree_merges += 1;
+                c.reservation_shortfalls += usize::from(out.shortfall);
+            }
+            worker_derivs += out.telemetry.derivations;
+            worker_used += out.used;
+            for (q, cfg, cost) in out.calls {
+                master.absorb_call(q, cfg, cost);
+            }
+            if let Some((cfg, cost)) = out.best {
+                if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    best = Some((cfg, cost));
+                }
+            }
+            conv.extend(out.conv);
+        }
+
+        // Extraction over the merged cache and tree.
+        let config = self.extraction.extract(
+            ctx,
+            constraints,
+            master.cache(),
+            &tree,
+            best.as_ref().map(|(c, _)| c),
+            threads,
+        );
+        let used = master.meter().used() + worker_used;
+        debug_assert!(used <= budget, "workers oversubscribed the budget");
+        // Master-side derivations (priors + extraction) live in the master
+        // cache; worker derivations were counted on their private clones.
+        let mut telemetry = master.telemetry();
+        telemetry.derivations += worker_derivs;
+        telemetry.session_threads = threads;
+        let result = TuningResult::evaluate(
+            self.name(),
+            ctx,
+            config,
+            used,
+            Layout::new(master.into_trace()),
+        )
+        .with_telemetry(telemetry);
+        (result, conv)
     }
 }
 
@@ -541,6 +783,58 @@ mod tests {
         assert!(t.name().contains("UCT"));
         let d = MctsTuner::default();
         assert_eq!(d.ablation_label(), "Prior + Greedy");
+    }
+
+    #[test]
+    fn root_parallel_respects_budget_and_is_thread_invariant() {
+        let (opt, cands) = setup(8);
+        let ctx = TuningContext::new(&opt, &cands);
+        let tuner = MctsTuner::default().with_root_workers(4);
+        let base = TuningRequest::cardinality(3, 60).with_seed(11);
+        let serial = tuner.tune(&ctx, &base.with_session_threads(1));
+        let parallel = tuner.tune(&ctx, &base.with_session_threads(4));
+        assert!(serial.calls_used <= 60, "budget oversubscribed");
+        assert_eq!(serial.config, parallel.config);
+        assert_eq!(serial.calls_used, parallel.calls_used);
+        assert_eq!(serial.improvement.to_bits(), parallel.improvement.to_bits());
+        assert_eq!(serial.layout.cells(), parallel.layout.cells());
+        assert_eq!(
+            serial.telemetry.what_if_calls,
+            parallel.telemetry.what_if_calls
+        );
+        assert_eq!(serial.telemetry.derivations, parallel.telemetry.derivations);
+        assert_eq!(serial.telemetry.tree_merges, 4);
+        assert_eq!(serial.telemetry.reservation_shortfalls, 0);
+    }
+
+    #[test]
+    fn root_parallel_is_deterministic_and_named() {
+        let (opt, cands) = setup(9);
+        let ctx = TuningContext::new(&opt, &cands);
+        let tuner = MctsTuner::default().with_root_workers(3);
+        assert!(tuner.name().contains("W=3"), "{}", tuner.name());
+        let req = TuningRequest::cardinality(3, 40).with_seed(5);
+        let a = tuner.tune(&ctx, &req);
+        let b = tuner.tune(&ctx, &req);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.calls_used, b.calls_used);
+        // Worker RNG streams are split from the seed, so a different seed
+        // steers the search differently (streams are live, not constant).
+        let c = tuner.tune(&ctx, &req.with_seed(6));
+        assert!(c.calls_used <= 40);
+    }
+
+    #[test]
+    fn root_parallel_with_tight_budget_degrades_gracefully() {
+        let (opt, cands) = setup(10);
+        let ctx = TuningContext::new(&opt, &cands);
+        let tuner = MctsTuner::default().with_root_workers(8);
+        // Fewer remaining calls than workers: trailing shares are 0.
+        for budget in [0usize, 1, 3, 7] {
+            let r = tuner.tune(&ctx, &TuningRequest::cardinality(2, budget).with_seed(2));
+            assert!(r.calls_used <= budget, "budget {budget}");
+            assert_eq!(r.telemetry.reservation_shortfalls, 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,511 @@
+//! Frozen-cache parallel candidate scanning.
+//!
+//! Once the what-if budget is exhausted, a greedy step is a pure function
+//! of the (now read-only) [`WhatIfCache`]: score every admissible
+//! candidate `x` by `Σ_q d(q, C ∪ {x})` and take the argmin. That work is
+//! embarrassingly parallel — the budget bounds optimizer calls, not CPU —
+//! and this module fans it out across threads while staying **bit-identical**
+//! to the serial scan:
+//!
+//! * **Batched query-major kernel.** Instead of one postings walk per
+//!   `(candidate, query)` pair, each worker makes a single ascending-cost
+//!   pass over `multi_entries(q)` per query: an entry credits candidate
+//!   `x` iff its members outside `C` are *exactly* `{x}` — precisely the
+//!   entries the serial postings walk for `x` would accept — and because
+//!   entries are cost-sorted, the first credit is the min. This prices a
+//!   whole candidate chunk per entry pass, which is why the kernel beats
+//!   the serial scan per-thread before any parallelism.
+//! * **Deterministic reduction.** Candidates are split into contiguous
+//!   chunks in pool order; each chunk keeps its first strict min, and
+//!   chunks are reduced in ascending order with strict `<` — yielding the
+//!   same `(cost, position)` argmin as the serial first-strict-min loop,
+//!   regardless of thread interleaving.
+//! * **Exact telemetry.** Per query, the kernel accounts
+//!   `chunk_len − hits` derivations in one batched counter add and
+//!   reports hits to the caller — the same counts, call for call, as the
+//!   serial evaluators it replaces.
+//!
+//! Chunk totals are accumulated query-major (ascending `q`), the same
+//! `f64` summation order as the serial per-candidate loop, so sums match
+//! to the bit, not just to rounding.
+
+use crate::derived::WhatIfCache;
+use ixtune_common::sync::available_parallelism;
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel candidate scans only engage when the scan is at least this
+/// many `(candidate, query)` evaluations — below it, thread setup costs
+/// more than it saves (e.g. two-phase's tiny per-query phase-1 scans).
+pub const MIN_PARALLEL_WORK: usize = 64;
+
+/// How a frozen-phase scan prices one `(q, C ∪ {x})` cell — each variant
+/// replicates one serial evaluator exactly, value *and* telemetry.
+#[derive(Clone, Copy)]
+pub enum FrozenEval<'a> {
+    /// `MeteredWhatIf::cost_fcfs_extend` after exhaustion: cached exact
+    /// hit if present (a free cache hit), otherwise Eq. 1 derivation.
+    Fcfs,
+    /// The AutoAdmin rule: atomic configurations (singletons and the
+    /// listed pairs) go through the FCFS path, everything else is priced
+    /// by pure derivation without an exact-hit probe.
+    Atomic(&'a HashSet<IndexSet>),
+    /// Pure incremental derivation (`DerivationState::probe_extend`) —
+    /// the Best-Greedy extraction path, which never probes for hits.
+    Derive,
+}
+
+/// One chunk's scan outcome: the chunk-local `(cost, position, id)`
+/// first-strict-min (if any candidate was scanned) and the cache hits
+/// observed.
+type ChunkOutcome = (Option<(f64, usize, IndexId)>, usize);
+
+/// Scan `chunk` (pool positions + candidate ids, ascending) against every
+/// query, returning the chunk argmin and hit count. Derivation counts are
+/// batched straight into the cache's per-shard counters.
+fn scan_chunk(
+    cache: &WhatIfCache,
+    queries: &[QueryId],
+    per_query: &[f64],
+    config: &IndexSet,
+    chunk: &[(usize, IndexId)],
+    mode: FrozenEval<'_>,
+) -> ChunkOutcome {
+    let universe = cache.universe();
+    // Epoch-stamped scratch: `entry_min[x]` is valid for the current query
+    // iff `stamp[x] == epoch`, so per-query resets are O(1), not O(u).
+    let mut entry_min = vec![0.0f64; universe];
+    let mut stamp = vec![0u32; universe];
+    let mut epoch = 0u32;
+    let mut totals = vec![0.0f64; chunk.len()];
+    // Scratch set for exact-hit probes: `C ∪ {x}` by insert/remove undo.
+    let mut cfg = config.clone();
+    let cfg_len = config.len() + 1;
+    let mut hits = 0usize;
+
+    for (slot, &q) in queries.iter().enumerate() {
+        let cur = per_query[slot];
+        let singleton = cache.singleton_row(q);
+        epoch += 1;
+
+        // Entry pass: ascending cost, so the first entry crediting `x`
+        // (members outside C exactly {x}) is its min — later credits
+        // cannot improve it and are skipped by the stamp check.
+        'entries: for (set, cost) in cache.multi_entries(q) {
+            let mut extra = usize::MAX;
+            for (bi, (&eb, &cb)) in set.as_blocks().iter().zip(config.as_blocks()).enumerate() {
+                let diff = eb & !cb;
+                if diff == 0 {
+                    continue;
+                }
+                if extra != usize::MAX || diff & (diff - 1) != 0 {
+                    continue 'entries; // ≥ 2 members outside C
+                }
+                extra = bi * 64 + diff.trailing_zeros() as usize;
+            }
+            if extra == usize::MAX {
+                continue; // entry ⊆ C: no postings walk ever visits it
+            }
+            if stamp[extra] != epoch {
+                stamp[extra] = epoch;
+                entry_min[extra] = *cost;
+            }
+        }
+
+        // Candidate pass: fold this query's value into each chunk total.
+        let mut row_hits = 0usize;
+        for (ci, &(_, id)) in chunk.iter().enumerate() {
+            let x = id.index();
+            let derive = || -> f64 {
+                let mut best = cur;
+                let s = singleton[x];
+                if !s.is_nan() && s < best {
+                    best = s;
+                }
+                if stamp[x] == epoch && entry_min[x] < best {
+                    best = entry_min[x];
+                }
+                best
+            };
+            let fcfs = |cfg: &mut IndexSet, row_hits: &mut usize| -> f64 {
+                // Replicate `cache.get(q, C ∪ {x})`:
+                let hit = if cfg_len == 1 {
+                    let s = singleton[x];
+                    (!s.is_nan()).then_some(s)
+                } else if cfg_len > cache.max_multi_len(q) {
+                    None
+                } else {
+                    cfg.insert(id);
+                    let h = cache.exact_get(q, cfg);
+                    cfg.remove(id);
+                    h
+                };
+                match hit {
+                    Some(c) => {
+                        *row_hits += 1;
+                        c
+                    }
+                    None => derive(),
+                }
+            };
+            let v = match mode {
+                FrozenEval::Fcfs => fcfs(&mut cfg, &mut row_hits),
+                FrozenEval::Atomic(pairs) => {
+                    // Atomic configurations are singletons and listed
+                    // (size-2) pairs, so larger scratch sets skip the probe.
+                    let atomic = cfg_len <= 1 || {
+                        cfg_len == 2 && {
+                            cfg.insert(id);
+                            let a = pairs.contains(&cfg);
+                            cfg.remove(id);
+                            a
+                        }
+                    };
+                    if atomic {
+                        fcfs(&mut cfg, &mut row_hits)
+                    } else {
+                        derive()
+                    }
+                }
+                FrozenEval::Derive => derive(),
+            };
+            totals[ci] += v;
+        }
+        // Serial accounting: every non-hit evaluation was one derivation.
+        cache.add_derivations(q, chunk.len() - row_hits);
+        hits += row_hits;
+    }
+
+    let mut best: Option<(f64, usize, IndexId)> = None;
+    for (ci, &(pos, id)) in chunk.iter().enumerate() {
+        let t = totals[ci];
+        if best.is_none_or(|(b, _, _)| t < b) {
+            best = Some((t, pos, id));
+        }
+    }
+    (best, hits)
+}
+
+/// Parallel argmin over `admissible` candidates (pool positions + ids in
+/// ascending pool order) against a frozen cache. Returns the winning
+/// `(position, id, cost)` — bit-identical to the serial first-strict-min
+/// scan — and the number of cache hits observed.
+///
+/// `threads` is the *logical* thread count; the number of OS threads
+/// actually spawned is additionally clamped to the hardware (and to the
+/// chunk count), which cannot change the result because chunk outcomes
+/// are reduced by chunk index, not completion order.
+pub fn frozen_argmin(
+    cache: &WhatIfCache,
+    queries: &[QueryId],
+    per_query: &[f64],
+    config: &IndexSet,
+    admissible: &[(usize, IndexId)],
+    mode: FrozenEval<'_>,
+    threads: usize,
+) -> (Option<(usize, IndexId, f64)>, usize) {
+    debug_assert!(cache.is_frozen(), "parallel scan over an unfrozen cache");
+    if admissible.is_empty() {
+        return (None, 0);
+    }
+    // Chunk per OS worker actually available, not per logical thread: the
+    // entry pass is per-chunk overhead, and any contiguous ascending
+    // chunking reduces to the same argmin, so fewer chunks on a narrow
+    // host is free. (`workers <= 1` thus scans one chunk, serially.)
+    let worker_cap = threads.max(1).min(available_parallelism()).max(1);
+    let chunk_size = admissible.len().div_ceil(worker_cap);
+    let chunks: Vec<&[(usize, IndexId)]> = admissible.chunks(chunk_size).collect();
+    let workers = worker_cap.min(chunks.len());
+
+    let outcomes: Vec<ChunkOutcome> = if workers <= 1 {
+        chunks
+            .iter()
+            .map(|c| scan_chunk(cache, queries, per_query, config, c, mode))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<ChunkOutcome>> = vec![None; chunks.len()];
+        let collected = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let chunks = &chunks;
+                    s.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= chunks.len() {
+                                return mine;
+                            }
+                            mine.push((
+                                i,
+                                scan_chunk(cache, queries, per_query, config, chunks[i], mode),
+                            ));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scan worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scan scope panicked");
+        for (i, outcome) in collected {
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk scanned exactly once"))
+            .collect()
+    };
+
+    // Reduce in chunk order with strict `<`: positions ascend across
+    // chunks, so ties keep the earliest position — the serial argmin.
+    let mut hits = 0usize;
+    let mut best: Option<(f64, usize, IndexId)> = None;
+    for (chunk_best, chunk_hits) in outcomes {
+        hits += chunk_hits;
+        if let Some((t, pos, id)) = chunk_best {
+            if best.is_none_or(|(b, _, _)| t < b) {
+                best = Some((t, pos, id));
+            }
+        }
+    }
+    (best.map(|(t, pos, id)| (pos, id, t)), hits)
+}
+
+/// Re-price the scan winner's per-query values (pushing them into `out`
+/// in query order) and return their sum — bit-identical to the kernel's
+/// winning total. Telemetry-silent: the kernel already accounted every
+/// probe, so this uses uncounted derivation.
+pub fn winner_values(
+    cache: &WhatIfCache,
+    queries: &[QueryId],
+    per_query: &[f64],
+    config: &IndexSet,
+    winner: IndexId,
+    mode: FrozenEval<'_>,
+    out: &mut Vec<f64>,
+) -> f64 {
+    out.clear();
+    let cfgx = config.with(winner);
+    let cfg_len = cfgx.len();
+    let mut total = 0.0;
+    for (i, &q) in queries.iter().enumerate() {
+        let cur = per_query[i];
+        let hit = |q: QueryId| -> Option<f64> {
+            if cfg_len == 1 {
+                cache.singleton_cost(q, winner)
+            } else if cfg_len > cache.max_multi_len(q) {
+                None
+            } else {
+                cache.exact_get(q, &cfgx)
+            }
+        };
+        let derive = || cache.derived_with_extra_uncounted(q, config, winner, cur);
+        let v = match mode {
+            FrozenEval::Fcfs => hit(q).unwrap_or_else(derive),
+            FrozenEval::Atomic(pairs) => {
+                if cfg_len <= 1 || (cfg_len == 2 && pairs.contains(&cfgx)) {
+                    hit(q).unwrap_or_else(derive)
+                } else {
+                    derive()
+                }
+            }
+            FrozenEval::Derive => derive(),
+        };
+        out.push(v);
+        total += v;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_common::rng::seeded;
+    use rand::RngExt;
+
+    /// A cache primed with pseudo-random singleton and multi entries,
+    /// including deliberately non-monotone costs, so the kernel is pinned
+    /// to the serial scan rather than to any monotonicity assumption.
+    fn primed(universe: usize, queries: usize, entries: usize, seed: u64) -> WhatIfCache {
+        let mut rng = seeded(seed);
+        let empties: Vec<f64> = (0..queries).map(|_| 800.0 + rng.random::<f64>()).collect();
+        let mut cache = WhatIfCache::new(universe, empties);
+        for _ in 0..entries {
+            let q = QueryId::from(rng.random_range(0..queries));
+            let size = rng.random_range(1..4usize);
+            let ids: Vec<IndexId> = (0..size)
+                .map(|_| IndexId::from(rng.random_range(0..universe)))
+                .collect();
+            let cfg = IndexSet::from_ids(universe, ids);
+            if cfg.is_empty() {
+                continue;
+            }
+            let cost = 100.0 + 700.0 * rng.random::<f64>();
+            cache.put(q, &cfg, cost);
+        }
+        cache
+    }
+
+    fn serial_oracle(
+        cache: &WhatIfCache,
+        queries: &[QueryId],
+        per_query: &[f64],
+        config: &IndexSet,
+        admissible: &[(usize, IndexId)],
+        mode: FrozenEval<'_>,
+    ) -> Option<(usize, IndexId, f64)> {
+        let mut best: Option<(f64, usize, IndexId)> = None;
+        for &(pos, id) in admissible {
+            let mut total = 0.0;
+            let cfgx = config.with(id);
+            for (i, &q) in queries.iter().enumerate() {
+                let cur = per_query[i];
+                let v = match mode {
+                    FrozenEval::Fcfs => cache
+                        .get(q, &cfgx)
+                        .unwrap_or_else(|| cache.derived_with_extra(q, config, id, cur)),
+                    FrozenEval::Atomic(pairs) => {
+                        if cfgx.len() <= 1 || pairs.contains(&cfgx) {
+                            cache
+                                .get(q, &cfgx)
+                                .unwrap_or_else(|| cache.derived_with_extra(q, config, id, cur))
+                        } else {
+                            cache.derived_with_extra(q, config, id, cur)
+                        }
+                    }
+                    FrozenEval::Derive => cache.derived_with_extra(q, config, id, cur),
+                };
+                total += v;
+            }
+            if best.is_none_or(|(b, _, _)| total < b) {
+                best = Some((total, pos, id));
+            }
+        }
+        best.map(|(t, pos, id)| (pos, id, t))
+    }
+
+    #[test]
+    fn kernel_matches_serial_oracle_across_modes_and_threads() {
+        for seed in 0..6u64 {
+            let universe = 24;
+            let cache = primed(universe, 5, 60, seed);
+            let queries: Vec<QueryId> = (0..5usize).map(QueryId::from).collect();
+            let mut rng = seeded(seed ^ 0xabc);
+            let config = IndexSet::from_ids(
+                universe,
+                (0..3).map(|_| IndexId::from(rng.random_range(0..universe))),
+            );
+            let per_query: Vec<f64> = queries.iter().map(|&q| cache.derived(q, &config)).collect();
+            let admissible: Vec<(usize, IndexId)> = config.complement_iter().enumerate().collect();
+            let pairs: HashSet<IndexSet> = (0..universe)
+                .step_by(3)
+                .map(|i| {
+                    IndexSet::from_ids(
+                        universe,
+                        [IndexId::from(i), IndexId::from((i + 1) % universe)],
+                    )
+                })
+                .collect();
+            cache.freeze();
+            for mode in [
+                FrozenEval::Fcfs,
+                FrozenEval::Atomic(&pairs),
+                FrozenEval::Derive,
+            ] {
+                let expected =
+                    serial_oracle(&cache, &queries, &per_query, &config, &admissible, mode);
+                for threads in [1, 2, 3, 8] {
+                    let (got, _) = frozen_argmin(
+                        &cache,
+                        &queries,
+                        &per_query,
+                        &config,
+                        &admissible,
+                        mode,
+                        threads,
+                    );
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some((ep, ei, ec)), Some((gp, gi, gc))) => {
+                            assert_eq!((ep, ei), (gp, gi), "seed={seed} threads={threads}");
+                            assert_eq!(ec.to_bits(), gc.to_bits(), "seed={seed}");
+                        }
+                        (e, g) => panic!("mismatch: expected {e:?}, got {g:?}"),
+                    }
+                    // Winner re-pricing reproduces the winning total bit-for-bit.
+                    if let Some((_, id, cost)) = got {
+                        let mut vals = Vec::new();
+                        let total = winner_values(
+                            &cache, &queries, &per_query, &config, id, mode, &mut vals,
+                        );
+                        assert_eq!(total.to_bits(), cost.to_bits());
+                        assert_eq!(vals.len(), queries.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_telemetry_matches_serial_counts() {
+        let universe = 16;
+        let cache = primed(universe, 4, 40, 9);
+        let queries: Vec<QueryId> = (0..4usize).map(QueryId::from).collect();
+        let config = IndexSet::from_ids(universe, [IndexId::new(1), IndexId::new(5)]);
+        let per_query: Vec<f64> = queries.iter().map(|&q| cache.derived(q, &config)).collect();
+        let admissible: Vec<(usize, IndexId)> = config.complement_iter().enumerate().collect();
+        cache.freeze();
+
+        // Serial FCFS evaluation: count hits and derivations by hand.
+        let mut serial_hits = 0usize;
+        let mut serial_derivs = 0usize;
+        for &(_, id) in &admissible {
+            let cfgx = config.with(id);
+            for &q in &queries {
+                if cache.get(q, &cfgx).is_some() {
+                    serial_hits += 1;
+                } else {
+                    serial_derivs += 1;
+                }
+            }
+        }
+
+        let before = cache.derivations();
+        let (_, hits) = frozen_argmin(
+            &cache,
+            &queries,
+            &per_query,
+            &config,
+            &admissible,
+            FrozenEval::Fcfs,
+            4,
+        );
+        assert_eq!(hits, serial_hits);
+        assert_eq!(cache.derivations() - before, serial_derivs);
+    }
+
+    #[test]
+    fn empty_admissible_set_is_a_no_scan() {
+        let cache = primed(8, 2, 10, 1);
+        cache.freeze();
+        let queries: Vec<QueryId> = (0..2usize).map(QueryId::from).collect();
+        let config = IndexSet::empty(8);
+        let per_query = vec![cache.empty_cost(queries[0]), cache.empty_cost(queries[1])];
+        let (best, hits) = frozen_argmin(
+            &cache,
+            &queries,
+            &per_query,
+            &config,
+            &[],
+            FrozenEval::Derive,
+            4,
+        );
+        assert!(best.is_none());
+        assert_eq!(hits, 0);
+    }
+}

@@ -7,9 +7,10 @@
 
 use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
-use crate::greedy::greedy_enumerate_incremental;
+use crate::greedy::{greedy_enumerate_metered, MeteredEval};
 use crate::matrix::Layout;
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
+use ixtune_common::sync::effective_threads;
 use ixtune_common::{IndexId, IndexSet, QueryId};
 
 /// Two-phase greedy with FCFS budget allocation.
@@ -18,14 +19,17 @@ pub struct TwoPhaseGreedy;
 
 impl TwoPhaseGreedy {
     /// Phase 1: per-query tuning; returns the union of per-query winners.
-    /// Exposed for reuse by the AutoAdmin variant. `eval` prices one
-    /// extension `C ∪ {extra}` for one query given `cur = cost(q, C)` (see
-    /// [`greedy_enumerate_incremental`]).
+    /// Exposed for reuse by the AutoAdmin variant. `mode` selects how an
+    /// extension `C ∪ {extra}` is priced (see
+    /// [`greedy_enumerate_metered`]). The per-query scans are tiny, so
+    /// they stay below the parallel-work threshold in practice; `threads`
+    /// is passed through for uniformity.
     pub(crate) fn phase1(
         ctx: &TuningContext<'_>,
         constraints: &Constraints,
         mw: &mut MeteredWhatIf<'_>,
-        mut eval: impl FnMut(&mut MeteredWhatIf<'_>, QueryId, &IndexSet, IndexId, f64) -> f64,
+        mode: MeteredEval<'_>,
+        threads: usize,
     ) -> Vec<IndexId> {
         let universe = ctx.universe();
         let empty = IndexSet::empty(universe);
@@ -36,9 +40,7 @@ impl TwoPhaseGreedy {
             let init = vec![mw.cost_fcfs(q, &empty)];
             let mut state = DerivationState::for_queries(universe, vec![q], init);
             let best =
-                greedy_enumerate_incremental(ctx, constraints, pool, &mut state, |q, c, x, cur| {
-                    eval(mw, q, c, x, cur)
-                });
+                greedy_enumerate_metered(ctx, constraints, pool, &mut state, mw, mode, threads);
             for id in best.iter() {
                 if !union.contains(&id) {
                     union.push(id);
@@ -56,12 +58,11 @@ impl Tuner for TwoPhaseGreedy {
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
         let constraints = &req.constraints;
+        let threads = effective_threads(req.session_threads);
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
 
         // Phase 1: each query as its own workload.
-        let union = Self::phase1(ctx, constraints, &mut mw, |mw, q, c, x, cur| {
-            mw.cost_fcfs_extend(q, c, x, cur)
-        });
+        let union = Self::phase1(ctx, constraints, &mut mw, MeteredEval::Fcfs, threads);
 
         // Phase 2: workload-level greedy over the refined candidate set.
         let universe = ctx.universe();
@@ -69,12 +70,18 @@ impl Tuner for TwoPhaseGreedy {
         let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
         let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
         let mut state = DerivationState::for_queries(universe, queries, init);
-        let config =
-            greedy_enumerate_incremental(ctx, constraints, &union, &mut state, |q, c, x, cur| {
-                mw.cost_fcfs_extend(q, c, x, cur)
-            });
+        let config = greedy_enumerate_metered(
+            ctx,
+            constraints,
+            &union,
+            &mut state,
+            &mut mw,
+            MeteredEval::Fcfs,
+            threads,
+        );
         let used = mw.meter().used();
-        let telemetry = mw.telemetry();
+        let mut telemetry = mw.telemetry();
+        telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
     }

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Run the derivation micro-benchmarks and write a machine-readable
-# snapshot of median ns-per-op to BENCH_2.json (or $1 if given).
+# snapshot of median ns-per-op to BENCH_3.json (or $1 if given).
 #
 # The vendored criterion stand-in appends one JSON line per benchmark to
 # $CRITERION_SNAPSHOT; this script collects the lines and adds the
-# headline ratio — the greedy-step speedup of the incremental
-# DerivationState probe over the full derived_workload rescan it replaced.
+# headline ratios: the greedy-step speedup of the incremental
+# DerivationState probe over the full derived_workload rescan it
+# replaced, the further speedup of the frozen-cache parallel kernel over
+# the incremental probe, and the root-parallel MCTS session ratio.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_2.json}"
+out="${1:-BENCH_3.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -17,16 +19,24 @@ CRITERION_SNAPSHOT="$tmp" cargo bench -p ixtune-bench --bench derivation
 
 python3 - "$tmp" "$out" <<'EOF'
 import json
+import os
 import sys
 
 lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
 medians = {e["bench"]: e["median_ns"] for e in lines}
-doc = {"median_ns_per_op": medians}
+doc = {"median_ns_per_op": medians, "host_threads": os.cpu_count()}
 for universe in (64, 256, 1024):
     full = medians.get(f"greedy-step/full-rescan-u{universe}")
     inc = medians.get(f"greedy-step/incremental-u{universe}")
     if full and inc:
         doc[f"greedy_step_u{universe}_speedup"] = round(full / inc, 2)
+    par = medians.get(f"greedy-step/parallel-u{universe}")
+    if inc and par:
+        doc[f"greedy_step_parallel_u{universe}_speedup"] = round(inc / par, 2)
+serial = medians.get("mcts/episodes-serial")
+par = medians.get("mcts/episodes-parallel")
+if serial and par:
+    doc["mcts_root_parallel_speedup"] = round(serial / par, 2)
 with open(sys.argv[2], "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)
     f.write("\n")
