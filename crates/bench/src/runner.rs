@@ -252,6 +252,7 @@ mod tests {
                 wall_clock_ms: 1.5,
                 ..SessionTelemetry::default()
             },
+            stop_reason: None,
         };
         let cell = aggregate("x", 10, 100, &[mk(0.2), mk(0.4)]);
         assert!((cell.mean_pct - 30.0).abs() < 1e-9);

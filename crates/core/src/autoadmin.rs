@@ -7,6 +7,7 @@ use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
 use crate::greedy::{greedy_enumerate_metered, MeteredEval};
 use crate::matrix::Layout;
+use crate::stop::{StopReason, StopSignal};
 use crate::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use crate::twophase::TwoPhaseGreedy;
 use ixtune_candidates::atomic::single_join_pairs;
@@ -35,6 +36,15 @@ impl Tuner for AutoAdminGreedy {
     }
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        self.tune_with_stop(ctx, req, &StopSignal::never())
+    }
+
+    fn tune_with_stop(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+    ) -> TuningResult {
         let constraints = &req.constraints;
         let threads = effective_threads(req.session_threads);
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
@@ -50,21 +60,40 @@ impl Tuner for AutoAdminGreedy {
         let mode = MeteredEval::Atomic(&atomic_pairs);
 
         // Phase 1 (per query) restricted to atomic what-if calls.
-        let union = TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, mode, threads);
+        let (union, mut interrupt) =
+            TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, mode, threads, stop);
 
-        // Phase 2 over the union, still atomic-restricted.
-        let universe = ctx.universe();
-        let empty = IndexSet::empty(universe);
-        let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
-        let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
-        let mut state = DerivationState::for_queries(universe, queries, init);
-        let config =
-            greedy_enumerate_metered(ctx, constraints, &union, &mut state, &mut mw, mode, threads);
+        let config = if interrupt.is_some() {
+            // Interrupted mid-phase-1: derive-only salvage over the
+            // partial union, no further budget spend.
+            TwoPhaseGreedy::salvage(ctx, constraints, &union, &mw)
+        } else {
+            // Phase 2 over the union, still atomic-restricted.
+            let universe = ctx.universe();
+            let empty = IndexSet::empty(universe);
+            let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
+            let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
+            let mut state = DerivationState::for_queries(universe, queries, init);
+            let (config, i2) = greedy_enumerate_metered(
+                ctx,
+                constraints,
+                &union,
+                &mut state,
+                &mut mw,
+                mode,
+                threads,
+                stop,
+            );
+            interrupt = i2;
+            config
+        };
         let used = mw.meter().used();
+        let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
+            .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted))
     }
 }
 

@@ -68,8 +68,9 @@ pub struct SessionTelemetry {
     pub wall_clock_ms: f64,
 }
 
-/// Exact what-if call accounting.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Exact what-if call accounting. Serializable so a suspended session's
+/// consumption survives in its checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BudgetMeter {
     budget: usize,
     used: usize,
@@ -170,6 +171,32 @@ impl<'a> MeteredWhatIf<'a> {
             phase: Phase::Other,
             counters: SessionTelemetry::default(),
         }
+    }
+
+    /// Rebuild a client from checkpointed parts — the resume entry point.
+    /// The phase starts at [`Phase::Other`]; MCTS re-sets it per episode,
+    /// so the restored call stream is attributed identically.
+    pub(crate) fn from_parts(
+        opt: &'a dyn WhatIfOptimizer,
+        cache: WhatIfCache,
+        meter: BudgetMeter,
+        trace: Vec<(QueryId, IndexSet)>,
+        counters: SessionTelemetry,
+    ) -> Self {
+        Self {
+            opt,
+            cache,
+            meter,
+            trace,
+            phase: Phase::Other,
+            counters,
+        }
+    }
+
+    /// Raw telemetry counters *without* the cache's derivation count —
+    /// what a checkpoint stores (derivations are restored with the cache).
+    pub(crate) fn counters(&self) -> SessionTelemetry {
+        self.counters
     }
 
     /// Attribute subsequent budgeted calls to `phase`. Returns the

@@ -1,0 +1,149 @@
+//! Versioned on-disk snapshots of suspended MCTS sessions.
+//!
+//! A checkpoint captures *everything* the episode loop reads between
+//! episodes: the search tree (exact arena numbering), the what-if cache
+//! (exact stored order, so derived costs answer bit-identically), the
+//! budget meter, the layout trace, the telemetry counters, the RNG state
+//! (raw xoshiro256** words), the priors vector, the best-explored
+//! configuration, the convergence trace, the idle-streak counter, and the
+//! AMAF table when RAVE updates are configured. Suspension happens only at
+//! episode boundaries, so no mid-episode state exists to capture; resuming
+//! replays the remaining episodes exactly as the uninterrupted run would
+//! have executed them.
+//!
+//! The format is line-oriented JSON (one document) with an explicit
+//! [`SNAPSHOT_VERSION`]; readers reject other versions rather than guess.
+//! `f64` values survive the JSON round trip bit-exactly (see the vendored
+//! `serde_json` docs) — the one excluded value is NaN, which the cache
+//! snapshot never emits (NaN cells mean "unknown" and are skipped).
+
+use crate::budget::{BudgetMeter, SessionTelemetry};
+use crate::derived::CacheSnapshot;
+use crate::mcts::policy::AmafTable;
+use crate::mcts::tree::TreeSnapshot;
+use crate::tuner::TuningRequest;
+use ixtune_common::{IndexSet, QueryId};
+use serde::{Deserialize, Serialize};
+
+/// Current checkpoint format version. Bump on any incompatible change to
+/// [`MctsCheckpoint`] or the snapshot types it embeds.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serialized state of a suspended MCTS tuning session.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MctsCheckpoint {
+    /// Format version ([`SNAPSHOT_VERSION`] at capture time).
+    pub version: u32,
+    /// `Tuner::name()` of the capturing tuner — resume refuses a
+    /// differently-configured tuner, which would diverge silently.
+    pub algorithm: String,
+    /// The original request (constraints, budget, seed, threads).
+    pub req: TuningRequest,
+    /// Raw xoshiro256** state of the episode RNG.
+    pub rng: (u64, u64, u64, u64),
+    /// Singleton priors η(W, {I_i}) from the (already completed) priors
+    /// phase.
+    pub priors: Vec<f64>,
+    /// Search tree with exact arena numbering.
+    pub tree: TreeSnapshot,
+    /// What-if cache in exact stored order.
+    pub cache: CacheSnapshot,
+    /// Budget consumption at suspension.
+    pub meter: BudgetMeter,
+    /// Chronological budget-consuming calls (the layout under
+    /// construction).
+    pub trace: Vec<(QueryId, IndexSet)>,
+    /// Telemetry counters *excluding* cache derivations (those are
+    /// restored with the cache).
+    pub counters: SessionTelemetry,
+    /// Best evaluated configuration and its estimated cost.
+    pub best: Option<(IndexSet, f64)>,
+    /// Convergence trace so far.
+    pub conv: Vec<f64>,
+    /// Consecutive budget-free episodes at suspension.
+    pub idle_streak: usize,
+    /// AMAF statistics (RAVE updates only).
+    pub amaf: Option<AmafTable>,
+}
+
+impl MctsCheckpoint {
+    /// Compact JSON encoding (a single line — fits the service's
+    /// line-delimited file layout).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization is infallible")
+    }
+
+    /// Parse a checkpoint from JSON. Structural validation (tree links,
+    /// cache ordering, workload shape) happens in `MctsTuner::resume`.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| format!("malformed checkpoint: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcts::{MctsOutcome, MctsTuner};
+    use crate::stop::StopSignal;
+    use crate::tuner::TuningContext;
+    use ixtune_candidates::generate_default;
+    use ixtune_optimizer::{CostModel, SimulatedOptimizer};
+    use ixtune_workload::gen::synth;
+
+    fn capture(seed: u64, budget: usize, pause: usize) -> MctsCheckpoint {
+        let inst = synth::instance(seed);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        let ctx = TuningContext::new(&opt, &cands);
+        let req = crate::tuner::TuningRequest::cardinality(3, budget).with_seed(seed);
+        let stop = StopSignal::armed().suspend_after_calls(pause);
+        match MctsTuner::default().run_resumable(&ctx, &req, &stop) {
+            MctsOutcome::Suspended(ckpt) => *ckpt,
+            MctsOutcome::Finished(..) => panic!("expected suspension at {pause} calls"),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let ckpt = capture(3, 120, 60);
+        assert_eq!(ckpt.version, SNAPSHOT_VERSION);
+        assert!(ckpt.meter.used() >= 60, "suspended after the trigger");
+        let json = ckpt.to_json();
+        assert!(!json.contains('\n'), "one line for line-delimited files");
+        let back = MctsCheckpoint::from_json(&json).unwrap();
+        // Re-encoding the parsed checkpoint must reproduce the bytes —
+        // field order and every f64 bit pattern survive.
+        assert_eq!(back.to_json(), json);
+        assert_eq!(back.tree, ckpt.tree);
+        assert_eq!(back.cache, ckpt.cache);
+        assert_eq!(back.meter, ckpt.meter);
+        assert_eq!(back.counters, ckpt.counters);
+        assert_eq!(back.rng, ckpt.rng);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(MctsCheckpoint::from_json("").is_err());
+        assert!(MctsCheckpoint::from_json("{\"version\": 1}").is_err());
+        assert!(MctsCheckpoint::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn resume_rejects_version_and_algorithm_mismatch() {
+        let inst = synth::instance(5);
+        let cands = generate_default(&inst);
+        let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), CostModel::default());
+        let ctx = TuningContext::new(&opt, &cands);
+        let mut ckpt = capture(5, 100, 50);
+
+        let tuner = MctsTuner::default();
+        ckpt.version = SNAPSHOT_VERSION + 1;
+        assert!(tuner.resume(&ctx, &ckpt, &StopSignal::never()).is_err());
+        ckpt.version = SNAPSHOT_VERSION;
+
+        let other = MctsTuner::default().with_root_workers(2);
+        assert!(other.resume(&ctx, &ckpt, &StopSignal::never()).is_err());
+
+        assert!(tuner.resume(&ctx, &ckpt, &StopSignal::never()).is_ok());
+    }
+}

@@ -28,6 +28,7 @@
 //! [`freeze`]: WhatIfCache::freeze
 
 use ixtune_common::{IndexId, IndexSet, QueryId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -436,6 +437,94 @@ impl WhatIfCache {
         best
     }
 
+    /// Serializable image of the cache for checkpoint/resume.
+    ///
+    /// Multi-index entries are captured in *stored order* (ascending cost,
+    /// ties in insertion order). Restoring replays that order verbatim, so
+    /// the rebuilt cache visits entries in exactly the same sequence — a
+    /// re-insertion through [`put`](Self::put) would instead place a new
+    /// equal-cost entry *before* its ties (`partition_point` on `< cost`)
+    /// and silently perturb derived costs.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let rows = (0..self.num_queries())
+            .map(|qi| {
+                let (shard, lq) = self.slot(qi);
+                CacheRowSnapshot {
+                    // NaN cells mean "unknown" and would not survive JSON
+                    // (it has no NaN); store only the known cells.
+                    singletons: shard.singleton[lq]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, v)| !v.is_nan())
+                        .map(|(i, &v)| (i as u32, v))
+                        .collect(),
+                    multi: shard.multi[lq].clone(),
+                }
+            })
+            .collect();
+        CacheSnapshot {
+            universe: self.universe,
+            empty: self.empty.clone(),
+            rows,
+            derivations: self.derivations(),
+        }
+    }
+
+    /// Rebuild a cache from a [`snapshot`](Self::snapshot). The result is
+    /// unfrozen (a fresh write phase) and answers every `get`/`derived`
+    /// probe bit-identically to the snapshotted cache.
+    pub fn from_snapshot(s: &CacheSnapshot) -> Result<Self, String> {
+        let mut cache = WhatIfCache::new(s.universe, s.empty.clone());
+        if s.rows.len() != cache.num_queries() {
+            return Err(format!(
+                "cache snapshot has {} rows for {} queries",
+                s.rows.len(),
+                cache.num_queries()
+            ));
+        }
+        let num_shards = cache.shards.len();
+        let mut stored = 0usize;
+        for (qi, row) in s.rows.iter().enumerate() {
+            let (shard, lq) = (&mut cache.shards[qi % num_shards], qi / num_shards);
+            for &(id, cost) in &row.singletons {
+                let cell = shard.singleton[lq]
+                    .get_mut(id as usize)
+                    .ok_or_else(|| format!("singleton id {id} outside universe {}", s.universe))?;
+                if !cell.is_nan() {
+                    return Err(format!("duplicate singleton {id} for query {qi}"));
+                }
+                *cell = cost;
+                stored += 1;
+            }
+            let mut prev = f64::NEG_INFINITY;
+            for (pos, (set, cost)) in row.multi.iter().enumerate() {
+                if set.universe() != s.universe || set.len() < 2 {
+                    return Err(format!("malformed multi entry for query {qi}"));
+                }
+                if *cost < prev {
+                    return Err(format!("multi entries out of cost order for query {qi}"));
+                }
+                prev = *cost;
+                if shard.exact[lq].insert(set.clone(), *cost).is_some() {
+                    return Err(format!("duplicate multi entry for query {qi}"));
+                }
+                shard.multi[lq].push((set.clone(), *cost));
+                shard.max_multi_size[lq] = shard.max_multi_size[lq].max(set.len());
+                // Positions are appended in ascending order, so every
+                // postings list comes out sorted without shifting.
+                for id in set.iter() {
+                    shard.postings[lq][id.index()].push(pos as u32);
+                }
+                stored += 1;
+            }
+        }
+        cache.stored = stored;
+        // Per-shard derivation counters only ever surface as their sum
+        // (telemetry), so the restored total lives in shard 0.
+        cache.shards[0].derivations = AtomicUsize::new(s.derivations);
+        Ok(cache)
+    }
+
     /// Reference implementation of [`derived_with_extra`](Self::derived_with_extra)
     /// that scans every multi entry instead of the postings. Kept as the
     /// equivalence oracle for the proptest and the before/after benchmark.
@@ -464,6 +553,35 @@ impl WhatIfCache {
         }
         best
     }
+}
+
+/// On-disk image of a [`WhatIfCache`] (see [`WhatIfCache::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    universe: usize,
+    empty: Vec<f64>,
+    rows: Vec<CacheRowSnapshot>,
+    derivations: usize,
+}
+
+impl CacheSnapshot {
+    /// Candidate universe the snapshotted cache ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of workload queries in the snapshotted cache.
+    pub fn num_queries(&self) -> usize {
+        self.empty.len()
+    }
+}
+
+/// One query's cached entries: known singleton cells and multi-index
+/// entries in stored (ascending-cost) order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct CacheRowSnapshot {
+    singletons: Vec<(u32, f64)>,
+    multi: Vec<(IndexSet, f64)>,
 }
 
 #[cfg(test)]
@@ -656,6 +774,98 @@ mod tests {
         assert!(!d.is_frozen());
         assert!(d.put(QueryId::new(0), &set(4, &[1]), 9.0));
         assert_eq!(d.get(QueryId::new(0), &set(4, &[0])), Some(10.0));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_answers_bit_for_bit() {
+        let m = 11usize;
+        let empties: Vec<f64> = (0..m).map(|q| 100.0 + q as f64).collect();
+        let mut c = WhatIfCache::new(6, empties);
+        // Include cost ties so stored order (not re-insertion order) is
+        // what the restore must reproduce, plus out-of-order inserts.
+        for q in 0..m {
+            let qid = QueryId::from(q);
+            c.put(qid, &set(6, &[(q % 6) as u32]), 10.0 + q as f64);
+            c.put(qid, &set(6, &[0, 1]), 50.0);
+            c.put(qid, &set(6, &[2, 3]), 50.0);
+            c.put(qid, &set(6, &[1, 4, 5]), 42.0 + q as f64);
+        }
+        c.add_derivations(QueryId::new(0), 17);
+
+        let snap = c.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CacheSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap, "snapshot survives JSON");
+        let r = WhatIfCache::from_snapshot(&back).unwrap();
+
+        assert_eq!(r.stored_results(), c.stored_results());
+        assert_eq!(r.derivations(), c.derivations());
+        assert!(!r.is_frozen());
+        for q in 0..m {
+            let qid = QueryId::from(q);
+            assert_eq!(r.empty_cost(qid).to_bits(), c.empty_cost(qid).to_bits());
+            for cfg in [
+                set(6, &[0, 1, 2, 3]),
+                set(6, &[1, 4, 5]),
+                set(6, &[(q % 6) as u32, 5]),
+                IndexSet::full(6),
+            ] {
+                assert_eq!(
+                    r.derived(qid, &cfg).to_bits(),
+                    c.derived(qid, &cfg).to_bits(),
+                    "q={q} cfg={cfg:?}"
+                );
+                let cur = c.derived(qid, &cfg);
+                for x in 0..6 {
+                    let extra = IndexId::new(x);
+                    if cfg.contains(extra) {
+                        continue;
+                    }
+                    assert_eq!(
+                        r.derived_with_extra(qid, &cfg, extra, cur).to_bits(),
+                        c.derived_with_extra(qid, &cfg, extra, cur).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_snapshot_rejects_corruption() {
+        let mut c = cache();
+        c.put(QueryId::new(0), &set(4, &[0]), 20.0);
+        c.put(QueryId::new(0), &set(4, &[0, 1]), 30.0);
+        let snap = c.snapshot();
+        assert!(
+            WhatIfCache::from_snapshot(&snap).is_ok(),
+            "baseline restores"
+        );
+
+        // Universe mismatch between the header and a stored multi entry.
+        let mut bad = snap.clone();
+        bad.universe = 5;
+        assert!(WhatIfCache::from_snapshot(&bad).is_err());
+
+        // Singleton id outside the universe.
+        let mut bad = snap.clone();
+        bad.rows[0].singletons[0].0 = 99;
+        assert!(WhatIfCache::from_snapshot(&bad).is_err());
+
+        // Duplicate singleton entry.
+        let mut bad = snap.clone();
+        let dup = bad.rows[0].singletons[0];
+        bad.rows[0].singletons.push(dup);
+        assert!(WhatIfCache::from_snapshot(&bad).is_err());
+
+        // Multi entries must stay in non-decreasing cost order.
+        let mut bad = snap.clone();
+        bad.rows[0].multi.push((set(4, &[2, 3]), 1.0));
+        assert!(WhatIfCache::from_snapshot(&bad).is_err());
+
+        // Row count must match the workload size.
+        let mut bad = snap.clone();
+        bad.rows.pop();
+        assert!(WhatIfCache::from_snapshot(&bad).is_err());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
 use crate::matrix::Layout;
 use crate::parallel::{frozen_argmin, winner_values, FrozenEval, MIN_PARALLEL_WORK};
+use crate::stop::{Interrupt, StopReason, StopSignal};
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::sync::effective_threads;
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -154,6 +155,14 @@ impl<'a> MeteredEval<'a> {
 /// candidate scan runs through [`frozen_argmin`], which is bit-identical
 /// to the serial scan by construction. Deciding at step start matters: a
 /// step that exhausts the budget midway keeps its serial FCFS semantics.
+///
+/// `stop` is polled once per enumeration step, *before* the candidate
+/// scan: an interrupted call therefore returns the configuration as of
+/// the last committed step (best-so-far), never a half-scanned one. The
+/// returned [`Interrupt`] (if any) tells the caller why the loop ended
+/// early; polling never perturbs the enumeration itself, so an unarmed
+/// signal leaves results bit-identical.
+#[allow(clippy::too_many_arguments)] // one call site per tuner; a params struct would only rename the problem
 pub(crate) fn greedy_enumerate_metered(
     ctx: &TuningContext<'_>,
     constraints: &Constraints,
@@ -162,12 +171,22 @@ pub(crate) fn greedy_enumerate_metered(
     mw: &mut MeteredWhatIf<'_>,
     mode: MeteredEval<'_>,
     threads: usize,
-) -> IndexSet {
+    stop: &StopSignal,
+) -> (IndexSet, Option<Interrupt>) {
     let mut remaining: Vec<IndexId> = pool.to_vec();
     let mut admissible: Vec<(usize, IndexId)> = Vec::new();
     let mut winner_buf: Vec<f64> = Vec::new();
+    // Baseline for the streamed improvement estimate. At entry the
+    // configuration is (normally) empty, so this is the empty-workload
+    // cost; the estimate is free — no oracle call, just the running total.
+    let base_total = state.total();
+    let mut interrupt = None;
 
     while !remaining.is_empty() && state.config().len() < constraints.k {
+        if let Some(i) = stop.poll(mw.meter().used()) {
+            interrupt = Some(i);
+            break;
+        }
         let filter = constraints.extension_filter(ctx, state.config());
         let parallel = threads > 1
             && mw.meter().exhausted()
@@ -207,6 +226,7 @@ pub(crate) fn greedy_enumerate_metered(
                     debug_assert_eq!(total.to_bits(), cost.to_bits());
                     remaining.swap_remove(pos);
                     state.commit_values(id, &winner_buf, cost);
+                    publish_step(stop, mw, state, base_total);
                 }
                 _ => break,
             }
@@ -226,12 +246,32 @@ pub(crate) fn greedy_enumerate_metered(
                 Some((pos, cost)) if cost < state.total() => {
                     let id = remaining.swap_remove(pos);
                     state.commit_staged(id, cost);
+                    publish_step(stop, mw, state, base_total);
                 }
                 _ => break,
             }
         }
     }
-    state.config().clone()
+    (state.config().clone(), interrupt)
+}
+
+/// Stream per-step progress to an armed [`StopSignal`]: current telemetry
+/// plus a derived-cost improvement estimate relative to the enumeration's
+/// starting total (no oracle call).
+fn publish_step(
+    stop: &StopSignal,
+    mw: &MeteredWhatIf<'_>,
+    state: &DerivationState,
+    base_total: f64,
+) {
+    if stop.is_armed() {
+        let est = if base_total > 0.0 {
+            1.0 - state.total() / base_total
+        } else {
+            0.0
+        };
+        stop.publish(mw.telemetry(), est);
+    }
 }
 
 /// Vanilla greedy with first-come-first-serve budget allocation
@@ -247,6 +287,15 @@ impl Tuner for VanillaGreedy {
     }
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        self.tune_with_stop(ctx, req, &StopSignal::never())
+    }
+
+    fn tune_with_stop(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+    ) -> TuningResult {
         let threads = effective_threads(req.session_threads);
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
         let universe = ctx.universe();
@@ -255,7 +304,7 @@ impl Tuner for VanillaGreedy {
         let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
         let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
         let mut state = DerivationState::for_queries(universe, queries, init);
-        let config = greedy_enumerate_metered(
+        let (config, interrupt) = greedy_enumerate_metered(
             ctx,
             &req.constraints,
             &pool,
@@ -263,12 +312,15 @@ impl Tuner for VanillaGreedy {
             &mut mw,
             MeteredEval::Fcfs,
             threads,
+            stop,
         );
         let used = mw.meter().used();
+        let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
+            .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted))
     }
 }
 

@@ -13,7 +13,11 @@
 //! * [`mcts`] — the MCTS tuner of §5–6 with its selection, rollout, and
 //!   extraction policies;
 //! * [`parallel`] — the frozen-cache parallel candidate-scan kernel
-//!   (deterministic to the bit; see DESIGN.md §5c).
+//!   (deterministic to the bit; see DESIGN.md §5c);
+//! * [`stop`] — cooperative interruption: cancel flags, deadlines, and
+//!   suspend requests polled at enumeration-step / episode boundaries;
+//! * [`checkpoint`] — versioned snapshots of suspended MCTS sessions that
+//!   resume bit-identically (see DESIGN.md §6).
 //!
 //! # Example
 //!
@@ -36,27 +40,32 @@
 
 pub mod autoadmin;
 pub mod budget;
+pub mod checkpoint;
 pub mod derivation_state;
 pub mod derived;
 pub mod greedy;
 pub mod matrix;
 pub mod mcts;
 pub mod parallel;
+pub mod stop;
 pub mod tuner;
 pub mod twophase;
 
 pub use autoadmin::AutoAdminGreedy;
 pub use budget::{BudgetMeter, MeteredWhatIf, Phase, SessionTelemetry};
+pub use checkpoint::{MctsCheckpoint, SNAPSHOT_VERSION};
 pub use derivation_state::DerivationState;
-pub use derived::WhatIfCache;
+pub use derived::{CacheSnapshot, WhatIfCache};
 pub use greedy::{greedy_enumerate, greedy_enumerate_incremental, VanillaGreedy};
 pub use matrix::Layout;
 pub use mcts::extract::Extraction;
 pub use mcts::policy::{AmafTable, SelectionPolicy};
 pub use mcts::priors::QuerySelection;
 pub use mcts::rollout::RolloutPolicy;
-pub use mcts::{MctsTuner, UpdatePolicy};
+pub use mcts::tree::TreeSnapshot;
+pub use mcts::{MctsOutcome, MctsTuner, UpdatePolicy};
 pub use parallel::{frozen_argmin, winner_values, FrozenEval, MIN_PARALLEL_WORK};
+pub use stop::{Interrupt, Progress, StopReason, StopSignal};
 pub use tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 pub use twophase::TwoPhaseGreedy;
 
@@ -69,7 +78,8 @@ pub mod prelude {
     pub use crate::mcts::policy::SelectionPolicy;
     pub use crate::mcts::priors::QuerySelection;
     pub use crate::mcts::rollout::RolloutPolicy;
-    pub use crate::mcts::{MctsTuner, UpdatePolicy};
+    pub use crate::mcts::{MctsOutcome, MctsTuner, UpdatePolicy};
+    pub use crate::stop::{StopReason, StopSignal};
     pub use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
     pub use crate::twophase::TwoPhaseGreedy;
 }

@@ -62,6 +62,38 @@ impl Layout {
         m
     }
 
+    /// Order-sensitive FNV-1a digest over the cells. Two layouts built
+    /// from the same call sequence hash equal; any reordering, insertion,
+    /// or change of a configuration changes the digest (with the usual
+    /// 64-bit-hash caveat). The service reports this instead of shipping
+    /// whole layouts over the wire, and the resume tests compare it to
+    /// prove an interrupted-then-resumed session spent its budget on
+    /// exactly the same cells in exactly the same order.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        };
+        for (q, c) in &self.cells {
+            for b in q.0.to_le_bytes() {
+                eat(b);
+            }
+            // Separator so (q, {}) followed by {1} can't collide with
+            // (q, {1}) followed by {}.
+            eat(0xff);
+            for id in c.iter() {
+                for b in id.0.to_le_bytes() {
+                    eat(b);
+                }
+            }
+            eat(0xfe);
+        }
+        h
+    }
+
     /// Calls per query.
     pub fn calls_by_query(&self) -> BTreeMap<QueryId, usize> {
         let mut m = BTreeMap::new();
@@ -168,5 +200,23 @@ mod tests {
         let l = Layout::default();
         assert!(l.is_row_major() && l.is_column_major());
         assert_eq!(l.distinct_configurations(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_content_sensitive() {
+        let a = Layout::new(vec![(q(0), s(&[0])), (q(1), s(&[0, 1]))]);
+        let same = Layout::new(vec![(q(0), s(&[0])), (q(1), s(&[0, 1]))]);
+        assert_eq!(a.fingerprint(), same.fingerprint());
+
+        let reordered = Layout::new(vec![(q(1), s(&[0, 1])), (q(0), s(&[0]))]);
+        assert_ne!(a.fingerprint(), reordered.fingerprint());
+
+        let different = Layout::new(vec![(q(0), s(&[0])), (q(1), s(&[1]))]);
+        assert_ne!(a.fingerprint(), different.fingerprint());
+
+        // The separator keeps cell boundaries unambiguous.
+        let shifted = Layout::new(vec![(q(0), s(&[])), (q(1), s(&[0, 0, 1]))]);
+        assert_ne!(a.fingerprint(), shifted.fingerprint());
+        assert_ne!(Layout::default().fingerprint(), a.fingerprint());
     }
 }

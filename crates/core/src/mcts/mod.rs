@@ -17,7 +17,10 @@ pub mod rollout;
 pub mod tree;
 
 use crate::budget::{MeteredWhatIf, Phase};
+use crate::checkpoint::{MctsCheckpoint, SNAPSHOT_VERSION};
+use crate::derived::WhatIfCache;
 use crate::matrix::Layout;
+use crate::stop::{Interrupt, StopReason, StopSignal};
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use extract::Extraction;
 use ixtune_common::rng::{derive, derive_indexed, weighted_choice};
@@ -261,6 +264,32 @@ struct EpisodeBuffers {
     actions: Vec<IndexId>,
 }
 
+/// The full mutable state of one (single-tree) MCTS search between
+/// episodes. Everything here — plus the [`MeteredWhatIf`] it runs against —
+/// is what a checkpoint must capture for a suspended session to resume
+/// bit-identically (scratch buffers are cleared before every use, so they
+/// carry nothing across episodes).
+pub(crate) struct MctsState {
+    rng: StdRng,
+    priors: Vec<f64>,
+    tree: Tree,
+    amaf: Option<policy::AmafTable>,
+    best: Option<(IndexSet, f64)>,
+    /// Best-so-far estimated improvement after each budget-consuming
+    /// episode (the convergence trace).
+    conv: Vec<f64>,
+    /// Consecutive budget-free episodes; the loop stops at 500.
+    idle_streak: usize,
+}
+
+/// What a resumable MCTS run produced: either a finished result (with its
+/// convergence trace) or a checkpoint of a suspended session.
+#[allow(clippy::large_enum_variant)] // Finished is the common case; boxing it would tax every run
+pub enum MctsOutcome {
+    Finished(TuningResult, Vec<f64>),
+    Suspended(Box<MctsCheckpoint>),
+}
+
 impl Tuner for MctsTuner {
     fn name(&self) -> String {
         let default = MctsTuner::default();
@@ -300,6 +329,21 @@ impl Tuner for MctsTuner {
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
         self.run(ctx, req).0
     }
+
+    /// Suspend requests degrade to a cancel on this path (the caller gets
+    /// a best-so-far result, not a checkpoint); resumable callers use
+    /// [`MctsTuner::run_resumable`] instead.
+    fn tune_with_stop(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+    ) -> TuningResult {
+        match self.run_with_stop(ctx, req, stop, false) {
+            MctsOutcome::Finished(result, _) => result,
+            MctsOutcome::Suspended(_) => unreachable!("suspension disabled"),
+        }
+    }
 }
 
 impl MctsTuner {
@@ -308,34 +352,40 @@ impl MctsTuner {
     /// the cache are free; the idle-streak cap keeps a fully-cached search
     /// space from spinning forever. Appends the best-so-far estimated
     /// improvement to `trace` after every budget-consuming episode.
-    #[allow(clippy::too_many_arguments)]
+    /// Polls the [`StopSignal`] at the top of every episode (so an
+    /// interruption lands within one episode) and returns the interrupt it
+    /// observed, or `None` when the search terminated on its own.
     fn episode_loop(
         &self,
         ctx: &TuningContext<'_>,
         constraints: &Constraints,
         mw: &mut MeteredWhatIf<'_>,
-        tree: &mut Tree,
-        priors: &[f64],
-        rng: &mut StdRng,
-        best: &mut Option<(IndexSet, f64)>,
-        trace: &mut Vec<f64>,
-    ) {
-        let mut amaf = match self.update {
-            UpdatePolicy::Average => None,
-            UpdatePolicy::Rave { k } => Some(policy::AmafTable::new(ctx.universe(), k)),
-        };
+        state: &mut MctsState,
+        stop: &StopSignal,
+    ) -> Option<Interrupt> {
         let base = mw.empty_workload_cost();
-        let mut idle_streak = 0usize;
         let mut buffers = EpisodeBuffers::default();
-        while !mw.meter().exhausted() && idle_streak < 500 {
+        while !mw.meter().exhausted() && state.idle_streak < 500 {
+            if let Some(interrupt) = stop.poll(mw.meter().used()) {
+                return Some(interrupt);
+            }
             let before = mw.meter().used();
+            let MctsState {
+                rng,
+                priors,
+                tree,
+                amaf,
+                best,
+                conv,
+                idle_streak,
+            } = state;
             if !self.run_episode(
                 ctx,
                 constraints,
                 mw,
                 tree,
                 priors,
-                &mut amaf,
+                amaf,
                 best,
                 rng,
                 &mut buffers,
@@ -343,9 +393,9 @@ impl MctsTuner {
                 break;
             }
             if mw.meter().used() == before {
-                idle_streak += 1;
+                *idle_streak += 1;
             } else {
-                idle_streak = 0;
+                *idle_streak = 0;
                 let best_imp = best
                     .as_ref()
                     .map(|(_, c)| {
@@ -356,59 +406,221 @@ impl MctsTuner {
                         }
                     })
                     .unwrap_or(0.0);
-                trace.push(best_imp);
+                conv.push(best_imp);
+                if stop.is_armed() {
+                    stop.publish(mw.telemetry(), best_imp);
+                }
             }
         }
+        None
     }
 
-    fn run(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> (TuningResult, Vec<f64>) {
-        if self.root_workers > 1 {
-            return self.run_root_parallel(ctx, req);
-        }
-        let constraints = &req.constraints;
-        let budget = req.budget;
-        let threads = effective_threads(req.session_threads);
-        let mut rng = derive(req.seed, "mcts");
-        let mut mw = MeteredWhatIf::new(ctx.opt, budget);
-
-        // Priors (Algorithm 4) — UCT is the only policy that ignores them.
+    /// Fresh search state: the derived RNG stream, the priors phase
+    /// (Algorithm 4 — spends budget through `mw`), an empty tree, and the
+    /// AMAF table when RAVE updates are configured. The priors phase is
+    /// atomic with respect to interruption: a stop lands at the first
+    /// episode-boundary poll after it.
+    fn start_state(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        mw: &mut MeteredWhatIf<'_>,
+    ) -> MctsState {
+        let rng = derive(req.seed, "mcts");
         let priors = if self.selection.uses_priors() {
-            let bp = priors::priors_budget(budget, ctx);
-            priors::compute_priors(ctx, &mut mw, bp, self.query_selection)
+            let bp = priors::priors_budget(req.budget, ctx);
+            priors::compute_priors(ctx, mw, bp, self.query_selection)
         } else {
             vec![0.0; ctx.universe()]
         };
+        let amaf = match self.update {
+            UpdatePolicy::Average => None,
+            UpdatePolicy::Rave { k } => Some(policy::AmafTable::new(ctx.universe(), k)),
+        };
+        MctsState {
+            rng,
+            priors,
+            tree: Tree::new(ctx.universe()),
+            amaf,
+            best: None,
+            conv: Vec::new(),
+            idle_streak: 0,
+        }
+    }
 
-        let mut tree = Tree::new(ctx.universe());
-        let mut best: Option<(IndexSet, f64)> = None;
-        let mut trace: Vec<f64> = Vec::new();
-        self.episode_loop(
-            ctx,
-            constraints,
-            &mut mw,
-            &mut tree,
-            &priors,
-            &mut rng,
-            &mut best,
-            &mut trace,
-        );
-
-        // Extraction.
+    /// Extraction + result assembly for a search that is done (finished
+    /// naturally or stopped best-so-far).
+    fn finish(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        mw: MeteredWhatIf<'_>,
+        state: MctsState,
+        interrupt: Option<Interrupt>,
+    ) -> (TuningResult, Vec<f64>) {
+        let threads = effective_threads(req.session_threads);
         let config = self.extraction.extract(
             ctx,
-            constraints,
+            &req.constraints,
             mw.cache(),
-            &tree,
-            best.as_ref().map(|(c, _)| c),
+            &state.tree,
+            state.best.as_ref().map(|(c, _)| c),
             threads,
         );
         let used = mw.meter().used();
+        let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         let result =
             TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
-                .with_telemetry(telemetry);
-        (result, trace)
+                .with_telemetry(telemetry)
+                .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted));
+        (result, state.conv)
+    }
+
+    /// Run the episode loop to completion, suspension, or interruption.
+    /// With `allow_suspend`, a suspend observation checkpoints the session;
+    /// without it (non-resumable callers), suspend degrades to a cancel.
+    fn drive(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        mut mw: MeteredWhatIf<'_>,
+        mut state: MctsState,
+        stop: &StopSignal,
+        allow_suspend: bool,
+    ) -> MctsOutcome {
+        match self.episode_loop(ctx, &req.constraints, &mut mw, &mut state, stop) {
+            Some(Interrupt::Suspended) if allow_suspend => {
+                MctsOutcome::Suspended(Box::new(self.capture(req, &mw, &state)))
+            }
+            interrupt => {
+                let (result, conv) = self.finish(ctx, req, mw, state, interrupt);
+                MctsOutcome::Finished(result, conv)
+            }
+        }
+    }
+
+    fn run_with_stop(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+        allow_suspend: bool,
+    ) -> MctsOutcome {
+        if self.root_workers > 1 {
+            let (result, conv) = self.run_root_parallel(ctx, req, stop);
+            return MctsOutcome::Finished(result, conv);
+        }
+        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
+        let state = self.start_state(ctx, req, &mut mw);
+        self.drive(ctx, req, mw, state, stop, allow_suspend)
+    }
+
+    /// Run under a stop signal with suspension enabled: a suspend request
+    /// yields a checkpoint instead of a result. Root-parallel searches are
+    /// not suspendable (worker trees have no serialized form mid-flight);
+    /// for them a suspend degrades to a cancel and the outcome is always
+    /// `Finished`.
+    pub fn run_resumable(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+    ) -> MctsOutcome {
+        self.run_with_stop(ctx, req, stop, self.root_workers == 1)
+    }
+
+    /// Resume a session from a checkpoint captured by
+    /// [`run_resumable`](Self::run_resumable). The restored search replays
+    /// from the exact episode boundary where it was suspended: same RNG
+    /// stream, same tree arena, same cache contents and budget consumption
+    /// — so its final result is bit-identical to an uninterrupted run
+    /// (modulo wall-clock, which the caller stamps).
+    pub fn resume(
+        &self,
+        ctx: &TuningContext<'_>,
+        ckpt: &MctsCheckpoint,
+        stop: &StopSignal,
+    ) -> Result<MctsOutcome, String> {
+        if ckpt.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "checkpoint version {} (this build reads {SNAPSHOT_VERSION})",
+                ckpt.version
+            ));
+        }
+        if ckpt.algorithm != self.name() {
+            return Err(format!(
+                "checkpoint belongs to \"{}\", resuming tuner is \"{}\"",
+                ckpt.algorithm,
+                self.name()
+            ));
+        }
+        if self.root_workers > 1 {
+            return Err("root-parallel sessions are not suspendable".to_string());
+        }
+        if ckpt.cache.universe() != ctx.universe() || ckpt.cache.num_queries() != ctx.num_queries()
+        {
+            return Err(format!(
+                "checkpoint workload shape ({} candidates × {} queries) does not match \
+                 the context ({} × {})",
+                ckpt.cache.universe(),
+                ckpt.cache.num_queries(),
+                ctx.universe(),
+                ctx.num_queries()
+            ));
+        }
+        let cache = WhatIfCache::from_snapshot(&ckpt.cache)?;
+        let tree = Tree::from_snapshot(&ckpt.tree)?;
+        let mw = MeteredWhatIf::from_parts(
+            ctx.opt,
+            cache,
+            ckpt.meter,
+            ckpt.trace.clone(),
+            ckpt.counters,
+        );
+        let state = MctsState {
+            rng: StdRng::from_state([ckpt.rng.0, ckpt.rng.1, ckpt.rng.2, ckpt.rng.3]),
+            priors: ckpt.priors.clone(),
+            tree,
+            amaf: ckpt.amaf.clone(),
+            best: ckpt.best.clone(),
+            conv: ckpt.conv.clone(),
+            idle_streak: ckpt.idle_streak,
+        };
+        Ok(self.drive(ctx, &ckpt.req, mw, state, stop, true))
+    }
+
+    fn capture(
+        &self,
+        req: &TuningRequest,
+        mw: &MeteredWhatIf<'_>,
+        state: &MctsState,
+    ) -> MctsCheckpoint {
+        let s = state.rng.state();
+        MctsCheckpoint {
+            version: SNAPSHOT_VERSION,
+            algorithm: self.name(),
+            req: *req,
+            rng: (s[0], s[1], s[2], s[3]),
+            priors: state.priors.clone(),
+            tree: state.tree.snapshot(),
+            cache: mw.cache().snapshot(),
+            meter: *mw.meter(),
+            trace: mw.trace().to_vec(),
+            counters: mw.counters(),
+            best: state.best.clone(),
+            conv: state.conv.clone(),
+            idle_streak: state.idle_streak,
+            amaf: state.amaf.clone(),
+        }
+    }
+
+    fn run(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> (TuningResult, Vec<f64>) {
+        match self.run_with_stop(ctx, req, &StopSignal::never(), false) {
+            MctsOutcome::Finished(result, conv) => (result, conv),
+            MctsOutcome::Suspended(_) => unreachable!("suspension disabled"),
+        }
     }
 
     /// Root-parallel search: after the (shared, once-only) priors phase,
@@ -420,10 +632,14 @@ impl MctsTuner {
     /// so the result depends on `root_workers` but not on
     /// `session_threads` (which only chooses how many OS threads execute
     /// the workers).
+    /// A stop signal interrupts every worker at its next episode boundary
+    /// (suspend degrades to cancel — worker trees are merged, not
+    /// checkpointed) and the merged best-so-far result carries the reason.
     fn run_root_parallel(
         &self,
         ctx: &TuningContext<'_>,
         req: &TuningRequest,
+        stop: &StopSignal,
     ) -> (TuningResult, Vec<f64>) {
         let constraints = &req.constraints;
         let budget = req.budget;
@@ -451,6 +667,7 @@ impl MctsTuner {
             telemetry: crate::budget::SessionTelemetry,
             used: usize,
             shortfall: bool,
+            interrupt: Option<Interrupt>,
         }
 
         let run_worker = |w: usize| -> WorkerOut {
@@ -461,20 +678,19 @@ impl MctsTuner {
             let granted = pool.reserve(share);
             let shortfall = granted < share;
             let mut mw = MeteredWhatIf::with_cache(ctx.opt, granted, snapshot.clone());
-            let mut rng = derive_indexed(req.seed, "mcts-root-worker", w as u64);
-            let mut tree = Tree::new(ctx.universe());
-            let mut best: Option<(IndexSet, f64)> = None;
-            let mut conv: Vec<f64> = Vec::new();
-            self.episode_loop(
-                ctx,
-                constraints,
-                &mut mw,
-                &mut tree,
-                &priors,
-                &mut rng,
-                &mut best,
-                &mut conv,
-            );
+            let mut state = MctsState {
+                rng: derive_indexed(req.seed, "mcts-root-worker", w as u64),
+                priors: priors.clone(),
+                tree: Tree::new(ctx.universe()),
+                amaf: match self.update {
+                    UpdatePolicy::Average => None,
+                    UpdatePolicy::Rave { k } => Some(policy::AmafTable::new(ctx.universe(), k)),
+                },
+                best: None,
+                conv: Vec::new(),
+                idle_streak: 0,
+            };
+            let interrupt = self.episode_loop(ctx, constraints, &mut mw, &mut state, stop);
             let calls: Vec<(QueryId, IndexSet, f64)> = mw
                 .trace()
                 .iter()
@@ -484,13 +700,14 @@ impl MctsTuner {
                 })
                 .collect();
             WorkerOut {
-                tree,
-                best,
+                tree: state.tree,
+                best: state.best,
                 calls,
-                conv,
+                conv: state.conv,
                 telemetry: mw.telemetry(),
                 used: mw.meter().used(),
                 shortfall,
+                interrupt,
             }
         };
 
@@ -540,7 +757,9 @@ impl MctsTuner {
         let mut conv: Vec<f64> = Vec::new();
         let mut worker_used = 0usize;
         let mut worker_derivs = 0usize;
+        let mut interrupt: Option<Interrupt> = None;
         for out in outs {
+            interrupt = interrupt.or(out.interrupt);
             tree.merge_from(&out.tree);
             {
                 let c = master.counters_mut();
@@ -590,7 +809,8 @@ impl MctsTuner {
             used,
             Layout::new(master.into_trace()),
         )
-        .with_telemetry(telemetry);
+        .with_telemetry(telemetry)
+        .with_stop_reason(StopReason::from_interrupt(interrupt, used >= budget));
         (result, conv)
     }
 }

@@ -156,7 +156,7 @@ impl SelectionPolicy {
 /// regardless of the tree depth it was chosen at. The blend
 /// `Q̃ = (1−β)·local + β·AMAF` with `β = k / (k + n_local)` trusts AMAF
 /// early and the local estimate asymptotically.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AmafTable {
     n: Vec<u32>,
     q: Vec<f64>,

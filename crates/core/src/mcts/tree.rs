@@ -6,10 +6,11 @@
 //! statistics `n(s,a)`, `Q̂(s,a)` — the running average of episode rewards.
 
 use ixtune_common::{IndexId, IndexSet};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Running statistics for one action at one node.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct ActionStats {
     /// `n(s, a)`: times the action was taken from this node.
     pub n: u32,
@@ -135,6 +136,68 @@ impl Tree {
         self.merge_node(Tree::ROOT, other, Tree::ROOT);
     }
 
+    /// Serializable image for checkpoint/resume. Nodes are captured in
+    /// arena order, children/actions in sorted `IndexId` order; restoring
+    /// reproduces the arena *indices* exactly, so a resumed search that
+    /// expands the same actions assigns the same node numbers as the
+    /// uninterrupted run (the determinism invariant depends on it — node
+    /// ids never feed tie-breaks, but cheap paranoia here keeps the
+    /// restored tree byte-comparable).
+    pub fn snapshot(&self) -> TreeSnapshot {
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut children: Vec<(IndexId, usize)> =
+                    n.children.iter().map(|(&a, &c)| (a, c)).collect();
+                children.sort_unstable_by_key(|&(a, _)| a);
+                let mut actions: Vec<(IndexId, ActionStats)> =
+                    n.actions.iter().map(|(&a, &s)| (a, s)).collect();
+                actions.sort_unstable_by_key(|&(a, _)| a);
+                NodeSnapshot {
+                    config: n.config.clone(),
+                    visited: n.visited,
+                    n_visits: n.n_visits,
+                    children,
+                    actions,
+                }
+            })
+            .collect();
+        TreeSnapshot { nodes }
+    }
+
+    /// Rebuild a tree from a [`snapshot`](Self::snapshot), preserving the
+    /// arena node numbering.
+    pub fn from_snapshot(s: &TreeSnapshot) -> Result<Tree, String> {
+        if s.nodes.is_empty() {
+            return Err("tree snapshot has no root".to_string());
+        }
+        if !s.nodes[Tree::ROOT].config.is_empty() {
+            return Err("tree snapshot root is not the empty configuration".to_string());
+        }
+        let len = s.nodes.len();
+        let nodes = s
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                for &(_, c) in &n.children {
+                    if c >= len {
+                        return Err(format!("node {i} links to out-of-range child {c}"));
+                    }
+                }
+                Ok(Node {
+                    config: n.config.clone(),
+                    visited: n.visited,
+                    n_visits: n.n_visits,
+                    children: n.children.iter().copied().collect(),
+                    actions: n.actions.iter().copied().collect(),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Tree { nodes })
+    }
+
     fn merge_node(&mut self, into: usize, other: &Tree, from: usize) {
         let src = other.node(from);
         debug_assert_eq!(self.nodes[into].config, src.config);
@@ -161,6 +224,32 @@ impl Tree {
             self.merge_node(into_child, other, from_child);
         }
     }
+}
+
+/// On-disk image of a [`Tree`] (see [`Tree::snapshot`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeSnapshot {
+    nodes: Vec<NodeSnapshot>,
+}
+
+impl TreeSnapshot {
+    /// Number of nodes in the snapshotted arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct NodeSnapshot {
+    config: IndexSet,
+    visited: bool,
+    n_visits: u32,
+    children: Vec<(IndexId, usize)>,
+    actions: Vec<(IndexId, ActionStats)>,
 }
 
 #[cfg(test)]
@@ -256,6 +345,48 @@ mod tests {
             dst.node(Tree::ROOT).q_value(id(2)).unwrap().to_bits(),
             src.node(Tree::ROOT).q_value(id(2)).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_arena_and_stats() {
+        let mut t = Tree::new(8);
+        let c1 = t.get_or_create_child(Tree::ROOT, id(0));
+        let c2 = t.get_or_create_child(c1, id(3));
+        let c3 = t.get_or_create_child(Tree::ROOT, id(5));
+        t.update_path(&[(Tree::ROOT, id(0)), (c1, id(3))], c2, 0.7);
+        t.update_path(&[(Tree::ROOT, id(5))], c3, 0.3);
+
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TreeSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap, "snapshot survives JSON");
+        let r = Tree::from_snapshot(&back).unwrap();
+
+        assert_eq!(r.len(), t.len());
+        for i in 0..t.len() {
+            let (a, b) = (t.node(i), r.node(i));
+            assert_eq!(a.config, b.config, "node {i}");
+            assert_eq!(a.visited, b.visited);
+            assert_eq!(a.n_visits, b.n_visits);
+            assert_eq!(a.children, b.children);
+            assert_eq!(a.actions.len(), b.actions.len());
+            for (act, st) in &a.actions {
+                let rs = b.actions[act];
+                assert_eq!(st.n, rs.n);
+                assert_eq!(st.q.to_bits(), rs.q.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn from_snapshot_rejects_dangling_children() {
+        let mut t = Tree::new(4);
+        t.get_or_create_child(Tree::ROOT, id(1));
+        let mut snap = t.snapshot();
+        snap.nodes[0].children[0].1 = 99;
+        assert!(Tree::from_snapshot(&snap).is_err());
+        snap.nodes.clear();
+        assert!(Tree::from_snapshot(&snap).is_err());
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Cooperative interruption of tuning sessions.
+//!
+//! A [`StopSignal`] is handed to a tuner ([`Tuner::tune_with_stop`]) and
+//! polled at enumeration-step / MCTS-episode boundaries. It carries a
+//! cancel/suspend flag, an optional wall-clock deadline, and optional
+//! deterministic call-count triggers (used by tests and the service smoke
+//! test so interruption lands at a reproducible point in the search). A
+//! never-stop signal costs nothing to poll, so batch runs that don't use
+//! the service pay no overhead.
+//!
+//! Tuners never abort: on interruption they stop searching, salvage the
+//! best configuration found so far, and report why they stopped via
+//! [`StopReason`] in [`TuningResult`]. MCTS additionally supports
+//! suspension: instead of finishing, it captures a checkpoint from which
+//! the session resumes bit-identically (see `checkpoint`).
+//!
+//! [`Tuner::tune_with_stop`]: crate::tuner::Tuner::tune_with_stop
+//! [`TuningResult`]: crate::tuner::TuningResult
+
+use crate::budget::SessionTelemetry;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a tuning session stopped. Attached to every
+/// [`TuningResult`](crate::tuner::TuningResult).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The algorithm reached its own stopping rule (greedy fixpoint, MCTS
+    /// idle streak) with budget to spare.
+    Completed,
+    /// A cancel (or non-resumable suspend) request stopped the search;
+    /// the result is the best configuration found so far.
+    Cancelled,
+    /// The wall-clock deadline passed; best-so-far result.
+    Deadline,
+    /// The what-if budget `B` was fully consumed — the natural terminal
+    /// state of budget-aware tuning.
+    BudgetExhausted,
+}
+
+impl StopReason {
+    /// Map an optional interruption plus the meter state to the reason
+    /// reported on a finished result. `Suspended` maps to `Cancelled`
+    /// here because a result only surfaces a suspend when the tuner
+    /// cannot checkpoint (it stops best-so-far instead).
+    pub fn from_interrupt(interrupt: Option<Interrupt>, budget_exhausted: bool) -> Self {
+        match interrupt {
+            Some(Interrupt::Cancelled | Interrupt::Suspended) => StopReason::Cancelled,
+            Some(Interrupt::Deadline) => StopReason::Deadline,
+            None if budget_exhausted => StopReason::BudgetExhausted,
+            None => StopReason::Completed,
+        }
+    }
+}
+
+/// What a [`StopSignal::poll`] observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// Stop and return best-so-far.
+    Cancelled,
+    /// The deadline passed; stop and return best-so-far.
+    Deadline,
+    /// Checkpoint and park the session if the tuner supports it,
+    /// otherwise treated like a cancel.
+    Suspended,
+}
+
+/// Progress published by a running tuner, readable from other threads
+/// (the service's `status` command streams this).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Progress {
+    /// Live telemetry snapshot.
+    pub telemetry: SessionTelemetry,
+    /// Best derived-cost improvement found so far (fraction in `[0, 1]`).
+    pub best_improvement: f64,
+}
+
+#[derive(Debug, Default)]
+struct StopState {
+    /// 0 = run, 1 = cancel, 2 = suspend.
+    flag: AtomicU8,
+    deadline: Option<Instant>,
+    cancel_after_calls: Option<usize>,
+    suspend_after_calls: Option<usize>,
+    progress: Mutex<Option<Progress>>,
+}
+
+const RUN: u8 = 0;
+const CANCEL: u8 = 1;
+const SUSPEND: u8 = 2;
+
+/// Shared handle for interrupting a tuning session (clone freely; all
+/// clones observe the same state). [`StopSignal::never`] (also `Default`)
+/// is a disarmed signal whose `poll` is a constant `None`.
+#[derive(Clone, Debug, Default)]
+pub struct StopSignal {
+    state: Option<Arc<StopState>>,
+}
+
+impl StopSignal {
+    /// A signal that never fires — the implicit signal of `Tuner::tune`.
+    pub fn never() -> Self {
+        Self { state: None }
+    }
+
+    /// An armed signal with no deadline or triggers; interruption comes
+    /// from [`cancel`](Self::cancel) / [`request_suspend`](Self::request_suspend).
+    pub fn armed() -> Self {
+        Self {
+            state: Some(Arc::new(StopState::default())),
+        }
+    }
+
+    fn configure(&mut self, f: impl FnOnce(&mut StopState)) {
+        let arc = self
+            .state
+            .get_or_insert_with(|| Arc::new(StopState::default()));
+        let st = Arc::get_mut(arc).expect("configure StopSignal before sharing it");
+        f(st);
+    }
+
+    /// Arm a wall-clock deadline `d` from now.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.configure(|st| st.deadline = Some(Instant::now() + d));
+        self
+    }
+
+    /// Deterministic cancel: fires once the session has consumed at least
+    /// `calls` what-if calls. Test/smoke hook.
+    pub fn cancel_after_calls(mut self, calls: usize) -> Self {
+        self.configure(|st| st.cancel_after_calls = Some(calls));
+        self
+    }
+
+    /// Deterministic suspend: fires once the session has consumed at
+    /// least `calls` what-if calls. Test/smoke hook.
+    pub fn suspend_after_calls(mut self, calls: usize) -> Self {
+        self.configure(|st| st.suspend_after_calls = Some(calls));
+        self
+    }
+
+    /// Whether this signal can ever fire.
+    pub fn is_armed(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Request cancellation (idempotent; cancel wins over suspend).
+    pub fn cancel(&self) {
+        if let Some(st) = &self.state {
+            st.flag.store(CANCEL, Ordering::Relaxed);
+        }
+    }
+
+    /// Request suspension. Ignored if a cancel was already requested.
+    pub fn request_suspend(&self) {
+        if let Some(st) = &self.state {
+            let _ = st
+                .flag
+                .compare_exchange(RUN, SUSPEND, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// Poll at a step/episode boundary. `calls_used` is the session's
+    /// budget consumption so far (drives the deterministic triggers).
+    #[inline]
+    pub fn poll(&self, calls_used: usize) -> Option<Interrupt> {
+        let st = self.state.as_ref()?;
+        match st.flag.load(Ordering::Relaxed) {
+            CANCEL => return Some(Interrupt::Cancelled),
+            SUSPEND => return Some(Interrupt::Suspended),
+            _ => {}
+        }
+        if let Some(n) = st.cancel_after_calls {
+            if calls_used >= n {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(n) = st.suspend_after_calls {
+            if calls_used >= n {
+                return Some(Interrupt::Suspended);
+            }
+        }
+        if let Some(d) = st.deadline {
+            if Instant::now() >= d {
+                return Some(Interrupt::Deadline);
+            }
+        }
+        None
+    }
+
+    /// Publish a progress snapshot for observers. No-op when disarmed.
+    pub fn publish(&self, telemetry: SessionTelemetry, best_improvement: f64) {
+        if let Some(st) = &self.state {
+            *st.progress.lock().unwrap() = Some(Progress {
+                telemetry,
+                best_improvement,
+            });
+        }
+    }
+
+    /// Latest published progress, if any.
+    pub fn progress(&self) -> Option<Progress> {
+        self.state
+            .as_ref()
+            .and_then(|st| *st.progress.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_signal_is_inert() {
+        let s = StopSignal::never();
+        assert!(!s.is_armed());
+        assert_eq!(s.poll(usize::MAX), None);
+        s.cancel();
+        assert_eq!(s.poll(0), None);
+        assert_eq!(s.progress(), None);
+    }
+
+    #[test]
+    fn cancel_fires_and_wins_over_suspend() {
+        let s = StopSignal::armed();
+        assert_eq!(s.poll(0), None);
+        s.request_suspend();
+        assert_eq!(s.poll(0), Some(Interrupt::Suspended));
+        s.cancel();
+        assert_eq!(s.poll(0), Some(Interrupt::Cancelled));
+        // Suspend cannot downgrade an existing cancel.
+        s.request_suspend();
+        assert_eq!(s.poll(0), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn call_triggers_fire_at_threshold() {
+        let s = StopSignal::armed().suspend_after_calls(10);
+        assert_eq!(s.poll(9), None);
+        assert_eq!(s.poll(10), Some(Interrupt::Suspended));
+        let c = StopSignal::armed()
+            .cancel_after_calls(5)
+            .suspend_after_calls(5);
+        // Cancel trigger is checked first.
+        assert_eq!(c.poll(5), Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn deadline_in_the_past_fires() {
+        let s = StopSignal::armed().with_deadline(Duration::from_secs(0));
+        assert_eq!(s.poll(0), Some(Interrupt::Deadline));
+        let far = StopSignal::armed().with_deadline(Duration::from_secs(3600));
+        assert_eq!(far.poll(0), None);
+    }
+
+    #[test]
+    fn progress_roundtrip_across_clones() {
+        let s = StopSignal::armed();
+        let observer = s.clone();
+        let t = SessionTelemetry {
+            what_if_calls: 7,
+            ..SessionTelemetry::default()
+        };
+        s.publish(t, 0.25);
+        let p = observer.progress().unwrap();
+        assert_eq!(p.telemetry.what_if_calls, 7);
+        assert_eq!(p.best_improvement, 0.25);
+    }
+
+    #[test]
+    fn stop_reason_mapping() {
+        use Interrupt::*;
+        assert_eq!(
+            StopReason::from_interrupt(Some(Cancelled), false),
+            StopReason::Cancelled
+        );
+        assert_eq!(
+            StopReason::from_interrupt(Some(Suspended), true),
+            StopReason::Cancelled
+        );
+        assert_eq!(
+            StopReason::from_interrupt(Some(Deadline), true),
+            StopReason::Deadline
+        );
+        assert_eq!(
+            StopReason::from_interrupt(None, true),
+            StopReason::BudgetExhausted
+        );
+        assert_eq!(
+            StopReason::from_interrupt(None, false),
+            StopReason::Completed
+        );
+    }
+}

@@ -11,6 +11,7 @@
 
 use crate::budget::SessionTelemetry;
 use crate::matrix::Layout;
+use crate::stop::{StopReason, StopSignal};
 use ixtune_candidates::CandidateSet;
 use ixtune_common::{IndexId, IndexSet};
 use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
@@ -221,6 +222,9 @@ pub struct TuningResult {
     pub layout: Layout,
     /// Instrumentation counters from the session's what-if client.
     pub telemetry: SessionTelemetry,
+    /// Why the session stopped. `None` for tuners that predate the stop
+    /// protocol (external baselines); core tuners always set it.
+    pub stop_reason: Option<StopReason>,
 }
 
 impl TuningResult {
@@ -240,12 +244,19 @@ impl TuningResult {
             improvement,
             layout,
             telemetry: SessionTelemetry::default(),
+            stop_reason: None,
         }
     }
 
     /// Attach the session's telemetry counters.
     pub fn with_telemetry(mut self, telemetry: SessionTelemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach the reason the session stopped.
+    pub fn with_stop_reason(mut self, reason: StopReason) -> Self {
+        self.stop_reason = Some(reason);
         self
     }
 
@@ -273,6 +284,22 @@ pub trait Tuner: Sync {
 
     /// Run one tuning session described by `req`.
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult;
+
+    /// Run one tuning session under a cooperative [`StopSignal`]: the
+    /// tuner polls the signal at step/episode boundaries and, when it
+    /// fires, returns the best configuration found so far with the
+    /// matching [`StopReason`]. The default ignores the signal (correct
+    /// for tuners that complete in one indivisible step); core tuners
+    /// override it.
+    fn tune_with_stop(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+    ) -> TuningResult {
+        let _ = stop;
+        self.tune(ctx, req)
+    }
 }
 
 #[cfg(test)]

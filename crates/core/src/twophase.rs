@@ -7,8 +7,9 @@
 
 use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
-use crate::greedy::{greedy_enumerate_metered, MeteredEval};
+use crate::greedy::{greedy_enumerate_incremental, greedy_enumerate_metered, MeteredEval};
 use crate::matrix::Layout;
+use crate::stop::{Interrupt, StopReason, StopSignal};
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::sync::effective_threads;
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -24,13 +25,17 @@ impl TwoPhaseGreedy {
     /// [`greedy_enumerate_metered`]). The per-query scans are tiny, so
     /// they stay below the parallel-work threshold in practice; `threads`
     /// is passed through for uniformity.
+    /// An interrupt mid-phase-1 returns the partial union built so far —
+    /// the caller salvages a configuration from it without further
+    /// what-if calls.
     pub(crate) fn phase1(
         ctx: &TuningContext<'_>,
         constraints: &Constraints,
         mw: &mut MeteredWhatIf<'_>,
         mode: MeteredEval<'_>,
         threads: usize,
-    ) -> Vec<IndexId> {
+        stop: &StopSignal,
+    ) -> (Vec<IndexId>, Option<Interrupt>) {
         let universe = ctx.universe();
         let empty = IndexSet::empty(universe);
         let mut union: Vec<IndexId> = Vec::new();
@@ -39,15 +44,45 @@ impl TwoPhaseGreedy {
             let pool = ctx.cands.for_query(q);
             let init = vec![mw.cost_fcfs(q, &empty)];
             let mut state = DerivationState::for_queries(universe, vec![q], init);
-            let best =
-                greedy_enumerate_metered(ctx, constraints, pool, &mut state, mw, mode, threads);
+            let (best, interrupt) = greedy_enumerate_metered(
+                ctx,
+                constraints,
+                pool,
+                &mut state,
+                mw,
+                mode,
+                threads,
+                stop,
+            );
             for id in best.iter() {
                 if !union.contains(&id) {
                     union.push(id);
                 }
             }
+            if interrupt.is_some() {
+                return (union, interrupt);
+            }
         }
-        union
+        (union, None)
+    }
+
+    /// Budget-free salvage used when phase 1 was interrupted: greedy over
+    /// the (partial) union priced purely by cost derivation — no further
+    /// what-if calls, so the budget meter and the layout stay exactly as
+    /// interrupted.
+    pub(crate) fn salvage(
+        ctx: &TuningContext<'_>,
+        constraints: &Constraints,
+        union: &[IndexId],
+        mw: &MeteredWhatIf<'_>,
+    ) -> IndexSet {
+        let universe = ctx.universe();
+        let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
+        let init: Vec<f64> = queries.iter().map(|&q| mw.cache().empty_cost(q)).collect();
+        let mut state = DerivationState::for_queries(universe, queries, init);
+        greedy_enumerate_incremental(ctx, constraints, union, &mut state, |q, c, x, cur| {
+            mw.cache().derived_with_extra(q, c, x, cur)
+        })
     }
 }
 
@@ -57,33 +92,54 @@ impl Tuner for TwoPhaseGreedy {
     }
 
     fn tune(&self, ctx: &TuningContext<'_>, req: &TuningRequest) -> TuningResult {
+        self.tune_with_stop(ctx, req, &StopSignal::never())
+    }
+
+    fn tune_with_stop(
+        &self,
+        ctx: &TuningContext<'_>,
+        req: &TuningRequest,
+        stop: &StopSignal,
+    ) -> TuningResult {
         let constraints = &req.constraints;
         let threads = effective_threads(req.session_threads);
         let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
 
         // Phase 1: each query as its own workload.
-        let union = Self::phase1(ctx, constraints, &mut mw, MeteredEval::Fcfs, threads);
+        let (union, mut interrupt) =
+            Self::phase1(ctx, constraints, &mut mw, MeteredEval::Fcfs, threads, stop);
 
-        // Phase 2: workload-level greedy over the refined candidate set.
-        let universe = ctx.universe();
-        let empty = IndexSet::empty(universe);
-        let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
-        let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
-        let mut state = DerivationState::for_queries(universe, queries, init);
-        let config = greedy_enumerate_metered(
-            ctx,
-            constraints,
-            &union,
-            &mut state,
-            &mut mw,
-            MeteredEval::Fcfs,
-            threads,
-        );
+        let config = if interrupt.is_some() {
+            // Interrupted mid-phase-1: salvage from the partial union
+            // without spending more budget.
+            Self::salvage(ctx, constraints, &union, &mw)
+        } else {
+            // Phase 2: workload-level greedy over the refined candidate set.
+            let universe = ctx.universe();
+            let empty = IndexSet::empty(universe);
+            let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
+            let init: Vec<f64> = queries.iter().map(|&q| mw.cost_fcfs(q, &empty)).collect();
+            let mut state = DerivationState::for_queries(universe, queries, init);
+            let (config, i2) = greedy_enumerate_metered(
+                ctx,
+                constraints,
+                &union,
+                &mut state,
+                &mut mw,
+                MeteredEval::Fcfs,
+                threads,
+                stop,
+            );
+            interrupt = i2;
+            config
+        };
         let used = mw.meter().used();
+        let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
+            .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted))
     }
 }
 

@@ -1,0 +1,165 @@
+//! CLI client for `ixtuned`.
+//!
+//! ```text
+//! ixtunectl [--addr 127.0.0.1:7311] <command> [args]
+//!
+//! Commands:
+//!   ping
+//!   submit --workload W --algorithm A --k K --budget B
+//!          [--storage BYTES] [--seed S] [--threads T]
+//!          [--deadline-ms MS] [--pause-after N] [--cancel-after N]
+//!          [--wait]
+//!   status  <id>
+//!   result  <id>
+//!   cancel  <id>
+//!   suspend <id>
+//!   resume  <id>
+//!   list
+//!   shutdown
+//! ```
+
+use ixtune_service::{AlgorithmSpec, Client, SubmitSpec, WorkloadSpec};
+use std::process::exit;
+use std::time::Duration;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7311".to_string();
+    if args.len() >= 2 && args[0] == "--addr" {
+        addr = args[1].clone();
+        args.drain(..2);
+    }
+    let Some(cmd) = args.first().cloned() else {
+        usage();
+        exit(2);
+    };
+    let rest = &args[1..];
+    let client = Client::new(addr);
+
+    let outcome = match cmd.as_str() {
+        "ping" => client.ping().map(|()| println!("pong")),
+        "submit" => submit(&client, rest),
+        "status" => client
+            .status(id_arg(rest))
+            .map(|s| println!("{}", serde_json::to_string(&s).unwrap())),
+        "result" => client
+            .result(id_arg(rest))
+            .map(|r| println!("{}", serde_json::to_string(&r).unwrap())),
+        "cancel" => client.cancel(id_arg(rest)).map(|()| println!("cancelled")),
+        "suspend" => client.suspend(id_arg(rest)).map(|()| println!("suspended")),
+        "resume" => client.resume(id_arg(rest)).map(|()| println!("resumed")),
+        "list" => client.list().map(|sessions| {
+            for s in sessions {
+                println!("{}", serde_json::to_string(&s).unwrap());
+            }
+        }),
+        "shutdown" => client.shutdown().map(|()| println!("shutdown requested")),
+        "--help" | "-h" | "help" => {
+            usage();
+            return;
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    };
+
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn submit(client: &Client, rest: &[String]) -> Result<(), String> {
+    let mut workload: Option<String> = None;
+    let mut algorithm: Option<String> = None;
+    let mut k: Option<usize> = None;
+    let mut budget: Option<usize> = None;
+    let mut storage: Option<u64> = None;
+    let mut seed: u64 = 0;
+    let mut threads: usize = 1;
+    let mut deadline_ms: Option<u64> = None;
+    let mut pause_after: Option<usize> = None;
+    let mut cancel_after: Option<usize> = None;
+    let mut wait = false;
+
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--wait" {
+            wait = true;
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag.as_str() {
+            "--workload" => workload = Some(value.clone()),
+            "--algorithm" => algorithm = Some(value.clone()),
+            "--k" => k = Some(num(value)?),
+            "--budget" => budget = Some(num(value)?),
+            "--storage" => storage = Some(num(value)?),
+            "--seed" => seed = num(value)?,
+            "--threads" => threads = num(value)?,
+            "--deadline-ms" => deadline_ms = Some(num(value)?),
+            "--pause-after" => pause_after = Some(num(value)?),
+            "--cancel-after" => cancel_after = Some(num(value)?),
+            other => return Err(format!("unknown submit flag `{other}`")),
+        }
+    }
+
+    let workload = workload.ok_or("submit requires --workload")?;
+    let workload =
+        WorkloadSpec::parse(&workload).ok_or_else(|| format!("unknown workload `{workload}`"))?;
+    let algorithm = algorithm.ok_or("submit requires --algorithm")?;
+    let algorithm = AlgorithmSpec::parse(&algorithm)
+        .ok_or_else(|| format!("unknown algorithm `{algorithm}`"))?;
+    let mut spec = SubmitSpec::new(
+        workload,
+        algorithm,
+        k.ok_or("submit requires --k")?,
+        budget.ok_or("submit requires --budget")?,
+    );
+    spec.storage_bytes = storage;
+    spec.seed = seed;
+    spec.session_threads = threads;
+    spec.deadline_ms = deadline_ms;
+    spec.pause_after_calls = pause_after;
+    spec.cancel_after_calls = cancel_after;
+
+    let id = client.submit(spec)?;
+    println!("submitted session {id}");
+    if wait {
+        let status = client.wait_terminal(id, Duration::from_secs(3600))?;
+        println!("{}", serde_json::to_string(&status).unwrap());
+        if let Ok(result) = client.result(id) {
+            println!("{}", serde_json::to_string(&result).unwrap());
+        }
+    }
+    Ok(())
+}
+
+fn id_arg(rest: &[String]) -> u64 {
+    let Some(raw) = rest.first() else {
+        eprintln!("expected a session id");
+        exit(2);
+    };
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("invalid session id `{raw}`");
+        exit(2);
+    })
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("expected a number, got `{s}`"))
+}
+
+fn usage() {
+    eprintln!(
+        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|shutdown>\n\
+         submit: --workload tpch|tpcds|job|reald|realm|synth:<seed> --algorithm mcts|greedy|twophase|autoadmin\n\
+         \x20       --k K --budget B [--storage BYTES] [--seed S] [--threads T]\n\
+         \x20       [--deadline-ms MS] [--pause-after N] [--cancel-after N] [--wait]"
+    );
+}

@@ -1,0 +1,65 @@
+//! The tuning daemon. Serves the line-delimited JSON protocol on a
+//! localhost TCP port until a `Shutdown` request arrives.
+//!
+//! ```text
+//! ixtuned [--bind 127.0.0.1:7311] [--max-concurrent N] \
+//!         [--queue-capacity N] [--max-session-threads N] \
+//!         [--snapshot-dir DIR]
+//! ```
+
+use ixtune_service::{Daemon, ServiceConfig};
+use std::process::exit;
+
+fn main() {
+    let mut bind = "127.0.0.1:7311".to_string();
+    let mut cfg = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--bind" => bind = value("--bind"),
+            "--max-concurrent" => cfg.max_concurrent = parse(&value("--max-concurrent")),
+            "--queue-capacity" => cfg.queue_capacity = parse(&value("--queue-capacity")),
+            "--max-session-threads" => {
+                cfg.max_session_threads = parse(&value("--max-session-threads"))
+            }
+            "--snapshot-dir" => cfg.snapshot_dir = value("--snapshot-dir").into(),
+            "--help" | "-h" => {
+                println!(
+                    "ixtuned [--bind ADDR] [--max-concurrent N] [--queue-capacity N] \
+                     [--max-session-threads N] [--snapshot-dir DIR]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(2);
+            }
+        }
+    }
+
+    match Daemon::start(cfg, &bind) {
+        Ok(daemon) => {
+            println!("ixtuned listening on {}", daemon.addr());
+            daemon.join();
+            println!("ixtuned stopped");
+        }
+        Err(e) => {
+            eprintln!("failed to bind {bind}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn parse(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("expected a number, got `{s}`");
+        exit(2);
+    })
+}

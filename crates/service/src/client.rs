@@ -1,0 +1,125 @@
+//! Client-side helper used by `ixtunectl` and the e2e tests: one TCP
+//! connection per call, simple poll-based waiting.
+
+use crate::proto::{
+    read_line, write_line, Request, Response, ResultPayload, SessionSummary, StatusPayload,
+};
+use crate::spec::SubmitSpec;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into() }
+    }
+
+    /// One request/response exchange on a fresh connection.
+    pub fn call(&self, req: &Request) -> Result<Response, String> {
+        let stream = TcpStream::connect(&self.addr).map_err(|e| format!("connect: {e}"))?;
+        let mut writer = stream.try_clone().map_err(|e| format!("socket: {e}"))?;
+        write_line(&mut writer, req).map_err(|e| format!("send: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        match read_line::<Response>(&mut reader) {
+            Ok(Some(Ok(resp))) => Ok(resp),
+            Ok(Some(Err(e))) => Err(e),
+            Ok(None) => Err("daemon closed the connection".into()),
+            Err(e) => Err(format!("recv: {e}")),
+        }
+    }
+
+    fn expect_ok(&self, req: &Request) -> Result<(), String> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    pub fn ping(&self) -> Result<(), String> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    pub fn submit(&self, spec: SubmitSpec) -> Result<u64, String> {
+        match self.call(&Request::Submit(spec))? {
+            Response::Submitted(id) => Ok(id),
+            Response::Error(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    pub fn status(&self, id: u64) -> Result<StatusPayload, String> {
+        match self.call(&Request::Status(id))? {
+            Response::Status(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    pub fn result(&self, id: u64) -> Result<ResultPayload, String> {
+        match self.call(&Request::Result(id))? {
+            Response::Result(r) => Ok(r),
+            Response::Error(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        self.expect_ok(&Request::Cancel(id))
+    }
+
+    pub fn suspend(&self, id: u64) -> Result<(), String> {
+        self.expect_ok(&Request::Suspend(id))
+    }
+
+    pub fn resume(&self, id: u64) -> Result<(), String> {
+        self.expect_ok(&Request::Resume(id))
+    }
+
+    pub fn list(&self) -> Result<Vec<SessionSummary>, String> {
+        match self.call(&Request::List)? {
+            Response::Sessions(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    pub fn shutdown(&self) -> Result<(), String> {
+        self.expect_ok(&Request::Shutdown)
+    }
+
+    /// Poll until the session satisfies `done`, or the timeout passes.
+    pub fn wait_until(
+        &self,
+        id: u64,
+        timeout: Duration,
+        mut done: impl FnMut(&StatusPayload) -> bool,
+    ) -> Result<StatusPayload, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(id)?;
+            if done(&status) {
+                return Ok(status);
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "timeout waiting on session {id} (state {:?})",
+                    status.state
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Wait until the session is terminal (Done/Cancelled/Failed).
+    pub fn wait_terminal(&self, id: u64, timeout: Duration) -> Result<StatusPayload, String> {
+        self.wait_until(id, timeout, |s| s.state.terminal())
+    }
+}

@@ -1,0 +1,175 @@
+//! The `ixtuned` TCP front end: accepts localhost connections and speaks
+//! the line-delimited JSON protocol, one handler thread per connection.
+
+use crate::manager::SessionManager;
+use crate::proto::{write_line, Request, Response};
+use crate::spec::ServiceConfig;
+use std::io::{BufRead, BufReader, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub struct Daemon {
+    addr: SocketAddr,
+    manager: Arc<SessionManager>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Bind `bind` (e.g. `127.0.0.1:7311`, or port 0 for an ephemeral
+    /// port) and start serving.
+    pub fn start(cfg: ServiceConfig, bind: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let manager = Arc::new(SessionManager::start(cfg));
+        let accept = {
+            let manager = Arc::clone(&manager);
+            std::thread::spawn(move || accept_loop(&listener, &manager))
+        };
+        Ok(Self {
+            addr,
+            manager,
+            accept: Some(accept),
+        })
+    }
+
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// Block until a `Shutdown` request arrives, then drain workers.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // All connections are done; tear down the workers. The manager is
+        // solely ours by now (handlers hold clones of the Arc only while
+        // their connection lives, and the accept loop has exited).
+        if let Ok(mgr) = Arc::try_unwrap(self.manager).map_err(|_| ()) {
+            mgr.shutdown();
+        }
+    }
+
+    /// Request shutdown from the hosting process (tests use this instead
+    /// of a wire `Shutdown`).
+    pub fn initiate_shutdown(&self) {
+        self.manager.initiate_shutdown();
+        nudge_accept(self.addr);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, manager: &Arc<SessionManager>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if manager.is_shutdown() {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let manager = Arc::clone(manager);
+        let self_addr = listener.local_addr().ok();
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(stream, &manager, self_addr);
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    manager: &Arc<SessionManager>,
+    self_addr: Option<SocketAddr>,
+) {
+    // A finite read timeout lets the handler re-check the shutdown flag
+    // while parked on an idle connection, so `join` never waits on a
+    // client that holds its socket open.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // `read_line` appends, so a line split across timeouts accumulates.
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if manager.is_shutdown() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let line = buf.trim();
+        let msg = if line.is_empty() {
+            Err("empty request line".to_string())
+        } else {
+            serde_json::from_str::<Request>(line).map_err(|e| format!("bad request: {e:?}"))
+        };
+        buf.clear();
+        let response = match msg {
+            Err(e) => Response::Error(e),
+            Ok(req) => {
+                let shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, manager);
+                if shutdown {
+                    let _ = write_line(&mut writer, &resp);
+                    // Unblock the accept loop so it observes the flag.
+                    if let Some(addr) = self_addr {
+                        nudge_accept(addr);
+                    }
+                    return;
+                }
+                resp
+            }
+        };
+        if write_line(&mut writer, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(req: Request, manager: &SessionManager) -> Response {
+    let unit = |r: Result<(), String>| match r {
+        Ok(()) => Response::Ok,
+        Err(e) => Response::Error(e),
+    };
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Submit(spec) => match manager.submit(spec) {
+            Ok(id) => Response::Submitted(id),
+            Err(e) => Response::Error(e),
+        },
+        Request::Status(id) => match manager.status(id) {
+            Ok(s) => Response::Status(s),
+            Err(e) => Response::Error(e),
+        },
+        Request::Result(id) => match manager.result(id) {
+            Ok(r) => Response::Result(r),
+            Err(e) => Response::Error(e),
+        },
+        Request::Cancel(id) => unit(manager.cancel(id)),
+        Request::Suspend(id) => unit(manager.suspend(id)),
+        Request::Resume(id) => unit(manager.resume(id)),
+        Request::List => Response::Sessions(manager.list()),
+        Request::Shutdown => {
+            manager.initiate_shutdown();
+            Response::Ok
+        }
+    }
+}
+
+/// Poke the listener with a throwaway connection so a blocked `accept`
+/// returns and re-checks the shutdown flag.
+fn nudge_accept(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}

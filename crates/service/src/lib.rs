@@ -1,0 +1,34 @@
+//! `ixtuned` — a multi-session tuning service over the core enumerators.
+//!
+//! The daemon owns a bounded job queue with admission control; each
+//! admitted session runs one [`TuningRequest`] against a shared prepared
+//! workload under a cooperative [`StopSignal`]: clients can cancel
+//! (best-so-far result), set deadlines, suspend a resumable session to a
+//! versioned on-disk checkpoint, and resume it later **bit-identically**
+//! — the resumed session spends the rest of its budget on exactly the
+//! calls the uninterrupted run would have made (DESIGN.md §6).
+//!
+//! * [`spec`] — submission specs ([`SubmitSpec`]) and daemon
+//!   configuration ([`ServiceConfig`]);
+//! * [`manager`] — the session manager: queue, states
+//!   (Queued → Running → Done/Cancelled/Failed/Suspended), worker
+//!   threads, snapshot persistence;
+//! * [`proto`] — the line-delimited JSON wire protocol
+//!   (`submit`/`status`/`result`/`cancel`/`suspend`/`resume`/`list`);
+//! * [`daemon`] — the TCP front end (`ixtuned`);
+//! * [`client`] — the blocking client (`ixtunectl` and tests).
+//!
+//! [`TuningRequest`]: ixtune_core::tuner::TuningRequest
+//! [`StopSignal`]: ixtune_core::stop::StopSignal
+
+pub mod client;
+pub mod daemon;
+pub mod manager;
+pub mod proto;
+pub mod spec;
+
+pub use client::Client;
+pub use daemon::Daemon;
+pub use manager::SessionManager;
+pub use proto::{Request, Response, ResultPayload, SessionState, SessionSummary, StatusPayload};
+pub use spec::{AlgorithmSpec, ServiceConfig, SubmitSpec, WorkloadSpec};

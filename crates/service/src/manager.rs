@@ -1,0 +1,576 @@
+//! The session manager: bounded job queue, admission control, worker
+//! threads, cooperative interruption, and checkpoint persistence.
+//!
+//! All shared state lives in one [`Monitor`]; workers block on it for
+//! work, clients mutate it through the manager's methods, and every
+//! mutation wakes all waiters (see DESIGN.md §6). Concurrency control is
+//! structural: exactly `max_concurrent` worker threads exist, so at most
+//! that many sessions run at once; admission control bounds the number of
+//! admitted-but-not-terminal sessions at `queue_capacity`.
+
+use crate::proto::{ResultPayload, SessionState, SessionSummary, StatusPayload};
+use crate::spec::{Prepared, ServiceConfig, SubmitSpec};
+use ixtune_common::sync::Monitor;
+use ixtune_core::checkpoint::MctsCheckpoint;
+use ixtune_core::mcts::{MctsOutcome, MctsTuner};
+use ixtune_core::stop::{Progress, StopReason, StopSignal};
+use ixtune_core::tuner::{Tuner, TuningContext, TuningResult};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One tracked session.
+struct SessionRec {
+    spec: SubmitSpec,
+    state: SessionState,
+    /// Armed while the session runs; `cancel`/`suspend` act through it.
+    stop: Option<StopSignal>,
+    result: Option<ResultPayload>,
+    error: Option<String>,
+    /// Accumulated across run segments (suspend/resume keeps every
+    /// segment's time).
+    wall_clock_ms: f64,
+    /// Last progress published before the signal was cleared, so the
+    /// status of a suspended session still reports its counters.
+    progress: Option<Progress>,
+    /// Snapshot file of a suspended session.
+    snapshot: Option<PathBuf>,
+    /// Set when the client asked to resume: the deterministic triggers
+    /// from the original spec are spent and must not re-fire.
+    resumed: bool,
+}
+
+#[derive(Default)]
+struct ManagerState {
+    sessions: BTreeMap<u64, SessionRec>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    shutdown: bool,
+    /// Prepared workloads shared across sessions, keyed by
+    /// `WorkloadSpec::key()` — submitting ten TPC-H sessions builds TPC-H
+    /// once.
+    workloads: HashMap<String, Arc<Prepared>>,
+}
+
+/// The daemon's core. Public methods are the verbs of the wire protocol.
+pub struct SessionManager {
+    cfg: ServiceConfig,
+    state: Arc<Monitor<ManagerState>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionManager {
+    /// Start `max_concurrent` workers over an empty session table.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let state = Arc::new(Monitor::new(ManagerState::default()));
+        let workers = (0..cfg.max_concurrent.max(1))
+            .map(|_| {
+                let state = Arc::clone(&state);
+                let cfg = cfg.clone();
+                std::thread::spawn(move || worker_loop(&state, &cfg))
+            })
+            .collect();
+        Self {
+            cfg,
+            state,
+            workers,
+        }
+    }
+
+    /// Admit a session. Fails when the daemon is shutting down or the
+    /// queue is at capacity (admission control counts every session that
+    /// may still need a worker: queued, running, or suspended).
+    pub fn submit(&self, spec: SubmitSpec) -> Result<u64, String> {
+        spec.validate()?;
+        let capacity = self.cfg.queue_capacity;
+        self.state.update(|st| {
+            if st.shutdown {
+                return Err("daemon is shutting down".into());
+            }
+            let open = st.sessions.values().filter(|r| !r.state.terminal()).count();
+            if open >= capacity {
+                return Err(format!("queue full ({open}/{capacity} sessions open)"));
+            }
+            let id = st.next_id;
+            st.next_id += 1;
+            st.sessions.insert(
+                id,
+                SessionRec {
+                    spec,
+                    state: SessionState::Queued,
+                    stop: None,
+                    result: None,
+                    error: None,
+                    wall_clock_ms: 0.0,
+                    progress: None,
+                    snapshot: None,
+                    resumed: false,
+                },
+            );
+            st.queue.push_back(id);
+            Ok(id)
+        })
+    }
+
+    /// Cancel a session in any non-terminal state. Queued sessions go
+    /// terminal immediately; running ones stop at their next poll (their
+    /// best-so-far result is kept); suspended ones go terminal and their
+    /// snapshot is deleted.
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        let snapshot = self.state.update(|st| {
+            let rec = st.sessions.get_mut(&id).ok_or(format!("no session {id}"))?;
+            match rec.state {
+                SessionState::Queued => {
+                    rec.state = SessionState::Cancelled;
+                    st.queue.retain(|&q| q != id);
+                    Ok(None)
+                }
+                SessionState::Running => {
+                    if let Some(stop) = &rec.stop {
+                        stop.cancel();
+                    }
+                    Ok(None)
+                }
+                SessionState::Suspended => {
+                    rec.state = SessionState::Cancelled;
+                    Ok(rec.snapshot.take())
+                }
+                s => Err(format!("session {id} is already {s:?}")),
+            }
+        })?;
+        if let Some(path) = snapshot {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Request suspension of a running, resumable session. The worker
+    /// writes the checkpoint at the next episode boundary.
+    pub fn suspend(&self, id: u64) -> Result<(), String> {
+        self.state.update(|st| {
+            let rec = st.sessions.get_mut(&id).ok_or(format!("no session {id}"))?;
+            if !rec.spec.algorithm.resumable() {
+                return Err(format!(
+                    "session {id} runs {:?}, which cannot checkpoint — use Cancel",
+                    rec.spec.algorithm
+                ));
+            }
+            match (&rec.state, &rec.stop) {
+                (SessionState::Running, Some(stop)) => {
+                    stop.request_suspend();
+                    Ok(())
+                }
+                (s, _) => Err(format!("session {id} is {s:?}, not Running")),
+            }
+        })
+    }
+
+    /// Re-queue a suspended session; it resumes from its snapshot with the
+    /// original spec's deterministic triggers cleared.
+    pub fn resume(&self, id: u64) -> Result<(), String> {
+        self.state.update(|st| {
+            let rec = st.sessions.get_mut(&id).ok_or(format!("no session {id}"))?;
+            if rec.state != SessionState::Suspended {
+                return Err(format!("session {id} is {:?}, not Suspended", rec.state));
+            }
+            rec.state = SessionState::Queued;
+            rec.resumed = true;
+            st.queue.push_back(id);
+            Ok(())
+        })
+    }
+
+    pub fn status(&self, id: u64) -> Result<StatusPayload, String> {
+        self.state.with(|st| {
+            let rec = st.sessions.get(&id).ok_or(format!("no session {id}"))?;
+            // Streamed telemetry: the live progress published by the
+            // running tuner, or the final result's counters once done.
+            let progress = rec
+                .stop
+                .as_ref()
+                .and_then(|s| s.progress())
+                .or(rec.progress);
+            let (telemetry, best) = match (&rec.result, progress) {
+                (Some(r), _) => (r.telemetry, r.improvement),
+                (None, Some(p)) => (p.telemetry, p.best_improvement),
+                (None, None) => (Default::default(), 0.0),
+            };
+            Ok(StatusPayload {
+                id,
+                state: rec.state,
+                algorithm: rec.spec.algorithm,
+                workload: rec.spec.workload.key(),
+                telemetry,
+                best_improvement: best,
+                wall_clock_ms: rec.wall_clock_ms,
+                error: rec.error.clone(),
+            })
+        })
+    }
+
+    pub fn result(&self, id: u64) -> Result<ResultPayload, String> {
+        self.state.with(|st| {
+            let rec = st.sessions.get(&id).ok_or(format!("no session {id}"))?;
+            rec.result.clone().ok_or(format!(
+                "session {id} has no result (state {:?})",
+                rec.state
+            ))
+        })
+    }
+
+    pub fn list(&self) -> Vec<SessionSummary> {
+        self.state.with(|st| {
+            st.sessions
+                .iter()
+                .map(|(&id, rec)| SessionSummary {
+                    id,
+                    state: rec.state,
+                    algorithm: rec.spec.algorithm,
+                    workload: rec.spec.workload.key(),
+                })
+                .collect()
+        })
+    }
+
+    /// Block until session `id` reaches a state where it no longer holds a
+    /// worker (terminal or suspended). `None` on timeout.
+    pub fn wait_settled(&self, id: u64, timeout: Duration) -> Option<SessionState> {
+        let settled = |st: &ManagerState| {
+            st.sessions
+                .get(&id)
+                .is_some_and(|r| r.state.terminal() || r.state == SessionState::Suspended)
+        };
+        self.state
+            .wait_update_timeout(timeout, settled, |st| st.sessions[&id].state)
+    }
+
+    pub fn is_shutdown(&self) -> bool {
+        self.state.with(|st| st.shutdown)
+    }
+
+    /// Stop accepting work and cancel whatever is queued or running.
+    pub fn initiate_shutdown(&self) {
+        self.state.update(|st| {
+            st.shutdown = true;
+            st.queue.clear();
+            for rec in st.sessions.values_mut() {
+                match rec.state {
+                    SessionState::Queued => rec.state = SessionState::Cancelled,
+                    SessionState::Running => {
+                        if let Some(stop) = &rec.stop {
+                            stop.cancel();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        });
+    }
+
+    /// Shut down and join every worker.
+    pub fn shutdown(mut self) {
+        self.initiate_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One worker: claim the next queued session, run it to a settled state,
+/// repeat until shutdown.
+fn worker_loop(state: &Arc<Monitor<ManagerState>>, cfg: &ServiceConfig) {
+    loop {
+        // Claim: wait for work or shutdown, atomically marking the
+        // session Running with a freshly armed StopSignal.
+        let claimed = state.wait_update(
+            |st| st.shutdown || !st.queue.is_empty(),
+            |st| {
+                if st.shutdown {
+                    return None;
+                }
+                while let Some(id) = st.queue.pop_front() {
+                    let rec = st.sessions.get_mut(&id)?;
+                    // A session cancelled while queued stays terminal.
+                    if rec.state != SessionState::Queued {
+                        continue;
+                    }
+                    let mut stop = StopSignal::armed();
+                    if let Some(ms) = rec.spec.deadline_ms {
+                        stop = stop.with_deadline(Duration::from_millis(ms));
+                    }
+                    // Deterministic triggers fire once, in the first run
+                    // segment only — a resumed session would otherwise
+                    // re-suspend immediately (its call count is already
+                    // past the trigger).
+                    if !rec.resumed {
+                        if let Some(n) = rec.spec.cancel_after_calls {
+                            stop = stop.cancel_after_calls(n);
+                        }
+                        if let Some(n) = rec.spec.pause_after_calls {
+                            stop = stop.suspend_after_calls(n);
+                        }
+                    }
+                    rec.state = SessionState::Running;
+                    rec.stop = Some(stop.clone());
+                    return Some((id, rec.spec.clone(), rec.snapshot.clone(), stop));
+                }
+                None
+            },
+        );
+        let Some((id, spec, snapshot, stop)) = claimed else {
+            if state.with(|st| st.shutdown) {
+                return;
+            }
+            continue;
+        };
+
+        // Prepare the workload outside the lock (TPC-DS generation is not
+        // cheap); insert into the shared cache afterwards.
+        let key = spec.workload.key();
+        let prepared = match state.with(|st| st.workloads.get(&key).cloned()) {
+            Some(p) => Ok(p),
+            None => spec.workload.prepare().map(|p| {
+                let p = Arc::new(p);
+                state.with(|st| {
+                    st.workloads.entry(key).or_insert_with(|| Arc::clone(&p));
+                });
+                p
+            }),
+        };
+
+        let settled = match prepared {
+            Err(e) => Settled::Failed(e),
+            Ok(p) => {
+                let start = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_session(&p, &spec, snapshot.as_deref(), &stop, cfg, id)
+                }));
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                match outcome {
+                    Ok(s) => {
+                        // The wall clock is stamped by the service (the
+                        // satellite requirement): each segment's time is
+                        // accumulated on the record and mirrored into the
+                        // final telemetry below.
+                        state.with(|st| {
+                            if let Some(rec) = st.sessions.get_mut(&id) {
+                                rec.wall_clock_ms += elapsed_ms;
+                            }
+                        });
+                        s
+                    }
+                    Err(panic) => Settled::Failed(panic_message(panic)),
+                }
+            }
+        };
+
+        let consumed = state.update(|st| {
+            let rec = st.sessions.get_mut(&id)?;
+            if let Some(p) = rec.stop.as_ref().and_then(|s| s.progress()) {
+                rec.progress = Some(p);
+            }
+            rec.stop = None;
+            match settled {
+                Settled::Finished(result) => {
+                    let mut payload = ResultPayload::from_result(&result);
+                    payload.telemetry.wall_clock_ms = rec.wall_clock_ms;
+                    rec.state = match result.stop_reason {
+                        Some(StopReason::Cancelled) | Some(StopReason::Deadline) => {
+                            SessionState::Cancelled
+                        }
+                        _ => SessionState::Done,
+                    };
+                    rec.result = Some(payload);
+                    rec.snapshot.take()
+                }
+                Settled::Suspended(path) => {
+                    rec.state = SessionState::Suspended;
+                    rec.snapshot = Some(path);
+                    None
+                }
+                Settled::Failed(msg) => {
+                    rec.state = SessionState::Failed;
+                    rec.error = Some(msg);
+                    None
+                }
+            }
+        });
+        // A resumed session that ran to completion has consumed its
+        // snapshot; remove the file outside the lock.
+        if let Some(path) = consumed {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+enum Settled {
+    Finished(TuningResult),
+    Suspended(PathBuf),
+    Failed(String),
+}
+
+/// Run one session segment: fresh or resumed, any algorithm.
+fn run_session(
+    prepared: &Prepared,
+    spec: &SubmitSpec,
+    snapshot: Option<&std::path::Path>,
+    stop: &StopSignal,
+    cfg: &ServiceConfig,
+    id: u64,
+) -> Settled {
+    let ctx = TuningContext::new(&prepared.opt, &prepared.cands);
+    let req = spec.request(cfg.max_session_threads);
+    use crate::spec::AlgorithmSpec;
+    match spec.algorithm {
+        AlgorithmSpec::Mcts => {
+            let tuner = MctsTuner::default();
+            let outcome = match snapshot {
+                Some(path) => {
+                    let json = match std::fs::read_to_string(path) {
+                        Ok(j) => j,
+                        Err(e) => return Settled::Failed(format!("read snapshot: {e}")),
+                    };
+                    let ckpt = match MctsCheckpoint::from_json(&json) {
+                        Ok(c) => c,
+                        Err(e) => return Settled::Failed(e),
+                    };
+                    match tuner.resume(&ctx, &ckpt, stop) {
+                        Ok(o) => o,
+                        Err(e) => return Settled::Failed(e),
+                    }
+                }
+                None => tuner.run_resumable(&ctx, &req, stop),
+            };
+            match outcome {
+                MctsOutcome::Finished(result, _) => Settled::Finished(result),
+                MctsOutcome::Suspended(ckpt) => {
+                    let path = cfg.snapshot_dir.join(format!("s-{id}.ckpt.json"));
+                    if let Err(e) = std::fs::create_dir_all(&cfg.snapshot_dir) {
+                        return Settled::Failed(format!("snapshot dir: {e}"));
+                    }
+                    match std::fs::write(&path, ckpt.to_json()) {
+                        Ok(()) => Settled::Suspended(path),
+                        Err(e) => Settled::Failed(format!("write snapshot: {e}")),
+                    }
+                }
+            }
+        }
+        AlgorithmSpec::VanillaGreedy => {
+            Settled::Finished(ixtune_core::VanillaGreedy.tune_with_stop(&ctx, &req, stop))
+        }
+        AlgorithmSpec::TwoPhase => {
+            Settled::Finished(ixtune_core::TwoPhaseGreedy.tune_with_stop(&ctx, &req, stop))
+        }
+        AlgorithmSpec::AutoAdmin => Settled::Finished(
+            ixtune_core::AutoAdminGreedy::default().tune_with_stop(&ctx, &req, stop),
+        ),
+    }
+}
+
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("session panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("session panicked: {s}")
+    } else {
+        "session panicked".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AlgorithmSpec, WorkloadSpec};
+
+    fn config(dir: &str) -> ServiceConfig {
+        ServiceConfig {
+            max_concurrent: 2,
+            queue_capacity: 4,
+            max_session_threads: 2,
+            snapshot_dir: std::env::temp_dir().join(dir),
+        }
+    }
+
+    fn spec(algo: AlgorithmSpec, budget: usize) -> SubmitSpec {
+        let mut s = SubmitSpec::new(WorkloadSpec::Synth(3), algo, 3, budget);
+        s.seed = 7;
+        s
+    }
+
+    #[test]
+    fn submit_run_and_fetch_result() {
+        let mgr = SessionManager::start(config("ixtuned-test-basic"));
+        let id = mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 40)).unwrap();
+        assert_eq!(
+            mgr.wait_settled(id, Duration::from_secs(30)),
+            Some(SessionState::Done)
+        );
+        let r = mgr.result(id).unwrap();
+        assert_eq!(r.calls_used, r.layout_len);
+        assert!(r.calls_used <= 40);
+        assert_eq!(r.stop_reason, Some(StopReason::BudgetExhausted));
+        assert!(r.telemetry.wall_clock_ms > 0.0, "service stamps wall clock");
+        let status = mgr.status(id).unwrap();
+        assert_eq!(status.state, SessionState::Done);
+        assert!(status.wall_clock_ms > 0.0);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let mut cfg = config("ixtuned-test-admission");
+        cfg.max_concurrent = 1;
+        cfg.queue_capacity = 2;
+        let mgr = SessionManager::start(cfg);
+        // Two slow sessions fill the table; the third is rejected.
+        let a = mgr.submit(spec(AlgorithmSpec::Mcts, 1_000_000)).unwrap();
+        let b = mgr.submit(spec(AlgorithmSpec::Mcts, 1_000_000)).unwrap();
+        let err = mgr.submit(spec(AlgorithmSpec::Mcts, 10)).unwrap_err();
+        assert!(err.contains("queue full"), "{err}");
+        mgr.cancel(a).unwrap();
+        mgr.cancel(b).unwrap();
+        assert_eq!(
+            mgr.wait_settled(a, Duration::from_secs(30)),
+            Some(SessionState::Cancelled)
+        );
+        assert_eq!(
+            mgr.wait_settled(b, Duration::from_secs(30)),
+            Some(SessionState::Cancelled)
+        );
+        // Terminal sessions free their slots.
+        assert!(mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 10)).is_ok());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn cancel_queued_session_never_runs() {
+        let mut cfg = config("ixtuned-test-cancel-queued");
+        cfg.max_concurrent = 1;
+        let mgr = SessionManager::start(cfg);
+        let blocker = mgr.submit(spec(AlgorithmSpec::Mcts, 1_000_000)).unwrap();
+        let queued = mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 10)).unwrap();
+        mgr.cancel(queued).unwrap();
+        assert_eq!(mgr.status(queued).unwrap().state, SessionState::Cancelled);
+        assert!(mgr.result(queued).is_err(), "never ran, no result");
+        mgr.cancel(blocker).unwrap();
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn suspend_rejects_non_resumable() {
+        let mgr = SessionManager::start(config("ixtuned-test-suspend-reject"));
+        let id = mgr
+            .submit(spec(AlgorithmSpec::TwoPhase, 1_000_000))
+            .unwrap();
+        // Whether Queued or Running, suspension must be refused for the
+        // greedy family.
+        let err = mgr.suspend(id).unwrap_err();
+        assert!(err.contains("cannot checkpoint"), "{err}");
+        mgr.cancel(id).unwrap();
+        mgr.wait_settled(id, Duration::from_secs(30));
+        mgr.shutdown();
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end smoke tests over the wire: boot `ixtuned` on an ephemeral
+//! port, drive it with the blocking client, and check the headline
+//! guarantees — cancellation returns best-so-far, suspend/resume is
+//! bit-identical to an uninterrupted run, and admission control holds.
+
+use ixtune_service::{
+    AlgorithmSpec, Client, Daemon, ResultPayload, ServiceConfig, SessionState, SubmitSpec,
+    WorkloadSpec,
+};
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn config(dir: &str) -> ServiceConfig {
+    ServiceConfig {
+        max_concurrent: 2,
+        queue_capacity: 8,
+        max_session_threads: 2,
+        snapshot_dir: std::env::temp_dir().join(dir),
+    }
+}
+
+fn boot(dir: &str, tweak: impl FnOnce(&mut ServiceConfig)) -> (Daemon, Client) {
+    let mut cfg = config(dir);
+    tweak(&mut cfg);
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind ephemeral port");
+    let client = Client::new(daemon.addr().to_string());
+    client.ping().expect("daemon answers ping");
+    (daemon, client)
+}
+
+fn mcts_spec(budget: usize) -> SubmitSpec {
+    let mut spec = SubmitSpec::new(WorkloadSpec::Synth(11), AlgorithmSpec::Mcts, 3, budget);
+    spec.seed = 42;
+    spec
+}
+
+/// Everything except execution detail: the wall clock (and only the wall
+/// clock) may differ between an interrupted and an uninterrupted run.
+fn strip_wall_clock(mut payload: ResultPayload) -> ResultPayload {
+    payload.telemetry.wall_clock_ms = 0.0;
+    payload
+}
+
+#[test]
+fn cancel_mid_flight_returns_best_so_far() {
+    let (daemon, client) = boot("ixtuned-e2e-cancel", |_| {});
+    // A budget this size would run for a very long time; cancellation must
+    // bring it back within one episode.
+    let id = client.submit(mcts_spec(1_000_000)).expect("submit");
+
+    // Wait until the session is actually spending budget, then cancel.
+    client
+        .wait_until(id, WAIT, |s| {
+            s.state == SessionState::Running && s.telemetry.what_if_calls > 0
+        })
+        .expect("session starts running");
+    client.cancel(id).expect("cancel running session");
+
+    let status = client.wait_terminal(id, WAIT).expect("session settles");
+    assert_eq!(status.state, SessionState::Cancelled);
+
+    let result = client.result(id).expect("best-so-far result is kept");
+    assert_eq!(
+        result.stop_reason,
+        Some(ixtune_core::stop::StopReason::Cancelled)
+    );
+    assert!(
+        result.calls_used < 1_000_000,
+        "stopped long before the budget: {}",
+        result.calls_used
+    );
+    assert!(result.telemetry.wall_clock_ms > 0.0, "service stamps time");
+
+    let sessions = client.list().expect("list");
+    assert!(sessions.iter().any(|s| s.id == id));
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn suspend_resume_matches_uninterrupted_run() {
+    let (daemon, client) = boot("ixtuned-e2e-resume", |_| {});
+
+    // Session B pauses itself deterministically mid-search; session C is
+    // the identical request left alone.
+    let mut paused = mcts_spec(160);
+    paused.pause_after_calls = Some(60);
+    let b = client.submit(paused).expect("submit paused session");
+    let c = client
+        .submit(mcts_spec(160))
+        .expect("submit control session");
+
+    let status = client
+        .wait_until(b, WAIT, |s| s.state == SessionState::Suspended)
+        .expect("session reaches Suspended");
+    assert!(
+        status.telemetry.what_if_calls >= 60,
+        "suspended after the trigger: {:?}",
+        status.telemetry
+    );
+
+    client.resume(b).expect("resume suspended session");
+    let b_status = client.wait_terminal(b, WAIT).expect("resumed session ends");
+    assert_eq!(b_status.state, SessionState::Done);
+    let c_status = client.wait_terminal(c, WAIT).expect("control session ends");
+    assert_eq!(c_status.state, SessionState::Done);
+
+    let b_result = client.result(b).expect("resumed result");
+    let c_result = client.result(c).expect("control result");
+    assert_eq!(
+        strip_wall_clock(b_result.clone()),
+        strip_wall_clock(c_result),
+        "suspend/resume must be bit-identical to the uninterrupted run"
+    );
+    // Both segments' time is accounted for.
+    assert!(b_result.telemetry.wall_clock_ms > 0.0);
+    // The snapshot file is consumed (deleted) on successful completion.
+    let leftover = std::env::temp_dir()
+        .join("ixtuned-e2e-resume")
+        .join(format!("s-{b}.ckpt.json"));
+    assert!(!leftover.exists(), "snapshot consumed on completion");
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn admission_control_over_the_wire() {
+    let (daemon, client) = boot("ixtuned-e2e-admission", |cfg| {
+        cfg.max_concurrent = 1;
+        cfg.queue_capacity = 2;
+    });
+
+    let a = client.submit(mcts_spec(1_000_000)).expect("first admitted");
+    let b = client
+        .submit(mcts_spec(1_000_000))
+        .expect("second admitted");
+    let err = client.submit(mcts_spec(10)).expect_err("third rejected");
+    assert!(err.contains("queue full"), "{err}");
+
+    client.cancel(a).expect("cancel a");
+    client.cancel(b).expect("cancel b");
+    client.wait_terminal(a, WAIT).expect("a settles");
+    client.wait_terminal(b, WAIT).expect("b settles");
+
+    // Terminal sessions no longer count against the queue.
+    let c = client.submit(mcts_spec(10)).expect("slot freed");
+    let status = client.wait_terminal(c, WAIT).expect("c finishes");
+    assert_eq!(status.state, SessionState::Done);
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn protocol_rejects_garbage_and_unknown_sessions() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (daemon, client) = boot("ixtuned-e2e-proto", |_| {});
+
+    // Unknown session ids come back as structured errors.
+    let err = client.status(999).expect_err("no such session");
+    assert!(err.contains("no session"), "{err}");
+
+    // A malformed line gets an Error response, not a dropped connection.
+    let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();
+    stream.write_all(b"{not json}\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert!(line.contains("Error"), "got: {line}");
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+}

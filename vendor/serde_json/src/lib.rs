@@ -2,13 +2,19 @@
 //!
 //! Re-exports the [`Value`] tree from the vendored `serde` and provides the
 //! pieces this workspace uses: [`to_value`], [`to_string`],
-//! [`to_string_pretty`], and the [`json!`] macro (object literals with
-//! string keys, array literals, and bare `Serialize` expressions).
+//! [`to_string_pretty`], the [`json!`] macro (object literals with
+//! string keys, array literals, and bare `Serialize` expressions), and the
+//! [`from_str`]/[`value_from_str`] parsers.
+//!
+//! Parsing keeps `f64` values bit-exact across a round trip: the writer
+//! emits the shortest representation that re-reads to the same bits
+//! (`format!("{f}")`), and the reader funnels every fractional or exponent
+//! token through `str::parse::<f64>`, which is correctly rounded.
 
 use std::fmt;
 
-use serde::Serialize;
 pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// Serialization failure. The vendored `Serialize` is infallible, so this
 /// exists only to keep `to_string*` signatures source-compatible with the
@@ -43,6 +49,30 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
     write_value(&mut out, &value.to_value(), Some(2), 0);
     Ok(out)
+}
+
+/// Parse a JSON document into any `Deserialize` type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = value_from_str(s)?;
+    T::from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Parse a JSON document into a [`Value`] tree.
+///
+/// Number tokens containing `.`, `e`, or `E` become [`Value::F64`]; plain
+/// integer tokens become [`Value::U64`] (or [`Value::I64`] when negative).
+pub fn value_from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
 }
 
 /// Build a [`Value`] in place: `json!(null)`, `json!([a, b])`,
@@ -160,6 +190,218 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<()> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.parse_hex4()?;
+                let code = if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: a low surrogate must follow.
+                    if !self.eat_literal("\\u") {
+                        return Err(self.err("unpaired high surrogate"));
+                    }
+                    let lo = self.parse_hex4()?;
+                    if !(0xdc00..0xe000).contains(&lo) {
+                        return Err(self.err("invalid low surrogate"));
+                    }
+                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.err("invalid unicode escape"))?);
+            }
+            _ => return Err(self.err("unknown escape")),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                b'+' | b'-' if fractional => self.pos += 1,
+                _ => break,
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if fractional {
+            // `str::parse::<f64>` is correctly rounded, so the shortest
+            // representation emitted by `write_f64` re-reads bit-exactly.
+            let f: f64 = tok.parse().map_err(|_| self.err("invalid number"))?;
+            Ok(Value::F64(f))
+        } else if tok.starts_with('-') {
+            tok.parse()
+                .map(Value::I64)
+                .or_else(|_| tok.parse().map(Value::F64))
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            tok.parse()
+                .map(Value::U64)
+                .or_else(|_| tok.parse().map(Value::F64))
+                .map_err(|_| self.err("integer out of range"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +436,88 @@ mod tests {
     fn empty_containers() {
         assert_eq!(to_string_pretty(&Value::Arr(vec![])).unwrap(), "[]");
         assert_eq!(to_string(&Value::Obj(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parse_basic_document() {
+        let v =
+            value_from_str(r#" { "a" : 1 , "b" : [ -2 , 3.5 , true , null ] , "s" : "x\"\nA" } "#)
+                .unwrap();
+        assert_eq!(
+            v,
+            json!({"a": 1u64, "b": [Value::I64(-2), Value::F64(3.5), Value::Bool(true), Value::Null], "s": "x\"\nA"})
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("{").is_err());
+        assert!(value_from_str("[1,]").is_err());
+        assert!(value_from_str("1 2").is_err());
+        assert!(value_from_str("\"abc").is_err());
+        assert!(value_from_str("nul").is_err());
+    }
+
+    #[test]
+    fn parse_surrogate_pair() {
+        let v = value_from_str(r#""😀""#).unwrap();
+        assert_eq!(v, Value::Str("😀".to_string()));
+    }
+
+    #[test]
+    fn f64_roundtrip_is_bit_exact() {
+        // Adversarial values plus a pseudo-random sweep: encoding then
+        // parsing must reproduce the exact bit pattern.
+        let mut samples = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            2.0 / 3.0,
+            1e-308,
+            1e308,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            123_456_789.123_456_79,
+            (1u64 << 53) as f64,
+        ];
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let f = f64::from_bits(x);
+            if f.is_finite() {
+                samples.push(f);
+            }
+        }
+        for f in samples {
+            let enc = to_string(&f).unwrap();
+            let back: f64 = from_str(&enc).unwrap();
+            assert_eq!(
+                back.to_bits(),
+                f.to_bits(),
+                "value {f:?} encoded as {enc} re-read as {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn integer_width_roundtrip() {
+        let enc = to_string(&u64::MAX).unwrap();
+        assert_eq!(from_str::<u64>(&enc).unwrap(), u64::MAX);
+        let enc = to_string(&i64::MIN).unwrap();
+        assert_eq!(from_str::<i64>(&enc).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn typed_struct_roundtrip_through_value() {
+        // Exercise from_str::<T> via the Value impl (derive-based types are
+        // covered in the crates that define them).
+        let v = json!({"xs": [1u64, 2u64], "name": "n"});
+        let enc = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&enc).unwrap(), v);
     }
 }
