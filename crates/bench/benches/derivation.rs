@@ -151,6 +151,7 @@ fn bench_greedy_step(c: &mut Criterion) {
                         &admissible,
                         FrozenEval::Derive,
                         4,
+                        &ixtune_core::Obs::disabled(),
                     ))
                 })
             });

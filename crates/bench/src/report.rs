@@ -1,6 +1,8 @@
 //! Report rendering: paper-style text tables and CSV/JSON sidecars.
 
 use crate::runner::Cell;
+use ixtune_core::budget::SessionTelemetry;
+use ixtune_core::telemetry::TelemetryV2;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 use std::fs;
@@ -69,7 +71,9 @@ pub fn to_csv(cells: &[Cell]) -> String {
 }
 
 /// Per-cell telemetry sidecar: one JSON object per cell with the cell's
-/// coordinates and its summed session counters.
+/// coordinates and its summed session counters, in the versioned
+/// telemetry schema (`"version": 2` with typed sections). Old sidecars in
+/// `results/` stay readable through `ixtune_core::telemetry::v1`.
 pub fn to_telemetry_json(cells: &[Cell]) -> String {
     #[derive(serde::Serialize)]
     struct Row {
@@ -77,18 +81,7 @@ pub fn to_telemetry_json(cells: &[Cell]) -> String {
         k: usize,
         budget: usize,
         seeds: usize,
-        what_if_calls: usize,
-        cache_hits: usize,
-        derivations: usize,
-        priors_calls: usize,
-        selection_calls: usize,
-        rollout_calls: usize,
-        other_calls: usize,
-        session_threads: usize,
-        parallel_scans: usize,
-        tree_merges: usize,
-        reservation_shortfalls: usize,
-        wall_clock_ms: f64,
+        telemetry: TelemetryV2,
     }
     let rows: Vec<Row> = cells
         .iter()
@@ -97,18 +90,7 @@ pub fn to_telemetry_json(cells: &[Cell]) -> String {
             k: c.k,
             budget: c.budget,
             seeds: c.seeds,
-            what_if_calls: c.telemetry.what_if_calls,
-            cache_hits: c.telemetry.cache_hits,
-            derivations: c.telemetry.derivations,
-            priors_calls: c.telemetry.priors_calls,
-            selection_calls: c.telemetry.selection_calls,
-            rollout_calls: c.telemetry.rollout_calls,
-            other_calls: c.telemetry.other_calls,
-            session_threads: c.telemetry.session_threads,
-            parallel_scans: c.telemetry.parallel_scans,
-            tree_merges: c.telemetry.tree_merges,
-            reservation_shortfalls: c.telemetry.reservation_shortfalls,
-            wall_clock_ms: c.telemetry.wall_clock_ms,
+            telemetry: SessionTelemetry::from(c.telemetry).into(),
         })
         .collect();
     serde_json::to_string_pretty(&rows).expect("telemetry rows serialize")
@@ -232,31 +214,46 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_json_has_counters_for_every_cell() {
+    fn telemetry_json_is_versioned_v2_rows() {
         let json = to_telemetry_json(&cells());
         for key in [
             "algorithm",
             "k",
             "budget",
+            "seeds",
+            "version",
+            "calls",
+            "cache",
+            "exec",
             "what_if_calls",
             "cache_hits",
             "derivations",
-            "priors_calls",
-            "selection_calls",
-            "rollout_calls",
-            "other_calls",
             "session_threads",
-            "parallel_scans",
-            "tree_merges",
-            "reservation_shortfalls",
             "wall_clock_ms",
         ] {
             // One occurrence per cell.
             assert_eq!(json.matches(&format!("\"{key}\"")).count(), 2, "{key}");
         }
+        assert_eq!(json.matches("\"version\": 2").count(), 2);
         assert!(json.contains("\"what_if_calls\": 100"));
         assert!(json.contains("\"cache_hits\": 40"));
         assert!(json.contains("\"wall_clock_ms\": 12.5"));
+        // The sidecar round-trips through the v2 schema types.
+        let parsed = serde_json::value_from_str(&json).unwrap();
+        let serde::Value::Arr(rows) = parsed else {
+            panic!("sidecar must be a JSON array");
+        };
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let v = row.get("telemetry").expect("telemetry section");
+            assert_eq!(
+                v.get("version").and_then(serde::Value::as_u64),
+                Some(u64::from(ixtune_core::telemetry::TELEMETRY_VERSION))
+            );
+        }
+        // And the v1 reader refuses v2 rows: flat v1 files and sectioned
+        // v2 sidecars cannot be confused for one another.
+        assert!(ixtune_core::telemetry::v1::read_rows(&json).is_err());
     }
 
     #[test]

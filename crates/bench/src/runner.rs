@@ -57,6 +57,25 @@ pub struct CellTelemetry {
     pub wall_clock_ms: f64,
 }
 
+impl From<CellTelemetry> for SessionTelemetry {
+    fn from(c: CellTelemetry) -> Self {
+        Self {
+            what_if_calls: c.what_if_calls,
+            cache_hits: c.cache_hits,
+            derivations: c.derivations,
+            priors_calls: c.priors_calls,
+            selection_calls: c.selection_calls,
+            rollout_calls: c.rollout_calls,
+            other_calls: c.other_calls,
+            session_threads: c.session_threads,
+            parallel_scans: c.parallel_scans,
+            tree_merges: c.tree_merges,
+            reservation_shortfalls: c.reservation_shortfalls,
+            wall_clock_ms: c.wall_clock_ms,
+        }
+    }
+}
+
 impl CellTelemetry {
     fn accumulate(&mut self, t: &SessionTelemetry) {
         self.what_if_calls += t.what_if_calls;

@@ -47,7 +47,9 @@ impl Tuner for AutoAdminGreedy {
     ) -> TuningResult {
         let constraints = &req.constraints;
         let threads = effective_threads(req.session_threads);
-        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
+        let src = ctx.source();
+        let mut mw = MeteredWhatIf::new(&src, req.budget);
+        let obs = ctx.obs().clone();
         let atomic_pairs: HashSet<IndexSet> =
             single_join_pairs(ctx.opt.workload(), ctx.cands, self.max_join_pairs)
                 .into_iter()
@@ -60,15 +62,30 @@ impl Tuner for AutoAdminGreedy {
         let mode = MeteredEval::Atomic(&atomic_pairs);
 
         // Phase 1 (per query) restricted to atomic what-if calls.
+        let p1_t0 = obs.span_start();
         let (union, mut interrupt) =
             TwoPhaseGreedy::phase1(ctx, constraints, &mut mw, mode, threads, stop);
+        if let Some(t0) = p1_t0 {
+            obs.span_end(
+                t0,
+                "phase1",
+                "autoadmin",
+                vec![("union".into(), union.len().to_string())],
+            );
+        }
 
         let config = if interrupt.is_some() {
             // Interrupted mid-phase-1: derive-only salvage over the
             // partial union, no further budget spend.
-            TwoPhaseGreedy::salvage(ctx, constraints, &union, &mw)
+            let t0 = obs.span_start();
+            let config = TwoPhaseGreedy::salvage(ctx, constraints, &union, &mw);
+            if let Some(t0) = t0 {
+                obs.span_end(t0, "salvage", "autoadmin", vec![]);
+            }
+            config
         } else {
             // Phase 2 over the union, still atomic-restricted.
+            let t0 = obs.span_start();
             let universe = ctx.universe();
             let empty = IndexSet::empty(universe);
             let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
@@ -84,9 +101,13 @@ impl Tuner for AutoAdminGreedy {
                 threads,
                 stop,
             );
+            if let Some(t0) = t0 {
+                obs.span_end(t0, "phase2", "autoadmin", vec![]);
+            }
             interrupt = i2;
             config
         };
+        mw.publish_obs();
         let used = mw.meter().used();
         let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();

@@ -1,17 +1,25 @@
 //! Budget metering and the tuner-side what-if client.
 //!
 //! [`BudgetMeter`] counts what-if calls against the budget `B`.
-//! [`MeteredWhatIf`] combines the optimizer, the cache, and the meter into
-//! the interface every budget-aware enumeration algorithm consumes:
+//! [`MeteredWhatIf`] combines a [`CostSource`], the cache, and the meter
+//! into the interface every budget-aware enumeration algorithm consumes:
 //! cache hits are free (§1: "a cache is typically used to enable efficient
 //! reuse of what-if calls"), cache misses consume budget, and once the
 //! budget is exhausted only derived costs remain. The sequence of metered
 //! calls is recorded as the session's [`Layout`](crate::matrix::Layout).
+//!
+//! [`BudgetMeter::charged_cost`] is the single place a budgeted optimizer
+//! invocation happens, and therefore the single latency-observation point:
+//! when the source is observing, the call is timed and reported through
+//! [`CostSource::observe`]. With observability disabled nothing here reads
+//! a clock.
 
 use crate::derived::WhatIfCache;
+use crate::obs::Obs;
+use crate::source::CostSource;
 use ixtune_common::{IndexId, IndexSet, QueryId};
-use ixtune_optimizer::WhatIfOptimizer;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which part of a tuning session a budgeted what-if call is attributed to.
 /// MCTS sets this around its phases (Algorithm 3/4); other tuners leave it
@@ -118,12 +126,35 @@ impl BudgetMeter {
     pub fn exhausted(&self) -> bool {
         self.used >= self.budget
     }
+
+    /// Consume one call and price `(q, config)` against the source; `None`
+    /// when the budget is spent. This is the *only* path through which a
+    /// budgeted optimizer invocation flows, so it is where the source's
+    /// [`observe`](CostSource::observe) hook fires — with the wall-clock
+    /// elapsed when the source is observing, and with no clock reads at
+    /// all when it is not.
+    pub fn charged_cost(
+        &mut self,
+        src: &dyn CostSource,
+        q: QueryId,
+        config: &IndexSet,
+    ) -> Option<f64> {
+        if !self.try_consume() {
+            return None;
+        }
+        let t0 = src.observing().then(Instant::now);
+        let cost = src.cost(q, config);
+        if let Some(t0) = t0 {
+            src.observe(q, config, cost, t0.elapsed().as_secs_f64());
+        }
+        Some(cost)
+    }
 }
 
-/// The tuner-side what-if client: optimizer + cache + meter + call trace,
-/// instrumented with per-session [`SessionTelemetry`].
+/// The tuner-side what-if client: cost source + cache + meter + call
+/// trace, instrumented with per-session [`SessionTelemetry`].
 pub struct MeteredWhatIf<'a> {
-    opt: &'a dyn WhatIfOptimizer,
+    src: &'a dyn CostSource,
     cache: WhatIfCache,
     meter: BudgetMeter,
     /// Chronological record of budget-consuming calls — the layout of the
@@ -134,25 +165,32 @@ pub struct MeteredWhatIf<'a> {
     /// Calls issued vs served from cache, and the per-phase budget split.
     /// Derivation counts live in the cache (they happen behind `&self`).
     counters: SessionTelemetry,
+    /// Observability handle mirrored from the source at construction.
+    obs: Obs,
+    /// Telemetry as of the last [`publish_obs`](Self::publish_obs) — the
+    /// delta base, so registry counters never double-count.
+    published: SessionTelemetry,
+    /// Whether this client publishes telemetry deltas. Root-parallel
+    /// workers don't: their counters merge into the master, which
+    /// publishes once after the merge.
+    obs_publishing: bool,
 }
 
 impl<'a> MeteredWhatIf<'a> {
     /// Create a client with budget `budget`. Computes `c(q, ∅)` for every
     /// query up front; these baseline calls are not charged (every
     /// algorithm and the evaluation metric need them — see DESIGN.md §5).
-    pub fn new(opt: &'a dyn WhatIfOptimizer, budget: usize) -> Self {
-        let universe = opt.num_candidates();
-        let empty = IndexSet::empty(universe);
-        let empty_costs: Vec<f64> = (0..opt.num_queries())
-            .map(|i| opt.what_if_cost(QueryId::from(i), &empty))
-            .collect();
+    pub fn new(src: &'a dyn CostSource, budget: usize) -> Self {
         Self {
-            opt,
-            cache: WhatIfCache::new(universe, empty_costs),
+            src,
+            cache: WhatIfCache::from_source(src),
             meter: BudgetMeter::new(budget),
             trace: Vec::new(),
             phase: Phase::Other,
             counters: SessionTelemetry::default(),
+            obs: src.obs(),
+            published: SessionTelemetry::default(),
+            obs_publishing: true,
         }
     }
 
@@ -160,36 +198,51 @@ impl<'a> MeteredWhatIf<'a> {
     /// worker entry point: the worker starts from a clone of the master's
     /// cache (priors and earlier calls visible, hits stay free) but with a
     /// private budget grant and zeroed derivation counters, so its
-    /// telemetry reports only its own activity.
-    pub fn with_cache(opt: &'a dyn WhatIfOptimizer, budget: usize, cache: WhatIfCache) -> Self {
+    /// telemetry reports only its own activity. Workers don't publish
+    /// telemetry into the registry themselves — the master does after the
+    /// merge — so a scrape never sees a worker's counters twice.
+    pub fn with_cache(src: &'a dyn CostSource, budget: usize, cache: WhatIfCache) -> Self {
         cache.reset_derivations();
         Self {
-            opt,
+            src,
             cache,
             meter: BudgetMeter::new(budget),
             trace: Vec::new(),
             phase: Phase::Other,
             counters: SessionTelemetry::default(),
+            obs: src.obs(),
+            published: SessionTelemetry::default(),
+            obs_publishing: false,
         }
     }
 
     /// Rebuild a client from checkpointed parts — the resume entry point.
     /// The phase starts at [`Phase::Other`]; MCTS re-sets it per episode,
-    /// so the restored call stream is attributed identically.
+    /// so the restored call stream is attributed identically. The publish
+    /// base starts at the restored telemetry: the pre-suspend segment
+    /// already published its counters, so only new activity flows to the
+    /// registry.
     pub(crate) fn from_parts(
-        opt: &'a dyn WhatIfOptimizer,
+        src: &'a dyn CostSource,
         cache: WhatIfCache,
         meter: BudgetMeter,
         trace: Vec<(QueryId, IndexSet)>,
         counters: SessionTelemetry,
     ) -> Self {
+        let published = SessionTelemetry {
+            derivations: cache.derivations(),
+            ..counters
+        };
         Self {
-            opt,
+            src,
             cache,
             meter,
             trace,
             phase: Phase::Other,
             counters,
+            obs: src.obs(),
+            published,
+            obs_publishing: true,
         }
     }
 
@@ -277,13 +330,14 @@ impl<'a> MeteredWhatIf<'a> {
     ///   it in the layout trace, returns `Some(cost)`.
     /// * Miss without budget → `None`.
     pub fn what_if(&mut self, q: QueryId, config: &IndexSet) -> Option<f64> {
+        let shard = q.index() % self.cache.num_shards();
         if let Some(c) = self.cache.get(q, config) {
             self.counters.cache_hits += 1;
+            self.obs.on_cache_ref(shard, true);
             return Some(c);
         }
-        if !self.meter.try_consume() {
-            return None;
-        }
+        self.obs.on_cache_ref(shard, false);
+        let cost = self.meter.charged_cost(self.src, q, config)?;
         self.counters.what_if_calls += 1;
         match self.phase {
             Phase::Priors => self.counters.priors_calls += 1,
@@ -291,12 +345,29 @@ impl<'a> MeteredWhatIf<'a> {
             Phase::Rollout => self.counters.rollout_calls += 1,
             Phase::Other => self.counters.other_calls += 1,
         }
-        let cost = self.opt.what_if_cost(q, config);
         // The `get` above already established the miss, so skip `put`'s
         // duplicate probe.
         self.cache.put_new(q, config, cost);
         self.trace.push((q, config.clone()));
         Some(cost)
+    }
+
+    /// The observability handle this client mirrors into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mirror telemetry growth since the last publish into the metrics
+    /// registry. Called at step/episode boundaries and at session end; a
+    /// no-op when observability is disabled (or for root-parallel workers,
+    /// whose counters the master publishes after the merge).
+    pub fn publish_obs(&mut self) {
+        if !self.obs_publishing || !self.obs.is_enabled() {
+            return;
+        }
+        let cur = self.telemetry();
+        self.obs.publish_deltas(&self.published, &cur);
+        self.published = cur;
     }
 
     /// `cost(q, C)` under FCFS budget allocation: the what-if cost while

@@ -141,6 +141,19 @@ impl WhatIfCache {
         }
     }
 
+    /// Create a cache warmed with the empty-configuration baseline costs
+    /// of a [`CostSource`]. The baseline calls are unbudgeted and
+    /// unobserved — every algorithm and the evaluation metric need them
+    /// (DESIGN.md §5).
+    pub fn from_source(src: &dyn crate::source::CostSource) -> Self {
+        let universe = src.num_candidates();
+        let empty = IndexSet::empty(universe);
+        let empty_costs: Vec<f64> = (0..src.num_queries())
+            .map(|i| src.cost(QueryId::from(i), &empty))
+            .collect();
+        Self::new(universe, empty_costs)
+    }
+
     #[inline]
     fn slot(&self, qi: usize) -> (&CacheShard, usize) {
         let s = self.shards.len();

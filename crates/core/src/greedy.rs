@@ -181,12 +181,14 @@ pub(crate) fn greedy_enumerate_metered(
     // cost; the estimate is free — no oracle call, just the running total.
     let base_total = state.total();
     let mut interrupt = None;
+    let obs = mw.obs().clone();
 
     while !remaining.is_empty() && state.config().len() < constraints.k {
         if let Some(i) = stop.poll(mw.meter().used()) {
             interrupt = Some(i);
             break;
         }
+        let step_t0 = obs.span_start();
         let filter = constraints.extension_filter(ctx, state.config());
         let parallel = threads > 1
             && mw.meter().exhausted()
@@ -210,6 +212,7 @@ pub(crate) fn greedy_enumerate_metered(
                 &admissible,
                 fmode,
                 threads,
+                &obs,
             );
             mw.note_parallel_scan(hits);
             match best {
@@ -226,6 +229,8 @@ pub(crate) fn greedy_enumerate_metered(
                     debug_assert_eq!(total.to_bits(), cost.to_bits());
                     remaining.swap_remove(pos);
                     state.commit_values(id, &winner_buf, cost);
+                    end_step_span(&obs, step_t0, state, id, true);
+                    mw.publish_obs();
                     publish_step(stop, mw, state, base_total);
                 }
                 _ => break,
@@ -246,6 +251,8 @@ pub(crate) fn greedy_enumerate_metered(
                 Some((pos, cost)) if cost < state.total() => {
                     let id = remaining.swap_remove(pos);
                     state.commit_staged(id, cost);
+                    end_step_span(&obs, step_t0, state, id, false);
+                    mw.publish_obs();
                     publish_step(stop, mw, state, base_total);
                 }
                 _ => break,
@@ -253,6 +260,29 @@ pub(crate) fn greedy_enumerate_metered(
         }
     }
     (state.config().clone(), interrupt)
+}
+
+/// Close a committed greedy step's span (when tracing is on): step ordinal,
+/// the index chosen, and whether the scan ran through the parallel kernel.
+fn end_step_span(
+    obs: &crate::obs::Obs,
+    step_t0: Option<u64>,
+    state: &DerivationState,
+    chosen: IndexId,
+    parallel: bool,
+) {
+    if let Some(t0) = step_t0 {
+        obs.span_end(
+            t0,
+            "greedy-step",
+            "greedy",
+            vec![
+                ("step".into(), state.config().len().to_string()),
+                ("chosen".into(), chosen.index().to_string()),
+                ("parallel".into(), parallel.to_string()),
+            ],
+        );
+    }
 }
 
 /// Stream per-step progress to an armed [`StopSignal`]: current telemetry
@@ -297,7 +327,8 @@ impl Tuner for VanillaGreedy {
         stop: &StopSignal,
     ) -> TuningResult {
         let threads = effective_threads(req.session_threads);
-        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
+        let src = ctx.source();
+        let mut mw = MeteredWhatIf::new(&src, req.budget);
         let universe = ctx.universe();
         let pool: Vec<IndexId> = (0..universe).map(IndexId::from).collect();
         let empty = IndexSet::empty(universe);
@@ -314,6 +345,7 @@ impl Tuner for VanillaGreedy {
             threads,
             stop,
         );
+        mw.publish_obs();
         let used = mw.meter().used();
         let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();

@@ -164,6 +164,7 @@ fn best_greedy(
                 &admissible,
                 FrozenEval::Derive,
                 threads,
+                ctx.obs(),
             );
             found.map(|(pos, _, total)| (pos, total))
         } else {

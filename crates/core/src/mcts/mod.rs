@@ -365,10 +365,12 @@ impl MctsTuner {
     ) -> Option<Interrupt> {
         let base = mw.empty_workload_cost();
         let mut buffers = EpisodeBuffers::default();
+        let obs = mw.obs().clone();
         while !mw.meter().exhausted() && state.idle_streak < 500 {
             if let Some(interrupt) = stop.poll(mw.meter().used()) {
                 return Some(interrupt);
             }
+            let ep_t0 = obs.span_start();
             let before = mw.meter().used();
             let MctsState {
                 rng,
@@ -379,7 +381,7 @@ impl MctsTuner {
                 conv,
                 idle_streak,
             } = state;
-            if !self.run_episode(
+            let progressed = self.run_episode(
                 ctx,
                 constraints,
                 mw,
@@ -389,7 +391,17 @@ impl MctsTuner {
                 best,
                 rng,
                 &mut buffers,
-            ) {
+            );
+            if let Some(t0) = ep_t0 {
+                obs.span_end(
+                    t0,
+                    "episode",
+                    "mcts",
+                    vec![("used".into(), mw.meter().used().to_string())],
+                );
+            }
+            mw.publish_obs();
+            if !progressed {
                 break;
             }
             if mw.meter().used() == before {
@@ -428,8 +440,20 @@ impl MctsTuner {
     ) -> MctsState {
         let rng = derive(req.seed, "mcts");
         let priors = if self.selection.uses_priors() {
+            let obs = mw.obs().clone();
+            let t0 = obs.span_start();
             let bp = priors::priors_budget(req.budget, ctx);
-            priors::compute_priors(ctx, mw, bp, self.query_selection)
+            let priors = priors::compute_priors(ctx, mw, bp, self.query_selection);
+            if let Some(t0) = t0 {
+                obs.span_end(
+                    t0,
+                    "priors",
+                    "mcts",
+                    vec![("budget".into(), bp.to_string())],
+                );
+            }
+            mw.publish_obs();
+            priors
         } else {
             vec![0.0; ctx.universe()]
         };
@@ -454,11 +478,13 @@ impl MctsTuner {
         &self,
         ctx: &TuningContext<'_>,
         req: &TuningRequest,
-        mw: MeteredWhatIf<'_>,
+        mut mw: MeteredWhatIf<'_>,
         state: MctsState,
         interrupt: Option<Interrupt>,
     ) -> (TuningResult, Vec<f64>) {
         let threads = effective_threads(req.session_threads);
+        let obs = mw.obs().clone();
+        let t0 = obs.span_start();
         let config = self.extraction.extract(
             ctx,
             &req.constraints,
@@ -467,6 +493,15 @@ impl MctsTuner {
             state.best.as_ref().map(|(c, _)| c),
             threads,
         );
+        if let Some(t0) = t0 {
+            obs.span_end(
+                t0,
+                "extraction",
+                "mcts",
+                vec![("chosen".into(), config.len().to_string())],
+            );
+        }
+        mw.publish_obs();
         let used = mw.meter().used();
         let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();
@@ -492,7 +527,19 @@ impl MctsTuner {
     ) -> MctsOutcome {
         match self.episode_loop(ctx, &req.constraints, &mut mw, &mut state, stop) {
             Some(Interrupt::Suspended) if allow_suspend => {
-                MctsOutcome::Suspended(Box::new(self.capture(req, &mw, &state)))
+                let obs = mw.obs().clone();
+                let t0 = obs.span_start();
+                let ckpt = self.capture(req, &mw, &state);
+                if let Some(t0) = t0 {
+                    obs.span_end(
+                        t0,
+                        "capture",
+                        "checkpoint",
+                        vec![("calls_used".into(), ckpt.meter.used().to_string())],
+                    );
+                }
+                mw.publish_obs();
+                MctsOutcome::Suspended(Box::new(ckpt))
             }
             interrupt => {
                 let (result, conv) = self.finish(ctx, req, mw, state, interrupt);
@@ -512,7 +559,8 @@ impl MctsTuner {
             let (result, conv) = self.run_root_parallel(ctx, req, stop);
             return MctsOutcome::Finished(result, conv);
         }
-        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
+        let src = ctx.source();
+        let mut mw = MeteredWhatIf::new(&src, req.budget);
         let state = self.start_state(ctx, req, &mut mw);
         self.drive(ctx, req, mw, state, stop, allow_suspend)
     }
@@ -572,13 +620,9 @@ impl MctsTuner {
         }
         let cache = WhatIfCache::from_snapshot(&ckpt.cache)?;
         let tree = Tree::from_snapshot(&ckpt.tree)?;
-        let mw = MeteredWhatIf::from_parts(
-            ctx.opt,
-            cache,
-            ckpt.meter,
-            ckpt.trace.clone(),
-            ckpt.counters,
-        );
+        let src = ctx.source();
+        let mw =
+            MeteredWhatIf::from_parts(&src, cache, ckpt.meter, ckpt.trace.clone(), ckpt.counters);
         let state = MctsState {
             rng: StdRng::from_state([ckpt.rng.0, ckpt.rng.1, ckpt.rng.2, ckpt.rng.3]),
             priors: ckpt.priors.clone(),
@@ -644,11 +688,24 @@ impl MctsTuner {
         let constraints = &req.constraints;
         let budget = req.budget;
         let threads = effective_threads(req.session_threads);
-        let mut master = MeteredWhatIf::new(ctx.opt, budget);
+        let src = ctx.source();
+        let obs = ctx.obs().clone();
+        let mut master = MeteredWhatIf::new(&src, budget);
 
         let priors = if self.selection.uses_priors() {
+            let t0 = obs.span_start();
             let bp = priors::priors_budget(budget, ctx);
-            priors::compute_priors(ctx, &mut master, bp, self.query_selection)
+            let priors = priors::compute_priors(ctx, &mut master, bp, self.query_selection);
+            if let Some(t0) = t0 {
+                obs.span_end(
+                    t0,
+                    "priors",
+                    "mcts",
+                    vec![("budget".into(), bp.to_string())],
+                );
+            }
+            master.publish_obs();
+            priors
         } else {
             vec![0.0; ctx.universe()]
         };
@@ -677,7 +734,7 @@ impl MctsTuner {
             let share = remaining / workers + usize::from(w < remaining % workers);
             let granted = pool.reserve(share);
             let shortfall = granted < share;
-            let mut mw = MeteredWhatIf::with_cache(ctx.opt, granted, snapshot.clone());
+            let mut mw = MeteredWhatIf::with_cache(&src, granted, snapshot.clone());
             let mut state = MctsState {
                 rng: derive_indexed(req.seed, "mcts-root-worker", w as u64),
                 priors: priors.clone(),
@@ -752,6 +809,7 @@ impl MctsTuner {
         // Merge in worker order: tree statistics, telemetry counters,
         // budget-consuming calls (into the master cache and layout trace),
         // the global best, and the concatenated convergence segments.
+        let merge_t0 = obs.span_start();
         let mut tree = Tree::new(ctx.universe());
         let mut best: Option<(IndexSet, f64)> = None;
         let mut conv: Vec<f64> = Vec::new();
@@ -785,8 +843,28 @@ impl MctsTuner {
             }
             conv.extend(out.conv);
         }
+        if let Some(t0) = merge_t0 {
+            obs.span_end(
+                t0,
+                "merge",
+                "mcts",
+                vec![("workers".into(), workers.to_string())],
+            );
+        }
+        master.publish_obs();
+        // Worker derivations were counted on private cache clones and never
+        // reach the master's counters — mirror them into the registry
+        // directly so it stays equal to the result's telemetry.
+        obs.publish_deltas(
+            &crate::budget::SessionTelemetry::default(),
+            &crate::budget::SessionTelemetry {
+                derivations: worker_derivs,
+                ..Default::default()
+            },
+        );
 
         // Extraction over the merged cache and tree.
+        let ext_t0 = obs.span_start();
         let config = self.extraction.extract(
             ctx,
             constraints,
@@ -795,6 +873,15 @@ impl MctsTuner {
             best.as_ref().map(|(c, _)| c),
             threads,
         );
+        if let Some(t0) = ext_t0 {
+            obs.span_end(
+                t0,
+                "extraction",
+                "mcts",
+                vec![("chosen".into(), config.len().to_string())],
+            );
+        }
+        master.publish_obs();
         let used = master.meter().used() + worker_used;
         debug_assert!(used <= budget, "workers oversubscribed the budget");
         // Master-side derivations (priors + extraction) live in the master

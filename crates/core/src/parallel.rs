@@ -30,6 +30,7 @@
 //! to the bit, not just to rounding.
 
 use crate::derived::WhatIfCache;
+use crate::obs::Obs;
 use ixtune_common::sync::available_parallelism;
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use std::collections::HashSet;
@@ -196,6 +197,11 @@ fn scan_chunk(
 /// actually spawned is additionally clamped to the hardware (and to the
 /// chunk count), which cannot change the result because chunk outcomes
 /// are reduced by chunk index, not completion order.
+///
+/// `obs` records one `scan-chunk` span per chunk when tracing is enabled
+/// (pass [`Obs::disabled`] otherwise); observation never touches the
+/// scanned values, so it cannot perturb the argmin.
+#[allow(clippy::too_many_arguments)] // a free function over borrowed scan state; no natural struct
 pub fn frozen_argmin(
     cache: &WhatIfCache,
     queries: &[QueryId],
@@ -204,6 +210,7 @@ pub fn frozen_argmin(
     admissible: &[(usize, IndexId)],
     mode: FrozenEval<'_>,
     threads: usize,
+    obs: &Obs,
 ) -> (Option<(usize, IndexId, f64)>, usize) {
     debug_assert!(cache.is_frozen(), "parallel scan over an unfrozen cache");
     if admissible.is_empty() {
@@ -218,11 +225,27 @@ pub fn frozen_argmin(
     let chunks: Vec<&[(usize, IndexId)]> = admissible.chunks(chunk_size).collect();
     let workers = worker_cap.min(chunks.len());
 
+    // Spanned chunk scan: the timing wraps the pure kernel, so tracing can
+    // never change what a chunk computes.
+    let scan = |i: usize, c: &[(usize, IndexId)]| -> ChunkOutcome {
+        let t0 = obs.span_start();
+        let out = scan_chunk(cache, queries, per_query, config, c, mode);
+        if let Some(t0) = t0 {
+            obs.span_end(
+                t0,
+                "scan-chunk",
+                "parallel",
+                vec![
+                    ("chunk".into(), i.to_string()),
+                    ("candidates".into(), c.len().to_string()),
+                ],
+            );
+        }
+        out
+    };
+
     let outcomes: Vec<ChunkOutcome> = if workers <= 1 {
-        chunks
-            .iter()
-            .map(|c| scan_chunk(cache, queries, per_query, config, c, mode))
-            .collect()
+        chunks.iter().enumerate().map(|(i, c)| scan(i, c)).collect()
     } else {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<ChunkOutcome>> = vec![None; chunks.len()];
@@ -231,6 +254,7 @@ pub fn frozen_argmin(
                 .map(|_| {
                     let next = &next;
                     let chunks = &chunks;
+                    let scan = &scan;
                     s.spawn(move |_| {
                         let mut mine = Vec::new();
                         loop {
@@ -238,10 +262,7 @@ pub fn frozen_argmin(
                             if i >= chunks.len() {
                                 return mine;
                             }
-                            mine.push((
-                                i,
-                                scan_chunk(cache, queries, per_query, config, chunks[i], mode),
-                            ));
+                            mine.push((i, scan(i, chunks[i])));
                         }
                     })
                 })
@@ -428,6 +449,7 @@ mod tests {
                         &admissible,
                         mode,
                         threads,
+                        &Obs::disabled(),
                     );
                     match (expected, got) {
                         (None, None) => {}
@@ -484,6 +506,7 @@ mod tests {
             &admissible,
             FrozenEval::Fcfs,
             4,
+            &Obs::disabled(),
         );
         assert_eq!(hits, serial_hits);
         assert_eq!(cache.derivations() - before, serial_derivs);
@@ -504,6 +527,7 @@ mod tests {
             &[],
             FrozenEval::Derive,
             4,
+            &Obs::disabled(),
         );
         assert!(best.is_none());
         assert_eq!(hits, 0);

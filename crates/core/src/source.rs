@@ -1,0 +1,202 @@
+//! The [`CostSource`] seam: where tuners get what-if costs from.
+//!
+//! Before this trait existed, every enumerator talked to
+//! [`WhatIfOptimizer`] directly through the metered client, and anything
+//! that wanted to watch the call stream (latency measurement, metrics)
+//! had to wrap each call site separately. `CostSource` collapses that into
+//! one seam owned by this crate: the metered client consumes
+//! `&dyn CostSource`, [`BudgetMeter::charged_cost`] is the *single* point
+//! where a budgeted optimizer invocation happens (and therefore the single
+//! observation point), and the [`observe`](CostSource::observe) hook is
+//! where latency lands.
+//!
+//! Two implementations ship here:
+//!
+//! * [`SimulatedOptimizer`] implements `CostSource` directly — plain,
+//!   unobserved access, used by unit tests and baselines;
+//! * [`ObservedSource`] wraps the optimizer together with an [`Obs`]
+//!   handle; when the handle is enabled, every budgeted call is timed
+//!   (both real wall-clock and the simulated latency model of
+//!   `ixtune_optimizer::latency`) into the registry's histograms. When
+//!   disabled it degrades to exactly the plain path: `observing()` is
+//!   `false`, so the metered client never reads the clock.
+//!
+//! [`BudgetMeter::charged_cost`]: crate::budget::BudgetMeter::charged_cost
+
+use crate::obs::Obs;
+use ixtune_common::{IndexSet, QueryId};
+use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
+
+/// A source of per-query configuration costs.
+///
+/// `cost` answers *what would query `q` cost under configuration `C`?* —
+/// the what-if question. Budget accounting, caching, and derivation live
+/// on the consumer side ([`MeteredWhatIf`](crate::budget::MeteredWhatIf));
+/// a source only prices configurations and optionally observes the calls
+/// made against it.
+pub trait CostSource: Sync {
+    /// Number of queries in the workload being priced.
+    fn num_queries(&self) -> usize;
+
+    /// Number of candidate indexes (the configuration universe).
+    fn num_candidates(&self) -> usize;
+
+    /// Cost of query `q` under configuration `config`. One invocation is
+    /// one optimizer call; the caller is responsible for budgeting.
+    fn cost(&self, q: QueryId, config: &IndexSet) -> f64;
+
+    /// Cost several configurations for one query in a batch. The default
+    /// just loops [`cost`](Self::cost); sources backed by a remote
+    /// optimizer can amortize round trips here.
+    fn cost_batch(&self, q: QueryId, configs: &[IndexSet]) -> Vec<f64> {
+        configs.iter().map(|c| self.cost(q, c)).collect()
+    }
+
+    /// Whether this source wants [`observe`](Self::observe) callbacks.
+    /// When `false` (the default) the metered client skips the clock reads
+    /// entirely, keeping the disabled path zero-cost.
+    fn observing(&self) -> bool {
+        false
+    }
+
+    /// Observation hook: one budgeted call just completed with the given
+    /// result and elapsed wall-clock seconds. Default: no-op.
+    fn observe(&self, _q: QueryId, _config: &IndexSet, _cost: f64, _elapsed_s: f64) {}
+
+    /// The observability handle associated with this source. The metered
+    /// client mirrors its telemetry counters into it at step/episode
+    /// boundaries; a disabled handle (the default) makes every mirror a
+    /// no-op.
+    fn obs(&self) -> Obs {
+        Obs::disabled()
+    }
+}
+
+/// Plain, unobserved access: the simulated optimizer is its own source.
+impl CostSource for SimulatedOptimizer {
+    fn num_queries(&self) -> usize {
+        WhatIfOptimizer::num_queries(self)
+    }
+
+    fn num_candidates(&self) -> usize {
+        WhatIfOptimizer::num_candidates(self)
+    }
+
+    fn cost(&self, q: QueryId, config: &IndexSet) -> f64 {
+        self.what_if_cost(q, config)
+    }
+}
+
+/// A cost source that forwards to the simulated optimizer and reports into
+/// an [`Obs`] handle. Built by
+/// [`TuningContext::source`](crate::tuner::TuningContext::source); when the
+/// context carries no observability this is bit-for-bit the plain path.
+pub struct ObservedSource<'a> {
+    opt: &'a SimulatedOptimizer,
+    obs: Obs,
+}
+
+impl<'a> ObservedSource<'a> {
+    pub fn new(opt: &'a SimulatedOptimizer, obs: Obs) -> Self {
+        Self { opt, obs }
+    }
+
+    /// The underlying optimizer.
+    pub fn optimizer(&self) -> &'a SimulatedOptimizer {
+        self.opt
+    }
+}
+
+impl CostSource for ObservedSource<'_> {
+    fn num_queries(&self) -> usize {
+        WhatIfOptimizer::num_queries(self.opt)
+    }
+
+    fn num_candidates(&self) -> usize {
+        WhatIfOptimizer::num_candidates(self.opt)
+    }
+
+    fn cost(&self, q: QueryId, config: &IndexSet) -> f64 {
+        self.opt.what_if_cost(q, config)
+    }
+
+    fn observing(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    fn observe(&self, q: QueryId, _config: &IndexSet, _cost: f64, elapsed_s: f64) {
+        self.obs
+            .observe_whatif_latency(elapsed_s, self.opt.call_latency_s(q));
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::Obs;
+    use ixtune_candidates::generate_default;
+    use ixtune_obs::MetricsRegistry;
+    use ixtune_optimizer::CostModel;
+    use ixtune_workload::gen::synth;
+    use std::sync::Arc;
+
+    fn optimizer(seed: u64) -> SimulatedOptimizer {
+        let inst = synth::instance(seed);
+        let cands = generate_default(&inst);
+        SimulatedOptimizer::new(inst, cands.indexes, CostModel::default())
+    }
+
+    #[test]
+    fn optimizer_is_a_plain_source() {
+        let opt = optimizer(1);
+        let src: &dyn CostSource = &opt;
+        assert!(!src.observing());
+        let q = QueryId::new(0);
+        let empty = IndexSet::empty(src.num_candidates());
+        assert_eq!(src.cost(q, &empty), opt.what_if_cost(q, &empty));
+    }
+
+    #[test]
+    fn cost_batch_matches_individual_costs() {
+        let opt = optimizer(2);
+        let n = WhatIfOptimizer::num_candidates(&opt);
+        let configs: Vec<IndexSet> = (0..n.min(4))
+            .map(|i| IndexSet::singleton(n, ixtune_common::IndexId::from(i)))
+            .collect();
+        let q = QueryId::new(0);
+        let batch = CostSource::cost_batch(&opt, q, &configs);
+        for (c, cfg) in batch.iter().zip(&configs) {
+            assert_eq!(*c, CostSource::cost(&opt, q, cfg));
+        }
+    }
+
+    #[test]
+    fn observed_source_times_calls_into_the_histogram() {
+        let opt = optimizer(3);
+        let registry = Arc::new(MetricsRegistry::new());
+        let obs = Obs::enabled(Arc::clone(&registry), None, 0);
+        let src = ObservedSource::new(&opt, obs);
+        assert!(src.observing());
+        let q = QueryId::new(0);
+        let cfg = IndexSet::empty(CostSource::num_candidates(&src));
+        let cost = src.cost(q, &cfg);
+        src.observe(q, &cfg, cost, 0.001);
+        let text = registry.render();
+        assert!(
+            text.contains("ixtune_whatif_latency_seconds_count 1"),
+            "{text}"
+        );
+        assert!(text.contains("ixtune_whatif_sim_latency_seconds_count 1"));
+    }
+
+    #[test]
+    fn disabled_observed_source_is_plain() {
+        let opt = optimizer(4);
+        let src = ObservedSource::new(&opt, Obs::disabled());
+        assert!(!src.observing());
+    }
+}

@@ -1,0 +1,296 @@
+//! Versioned telemetry schema.
+//!
+//! v1 was the flat counter bag serialized straight off
+//! [`SessionTelemetry`] — one anonymous JSON object per row, no version
+//! tag, fields accreting over time (early files lack `session_threads`
+//! and the parallel-execution counters entirely). v2
+//! ([`TelemetryV2`]) is the wire/sidecar schema going forward: a
+//! `"version": 2` tag and typed sections — the per-phase call breakdown,
+//! cache activity, and the execution profile — so consumers can match on
+//! structure instead of guessing which flat fields exist.
+//!
+//! [`SessionTelemetry`] itself stays the in-memory counter bag the
+//! enumerators increment (it is `Copy` and lives in hot paths);
+//! `TelemetryV2` is its serialization. The two convert losslessly in both
+//! directions, and [`v1::read_rows`] still reads every telemetry sidecar
+//! already checked into `results/`, tolerating the missing fields of old
+//! files.
+
+use crate::budget::SessionTelemetry;
+use serde::{Deserialize, Serialize};
+
+/// Current telemetry schema version.
+pub const TELEMETRY_VERSION: u32 = 2;
+
+/// Where the what-if budget went, by phase (Algorithm 3/4 attribution).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CallBreakdown {
+    /// Total budget-consuming optimizer invocations.
+    pub what_if_calls: usize,
+    /// Calls spent in the singleton-prior bootstrap.
+    pub priors_calls: usize,
+    /// Calls spent evaluating selection-terminal configurations.
+    pub selection_calls: usize,
+    /// Calls spent evaluating rollout-completed configurations.
+    pub rollout_calls: usize,
+    /// Calls outside any labelled phase (greedy enumeration, extraction).
+    pub other_calls: usize,
+}
+
+/// How cost questions were answered without spending budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheActivity {
+    /// What-if requests answered from the cache (free).
+    pub cache_hits: usize,
+    /// Cost evaluations answered by Eq. 1 derivation.
+    pub derivations: usize,
+}
+
+/// How the session executed (parallelism profile; results are invariant
+/// to all of it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    /// Logical session thread count the tuner resolved (1 = serial).
+    pub session_threads: usize,
+    /// Frozen-cache parallel candidate scans executed.
+    pub parallel_scans: usize,
+    /// Root-parallel MCTS worker trees merged into the master.
+    pub tree_merges: usize,
+    /// Batched budget reservations granted less than requested.
+    pub reservation_shortfalls: usize,
+}
+
+/// Telemetry schema v2: the versioned, sectioned serialization of a
+/// session's [`SessionTelemetry`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryV2 {
+    /// Schema tag; always [`TELEMETRY_VERSION`] when produced by this
+    /// crate.
+    pub version: u32,
+    pub calls: CallBreakdown,
+    pub cache: CacheActivity,
+    pub exec: ExecutionProfile,
+    /// Wall-clock of the session in milliseconds (stamped by whoever ran
+    /// the session; 0 when not measured).
+    pub wall_clock_ms: f64,
+}
+
+impl Default for TelemetryV2 {
+    fn default() -> Self {
+        SessionTelemetry::default().into()
+    }
+}
+
+impl From<SessionTelemetry> for TelemetryV2 {
+    fn from(t: SessionTelemetry) -> Self {
+        Self {
+            version: TELEMETRY_VERSION,
+            calls: CallBreakdown {
+                what_if_calls: t.what_if_calls,
+                priors_calls: t.priors_calls,
+                selection_calls: t.selection_calls,
+                rollout_calls: t.rollout_calls,
+                other_calls: t.other_calls,
+            },
+            cache: CacheActivity {
+                cache_hits: t.cache_hits,
+                derivations: t.derivations,
+            },
+            exec: ExecutionProfile {
+                session_threads: t.session_threads,
+                parallel_scans: t.parallel_scans,
+                tree_merges: t.tree_merges,
+                reservation_shortfalls: t.reservation_shortfalls,
+            },
+            wall_clock_ms: t.wall_clock_ms,
+        }
+    }
+}
+
+impl From<TelemetryV2> for SessionTelemetry {
+    fn from(v: TelemetryV2) -> Self {
+        Self {
+            what_if_calls: v.calls.what_if_calls,
+            cache_hits: v.cache.cache_hits,
+            derivations: v.cache.derivations,
+            priors_calls: v.calls.priors_calls,
+            selection_calls: v.calls.selection_calls,
+            rollout_calls: v.calls.rollout_calls,
+            other_calls: v.calls.other_calls,
+            session_threads: v.exec.session_threads,
+            parallel_scans: v.exec.parallel_scans,
+            tree_merges: v.exec.tree_merges,
+            reservation_shortfalls: v.exec.reservation_shortfalls,
+            wall_clock_ms: v.wall_clock_ms,
+        }
+    }
+}
+
+/// Reader for the unversioned v1 telemetry sidecars in `results/`.
+pub mod v1 {
+    use super::*;
+    use serde::Value;
+
+    /// One v1 sidecar row: experiment-cell coordinates plus the flat
+    /// counter bag.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct V1Row {
+        pub algorithm: String,
+        pub k: usize,
+        pub budget: usize,
+        pub seeds: usize,
+        pub telemetry: SessionTelemetry,
+    }
+
+    impl V1Row {
+        /// Convert to the v2 schema.
+        pub fn to_v2(&self) -> TelemetryV2 {
+            self.telemetry.into()
+        }
+    }
+
+    fn usize_field(obj: &Value, key: &str) -> usize {
+        obj.get(key).and_then(Value::as_u64).unwrap_or(0) as usize
+    }
+
+    /// Parse a v1 telemetry sidecar (a JSON array of flat row objects).
+    /// Missing counter fields read as 0 — early files predate
+    /// `session_threads` and the parallel-execution counters. Rows that
+    /// carry a `version` tag are rejected: they are not v1.
+    pub fn read_rows(json: &str) -> Result<Vec<V1Row>, String> {
+        let value = serde_json::value_from_str(json).map_err(|e| format!("{e:?}"))?;
+        let Value::Arr(rows) = value else {
+            return Err("v1 telemetry sidecar must be a JSON array".into());
+        };
+        rows.iter()
+            .enumerate()
+            .map(|(i, row)| {
+                if !matches!(row, Value::Obj(_)) {
+                    return Err(format!("row {i}: not an object"));
+                }
+                if row.get("version").is_some() || row.get("telemetry").is_some() {
+                    return Err(format!("row {i}: versioned/sectioned row, not v1"));
+                }
+                let algorithm = row
+                    .get("algorithm")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("row {i}: missing algorithm"))?
+                    .to_string();
+                let telemetry = SessionTelemetry {
+                    what_if_calls: usize_field(row, "what_if_calls"),
+                    cache_hits: usize_field(row, "cache_hits"),
+                    derivations: usize_field(row, "derivations"),
+                    priors_calls: usize_field(row, "priors_calls"),
+                    selection_calls: usize_field(row, "selection_calls"),
+                    rollout_calls: usize_field(row, "rollout_calls"),
+                    other_calls: usize_field(row, "other_calls"),
+                    session_threads: usize_field(row, "session_threads"),
+                    parallel_scans: usize_field(row, "parallel_scans"),
+                    tree_merges: usize_field(row, "tree_merges"),
+                    reservation_shortfalls: usize_field(row, "reservation_shortfalls"),
+                    wall_clock_ms: row
+                        .get("wall_clock_ms")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0),
+                };
+                Ok(V1Row {
+                    algorithm,
+                    k: usize_field(row, "k"),
+                    budget: usize_field(row, "budget"),
+                    seeds: usize_field(row, "seeds"),
+                    telemetry,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SessionTelemetry {
+        SessionTelemetry {
+            what_if_calls: 100,
+            cache_hits: 40,
+            derivations: 25,
+            priors_calls: 10,
+            selection_calls: 50,
+            rollout_calls: 30,
+            other_calls: 10,
+            session_threads: 4,
+            parallel_scans: 3,
+            tree_merges: 2,
+            reservation_shortfalls: 1,
+            wall_clock_ms: 12.5,
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_the_flat_counters() {
+        let t = sample();
+        let v2: TelemetryV2 = t.into();
+        assert_eq!(v2.version, TELEMETRY_VERSION);
+        let back: SessionTelemetry = v2.into();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v2_serializes_with_version_tag_and_sections() {
+        let v2: TelemetryV2 = sample().into();
+        let json = serde_json::to_string(&v2).unwrap();
+        assert!(json.contains("\"version\":2"), "{json}");
+        for section in ["\"calls\"", "\"cache\"", "\"exec\"", "\"wall_clock_ms\""] {
+            assert!(json.contains(section), "{json}");
+        }
+        let back: TelemetryV2 = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v2);
+    }
+
+    #[test]
+    fn v1_reader_tolerates_missing_fields() {
+        // The shape of results/fig8.telemetry.json rows, which predate
+        // session_threads/parallel_scans/tree_merges/reservation_shortfalls.
+        let json = r#"[{
+            "algorithm": "MCTS",
+            "k": 5,
+            "budget": 500,
+            "seeds": 3,
+            "what_if_calls": 1500,
+            "cache_hits": 200,
+            "derivations": 90,
+            "priors_calls": 60,
+            "selection_calls": 700,
+            "rollout_calls": 640,
+            "other_calls": 100,
+            "wall_clock_ms": 42.0
+        }]"#;
+        let rows = v1::read_rows(json).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!(r.algorithm, "MCTS");
+        assert_eq!(r.telemetry.what_if_calls, 1500);
+        assert_eq!(r.telemetry.session_threads, 0, "absent field reads 0");
+        assert_eq!(r.telemetry.parallel_scans, 0);
+        let v2 = r.to_v2();
+        assert_eq!(v2.calls.what_if_calls, 1500);
+        assert_eq!(v2.cache.cache_hits, 200);
+        assert_eq!(v2.wall_clock_ms, 42.0);
+    }
+
+    #[test]
+    fn v1_reader_rejects_versioned_rows() {
+        let json = r#"[{"algorithm": "A", "version": 2}]"#;
+        assert!(v1::read_rows(json).is_err());
+        // v2 sidecar rows nest the tag inside a `telemetry` section; the
+        // v1 reader must refuse those too rather than read zeros.
+        let sectioned = r#"[{"algorithm": "A", "telemetry": {"version": 2}}]"#;
+        assert!(v1::read_rows(sectioned).is_err());
+    }
+
+    #[test]
+    fn v1_reader_rejects_non_arrays() {
+        assert!(v1::read_rows("{}").is_err());
+        assert!(v1::read_rows("[3]").is_err());
+    }
+}

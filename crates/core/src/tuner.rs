@@ -11,6 +11,8 @@
 
 use crate::budget::SessionTelemetry;
 use crate::matrix::Layout;
+use crate::obs::Obs;
+use crate::source::ObservedSource;
 use crate::stop::{StopReason, StopSignal};
 use ixtune_candidates::CandidateSet;
 use ixtune_common::{IndexId, IndexSet};
@@ -18,16 +20,43 @@ use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
 use serde::{Deserialize, Serialize};
 
 /// Everything a tuning session reads: the optimizer (schema + workload +
-/// cost model) and the candidate universe with per-query attribution.
+/// cost model), the candidate universe with per-query attribution, and
+/// the session's observability handle (disabled by default — attach one
+/// with [`with_obs`](Self::with_obs)).
 pub struct TuningContext<'a> {
     pub opt: &'a SimulatedOptimizer,
     pub cands: &'a CandidateSet,
+    obs: Obs,
 }
 
 impl<'a> TuningContext<'a> {
     pub fn new(opt: &'a SimulatedOptimizer, cands: &'a CandidateSet) -> Self {
         debug_assert_eq!(opt.num_candidates(), cands.len());
-        Self { opt, cands }
+        Self {
+            opt,
+            cands,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle: metrics and spans from the session
+    /// report through it. Observability never perturbs results — the
+    /// bit-identity property test in `crates/core/tests/obs_props.rs`
+    /// holds the tuners to that.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The session's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The cost source tuners meter their calls against: the optimizer
+    /// wrapped with this context's observability handle.
+    pub fn source(&self) -> ObservedSource<'a> {
+        ObservedSource::new(self.opt, self.obs.clone())
     }
 
     /// Universe size `|I|`.

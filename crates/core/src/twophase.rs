@@ -103,18 +103,35 @@ impl Tuner for TwoPhaseGreedy {
     ) -> TuningResult {
         let constraints = &req.constraints;
         let threads = effective_threads(req.session_threads);
-        let mut mw = MeteredWhatIf::new(ctx.opt, req.budget);
+        let src = ctx.source();
+        let mut mw = MeteredWhatIf::new(&src, req.budget);
+        let obs = ctx.obs().clone();
 
         // Phase 1: each query as its own workload.
+        let p1_t0 = obs.span_start();
         let (union, mut interrupt) =
             Self::phase1(ctx, constraints, &mut mw, MeteredEval::Fcfs, threads, stop);
+        if let Some(t0) = p1_t0 {
+            obs.span_end(
+                t0,
+                "phase1",
+                "twophase",
+                vec![("union".into(), union.len().to_string())],
+            );
+        }
 
         let config = if interrupt.is_some() {
             // Interrupted mid-phase-1: salvage from the partial union
             // without spending more budget.
-            Self::salvage(ctx, constraints, &union, &mw)
+            let t0 = obs.span_start();
+            let config = Self::salvage(ctx, constraints, &union, &mw);
+            if let Some(t0) = t0 {
+                obs.span_end(t0, "salvage", "twophase", vec![]);
+            }
+            config
         } else {
             // Phase 2: workload-level greedy over the refined candidate set.
+            let t0 = obs.span_start();
             let universe = ctx.universe();
             let empty = IndexSet::empty(universe);
             let queries: Vec<QueryId> = (0..ctx.num_queries()).map(QueryId::from).collect();
@@ -130,9 +147,13 @@ impl Tuner for TwoPhaseGreedy {
                 threads,
                 stop,
             );
+            if let Some(t0) = t0 {
+                obs.span_end(t0, "phase2", "twophase", vec![]);
+            }
             interrupt = i2;
             config
         };
+        mw.publish_obs();
         let used = mw.meter().used();
         let exhausted = mw.meter().exhausted();
         let mut telemetry = mw.telemetry();

@@ -9,6 +9,7 @@
 
 use crate::cost::CostModel;
 use crate::index::IndexDef;
+use crate::latency::LatencyModel;
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use ixtune_workload::{BenchmarkInstance, Query, Schema, Workload};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +44,7 @@ pub struct SimulatedOptimizer {
     /// per-candidate inner loops and must not recompute column widths.
     cand_sizes: Vec<u64>,
     model: CostModel,
+    latency: LatencyModel,
     calls: AtomicU64,
 }
 
@@ -76,8 +78,17 @@ impl SimulatedOptimizer {
             per_query_slot,
             cand_sizes,
             model,
+            latency: LatencyModel::default(),
             calls: AtomicU64::new(0),
         }
+    }
+
+    /// Modeled wall-clock of one what-if call for query `q` — what a real
+    /// optimizer invocation for this query shape would cost in seconds
+    /// (see [`LatencyModel`]). Observability reports this next to the
+    /// measured in-process latency.
+    pub fn call_latency_s(&self, q: QueryId) -> f64 {
+        self.latency.call_latency_s(self.workload.query(q))
     }
 
     pub fn schema(&self) -> &Schema {

@@ -15,6 +15,9 @@
 //!   suspend <id>
 //!   resume  <id>
 //!   list
+//!   top
+//!   metrics
+//!   trace   <id>
 //!   shutdown
 //! ```
 
@@ -53,6 +56,9 @@ fn main() {
                 println!("{}", serde_json::to_string(&s).unwrap());
             }
         }),
+        "top" => top(&client),
+        "metrics" => client.metrics().map(|text| print!("{text}")),
+        "trace" => client.trace(id_arg(rest)).map(|json| println!("{json}")),
         "shutdown" => client.shutdown().map(|()| println!("shutdown requested")),
         "--help" | "-h" | "help" => {
             usage();
@@ -139,6 +145,40 @@ fn submit(client: &Client, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// One-shot operator view: a session table from `list` + `status`, and
+/// the daemon-level counters pulled from the metrics exposition.
+fn top(client: &Client) -> Result<(), String> {
+    let sessions = client.list()?;
+    println!(
+        "{:>5}  {:<10} {:<14} {:<12} {:>10} {:>8} {:>10}",
+        "ID", "STATE", "ALGORITHM", "WORKLOAD", "CALLS", "BEST%", "WALL_MS"
+    );
+    for s in &sessions {
+        let status = client.status(s.id)?;
+        println!(
+            "{:>5}  {:<10} {:<14} {:<12} {:>10} {:>8.2} {:>10.1}",
+            s.id,
+            format!("{:?}", s.state),
+            format!("{:?}", s.algorithm),
+            s.workload,
+            status.telemetry.what_if_calls,
+            status.best_improvement * 100.0,
+            status.wall_clock_ms,
+        );
+    }
+    let metrics = client.metrics()?;
+    let total: u64 = metrics
+        .lines()
+        .filter(|l| l.starts_with("ixtune_whatif_calls_total"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum::<f64>() as u64;
+    println!(
+        "\n{} sessions · {total} what-if calls served",
+        sessions.len()
+    );
+    Ok(())
+}
+
 fn id_arg(rest: &[String]) -> u64 {
     let Some(raw) = rest.first() else {
         eprintln!("expected a session id");
@@ -157,9 +197,12 @@ fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 
 fn usage() {
     eprintln!(
-        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|shutdown>\n\
+        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|top|metrics|trace|shutdown>\n\
          submit: --workload tpch|tpcds|job|reald|realm|synth:<seed> --algorithm mcts|greedy|twophase|autoadmin\n\
          \x20       --k K --budget B [--storage BYTES] [--seed S] [--threads T]\n\
-         \x20       [--deadline-ms MS] [--pause-after N] [--cancel-after N] [--wait]"
+         \x20       [--deadline-ms MS] [--pause-after N] [--cancel-after N] [--wait]\n\
+         top:     one-shot session table + daemon counters\n\
+         metrics: Prometheus text exposition of the daemon registry\n\
+         trace:   <id> — Chrome-trace JSON for one session (load in a trace viewer)"
     );
 }

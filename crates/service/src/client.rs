@@ -35,7 +35,7 @@ impl Client {
     fn expect_ok(&self, req: &Request) -> Result<(), String> {
         match self.call(req)? {
             Response::Ok => Ok(()),
-            Response::Error(e) => Err(e),
+            Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }
     }
@@ -50,7 +50,7 @@ impl Client {
     pub fn submit(&self, spec: SubmitSpec) -> Result<u64, String> {
         match self.call(&Request::Submit(spec))? {
             Response::Submitted(id) => Ok(id),
-            Response::Error(e) => Err(e),
+            Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }
     }
@@ -58,7 +58,7 @@ impl Client {
     pub fn status(&self, id: u64) -> Result<StatusPayload, String> {
         match self.call(&Request::Status(id))? {
             Response::Status(s) => Ok(s),
-            Response::Error(e) => Err(e),
+            Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }
     }
@@ -66,7 +66,7 @@ impl Client {
     pub fn result(&self, id: u64) -> Result<ResultPayload, String> {
         match self.call(&Request::Result(id))? {
             Response::Result(r) => Ok(r),
-            Response::Error(e) => Err(e),
+            Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }
     }
@@ -86,7 +86,25 @@ impl Client {
     pub fn list(&self) -> Result<Vec<SessionSummary>, String> {
         match self.call(&Request::List)? {
             Response::Sessions(s) => Ok(s),
-            Response::Error(e) => Err(e),
+            Response::Error(e) => Err(e.to_string()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Prometheus text exposition of the daemon's metrics registry.
+    pub fn metrics(&self) -> Result<String, String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            Response::Error(e) => Err(e.to_string()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Chrome-trace-viewer JSON of one session's recorded spans.
+    pub fn trace(&self, id: u64) -> Result<String, String> {
+        match self.call(&Request::Trace(id))? {
+            Response::Trace(json) => Ok(json),
+            Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }
     }

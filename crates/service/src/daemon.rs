@@ -2,7 +2,7 @@
 //! the line-delimited JSON protocol, one handler thread per connection.
 
 use crate::manager::SessionManager;
-use crate::proto::{write_line, Request, Response};
+use crate::proto::{write_line, ErrorCode, ErrorPayload, Request, Response};
 use crate::spec::ServiceConfig;
 use std::io::{BufRead, BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -111,9 +111,14 @@ fn handle_connection(
         }
         let line = buf.trim();
         let msg = if line.is_empty() {
-            Err("empty request line".to_string())
+            Err(ErrorPayload::new(
+                ErrorCode::BadRequest,
+                "empty request line",
+            ))
         } else {
-            serde_json::from_str::<Request>(line).map_err(|e| format!("bad request: {e:?}"))
+            serde_json::from_str::<Request>(line).map_err(|e| {
+                ErrorPayload::new(ErrorCode::BadRequest, format!("bad request: {e:?}"))
+            })
         };
         buf.clear();
         let response = match msg {
@@ -139,7 +144,7 @@ fn handle_connection(
 }
 
 fn dispatch(req: Request, manager: &SessionManager) -> Response {
-    let unit = |r: Result<(), String>| match r {
+    let unit = |r: Result<(), ErrorPayload>| match r {
         Ok(()) => Response::Ok,
         Err(e) => Response::Error(e),
     };
@@ -161,6 +166,11 @@ fn dispatch(req: Request, manager: &SessionManager) -> Response {
         Request::Suspend(id) => unit(manager.suspend(id)),
         Request::Resume(id) => unit(manager.resume(id)),
         Request::List => Response::Sessions(manager.list()),
+        Request::Metrics => Response::Metrics(manager.metrics()),
+        Request::Trace(id) => match manager.trace_json(id) {
+            Ok(json) => Response::Trace(json),
+            Err(e) => Response::Error(e),
+        },
         Request::Shutdown => {
             manager.initiate_shutdown();
             Response::Ok

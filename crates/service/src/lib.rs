@@ -14,7 +14,8 @@
 //!   (Queued → Running → Done/Cancelled/Failed/Suspended), worker
 //!   threads, snapshot persistence;
 //! * [`proto`] — the line-delimited JSON wire protocol
-//!   (`submit`/`status`/`result`/`cancel`/`suspend`/`resume`/`list`);
+//!   (`submit`/`status`/`result`/`cancel`/`suspend`/`resume`/`list`/
+//!   `metrics`/`trace`), with errors as a closed [`ErrorCode`] set;
 //! * [`daemon`] — the TCP front end (`ixtuned`);
 //! * [`client`] — the blocking client (`ixtunectl` and tests).
 //!
@@ -30,5 +31,8 @@ pub mod spec;
 pub use client::Client;
 pub use daemon::Daemon;
 pub use manager::SessionManager;
-pub use proto::{Request, Response, ResultPayload, SessionState, SessionSummary, StatusPayload};
+pub use proto::{
+    ErrorCode, ErrorPayload, Request, Response, ResultPayload, SessionState, SessionSummary,
+    StatusPayload,
+};
 pub use spec::{AlgorithmSpec, ServiceConfig, SubmitSpec, WorkloadSpec};

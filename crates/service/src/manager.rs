@@ -8,13 +8,17 @@
 //! that many sessions run at once; admission control bounds the number of
 //! admitted-but-not-terminal sessions at `queue_capacity`.
 
-use crate::proto::{ResultPayload, SessionState, SessionSummary, StatusPayload};
+use crate::proto::{
+    ErrorCode, ErrorPayload, ResultPayload, SessionState, SessionSummary, StatusPayload,
+};
 use crate::spec::{Prepared, ServiceConfig, SubmitSpec};
 use ixtune_common::sync::Monitor;
 use ixtune_core::checkpoint::MctsCheckpoint;
 use ixtune_core::mcts::{MctsOutcome, MctsTuner};
+use ixtune_core::obs::{publish_cache_hit_ratios, Obs};
 use ixtune_core::stop::{Progress, StopReason, StopSignal};
 use ixtune_core::tuner::{Tuner, TuningContext, TuningResult};
+use ixtune_obs::{MetricsRegistry, TraceRecorder};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -55,44 +59,71 @@ struct ManagerState {
     workloads: HashMap<String, Arc<Prepared>>,
 }
 
+/// Span capacity of the daemon's trace ring: enough for many sessions'
+/// phase-boundary spans; older spans are dropped first (the recorder
+/// counts drops).
+const TRACE_CAPACITY: usize = 65_536;
+
 /// The daemon's core. Public methods are the verbs of the wire protocol.
 pub struct SessionManager {
     cfg: ServiceConfig,
     state: Arc<Monitor<ManagerState>>,
     workers: Vec<JoinHandle<()>>,
+    /// Daemon-wide metrics registry; every session reports into it.
+    registry: Arc<MetricsRegistry>,
+    /// Daemon-wide span ring; sessions are separated by trace scope.
+    tracer: Arc<TraceRecorder>,
 }
 
 impl SessionManager {
     /// Start `max_concurrent` workers over an empty session table.
     pub fn start(cfg: ServiceConfig) -> Self {
         let state = Arc::new(Monitor::new(ManagerState::default()));
+        let registry = Arc::new(MetricsRegistry::new());
+        let tracer = Arc::new(TraceRecorder::new(TRACE_CAPACITY));
         let workers = (0..cfg.max_concurrent.max(1))
             .map(|_| {
                 let state = Arc::clone(&state);
                 let cfg = cfg.clone();
-                std::thread::spawn(move || worker_loop(&state, &cfg))
+                let registry = Arc::clone(&registry);
+                let tracer = Arc::clone(&tracer);
+                std::thread::spawn(move || worker_loop(&state, &cfg, &registry, &tracer))
             })
             .collect();
         Self {
             cfg,
             state,
             workers,
+            registry,
+            tracer,
         }
+    }
+
+    /// The daemon-wide metrics registry (tests scrape it directly).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Admit a session. Fails when the daemon is shutting down or the
     /// queue is at capacity (admission control counts every session that
     /// may still need a worker: queued, running, or suspended).
-    pub fn submit(&self, spec: SubmitSpec) -> Result<u64, String> {
-        spec.validate()?;
+    pub fn submit(&self, spec: SubmitSpec) -> Result<u64, ErrorPayload> {
+        spec.validate()
+            .map_err(|m| ErrorPayload::new(ErrorCode::InvalidSpec, m))?;
         let capacity = self.cfg.queue_capacity;
         self.state.update(|st| {
             if st.shutdown {
-                return Err("daemon is shutting down".into());
+                return Err(ErrorPayload::new(
+                    ErrorCode::ShuttingDown,
+                    "daemon is shutting down",
+                ));
             }
             let open = st.sessions.values().filter(|r| !r.state.terminal()).count();
             if open >= capacity {
-                return Err(format!("queue full ({open}/{capacity} sessions open)"));
+                return Err(ErrorPayload::new(
+                    ErrorCode::QueueFull,
+                    format!("queue full ({open}/{capacity} sessions open)"),
+                ));
             }
             let id = st.next_id;
             st.next_id += 1;
@@ -119,9 +150,12 @@ impl SessionManager {
     /// terminal immediately; running ones stop at their next poll (their
     /// best-so-far result is kept); suspended ones go terminal and their
     /// snapshot is deleted.
-    pub fn cancel(&self, id: u64) -> Result<(), String> {
+    pub fn cancel(&self, id: u64) -> Result<(), ErrorPayload> {
         let snapshot = self.state.update(|st| {
-            let rec = st.sessions.get_mut(&id).ok_or(format!("no session {id}"))?;
+            let rec = st
+                .sessions
+                .get_mut(&id)
+                .ok_or_else(|| unknown_session(id))?;
             match rec.state {
                 SessionState::Queued => {
                     rec.state = SessionState::Cancelled;
@@ -138,7 +172,10 @@ impl SessionManager {
                     rec.state = SessionState::Cancelled;
                     Ok(rec.snapshot.take())
                 }
-                s => Err(format!("session {id} is already {s:?}")),
+                s => Err(ErrorPayload::new(
+                    ErrorCode::AlreadyTerminal,
+                    format!("session {id} is already {s:?}"),
+                )),
             }
         })?;
         if let Some(path) = snapshot {
@@ -149,13 +186,19 @@ impl SessionManager {
 
     /// Request suspension of a running, resumable session. The worker
     /// writes the checkpoint at the next episode boundary.
-    pub fn suspend(&self, id: u64) -> Result<(), String> {
+    pub fn suspend(&self, id: u64) -> Result<(), ErrorPayload> {
         self.state.update(|st| {
-            let rec = st.sessions.get_mut(&id).ok_or(format!("no session {id}"))?;
+            let rec = st
+                .sessions
+                .get_mut(&id)
+                .ok_or_else(|| unknown_session(id))?;
             if !rec.spec.algorithm.resumable() {
-                return Err(format!(
-                    "session {id} runs {:?}, which cannot checkpoint — use Cancel",
-                    rec.spec.algorithm
+                return Err(ErrorPayload::new(
+                    ErrorCode::NotResumable,
+                    format!(
+                        "session {id} runs {:?}, which cannot checkpoint — use Cancel",
+                        rec.spec.algorithm
+                    ),
                 ));
             }
             match (&rec.state, &rec.stop) {
@@ -163,18 +206,27 @@ impl SessionManager {
                     stop.request_suspend();
                     Ok(())
                 }
-                (s, _) => Err(format!("session {id} is {s:?}, not Running")),
+                (s, _) => Err(ErrorPayload::new(
+                    ErrorCode::NotRunning,
+                    format!("session {id} is {s:?}, not Running"),
+                )),
             }
         })
     }
 
     /// Re-queue a suspended session; it resumes from its snapshot with the
     /// original spec's deterministic triggers cleared.
-    pub fn resume(&self, id: u64) -> Result<(), String> {
+    pub fn resume(&self, id: u64) -> Result<(), ErrorPayload> {
         self.state.update(|st| {
-            let rec = st.sessions.get_mut(&id).ok_or(format!("no session {id}"))?;
+            let rec = st
+                .sessions
+                .get_mut(&id)
+                .ok_or_else(|| unknown_session(id))?;
             if rec.state != SessionState::Suspended {
-                return Err(format!("session {id} is {:?}, not Suspended", rec.state));
+                return Err(ErrorPayload::new(
+                    ErrorCode::NotSuspended,
+                    format!("session {id} is {:?}, not Suspended", rec.state),
+                ));
             }
             rec.state = SessionState::Queued;
             rec.resumed = true;
@@ -183,9 +235,9 @@ impl SessionManager {
         })
     }
 
-    pub fn status(&self, id: u64) -> Result<StatusPayload, String> {
+    pub fn status(&self, id: u64) -> Result<StatusPayload, ErrorPayload> {
         self.state.with(|st| {
-            let rec = st.sessions.get(&id).ok_or(format!("no session {id}"))?;
+            let rec = st.sessions.get(&id).ok_or_else(|| unknown_session(id))?;
             // Streamed telemetry: the live progress published by the
             // running tuner, or the final result's counters once done.
             let progress = rec
@@ -211,14 +263,54 @@ impl SessionManager {
         })
     }
 
-    pub fn result(&self, id: u64) -> Result<ResultPayload, String> {
+    pub fn result(&self, id: u64) -> Result<ResultPayload, ErrorPayload> {
         self.state.with(|st| {
-            let rec = st.sessions.get(&id).ok_or(format!("no session {id}"))?;
-            rec.result.clone().ok_or(format!(
-                "session {id} has no result (state {:?})",
-                rec.state
-            ))
+            let rec = st.sessions.get(&id).ok_or_else(|| unknown_session(id))?;
+            rec.result.clone().ok_or_else(|| {
+                ErrorPayload::new(
+                    ErrorCode::NoResult,
+                    format!("session {id} has no result (state {:?})", rec.state),
+                )
+            })
         })
+    }
+
+    /// Render the Prometheus text exposition. Queue depth, per-state
+    /// session counts, and the per-shard cache hit ratios are gauges
+    /// computed at scrape time; everything else accumulates live.
+    pub fn metrics(&self) -> String {
+        let (depth, counts) = self.state.with(|st| {
+            let mut counts = [0usize; SESSION_STATES.len()];
+            for rec in st.sessions.values() {
+                counts[state_index(rec.state)] += 1;
+            }
+            (st.queue.len(), counts)
+        });
+        self.registry
+            .gauge("ixtune_queue_depth", "Sessions waiting for a worker", &[])
+            .set(depth as f64);
+        for (i, (_, label)) in SESSION_STATES.iter().enumerate() {
+            self.registry
+                .gauge(
+                    "ixtune_sessions",
+                    "Known sessions by lifecycle state",
+                    &[("state", label)],
+                )
+                .set(counts[i] as f64);
+        }
+        publish_cache_hit_ratios(&self.registry);
+        self.registry.render()
+    }
+
+    /// Chrome-trace-viewer JSON of the spans recorded for session `id`.
+    /// Valid (possibly empty) for any known session — a session that has
+    /// not run yet simply has no spans.
+    pub fn trace_json(&self, id: u64) -> Result<String, ErrorPayload> {
+        let known = self.state.with(|st| st.sessions.contains_key(&id));
+        if !known {
+            return Err(unknown_session(id));
+        }
+        Ok(self.tracer.chrome_trace(Some(id)))
     }
 
     pub fn list(&self) -> Vec<SessionSummary> {
@@ -279,9 +371,36 @@ impl SessionManager {
     }
 }
 
+fn unknown_session(id: u64) -> ErrorPayload {
+    ErrorPayload::new(ErrorCode::UnknownSession, format!("no session {id}"))
+}
+
+/// Session states and their `ixtune_sessions{state=…}` gauge labels, in
+/// `state_index` order.
+const SESSION_STATES: [(SessionState, &str); 6] = [
+    (SessionState::Queued, "queued"),
+    (SessionState::Running, "running"),
+    (SessionState::Suspended, "suspended"),
+    (SessionState::Done, "done"),
+    (SessionState::Cancelled, "cancelled"),
+    (SessionState::Failed, "failed"),
+];
+
+fn state_index(s: SessionState) -> usize {
+    SESSION_STATES
+        .iter()
+        .position(|&(st, _)| st == s)
+        .expect("every state is listed")
+}
+
 /// One worker: claim the next queued session, run it to a settled state,
 /// repeat until shutdown.
-fn worker_loop(state: &Arc<Monitor<ManagerState>>, cfg: &ServiceConfig) {
+fn worker_loop(
+    state: &Arc<Monitor<ManagerState>>,
+    cfg: &ServiceConfig,
+    registry: &Arc<MetricsRegistry>,
+    tracer: &Arc<TraceRecorder>,
+) {
     loop {
         // Claim: wait for work or shutdown, atomically marking the
         // session Running with a freshly armed StopSignal.
@@ -345,8 +464,9 @@ fn worker_loop(state: &Arc<Monitor<ManagerState>>, cfg: &ServiceConfig) {
             Err(e) => Settled::Failed(e),
             Ok(p) => {
                 let start = Instant::now();
+                let obs = Obs::enabled(Arc::clone(registry), Some(Arc::clone(tracer)), id);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_session(&p, &spec, snapshot.as_deref(), &stop, cfg, id)
+                    run_session(&p, &spec, snapshot.as_deref(), &stop, cfg, id, obs)
                 }));
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 match outcome {
@@ -420,8 +540,9 @@ fn run_session(
     stop: &StopSignal,
     cfg: &ServiceConfig,
     id: u64,
+    obs: Obs,
 ) -> Settled {
-    let ctx = TuningContext::new(&prepared.opt, &prepared.cands);
+    let ctx = TuningContext::new(&prepared.opt, &prepared.cands).with_obs(obs.clone());
     let req = spec.request(cfg.max_session_threads);
     use crate::spec::AlgorithmSpec;
     match spec.algorithm {
@@ -451,7 +572,18 @@ fn run_session(
                     if let Err(e) = std::fs::create_dir_all(&cfg.snapshot_dir) {
                         return Settled::Failed(format!("snapshot dir: {e}"));
                     }
-                    match std::fs::write(&path, ckpt.to_json()) {
+                    let json = ckpt.to_json();
+                    let t0 = obs.span_start();
+                    let written = std::fs::write(&path, &json);
+                    if let Some(t0) = t0 {
+                        obs.span_end(
+                            t0,
+                            "snapshot-write",
+                            "checkpoint",
+                            vec![("bytes".into(), json.len().to_string())],
+                        );
+                    }
+                    match written {
                         Ok(()) => Settled::Suspended(path),
                         Err(e) => Settled::Failed(format!("write snapshot: {e}")),
                     }
@@ -529,7 +661,7 @@ mod tests {
         let a = mgr.submit(spec(AlgorithmSpec::Mcts, 1_000_000)).unwrap();
         let b = mgr.submit(spec(AlgorithmSpec::Mcts, 1_000_000)).unwrap();
         let err = mgr.submit(spec(AlgorithmSpec::Mcts, 10)).unwrap_err();
-        assert!(err.contains("queue full"), "{err}");
+        assert_eq!(err.code, ErrorCode::QueueFull, "{err}");
         mgr.cancel(a).unwrap();
         mgr.cancel(b).unwrap();
         assert_eq!(
@@ -560,6 +692,28 @@ mod tests {
     }
 
     #[test]
+    fn metrics_and_trace_cover_completed_sessions() {
+        let mgr = SessionManager::start(config("ixtuned-test-metrics"));
+        let id = mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 40)).unwrap();
+        assert_eq!(
+            mgr.wait_settled(id, Duration::from_secs(30)),
+            Some(SessionState::Done)
+        );
+        let text = mgr.metrics();
+        assert!(text.contains("ixtune_whatif_calls_total"), "{text}");
+        assert!(text.contains("ixtune_sessions{state=\"done\"} 1"), "{text}");
+        assert!(text.contains("ixtune_queue_depth 0"), "{text}");
+        let trace = mgr.trace_json(id).unwrap();
+        assert!(trace.starts_with('[') && trace.trim_end().ends_with(']'));
+        assert!(trace.contains("greedy-step"), "{trace}");
+        assert_eq!(
+            mgr.trace_json(999).unwrap_err().code,
+            ErrorCode::UnknownSession
+        );
+        mgr.shutdown();
+    }
+
+    #[test]
     fn suspend_rejects_non_resumable() {
         let mgr = SessionManager::start(config("ixtuned-test-suspend-reject"));
         let id = mgr
@@ -568,7 +722,7 @@ mod tests {
         // Whether Queued or Running, suspension must be refused for the
         // greedy family.
         let err = mgr.suspend(id).unwrap_err();
-        assert!(err.contains("cannot checkpoint"), "{err}");
+        assert_eq!(err.code, ErrorCode::NotResumable, "{err}");
         mgr.cancel(id).unwrap();
         mgr.wait_settled(id, Duration::from_secs(30));
         mgr.shutdown();

@@ -33,6 +33,10 @@ pub enum Request {
     Resume(u64),
     /// Summaries of every known session.
     List,
+    /// Prometheus text exposition of the daemon's metrics registry.
+    Metrics,
+    /// Chrome-trace-viewer JSON of one session's recorded spans.
+    Trace(u64),
     /// Stop accepting work, cancel running sessions, and exit.
     Shutdown,
 }
@@ -45,9 +49,63 @@ pub enum Response {
     Status(StatusPayload),
     Result(ResultPayload),
     Sessions(Vec<SessionSummary>),
+    /// Prometheus text exposition (answer to `Metrics`).
+    Metrics(String),
+    /// Chrome-trace JSON for one session (answer to `Trace`).
+    Trace(String),
     /// Generic success for cancel/suspend/resume/shutdown.
     Ok,
-    Error(String),
+    Error(ErrorPayload),
+}
+
+/// Closed set of daemon error conditions. Serialized as the stable
+/// variant name (`"QueueFull"`, …) so clients and tests dispatch on the
+/// code instead of matching message text; the human-readable detail rides
+/// along in [`ErrorPayload::message`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The daemon is draining and admits no new work.
+    ShuttingDown,
+    /// Admission control: too many open sessions.
+    QueueFull,
+    /// No session with the given id.
+    UnknownSession,
+    /// The submitted spec failed validation.
+    InvalidSpec,
+    /// Suspend requested for an algorithm that cannot checkpoint.
+    NotResumable,
+    /// The verb requires a Running session.
+    NotRunning,
+    /// Resume requires a Suspended session.
+    NotSuspended,
+    /// The session is already terminal.
+    AlreadyTerminal,
+    /// The session has no result (yet, or ever).
+    NoResult,
+    /// The request line could not be parsed.
+    BadRequest,
+}
+
+/// A typed error on the wire: a machine-readable code plus detail text.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ErrorPayload {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+impl ErrorPayload {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
 }
 
 /// Lifecycle of a session inside the daemon.
@@ -183,6 +241,8 @@ mod tests {
             Request::Suspend(6),
             Request::Resume(7),
             Request::List,
+            Request::Metrics,
+            Request::Trace(8),
             Request::Shutdown,
         ];
         for req in reqs {
@@ -223,14 +283,42 @@ mod tests {
                 algorithm: AlgorithmSpec::Mcts,
                 workload: "tpch".into(),
             }]),
+            Response::Metrics("# HELP ixtune_whatif_calls_total …\n".into()),
+            Response::Trace("[{\"ph\":\"X\"}]".into()),
             Response::Ok,
-            Response::Error("queue full".into()),
+            Response::Error(ErrorPayload::new(
+                ErrorCode::QueueFull,
+                "queue full (16/16 sessions open)",
+            )),
         ];
         for resp in resps {
             let json = serde_json::to_string(&resp).unwrap();
             assert!(!json.contains('\n'), "line framing requires one line");
             let back: Response = serde_json::from_str(&json).unwrap();
             assert_eq!(back, resp, "{json}");
+        }
+    }
+
+    #[test]
+    fn error_codes_serialize_as_stable_strings() {
+        // The wire form is the variant name itself — renaming a variant is
+        // a protocol break, which this test turns into a compile-visible
+        // diff instead of a silent drift.
+        for (code, wire) in [
+            (ErrorCode::ShuttingDown, "\"ShuttingDown\""),
+            (ErrorCode::QueueFull, "\"QueueFull\""),
+            (ErrorCode::UnknownSession, "\"UnknownSession\""),
+            (ErrorCode::InvalidSpec, "\"InvalidSpec\""),
+            (ErrorCode::NotResumable, "\"NotResumable\""),
+            (ErrorCode::NotRunning, "\"NotRunning\""),
+            (ErrorCode::NotSuspended, "\"NotSuspended\""),
+            (ErrorCode::AlreadyTerminal, "\"AlreadyTerminal\""),
+            (ErrorCode::NoResult, "\"NoResult\""),
+            (ErrorCode::BadRequest, "\"BadRequest\""),
+        ] {
+            assert_eq!(serde_json::to_string(&code).unwrap(), wire);
+            let back: ErrorCode = serde_json::from_str(wire).unwrap();
+            assert_eq!(back, code);
         }
     }
 

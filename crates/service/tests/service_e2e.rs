@@ -138,7 +138,7 @@ fn admission_control_over_the_wire() {
         .submit(mcts_spec(1_000_000))
         .expect("second admitted");
     let err = client.submit(mcts_spec(10)).expect_err("third rejected");
-    assert!(err.contains("queue full"), "{err}");
+    assert!(err.starts_with("QueueFull"), "typed error code: {err}");
 
     client.cancel(a).expect("cancel a");
     client.cancel(b).expect("cancel b");
@@ -154,15 +154,110 @@ fn admission_control_over_the_wire() {
     daemon.join();
 }
 
+/// Assert `text` is well-formed Prometheus text exposition: every line is
+/// a `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample whose
+/// value parses as a float. Returns the sum over samples of `series`.
+fn parse_exposition(text: &str, series: &str) -> f64 {
+    let mut sum = 0.0;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value: {line:?}"));
+        let value: f64 = value_part
+            .parse()
+            .unwrap_or_else(|_| panic!("unparsable sample value: {line:?}"));
+        let name = name_part.split('{').next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        if name == series {
+            sum += value;
+        }
+    }
+    sum
+}
+
+#[test]
+fn metrics_scrape_mid_run_and_trace_download() {
+    let (daemon, client) = boot("ixtuned-e2e-metrics", |_| {});
+
+    // A long session, scraped while it is still spending budget — the CI
+    // service-e2e check: exposition parses, call counter is live.
+    let id = client.submit(mcts_spec(1_000_000)).expect("submit");
+    client
+        .wait_until(id, WAIT, |s| {
+            s.state == SessionState::Running && s.telemetry.what_if_calls > 0
+        })
+        .expect("session starts running");
+
+    let text = client.metrics().expect("metrics verb");
+    let calls = parse_exposition(&text, "ixtune_whatif_calls_total");
+    assert!(calls > 0.0, "live what-if counter:\n{text}");
+    assert!(
+        parse_exposition(&text, "ixtune_sessions") >= 1.0,
+        "session-state gauges present"
+    );
+    assert!(
+        text.contains("ixtune_whatif_latency_seconds_bucket"),
+        "latency histogram present"
+    );
+    assert!(
+        text.contains("ixtune_cache_shard_hit_ratio"),
+        "per-shard hit ratios present"
+    );
+
+    client.cancel(id).expect("cancel");
+    client.wait_terminal(id, WAIT).expect("session settles");
+
+    // Counters survive the session; the scrape still parses afterwards.
+    let after = client.metrics().expect("metrics after terminal");
+    assert!(parse_exposition(&after, "ixtune_whatif_calls_total") >= calls);
+
+    // Trace download: loadable Chrome-trace JSON (an array of events with
+    // the fields a trace viewer needs) containing this session's spans.
+    let trace = client.trace(id).expect("trace verb");
+    let parsed = serde_json::value_from_str(&trace).expect("trace parses as JSON");
+    let serde::Value::Arr(events) = parsed else {
+        panic!("chrome trace must be a JSON array");
+    };
+    assert!(!events.is_empty(), "completed session recorded spans");
+    for ev in &events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("ph field");
+        assert!(ph == "X" || ph == "i", "unexpected phase {ph}");
+        assert!(ev.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(ev.get("ts").is_some() && ev.get("pid").is_some());
+        assert_eq!(ev.get("pid").and_then(|v| v.as_u64()), Some(id));
+    }
+    assert!(
+        events
+            .iter()
+            .any(|e| e.get("name").and_then(|v| v.as_str()) == Some("episode")),
+        "MCTS episode spans present"
+    );
+
+    // Unknown ids get the typed error.
+    let err = client.trace(999_999).expect_err("unknown session");
+    assert!(err.starts_with("UnknownSession"), "{err}");
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+}
+
 #[test]
 fn protocol_rejects_garbage_and_unknown_sessions() {
     use std::io::{BufRead, BufReader, Write};
 
     let (daemon, client) = boot("ixtuned-e2e-proto", |_| {});
 
-    // Unknown session ids come back as structured errors.
+    // Unknown session ids come back as structured errors carrying the
+    // stable code name, not free-form text.
     let err = client.status(999).expect_err("no such session");
-    assert!(err.contains("no session"), "{err}");
+    assert!(err.starts_with("UnknownSession"), "{err}");
 
     // A malformed line gets an Error response, not a dropped connection.
     let mut stream = std::net::TcpStream::connect(daemon.addr()).unwrap();

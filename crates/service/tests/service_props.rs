@@ -8,6 +8,7 @@
 //!   budgets, and pause points. This is the DESIGN.md §6 resume guarantee
 //!   checked end to end through the manager rather than the tuner API.
 
+use ixtune_core::stop::StopReason;
 use ixtune_service::proto::{read_line, write_line};
 use ixtune_service::{
     AlgorithmSpec, Request, ResultPayload, ServiceConfig, SessionManager, SessionState, SubmitSpec,
@@ -72,6 +73,8 @@ proptest! {
             Request::Suspend(id),
             Request::Resume(id),
             Request::List,
+            Request::Metrics,
+            Request::Trace(id),
             Request::Shutdown,
         ] {
             prop_assert_eq!(roundtrip_request(&req), req);
@@ -133,4 +136,40 @@ proptest! {
         prop_assert_eq!(strip_wall_clock(ra), strip_wall_clock(rb));
         mgr.shutdown();
     }
+}
+
+/// Regression: a suspended session that is resumed and then terminates on
+/// its own stopping rule (budget left over) must report
+/// `StopReason::Completed` and settle `Done` — not carry the stale
+/// suspend reason (which maps to `Cancelled`) into the final result.
+#[test]
+fn resumed_session_completing_normally_reports_completed() {
+    let mgr = SessionManager::start(config(990_001));
+
+    // Budget far above what MCTS needs on this instance, so the resumed
+    // segment ends by idle-streak convergence, not budget exhaustion.
+    let mut spec = SubmitSpec::new(WorkloadSpec::Synth(3), AlgorithmSpec::Mcts, 3, 1_000_000);
+    spec.seed = 7;
+    spec.pause_after_calls = Some(20);
+    let id = mgr.submit(spec).unwrap();
+
+    assert_eq!(
+        mgr.wait_settled(id, Duration::from_secs(120)),
+        Some(SessionState::Suspended),
+        "pause trigger must land before the search converges"
+    );
+    mgr.resume(id).unwrap();
+    assert_eq!(
+        mgr.wait_settled(id, Duration::from_secs(300)),
+        Some(SessionState::Done)
+    );
+
+    let r = mgr.result(id).unwrap();
+    assert_eq!(r.stop_reason, Some(StopReason::Completed), "{r:?}");
+    assert!(
+        r.calls_used < 1_000_000,
+        "budget must not be the stopping rule here"
+    );
+    assert_eq!(mgr.status(id).unwrap().state, SessionState::Done);
+    mgr.shutdown();
 }

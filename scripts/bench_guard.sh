@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Guard the disabled-obs hot path: re-measure the derivation
+# micro-benchmarks and fail if any greedy-step median regresses more
+# than IXTUNE_BENCH_TOLERANCE (default 3%) against the committed
+# BENCH_3.json snapshot (or the baseline given as $1).
+#
+# The observability layer must be zero-cost when disabled — the benches
+# run with `Obs::disabled()`, so a regression here means the disabled
+# path stopped being free. Speedups are always fine; only slowdowns
+# beyond the tolerance fail. The bench is repeated IXTUNE_BENCH_RUNS
+# times (default 3) and the per-series *minimum* across all samples is
+# compared against the snapshot median: the floor is the least
+# noise-contaminated estimate of what the code can still do, so a
+# loaded host does not fail the guard spuriously while a real slowdown
+# (which lifts the floor, not just the tail) still does.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_3.json}"
+tolerance="${IXTUNE_BENCH_TOLERANCE:-0.03}"
+runs="${IXTUNE_BENCH_RUNS:-3}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The criterion stand-in appends one line per benchmark, so repeated
+# runs accumulate samples in the same file.
+for _ in $(seq "$runs"); do
+    CRITERION_SNAPSHOT="$tmp" cargo bench -p ixtune-bench --bench derivation
+done
+
+python3 - "$tmp" "$baseline" "$tolerance" <<'EOF'
+import json
+import sys
+
+measured = {}
+for line in open(sys.argv[1]):
+    if line.strip():
+        e = json.loads(line)
+        floor = e.get("min_ns", e["median_ns"])
+        prev = measured.get(e["bench"])
+        measured[e["bench"]] = floor if prev is None else min(prev, floor)
+baseline = json.load(open(sys.argv[2]))["median_ns_per_op"]
+tolerance = float(sys.argv[3])
+
+# The shipped greedy-step hot paths: the incremental DerivationState
+# probe and the frozen-cache parallel kernel (the one that takes the Obs
+# handle). full-rescan is the pre-change comparator kept in the bench
+# for the historical speedup ratios; it is not a shipped path.
+guarded = sorted(
+    name
+    for name in baseline
+    if name.startswith(("greedy-step/incremental-", "greedy-step/parallel-"))
+    and name in measured
+)
+if not guarded:
+    sys.exit("no greedy-step series shared between run and baseline")
+
+failures = []
+for name in guarded:
+    old, new = baseline[name], measured[name]
+    ratio = new / old
+    verdict = "OK" if ratio <= 1 + tolerance else "REGRESSION"
+    print(f"{verdict:>10}  {name}: {old} -> {new} ns/op ({(ratio - 1):+.1%})")
+    if ratio > 1 + tolerance:
+        failures.append(name)
+
+if failures:
+    sys.exit(
+        f"greedy-step regressed beyond {tolerance:.0%} vs {sys.argv[2]}: "
+        + ", ".join(failures)
+    )
+print(f"bench guard passed ({len(guarded)} series within {tolerance:.0%})")
+EOF

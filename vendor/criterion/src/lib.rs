@@ -12,7 +12,7 @@
 //! Two environment variables extend the runner:
 //!
 //! * `CRITERION_SNAPSHOT=<path>` — append one JSON line per benchmark
-//!   (`{"bench":"group/id","median_ns":…}`); `scripts/bench_snapshot.sh`
+//!   (`{"bench":"group/id","median_ns":…,"min_ns":…}`); `scripts/bench_snapshot.sh`
 //!   assembles the lines into a snapshot file.
 //! * `CRITERION_SMOKE=1` — run a single sample per benchmark (plus the
 //!   warm-up pass), so CI can execute every bench target in seconds as a
@@ -113,10 +113,11 @@ impl<'a> BenchmarkGroup<'a> {
         );
         if let Some(path) = std::env::var_os("CRITERION_SNAPSHOT") {
             let line = format!(
-                "{{\"bench\":\"{}/{}\",\"median_ns\":{}}}\n",
+                "{{\"bench\":\"{}/{}\",\"median_ns\":{},\"min_ns\":{}}}\n",
                 self.name,
                 id,
-                median.as_nanos()
+                median.as_nanos(),
+                min.as_nanos()
             );
             std::fs::OpenOptions::new()
                 .create(true)
