@@ -7,7 +7,8 @@ use ixtune_common::rng::seeded;
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use ixtune_core::{
     frozen_argmin, Constraints, DerivationState, FrozenEval, MctsTuner, MeteredWhatIf,
-    RolloutPolicy, SelectionPolicy, Tuner, TuningContext, WhatIfCache,
+    RolloutPolicy, SelectionPolicy, Tuner, TuningContext, VanillaGreedy, WarmSnapshot, WarmState,
+    WarmStore, WhatIfCache,
 };
 use ixtune_optimizer::WhatIfOptimizer;
 use ixtune_workload::gen::BenchmarkKind;
@@ -160,9 +161,60 @@ fn bench_greedy_step(c: &mut Criterion) {
     group.finish();
 }
 
+/// A snapshot holding every cost a donor run of `tuner` paid for — the
+/// store state a second identical session checks out.
+fn donor_snapshot(
+    session: &Session,
+    tuner: &dyn Tuner,
+    req: &ixtune_core::TuningRequest,
+) -> std::sync::Arc<WarmSnapshot> {
+    let store = WarmStore::new(64 << 20);
+    let fp = session.opt.content_fingerprint();
+    let nq = session.opt.num_queries();
+    let state = std::sync::Arc::new(WarmState::new(store.checkout(
+        "bench",
+        fp,
+        nq,
+        session.cands.len(),
+    )));
+    let ctx = TuningContext::new(&session.opt, &session.cands).with_warm(state.clone());
+    let _ = tuner.tune(&ctx, req);
+    store.absorb("bench", fp, nq, session.cands.len(), state.drain());
+    store.checkout("bench", fp, nq, session.cands.len())
+}
+
+/// Whole greedy sessions, cold start vs seeded from a warm snapshot: the
+/// second-session shape of the warm cost store — every budgeted what-if
+/// is answered from the snapshot, so the simulated optimizer never runs.
+fn bench_warm_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy-step");
+    group.sample_size(10);
+
+    let session = Session::build(BenchmarkKind::TpcDs);
+    for budget in [256usize, 1024] {
+        let req = ixtune_core::TuningRequest::cardinality(8, budget);
+        group.bench_function(format!("coldstart-u{budget}"), |b| {
+            b.iter(|| {
+                let ctx = TuningContext::new(&session.opt, &session.cands);
+                black_box(VanillaGreedy.tune(&ctx, &req))
+            })
+        });
+        let snap = donor_snapshot(&session, &VanillaGreedy, &req);
+        group.bench_function(format!("warm-u{budget}"), |b| {
+            b.iter(|| {
+                let warm = std::sync::Arc::new(WarmState::new(std::sync::Arc::clone(&snap)));
+                let ctx = TuningContext::new(&session.opt, &session.cands).with_warm(warm);
+                black_box(VanillaGreedy.tune(&ctx, &req))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Whole MCTS sessions, single-tree vs root-parallel: 4 worker trees on
 /// private budget shares merged into the master — the session-level shape
-/// of the tentpole, not just the scan kernel.
+/// of the tentpole, not just the scan kernel. `episodes-warm` is the
+/// single-tree session seeded from a prior identical run's snapshot.
 fn bench_mcts_episodes(c: &mut Criterion) {
     let mut group = c.benchmark_group("mcts");
     group.sample_size(10);
@@ -178,6 +230,15 @@ fn bench_mcts_episodes(c: &mut Criterion) {
     group.bench_function("episodes-parallel", |b| {
         let tuner = MctsTuner::default().with_root_workers(4);
         b.iter(|| black_box(tuner.tune(&ctx, &req.with_session_threads(4))))
+    });
+    let tuner = MctsTuner::default();
+    let snap = donor_snapshot(&session, &tuner, &req.with_session_threads(1));
+    group.bench_function("episodes-warm", |b| {
+        b.iter(|| {
+            let warm = std::sync::Arc::new(WarmState::new(std::sync::Arc::clone(&snap)));
+            let warm_ctx = TuningContext::new(&session.opt, &session.cands).with_warm(warm);
+            black_box(tuner.tune(&warm_ctx, &req.with_session_threads(1)))
+        })
     });
     group.finish();
 }
@@ -206,6 +267,7 @@ criterion_group!(
     benches,
     bench_derivation,
     bench_greedy_step,
+    bench_warm_sessions,
     bench_rollout,
     bench_mcts_episodes
 );

@@ -55,6 +55,11 @@ pub struct CellTelemetry {
     pub reservation_shortfalls: usize,
     /// Wall-clock spent tuning, summed across seeds, in milliseconds.
     pub wall_clock_ms: f64,
+    /// Budgeted calls answered from the warm cost store across the cell's
+    /// sessions (0 outside the service).
+    pub warm_hits: usize,
+    /// Warm store entries the cell's sessions were seeded with.
+    pub warm_seeded: usize,
 }
 
 impl From<CellTelemetry> for SessionTelemetry {
@@ -72,6 +77,8 @@ impl From<CellTelemetry> for SessionTelemetry {
             tree_merges: c.tree_merges,
             reservation_shortfalls: c.reservation_shortfalls,
             wall_clock_ms: c.wall_clock_ms,
+            warm_hits: c.warm_hits,
+            warm_seeded: c.warm_seeded,
         }
     }
 }
@@ -90,6 +97,8 @@ impl CellTelemetry {
         self.tree_merges += t.tree_merges;
         self.reservation_shortfalls += t.reservation_shortfalls;
         self.wall_clock_ms += t.wall_clock_ms;
+        self.warm_hits += t.warm_hits;
+        self.warm_seeded += t.warm_seeded;
     }
 }
 

@@ -74,6 +74,13 @@ pub struct SessionTelemetry {
     /// experiment runner from a monotonic clock; 0 when run outside the
     /// runner).
     pub wall_clock_ms: f64,
+    /// Budgeted calls answered from the daemon's warm cost store (still
+    /// counted in `what_if_calls`; the simulated-optimizer invocation was
+    /// skipped because a prior session already paid for it). Execution
+    /// provenance, like `wall_clock_ms` — not part of result identity.
+    pub warm_hits: usize,
+    /// Warm store entries this session was seeded with at admission.
+    pub warm_seeded: usize,
 }
 
 /// Exact what-if call accounting. Serializable so a suspended session's
@@ -139,15 +146,32 @@ impl BudgetMeter {
         q: QueryId,
         config: &IndexSet,
     ) -> Option<f64> {
+        self.charged_cost_tagged(src, q, config).map(|(c, _)| c)
+    }
+
+    /// [`charged_cost`](Self::charged_cost) with warm provenance: the
+    /// second component is `true` when the source served the answer from a
+    /// warm store snapshot. Warm answers consume budget exactly like
+    /// simulated ones, but skip the latency observation — there was no
+    /// optimizer invocation to time, and a synthetic zero would poison the
+    /// latency histograms.
+    pub fn charged_cost_tagged(
+        &mut self,
+        src: &dyn CostSource,
+        q: QueryId,
+        config: &IndexSet,
+    ) -> Option<(f64, bool)> {
         if !self.try_consume() {
             return None;
         }
         let t0 = src.observing().then(Instant::now);
-        let cost = src.cost(q, config);
+        let (cost, warm) = src.cost_tagged(q, config);
         if let Some(t0) = t0 {
-            src.observe(q, config, cost, t0.elapsed().as_secs_f64());
+            if !warm {
+                src.observe(q, config, cost, t0.elapsed().as_secs_f64());
+            }
         }
-        Some(cost)
+        Some((cost, warm))
     }
 }
 
@@ -187,7 +211,10 @@ impl<'a> MeteredWhatIf<'a> {
             meter: BudgetMeter::new(budget),
             trace: Vec::new(),
             phase: Phase::Other,
-            counters: SessionTelemetry::default(),
+            counters: SessionTelemetry {
+                warm_seeded: src.warm_seeded(),
+                ..SessionTelemetry::default()
+            },
             obs: src.obs(),
             published: SessionTelemetry::default(),
             obs_publishing: true,
@@ -337,8 +364,11 @@ impl<'a> MeteredWhatIf<'a> {
             return Some(c);
         }
         self.obs.on_cache_ref(shard, false);
-        let cost = self.meter.charged_cost(self.src, q, config)?;
+        let (cost, warm) = self.meter.charged_cost_tagged(self.src, q, config)?;
         self.counters.what_if_calls += 1;
+        if warm {
+            self.counters.warm_hits += 1;
+        }
         match self.phase {
             Phase::Priors => self.counters.priors_calls += 1,
             Phase::Selection => self.counters.selection_calls += 1,

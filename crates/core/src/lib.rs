@@ -23,7 +23,9 @@
 //! * [`stop`] — cooperative interruption: cancel flags, deadlines, and
 //!   suspend requests polled at enumeration-step / episode boundaries;
 //! * [`checkpoint`] — versioned snapshots of suspended MCTS sessions that
-//!   resume bit-identically (see DESIGN.md §6).
+//!   resume bit-identically (see DESIGN.md §6);
+//! * [`warm`] — the daemon-wide warm cost store: cross-session reuse of
+//!   what-if answers via epoch-published snapshots (see DESIGN.md §8).
 //!
 //! # Example
 //!
@@ -59,6 +61,7 @@ pub mod stop;
 pub mod telemetry;
 pub mod tuner;
 pub mod twophase;
+pub mod warm;
 
 pub use autoadmin::AutoAdminGreedy;
 pub use budget::{BudgetMeter, MeteredWhatIf, Phase, SessionTelemetry};
@@ -80,6 +83,7 @@ pub use stop::{Interrupt, Progress, StopReason, StopSignal};
 pub use telemetry::{TelemetryV2, TELEMETRY_VERSION};
 pub use tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 pub use twophase::TwoPhaseGreedy;
+pub use warm::{WarmSnapshot, WarmState, WarmStore, WarmStoreStats};
 
 /// Convenient glob-import surface.
 pub mod prelude {

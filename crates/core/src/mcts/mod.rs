@@ -828,6 +828,7 @@ impl MctsTuner {
                 c.rollout_calls += out.telemetry.rollout_calls;
                 c.other_calls += out.telemetry.other_calls;
                 c.parallel_scans += out.telemetry.parallel_scans;
+                c.warm_hits += out.telemetry.warm_hits;
                 c.tree_merges += 1;
                 c.reservation_shortfalls += usize::from(out.shortfall);
             }

@@ -52,6 +52,8 @@ struct ObsShared {
     parallel_scans: Arc<Counter>,
     tree_merges: Arc<Counter>,
     reservation_shortfalls: Arc<Counter>,
+    warm_hits: Arc<Counter>,
+    warm_seeded: Arc<Counter>,
     shard_hits: Vec<Arc<Counter>>,
     shard_lookups: Vec<Arc<Counter>>,
     whatif_latency: Arc<Histogram>,
@@ -120,6 +122,16 @@ impl Obs {
             reservation_shortfalls: registry.counter(
                 "ixtune_reservation_shortfalls_total",
                 "Batched budget reservations granted less than requested",
+                &[],
+            ),
+            warm_hits: registry.counter(
+                "ixtune_warm_hits_total",
+                "Budgeted what-if calls answered from the warm cost store",
+                &[],
+            ),
+            warm_seeded: registry.counter(
+                "ixtune_warm_seeded_total",
+                "Warm store entries sessions were seeded with at admission",
                 &[],
             ),
             shard_hits: shard(
@@ -206,6 +218,8 @@ impl Obs {
         s.tree_merges.add(d(prev.tree_merges, cur.tree_merges));
         s.reservation_shortfalls
             .add(d(prev.reservation_shortfalls, cur.reservation_shortfalls));
+        s.warm_hits.add(d(prev.warm_hits, cur.warm_hits));
+        s.warm_seeded.add(d(prev.warm_seeded, cur.warm_seeded));
     }
 
     /// Start a span: returns the start timestamp when tracing is enabled,

@@ -24,8 +24,10 @@
 //! [`BudgetMeter::charged_cost`]: crate::budget::BudgetMeter::charged_cost
 
 use crate::obs::Obs;
+use crate::warm::WarmState;
 use ixtune_common::{IndexSet, QueryId};
 use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
+use std::sync::Arc;
 
 /// A source of per-query configuration costs.
 ///
@@ -50,6 +52,23 @@ pub trait CostSource: Sync {
     /// optimizer can amortize round trips here.
     fn cost_batch(&self, q: QueryId, configs: &[IndexSet]) -> Vec<f64> {
         configs.iter().map(|c| self.cost(q, c)).collect()
+    }
+
+    /// [`cost`](Self::cost) with provenance: the second component is
+    /// `true` when the answer was served from a warm store snapshot (a
+    /// prior session already paid for the optimizer invocation) rather
+    /// than computed now. Warm answers are still budgeted and cached by
+    /// the caller exactly like simulated ones — the tag only drives the
+    /// `warm_hits` telemetry and lets the meter skip latency observation
+    /// (there was no invocation to time). Default: always simulated.
+    fn cost_tagged(&self, q: QueryId, config: &IndexSet) -> (f64, bool) {
+        (self.cost(q, config), false)
+    }
+
+    /// Number of warm entries this source was seeded with at admission
+    /// (0 for sources without a warm overlay).
+    fn warm_seeded(&self) -> usize {
+        0
     }
 
     /// Whether this source wants [`observe`](Self::observe) callbacks.
@@ -94,11 +113,26 @@ impl CostSource for SimulatedOptimizer {
 pub struct ObservedSource<'a> {
     opt: &'a SimulatedOptimizer,
     obs: Obs,
+    /// Warm overlay: snapshot consulted before the optimizer, ledger fed
+    /// with the simulated answers. `None` outside the service.
+    warm: Option<Arc<WarmState>>,
 }
 
 impl<'a> ObservedSource<'a> {
     pub fn new(opt: &'a SimulatedOptimizer, obs: Obs) -> Self {
-        Self { opt, obs }
+        Self {
+            opt,
+            obs,
+            warm: None,
+        }
+    }
+
+    /// Attach a warm store overlay (see [`crate::warm`]). Costs already in
+    /// the snapshot are served without invoking the optimizer; costs the
+    /// optimizer does compute are recorded in the ledger for write-back.
+    pub fn with_warm(mut self, warm: Arc<WarmState>) -> Self {
+        self.warm = Some(warm);
+        self
     }
 
     /// The underlying optimizer.
@@ -117,7 +151,23 @@ impl CostSource for ObservedSource<'_> {
     }
 
     fn cost(&self, q: QueryId, config: &IndexSet) -> f64 {
-        self.opt.what_if_cost(q, config)
+        self.cost_tagged(q, config).0
+    }
+
+    fn cost_tagged(&self, q: QueryId, config: &IndexSet) -> (f64, bool) {
+        if let Some(warm) = &self.warm {
+            if let Some(cost) = warm.lookup(q, config) {
+                return (cost, true);
+            }
+            let cost = self.opt.what_if_cost(q, config);
+            warm.record(q, config.clone(), cost);
+            return (cost, false);
+        }
+        (self.opt.what_if_cost(q, config), false)
+    }
+
+    fn warm_seeded(&self) -> usize {
+        self.warm.as_ref().map_or(0, |w| w.seeded())
     }
 
     fn observing(&self) -> bool {

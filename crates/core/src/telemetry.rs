@@ -44,6 +44,11 @@ pub struct CacheActivity {
     pub cache_hits: usize,
     /// Cost evaluations answered by Eq. 1 derivation.
     pub derivations: usize,
+    /// Budgeted calls answered from the daemon's warm cost store (the
+    /// optimizer invocation was skipped; budget still consumed).
+    pub warm_hits: usize,
+    /// Warm store entries the session was seeded with at admission.
+    pub warm_seeded: usize,
 }
 
 /// How the session executed (parallelism profile; results are invariant
@@ -95,6 +100,8 @@ impl From<SessionTelemetry> for TelemetryV2 {
             cache: CacheActivity {
                 cache_hits: t.cache_hits,
                 derivations: t.derivations,
+                warm_hits: t.warm_hits,
+                warm_seeded: t.warm_seeded,
             },
             exec: ExecutionProfile {
                 session_threads: t.session_threads,
@@ -122,6 +129,8 @@ impl From<TelemetryV2> for SessionTelemetry {
             tree_merges: v.exec.tree_merges,
             reservation_shortfalls: v.exec.reservation_shortfalls,
             wall_clock_ms: v.wall_clock_ms,
+            warm_hits: v.cache.warm_hits,
+            warm_seeded: v.cache.warm_seeded,
         }
     }
 }
@@ -192,6 +201,8 @@ pub mod v1 {
                         .get("wall_clock_ms")
                         .and_then(Value::as_f64)
                         .unwrap_or(0.0),
+                    warm_hits: usize_field(row, "warm_hits"),
+                    warm_seeded: usize_field(row, "warm_seeded"),
                 };
                 Ok(V1Row {
                     algorithm,
@@ -223,6 +234,8 @@ mod tests {
             tree_merges: 2,
             reservation_shortfalls: 1,
             wall_clock_ms: 12.5,
+            warm_hits: 8,
+            warm_seeded: 120,
         }
     }
 

@@ -14,10 +14,12 @@ use crate::matrix::Layout;
 use crate::obs::Obs;
 use crate::source::ObservedSource;
 use crate::stop::{StopReason, StopSignal};
+use crate::warm::WarmState;
 use ixtune_candidates::CandidateSet;
 use ixtune_common::{IndexId, IndexSet};
 use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything a tuning session reads: the optimizer (schema + workload +
 /// cost model), the candidate universe with per-query attribution, and
@@ -27,6 +29,7 @@ pub struct TuningContext<'a> {
     pub opt: &'a SimulatedOptimizer,
     pub cands: &'a CandidateSet,
     obs: Obs,
+    warm: Option<Arc<WarmState>>,
 }
 
 impl<'a> TuningContext<'a> {
@@ -36,6 +39,7 @@ impl<'a> TuningContext<'a> {
             opt,
             cands,
             obs: Obs::disabled(),
+            warm: None,
         }
     }
 
@@ -48,15 +52,31 @@ impl<'a> TuningContext<'a> {
         self
     }
 
+    /// Attach a warm store state (see [`crate::warm`]): the session's
+    /// sources serve known costs from the snapshot without invoking the
+    /// optimizer and ledger the ones they do compute. Warm seeding never
+    /// perturbs results — only `warm_hits`/`warm_seeded` provenance
+    /// counters differ from a cold run
+    /// (`crates/core/tests/warm_store_props.rs`).
+    pub fn with_warm(mut self, warm: Arc<WarmState>) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
     /// The session's observability handle.
     pub fn obs(&self) -> &Obs {
         &self.obs
     }
 
     /// The cost source tuners meter their calls against: the optimizer
-    /// wrapped with this context's observability handle.
+    /// wrapped with this context's observability handle and, in the
+    /// service, the warm store overlay.
     pub fn source(&self) -> ObservedSource<'a> {
-        ObservedSource::new(self.opt, self.obs.clone())
+        let src = ObservedSource::new(self.opt, self.obs.clone());
+        match &self.warm {
+            Some(w) => src.with_warm(Arc::clone(w)),
+            None => src,
+        }
     }
 
     /// Universe size `|I|`.

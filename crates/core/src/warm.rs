@@ -1,0 +1,476 @@
+//! Daemon-wide warm cost store: cross-session what-if reuse.
+//!
+//! The service shares *prepared workloads* across sessions, but until this
+//! module every session paid for its own what-if calls from a cold
+//! [`WhatIfCache`](crate::derived::WhatIfCache). The warm store closes that
+//! gap: a workload-keyed map of `(query, config) → cost` entries that
+//! sessions read at admission and write back into when they settle.
+//!
+//! Three pieces:
+//!
+//! * [`WarmSnapshot`] — an **immutable** per-workload bundle of known
+//!   costs. Published whole behind an `Arc`, so session read paths (and the
+//!   frozen-cache parallel scan workers that share the session's
+//!   [`CostSource`](crate::source::CostSource)) never take a lock.
+//! * [`WarmState`] — one session's view: the snapshot it was admitted
+//!   with plus a write ledger of the simulated calls it paid for. The
+//!   ledger is drained by the daemon when the session settles (completion,
+//!   suspension, or failure — every checkpoint boundary ends a segment).
+//! * [`WarmStore`] — the daemon-wide registry: epoch-published snapshots
+//!   per `(workload key, content fingerprint)`, bounded in bytes with
+//!   least-recently-touched eviction.
+//!
+//! # Determinism
+//!
+//! Warm entries sit *below* the budget meter: a warm-served answer is
+//! still a budgeted call, still recorded in the session cache, layout
+//! trace, and `what_if_calls` — only the simulated-optimizer invocation is
+//! skipped. Costs are pure functions of `(query, config)`, so the value a
+//! snapshot returns is bit-identical to the value the optimizer would have
+//! computed, and a warm-seeded session's [`TuningResult`] differs from a
+//! cold run only in the `warm_hits`/`warm_seeded` provenance counters
+//! (proved by `crates/core/tests/warm_store_props.rs`).
+//!
+//! [`TuningResult`]: crate::tuner::TuningResult
+
+use ixtune_common::{IndexSet, QueryId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Immutable per-workload bundle of known `(query, config) → cost`
+/// entries. Cheap to share (`Arc`), never mutated after publication.
+#[derive(Debug, Default)]
+pub struct WarmSnapshot {
+    /// `rows[q]` maps configurations to their what-if cost for query `q`.
+    rows: Vec<HashMap<IndexSet, f64>>,
+    /// Candidate-universe size the entries were computed against.
+    universe: usize,
+    entries: usize,
+}
+
+impl WarmSnapshot {
+    /// An empty snapshot for a workload with `num_queries` queries over a
+    /// `universe`-candidate universe.
+    pub fn empty(num_queries: usize, universe: usize) -> Self {
+        Self {
+            rows: (0..num_queries).map(|_| HashMap::new()).collect(),
+            universe,
+            entries: 0,
+        }
+    }
+
+    /// Stored cost of `(q, config)`, if a prior session computed it.
+    #[inline]
+    pub fn get(&self, q: QueryId, config: &IndexSet) -> Option<f64> {
+        self.rows.get(q.index())?.get(config).copied()
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Total stored entries across all queries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Estimated resident size: per-entry bitset blocks + cost + map
+    /// overhead. An estimate for eviction accounting, not an allocator
+    /// measurement.
+    pub fn bytes(&self) -> usize {
+        self.entries * entry_bytes(self.universe) + self.rows.len() * ROW_OVERHEAD
+    }
+}
+
+/// Estimated bytes per stored entry: the configuration bitset's blocks,
+/// the `f64` cost, and hash-map slot overhead.
+fn entry_bytes(universe: usize) -> usize {
+    universe.div_ceil(64) * 8 + 8 + 40
+}
+
+const ROW_OVERHEAD: usize = 48;
+
+/// One session's warm view: the snapshot it was admitted with plus the
+/// ledger of simulated (non-warm) calls it paid for, to be absorbed back
+/// into the [`WarmStore`] when the session settles.
+#[derive(Debug)]
+pub struct WarmState {
+    snapshot: Arc<WarmSnapshot>,
+    /// Simulated calls this session performed; pushed at the source level
+    /// (so root-parallel workers sharing the source contribute too).
+    /// Push order is nondeterministic under parallelism, but the map-merge
+    /// in [`WarmStore::absorb`] makes the resulting snapshot content
+    /// deterministic (costs are pure functions of the cell).
+    ledger: Mutex<Vec<(QueryId, IndexSet, f64)>>,
+}
+
+impl WarmState {
+    pub fn new(snapshot: Arc<WarmSnapshot>) -> Self {
+        Self {
+            snapshot,
+            ledger: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The snapshot this session reads from.
+    pub fn snapshot(&self) -> &Arc<WarmSnapshot> {
+        &self.snapshot
+    }
+
+    /// Look up a warm cost. Lock-free: the snapshot is immutable.
+    #[inline]
+    pub fn lookup(&self, q: QueryId, config: &IndexSet) -> Option<f64> {
+        self.snapshot.get(q, config)
+    }
+
+    /// Entries this session was seeded with.
+    pub fn seeded(&self) -> usize {
+        self.snapshot.entries()
+    }
+
+    /// Record one simulated call for later write-back.
+    pub fn record(&self, q: QueryId, config: IndexSet, cost: f64) {
+        self.ledger
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((q, config, cost));
+    }
+
+    /// Take the ledger (the session settled; the daemon absorbs it).
+    /// Tolerates a poisoned lock so a panicked session still contributes
+    /// the calls it completed.
+    pub fn drain(&self) -> Vec<(QueryId, IndexSet, f64)> {
+        std::mem::take(
+            &mut *self
+                .ledger
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+
+    /// Current ledger length (tests/diagnostics).
+    pub fn ledger_len(&self) -> usize {
+        self.ledger
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+}
+
+/// Aggregate store counters, surfaced by the daemon's `store stats` verb
+/// and the `ixtune_warm_store_*` gauges.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStoreStats {
+    /// Distinct `(workload, fingerprint)` snapshots held.
+    pub workloads: usize,
+    /// Total `(query, config) → cost` entries across snapshots.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// Publication epoch: bumped once per absorbed snapshot.
+    pub epoch: u64,
+    /// Snapshots evicted by the byte bound since daemon start.
+    pub evictions: u64,
+    /// Configured byte bound.
+    pub max_bytes: usize,
+}
+
+struct StoreEntry {
+    snapshot: Arc<WarmSnapshot>,
+    /// Epoch of the last checkout or absorb — the LRU ordering key.
+    last_touch: u64,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    map: HashMap<(String, u64), StoreEntry>,
+    epoch: u64,
+    bytes: usize,
+    evictions: u64,
+}
+
+/// The daemon-wide warm cost store. Keyed by `(WorkloadSpec::key(),
+/// SimulatedOptimizer::content_fingerprint())` so two sessions share
+/// entries only when schema, workload, *and* candidate universe are
+/// identical — index ids and query ids then mean the same thing on both
+/// sides.
+///
+/// Mutation (checkout touch, absorb, flush) takes one short mutex;
+/// sessions only hold `Arc<WarmSnapshot>` clones, so the read hot path
+/// never sees the lock.
+pub struct WarmStore {
+    max_bytes: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl WarmStore {
+    /// A store bounded at `max_bytes` (estimated resident size).
+    pub fn new(max_bytes: usize) -> Self {
+        Self {
+            max_bytes,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The snapshot for `(key, fingerprint)`, or an empty one when no
+    /// session has settled on this workload yet. Touches the LRU clock.
+    pub fn checkout(
+        &self,
+        key: &str,
+        fingerprint: u64,
+        num_queries: usize,
+        universe: usize,
+    ) -> Arc<WarmSnapshot> {
+        let mut inner = self.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        match inner.map.get_mut(&(key.to_string(), fingerprint)) {
+            Some(entry) => {
+                entry.last_touch = epoch;
+                Arc::clone(&entry.snapshot)
+            }
+            None => Arc::new(WarmSnapshot::empty(num_queries, universe)),
+        }
+    }
+
+    /// Absorb one settled session's ledger: copy-on-write merge into the
+    /// workload's snapshot, publish the merged snapshot as a new epoch,
+    /// then evict least-recently-touched snapshots while the byte bound is
+    /// exceeded. Returns the number of entries newly added.
+    ///
+    /// Duplicate cells (several sessions — or root-parallel workers —
+    /// paying for the same `(q, config)`) carry the same cost, costs being
+    /// pure functions, so first-write-wins keeps content deterministic
+    /// regardless of ledger order.
+    pub fn absorb(
+        &self,
+        key: &str,
+        fingerprint: u64,
+        num_queries: usize,
+        universe: usize,
+        ledger: Vec<(QueryId, IndexSet, f64)>,
+    ) -> usize {
+        if ledger.is_empty() {
+            return 0;
+        }
+        let mut inner = self.lock();
+        inner.epoch += 1;
+        let epoch = inner.epoch;
+        let map_key = (key.to_string(), fingerprint);
+        let base = inner.map.get(&map_key).map(|e| Arc::clone(&e.snapshot));
+        let old_bytes = base.as_ref().map_or(0, |s| s.bytes());
+        // Copy-on-write: readers keep their old Arc; the merged snapshot
+        // replaces it for future checkouts.
+        let mut merged = match base {
+            Some(s) => WarmSnapshot {
+                rows: s.rows.clone(),
+                universe: s.universe,
+                entries: s.entries,
+            },
+            None => WarmSnapshot::empty(num_queries, universe),
+        };
+        let mut added = 0usize;
+        for (q, config, cost) in ledger {
+            let Some(row) = merged.rows.get_mut(q.index()) else {
+                continue;
+            };
+            if let std::collections::hash_map::Entry::Vacant(v) = row.entry(config) {
+                v.insert(cost);
+                added += 1;
+            }
+        }
+        merged.entries += added;
+        let new_bytes = merged.bytes();
+        inner.bytes = inner.bytes - old_bytes + new_bytes;
+        inner.map.insert(
+            map_key,
+            StoreEntry {
+                snapshot: Arc::new(merged),
+                last_touch: epoch,
+            },
+        );
+        // LRU eviction: drop least-recently-touched snapshots until the
+        // bound holds. The bound is strict — a single oversized workload
+        // is dropped too (it can be re-learned), keeping the daemon's
+        // memory ceiling honest.
+        while inner.bytes > self.max_bytes && !inner.map.is_empty() {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map has a minimum");
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.bytes -= entry.snapshot.bytes();
+                inner.evictions += 1;
+            }
+        }
+        added
+    }
+
+    /// Current aggregate counters.
+    pub fn stats(&self) -> WarmStoreStats {
+        let inner = self.lock();
+        WarmStoreStats {
+            workloads: inner.map.len(),
+            entries: inner.map.values().map(|e| e.snapshot.entries()).sum(),
+            bytes: inner.bytes,
+            epoch: inner.epoch,
+            evictions: inner.evictions,
+            max_bytes: self.max_bytes,
+        }
+    }
+
+    /// Drop every snapshot. Returns the number of entries discarded.
+    /// Sessions already admitted keep their `Arc` clones and finish
+    /// unaffected; new admissions start cold.
+    pub fn flush(&self) -> usize {
+        let mut inner = self.lock();
+        let dropped = inner.map.values().map(|e| e.snapshot.entries()).sum();
+        inner.map.clear();
+        inner.bytes = 0;
+        dropped
+    }
+
+    /// Configured byte bound.
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_common::IndexId;
+
+    fn cfg(n: usize, ids: &[u32]) -> IndexSet {
+        IndexSet::from_ids(n, ids.iter().map(|&i| IndexId::new(i)))
+    }
+
+    #[test]
+    fn checkout_of_unknown_workload_is_empty() {
+        let store = WarmStore::new(1 << 20);
+        let snap = store.checkout("tpch", 7, 3, 16);
+        assert_eq!(snap.entries(), 0);
+        assert_eq!(snap.num_queries(), 3);
+        assert_eq!(store.stats().workloads, 0, "checkout does not create");
+    }
+
+    #[test]
+    fn absorb_then_checkout_round_trips_entries() {
+        let store = WarmStore::new(1 << 20);
+        let c = cfg(16, &[1, 3]);
+        let added = store.absorb(
+            "tpch",
+            7,
+            3,
+            16,
+            vec![(QueryId::new(0), c.clone(), 42.5), (QueryId::new(2), c.clone(), 7.25)],
+        );
+        assert_eq!(added, 2);
+        let snap = store.checkout("tpch", 7, 3, 16);
+        assert_eq!(snap.get(QueryId::new(0), &c), Some(42.5));
+        assert_eq!(snap.get(QueryId::new(2), &c), Some(7.25));
+        assert_eq!(snap.get(QueryId::new(1), &c), None);
+        // Different fingerprint → different snapshot.
+        let other = store.checkout("tpch", 8, 3, 16);
+        assert_eq!(other.entries(), 0);
+    }
+
+    #[test]
+    fn duplicate_cells_count_once() {
+        let store = WarmStore::new(1 << 20);
+        let c = cfg(16, &[2]);
+        let ledger = vec![
+            (QueryId::new(0), c.clone(), 5.0),
+            (QueryId::new(0), c.clone(), 5.0),
+        ];
+        assert_eq!(store.absorb("w", 1, 1, 16, ledger), 1);
+        assert_eq!(store.absorb("w", 1, 1, 16, vec![(QueryId::new(0), c, 5.0)]), 0);
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn published_snapshots_are_immutable_to_old_readers() {
+        let store = WarmStore::new(1 << 20);
+        let a = cfg(16, &[1]);
+        let b = cfg(16, &[2]);
+        store.absorb("w", 1, 1, 16, vec![(QueryId::new(0), a.clone(), 1.0)]);
+        let old = store.checkout("w", 1, 1, 16);
+        store.absorb("w", 1, 1, 16, vec![(QueryId::new(0), b.clone(), 2.0)]);
+        // The old Arc never sees the later epoch's entries.
+        assert_eq!(old.get(QueryId::new(0), &b), None);
+        let new = store.checkout("w", 1, 1, 16);
+        assert_eq!(new.get(QueryId::new(0), &a), Some(1.0));
+        assert_eq!(new.get(QueryId::new(0), &b), Some(2.0));
+    }
+
+    #[test]
+    fn lru_eviction_fires_on_the_byte_bound() {
+        // Budget for roughly one snapshot: absorbing a second workload
+        // evicts the least-recently-touched first.
+        let one_entry = entry_bytes(16) + ROW_OVERHEAD;
+        let store = WarmStore::new(one_entry + one_entry / 2);
+        let c = cfg(16, &[1]);
+        store.absorb("a", 1, 1, 16, vec![(QueryId::new(0), c.clone(), 1.0)]);
+        assert_eq!(store.stats().workloads, 1);
+        store.absorb("b", 2, 1, 16, vec![(QueryId::new(0), c.clone(), 2.0)]);
+        let stats = store.stats();
+        assert_eq!(stats.workloads, 1, "bound forces eviction");
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= store.max_bytes());
+        // The surviving snapshot is the most recently absorbed.
+        assert_eq!(store.checkout("b", 2, 1, 16).entries(), 1);
+        assert_eq!(store.checkout("a", 1, 1, 16).entries(), 0);
+    }
+
+    #[test]
+    fn checkout_touch_protects_hot_workloads() {
+        let one = entry_bytes(16) + ROW_OVERHEAD;
+        let store = WarmStore::new(2 * one + one / 2);
+        let c = cfg(16, &[1]);
+        store.absorb("a", 1, 1, 16, vec![(QueryId::new(0), c.clone(), 1.0)]);
+        store.absorb("b", 2, 1, 16, vec![(QueryId::new(0), c.clone(), 2.0)]);
+        // Touch `a` so `b` is now the least recently used…
+        store.checkout("a", 1, 1, 16);
+        store.absorb("c", 3, 1, 16, vec![(QueryId::new(0), c.clone(), 3.0)]);
+        // …and gets evicted when `c` pushes the store over the bound.
+        assert_eq!(store.checkout("a", 1, 1, 16).entries(), 1);
+        assert_eq!(store.checkout("b", 2, 1, 16).entries(), 0);
+    }
+
+    #[test]
+    fn flush_drops_everything() {
+        let store = WarmStore::new(1 << 20);
+        let c = cfg(16, &[1]);
+        store.absorb("a", 1, 2, 16, vec![(QueryId::new(0), c.clone(), 1.0)]);
+        store.absorb("b", 2, 2, 16, vec![(QueryId::new(1), c, 2.0)]);
+        assert_eq!(store.flush(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.workloads, 0);
+        assert_eq!(stats.bytes, 0);
+        assert_eq!(store.checkout("a", 1, 2, 16).entries(), 0);
+    }
+
+    #[test]
+    fn warm_state_ledger_drains_once() {
+        let state = WarmState::new(Arc::new(WarmSnapshot::empty(2, 16)));
+        let c = cfg(16, &[4]);
+        assert_eq!(state.lookup(QueryId::new(0), &c), None);
+        state.record(QueryId::new(0), c.clone(), 9.0);
+        state.record(QueryId::new(1), c, 8.0);
+        assert_eq!(state.ledger_len(), 2);
+        assert_eq!(state.drain().len(), 2);
+        assert_eq!(state.drain().len(), 0, "drain empties the ledger");
+    }
+}

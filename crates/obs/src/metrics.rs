@@ -219,14 +219,20 @@ impl MetricsRegistry {
         }
     }
 
-    /// Render Prometheus text exposition (version 0.0.4).
+    /// Render Prometheus text exposition (version 0.0.4). Families come
+    /// out in name order (the map is a `BTreeMap`) and series within a
+    /// family in label order, so two scrapes of the same registry are
+    /// line-for-line comparable regardless of registration order.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let fams = self.families.lock().unwrap();
         for (name, fam) in fams.iter() {
             let _ = writeln!(out, "# HELP {name} {}", fam.help);
             let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
-            for (labels, inst) in &fam.series {
+            let mut series: Vec<&(Vec<(String, String)>, Instrument)> =
+                fam.series.iter().collect();
+            series.sort_by(|(a, _), (b, _)| a.cmp(b));
+            for (labels, inst) in series {
                 match inst {
                     Instrument::Counter(c) => {
                         let _ = writeln!(out, "{name}{} {}", label_set(labels, &[]), c.get());
@@ -391,6 +397,30 @@ mod tests {
             let (_, value) = line.rsplit_once(' ').expect("sample line");
             assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "{line}");
         }
+    }
+
+    #[test]
+    fn render_sorts_series_within_a_family() {
+        // Register shards out of order; the exposition must not depend on
+        // registration order (scrapes diff cleanly, dashboards are stable).
+        let reg = MetricsRegistry::new();
+        for shard in ["7", "2", "0", "5"] {
+            reg.counter("shard_total", "h", &[("shard", shard)]).inc();
+        }
+        let text = reg.render();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("shard_total{"))
+            .collect();
+        assert_eq!(
+            lines,
+            vec![
+                "shard_total{shard=\"0\"} 1",
+                "shard_total{shard=\"2\"} 1",
+                "shard_total{shard=\"5\"} 1",
+                "shard_total{shard=\"7\"} 1",
+            ]
+        );
     }
 
     #[test]

@@ -132,6 +132,103 @@ impl SimulatedOptimizer {
             .map(|i| self.what_if_cost(QueryId::from(i), config))
             .sum()
     }
+
+    /// Content fingerprint of everything a what-if answer depends on:
+    /// schema (tables, row counts, column types and NDVs), workload
+    /// (scans, filters with selectivities, joins, grouping/ordering/
+    /// projection, weights), and the candidate universe (tables, key and
+    /// include column lists, in id order). Two optimizers with equal
+    /// fingerprints price every `(query, config)` cell identically, so the
+    /// daemon's warm cost store keys snapshots by this value: query ids
+    /// and index ids mean the same thing on both sides, and cached costs
+    /// transfer bit-exactly.
+    ///
+    /// FNV-1a over a canonical field walk (same constants as
+    /// `Layout::fingerprint`), with separator bytes between records so
+    /// field shifts can't alias.
+    pub fn content_fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn bytes(&mut self, b: &[u8]) {
+                for &x in b {
+                    self.0 ^= u64::from(x);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn u64(&mut self, v: u64) {
+                self.bytes(&v.to_le_bytes());
+            }
+            fn f64(&mut self, v: f64) {
+                self.u64(v.to_bits());
+            }
+            fn str(&mut self, s: &str) {
+                self.u64(s.len() as u64);
+                self.bytes(s.as_bytes());
+            }
+            fn sep(&mut self) {
+                self.bytes(&[0xff]);
+            }
+            fn field(&mut self) {
+                self.bytes(&[0xfe]);
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        let qcol = |h: &mut Fnv, c: &ixtune_workload::QCol| {
+            h.u64(u64::from(c.scan.0));
+            h.u64(c.column.index() as u64);
+        };
+        for (_, table) in self.schema.iter() {
+            h.str(&table.name);
+            h.u64(table.rows);
+            for col in &table.columns {
+                h.field();
+                h.str(&col.name);
+                h.str(&format!("{:?}", col.ty));
+                h.u64(col.ndv);
+            }
+            h.sep();
+        }
+        h.sep();
+        for q in &self.workload.queries {
+            h.str(&q.name);
+            for t in &q.scans {
+                h.u64(t.index() as u64);
+            }
+            h.field();
+            for f in &q.filters {
+                qcol(&mut h, &f.col);
+                h.str(&format!("{:?}", f.kind));
+                h.f64(f.selectivity);
+            }
+            h.field();
+            for j in &q.joins {
+                qcol(&mut h, &j.left);
+                qcol(&mut h, &j.right);
+            }
+            h.field();
+            for group in [&q.group_by, &q.order_by, &q.projection] {
+                for c in group {
+                    qcol(&mut h, c);
+                }
+                h.field();
+            }
+            h.f64(q.weight);
+            h.sep();
+        }
+        h.sep();
+        for cand in &self.candidates {
+            h.u64(cand.table.index() as u64);
+            for k in &cand.keys {
+                h.u64(k.index() as u64);
+            }
+            h.field();
+            for k in &cand.includes {
+                h.u64(k.index() as u64);
+            }
+            h.sep();
+        }
+        h.0
+    }
 }
 
 impl WhatIfOptimizer for SimulatedOptimizer {
@@ -234,6 +331,31 @@ mod tests {
         let both = IndexSet::full(n);
         assert!(opt.config_size_bytes(&both) > opt.config_size_bytes(&one));
         assert_eq!(opt.config_size_bytes(&IndexSet::empty(n)), 0);
+    }
+
+    #[test]
+    fn content_fingerprint_distinguishes_instances() {
+        let (inst, cands) = tiny_instance();
+        let a = SimulatedOptimizer::new(inst, cands.clone(), CostModel::default());
+        let (inst2, _) = tiny_instance();
+        let b = SimulatedOptimizer::new(inst2, cands.clone(), CostModel::default());
+        assert_eq!(
+            a.content_fingerprint(),
+            b.content_fingerprint(),
+            "identical content → identical fingerprint"
+        );
+        // Dropping a candidate changes the universe, hence the key.
+        let (inst3, mut fewer) = tiny_instance();
+        fewer.pop();
+        let c = SimulatedOptimizer::new(inst3, fewer, CostModel::default());
+        assert_ne!(a.content_fingerprint(), c.content_fingerprint());
+        // A different workload shape changes it too.
+        let synth_a = {
+            let inst = synth::instance(1);
+            let cands = vec![IndexDef::new(TableId::new(0), vec![ColumnId::new(0)], vec![])];
+            SimulatedOptimizer::new(inst, cands, CostModel::default())
+        };
+        assert_ne!(a.content_fingerprint(), synth_a.content_fingerprint());
     }
 
     #[test]

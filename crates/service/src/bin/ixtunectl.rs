@@ -18,6 +18,7 @@
 //!   top
 //!   metrics
 //!   trace   <id>
+//!   store   stats|flush
 //!   shutdown
 //! ```
 
@@ -59,6 +60,7 @@ fn main() {
         "top" => top(&client),
         "metrics" => client.metrics().map(|text| print!("{text}")),
         "trace" => client.trace(id_arg(rest)).map(|json| println!("{json}")),
+        "store" => store(&client, rest),
         "shutdown" => client.shutdown().map(|()| println!("shutdown requested")),
         "--help" | "-h" | "help" => {
             usage();
@@ -167,16 +169,43 @@ fn top(client: &Client) -> Result<(), String> {
         );
     }
     let metrics = client.metrics()?;
-    let total: u64 = metrics
-        .lines()
-        .filter(|l| l.starts_with("ixtune_whatif_calls_total"))
-        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
-        .sum::<f64>() as u64;
+    let sum_series = |prefix: &str| -> u64 {
+        metrics
+            .lines()
+            .filter(|l| l.starts_with(prefix))
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+            .sum::<f64>() as u64
+    };
+    let total = sum_series("ixtune_whatif_calls_total");
+    let warm_hits = sum_series("ixtune_warm_hits_total");
+    let warm_seeded = sum_series("ixtune_warm_seeded_total");
+    let store_bytes = sum_series("ixtune_warm_store_bytes");
     println!(
-        "\n{} sessions · {total} what-if calls served",
+        "\n{} sessions · {total} what-if calls served · {warm_hits} warm hits · \
+         {warm_seeded} warm-seeded · {store_bytes} store bytes",
         sessions.len()
     );
     Ok(())
+}
+
+/// `store stats` / `store flush`: inspect or empty the daemon's warm cost
+/// store.
+fn store(client: &Client, rest: &[String]) -> Result<(), String> {
+    match rest.first().map(String::as_str) {
+        Some("stats") => {
+            let s = client.store_stats()?;
+            println!("{}", serde_json::to_string(&s).unwrap());
+            Ok(())
+        }
+        Some("flush") => {
+            let n = client.store_flush()?;
+            println!("flushed {n} entries");
+            Ok(())
+        }
+        other => Err(format!(
+            "store requires `stats` or `flush`, got {other:?}"
+        )),
+    }
 }
 
 fn id_arg(rest: &[String]) -> u64 {
@@ -197,12 +226,13 @@ fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 
 fn usage() {
     eprintln!(
-        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|top|metrics|trace|shutdown>\n\
+        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|top|metrics|trace|store|shutdown>\n\
          submit: --workload tpch|tpcds|job|reald|realm|synth:<seed> --algorithm mcts|greedy|twophase|autoadmin\n\
          \x20       --k K --budget B [--storage BYTES] [--seed S] [--threads T]\n\
          \x20       [--deadline-ms MS] [--pause-after N] [--cancel-after N] [--wait]\n\
          top:     one-shot session table + daemon counters\n\
          metrics: Prometheus text exposition of the daemon registry\n\
-         trace:   <id> — Chrome-trace JSON for one session (load in a trace viewer)"
+         trace:   <id> — Chrome-trace JSON for one session (load in a trace viewer)\n\
+         store:   stats|flush — inspect or empty the warm cost store"
     );
 }

@@ -4,7 +4,8 @@
 //! ```text
 //! ixtuned [--bind 127.0.0.1:7311] [--max-concurrent N] \
 //!         [--queue-capacity N] [--max-session-threads N] \
-//!         [--snapshot-dir DIR]
+//!         [--snapshot-dir DIR] [--warm-store-bytes N] \
+//!         [--prepared-capacity N]
 //! ```
 
 use ixtune_service::{Daemon, ServiceConfig};
@@ -30,10 +31,15 @@ fn main() {
                 cfg.max_session_threads = parse(&value("--max-session-threads"))
             }
             "--snapshot-dir" => cfg.snapshot_dir = value("--snapshot-dir").into(),
+            "--warm-store-bytes" => {
+                cfg.warm_store_bytes = parse(&value("--warm-store-bytes")) as u64
+            }
+            "--prepared-capacity" => cfg.prepared_capacity = parse(&value("--prepared-capacity")),
             "--help" | "-h" => {
                 println!(
                     "ixtuned [--bind ADDR] [--max-concurrent N] [--queue-capacity N] \
-                     [--max-session-threads N] [--snapshot-dir DIR]"
+                     [--max-session-threads N] [--snapshot-dir DIR] \
+                     [--warm-store-bytes N] [--prepared-capacity N]"
                 );
                 return;
             }

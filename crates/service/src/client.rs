@@ -3,6 +3,7 @@
 
 use crate::proto::{
     read_line, write_line, Request, Response, ResultPayload, SessionSummary, StatusPayload,
+    StoreStatsPayload,
 };
 use crate::spec::SubmitSpec;
 use std::io::BufReader;
@@ -104,6 +105,24 @@ impl Client {
     pub fn trace(&self, id: u64) -> Result<String, String> {
         match self.call(&Request::Trace(id))? {
             Response::Trace(json) => Ok(json),
+            Response::Error(e) => Err(e.to_string()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Aggregate counters of the daemon's warm cost store.
+    pub fn store_stats(&self) -> Result<StoreStatsPayload, String> {
+        match self.call(&Request::StoreStats)? {
+            Response::StoreStats(s) => Ok(s),
+            Response::Error(e) => Err(e.to_string()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Drop every warm store snapshot; returns the entries discarded.
+    pub fn store_flush(&self) -> Result<usize, String> {
+        match self.call(&Request::StoreFlush)? {
+            Response::Flushed(n) => Ok(n),
             Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }

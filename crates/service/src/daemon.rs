@@ -171,6 +171,8 @@ fn dispatch(req: Request, manager: &SessionManager) -> Response {
             Ok(json) => Response::Trace(json),
             Err(e) => Response::Error(e),
         },
+        Request::StoreStats => Response::StoreStats(manager.store_stats().into()),
+        Request::StoreFlush => Response::Flushed(manager.store_flush()),
         Request::Shutdown => {
             manager.initiate_shutdown();
             Response::Ok

@@ -18,6 +18,7 @@ use ixtune_core::mcts::{MctsOutcome, MctsTuner};
 use ixtune_core::obs::{publish_cache_hit_ratios, Obs};
 use ixtune_core::stop::{Progress, StopReason, StopSignal};
 use ixtune_core::tuner::{Tuner, TuningContext, TuningResult};
+use ixtune_core::warm::{WarmState, WarmStore, WarmStoreStats};
 use ixtune_obs::{MetricsRegistry, TraceRecorder};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,8 +56,46 @@ struct ManagerState {
     shutdown: bool,
     /// Prepared workloads shared across sessions, keyed by
     /// `WorkloadSpec::key()` — submitting ten TPC-H sessions builds TPC-H
-    /// once.
-    workloads: HashMap<String, Arc<Prepared>>,
+    /// once. Each entry carries its last-touch tick; the cache is bounded
+    /// at `ServiceConfig::prepared_capacity` with least-recently-used
+    /// eviction (sessions holding an `Arc` finish unaffected).
+    workloads: HashMap<String, (Arc<Prepared>, u64)>,
+    /// Monotonic touch tick for the prepared-workload LRU.
+    workload_clock: u64,
+    /// Prepared workloads evicted by the capacity bound (diagnostics).
+    workload_evictions: u64,
+}
+
+impl ManagerState {
+    /// Fetch a prepared workload and refresh its LRU position.
+    fn touch_workload(&mut self, key: &str) -> Option<Arc<Prepared>> {
+        self.workload_clock += 1;
+        let clock = self.workload_clock;
+        self.workloads.get_mut(key).map(|(p, touch)| {
+            *touch = clock;
+            Arc::clone(p)
+        })
+    }
+
+    /// Insert a freshly prepared workload, evicting the least recently
+    /// used entries beyond `capacity`.
+    fn insert_workload(&mut self, key: String, prepared: &Arc<Prepared>, capacity: usize) {
+        self.workload_clock += 1;
+        let clock = self.workload_clock;
+        self.workloads
+            .entry(key)
+            .or_insert_with(|| (Arc::clone(prepared), clock));
+        while self.workloads.len() > capacity.max(1) {
+            let victim = self
+                .workloads
+                .iter()
+                .min_by_key(|(_, (_, touch))| *touch)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity map is non-empty");
+            self.workloads.remove(&victim);
+            self.workload_evictions += 1;
+        }
+    }
 }
 
 /// Span capacity of the daemon's trace ring: enough for many sessions'
@@ -73,6 +112,8 @@ pub struct SessionManager {
     registry: Arc<MetricsRegistry>,
     /// Daemon-wide span ring; sessions are separated by trace scope.
     tracer: Arc<TraceRecorder>,
+    /// Daemon-wide warm cost store: cross-session what-if reuse.
+    warm: Arc<WarmStore>,
 }
 
 impl SessionManager {
@@ -81,13 +122,15 @@ impl SessionManager {
         let state = Arc::new(Monitor::new(ManagerState::default()));
         let registry = Arc::new(MetricsRegistry::new());
         let tracer = Arc::new(TraceRecorder::new(TRACE_CAPACITY));
+        let warm = Arc::new(WarmStore::new(cfg.warm_store_bytes as usize));
         let workers = (0..cfg.max_concurrent.max(1))
             .map(|_| {
                 let state = Arc::clone(&state);
                 let cfg = cfg.clone();
                 let registry = Arc::clone(&registry);
                 let tracer = Arc::clone(&tracer);
-                std::thread::spawn(move || worker_loop(&state, &cfg, &registry, &tracer))
+                let warm = Arc::clone(&warm);
+                std::thread::spawn(move || worker_loop(&state, &cfg, &registry, &tracer, &warm))
             })
             .collect();
         Self {
@@ -96,12 +139,25 @@ impl SessionManager {
             workers,
             registry,
             tracer,
+            warm,
         }
     }
 
     /// The daemon-wide metrics registry (tests scrape it directly).
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Aggregate counters of the warm cost store.
+    pub fn store_stats(&self) -> WarmStoreStats {
+        self.warm.stats()
+    }
+
+    /// Drop every warm store snapshot; returns the entries discarded.
+    /// Running sessions keep their checked-out snapshots and finish
+    /// unaffected.
+    pub fn store_flush(&self) -> usize {
+        self.warm.flush()
     }
 
     /// Admit a session. Fails when the daemon is shutting down or the
@@ -298,6 +354,37 @@ impl SessionManager {
                 )
                 .set(counts[i] as f64);
         }
+        let warm = self.warm.stats();
+        let warm_gauges: [(&str, &str, f64); 5] = [
+            (
+                "ixtune_warm_store_bytes",
+                "Estimated resident bytes of the warm cost store",
+                warm.bytes as f64,
+            ),
+            (
+                "ixtune_warm_store_entries",
+                "Cost entries held by the warm cost store",
+                warm.entries as f64,
+            ),
+            (
+                "ixtune_warm_store_workloads",
+                "Distinct workload snapshots in the warm cost store",
+                warm.workloads as f64,
+            ),
+            (
+                "ixtune_warm_store_epoch",
+                "Publication epoch of the warm cost store",
+                warm.epoch as f64,
+            ),
+            (
+                "ixtune_warm_store_evictions",
+                "Warm store snapshots evicted by the byte bound",
+                warm.evictions as f64,
+            ),
+        ];
+        for (name, help, value) in warm_gauges {
+            self.registry.gauge(name, help, &[]).set(value);
+        }
         publish_cache_hit_ratios(&self.registry);
         self.registry.render()
     }
@@ -400,6 +487,7 @@ fn worker_loop(
     cfg: &ServiceConfig,
     registry: &Arc<MetricsRegistry>,
     tracer: &Arc<TraceRecorder>,
+    warm_store: &Arc<WarmStore>,
 ) {
     loop {
         // Claim: wait for work or shutdown, atomically marking the
@@ -447,14 +535,14 @@ fn worker_loop(
         };
 
         // Prepare the workload outside the lock (TPC-DS generation is not
-        // cheap); insert into the shared cache afterwards.
+        // cheap); insert into the shared LRU-bounded cache afterwards.
         let key = spec.workload.key();
-        let prepared = match state.with(|st| st.workloads.get(&key).cloned()) {
+        let prepared = match state.with(|st| st.touch_workload(&key)) {
             Some(p) => Ok(p),
             None => spec.workload.prepare().map(|p| {
                 let p = Arc::new(p);
                 state.with(|st| {
-                    st.workloads.entry(key).or_insert_with(|| Arc::clone(&p));
+                    st.insert_workload(key.clone(), &p, cfg.prepared_capacity);
                 });
                 p
             }),
@@ -463,11 +551,34 @@ fn worker_loop(
         let settled = match prepared {
             Err(e) => Settled::Failed(e),
             Ok(p) => {
+                // Check out the workload's warm snapshot at admission:
+                // known costs are served without invoking the optimizer,
+                // and the calls this session does pay for are ledgered for
+                // write-back when it settles.
+                let fingerprint = p.opt.content_fingerprint();
+                let warm = Arc::new(WarmState::new(warm_store.checkout(
+                    &key,
+                    fingerprint,
+                    ixtune_optimizer::WhatIfOptimizer::num_queries(&p.opt),
+                    p.cands.len(),
+                )));
                 let start = Instant::now();
                 let obs = Obs::enabled(Arc::clone(registry), Some(Arc::clone(tracer)), id);
+                let warm_run = Arc::clone(&warm);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_session(&p, &spec, snapshot.as_deref(), &stop, cfg, id, obs)
+                    run_session(&p, &spec, snapshot.as_deref(), &stop, cfg, id, obs, warm_run)
                 }));
+                // Absorb the ledger whatever the outcome — completed,
+                // suspended, failed, or panicked segments all paid for real
+                // optimizer calls worth sharing. Costs are pure functions,
+                // so partial segments contribute correct entries.
+                warm_store.absorb(
+                    &key,
+                    fingerprint,
+                    ixtune_optimizer::WhatIfOptimizer::num_queries(&p.opt),
+                    p.cands.len(),
+                    warm.drain(),
+                );
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 match outcome {
                     Ok(s) => {
@@ -533,6 +644,7 @@ enum Settled {
 }
 
 /// Run one session segment: fresh or resumed, any algorithm.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     prepared: &Prepared,
     spec: &SubmitSpec,
@@ -541,8 +653,11 @@ fn run_session(
     cfg: &ServiceConfig,
     id: u64,
     obs: Obs,
+    warm: Arc<WarmState>,
 ) -> Settled {
-    let ctx = TuningContext::new(&prepared.opt, &prepared.cands).with_obs(obs.clone());
+    let ctx = TuningContext::new(&prepared.opt, &prepared.cands)
+        .with_obs(obs.clone())
+        .with_warm(warm);
     let req = spec.request(cfg.max_session_threads);
     use crate::spec::AlgorithmSpec;
     match spec.algorithm {
@@ -623,6 +738,7 @@ mod tests {
             queue_capacity: 4,
             max_session_threads: 2,
             snapshot_dir: std::env::temp_dir().join(dir),
+            ..ServiceConfig::default()
         }
     }
 
@@ -710,6 +826,66 @@ mod tests {
             mgr.trace_json(999).unwrap_err().code,
             ErrorCode::UnknownSession
         );
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn prepared_workload_cache_evicts_at_capacity() {
+        let mut cfg = config("ixtuned-test-prepared-lru");
+        cfg.prepared_capacity = 2;
+        let mgr = SessionManager::start(cfg);
+        for seed in [10u64, 11, 12] {
+            let mut s = SubmitSpec::new(
+                WorkloadSpec::Synth(seed),
+                AlgorithmSpec::VanillaGreedy,
+                2,
+                10,
+            );
+            s.seed = 1;
+            let id = mgr.submit(s).unwrap();
+            assert_eq!(
+                mgr.wait_settled(id, Duration::from_secs(30)),
+                Some(SessionState::Done)
+            );
+        }
+        let (len, evictions) = mgr
+            .state
+            .with(|st| (st.workloads.len(), st.workload_evictions));
+        assert!(len <= 2, "cache bounded at capacity, got {len}");
+        assert!(evictions >= 1, "third workload must evict one");
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn warm_store_serves_the_second_identical_session() {
+        let mgr = SessionManager::start(config("ixtuned-test-warm"));
+        let submit = || {
+            let id = mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 40)).unwrap();
+            assert_eq!(
+                mgr.wait_settled(id, Duration::from_secs(30)),
+                Some(SessionState::Done)
+            );
+            mgr.result(id).unwrap()
+        };
+        let a = submit();
+        assert_eq!(a.telemetry.warm_hits, 0, "store starts cold");
+        assert!(mgr.store_stats().entries > 0, "session A fed the store");
+        let b = submit();
+        assert!(b.telemetry.warm_seeded > 0, "session B admitted warm");
+        assert_eq!(
+            b.telemetry.warm_hits, b.telemetry.what_if_calls,
+            "identical session: every budgeted call warm-served"
+        );
+        // Identity: the warm path changes who answers, never the answer.
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.calls_used, b.calls_used);
+        assert_eq!(a.improvement.to_bits(), b.improvement.to_bits());
+        assert_eq!(a.layout_fingerprint, b.layout_fingerprint);
+        // Flush empties the store; a third session runs cold again.
+        assert!(mgr.store_flush() > 0);
+        assert_eq!(mgr.store_stats().entries, 0);
+        let c = submit();
+        assert_eq!(c.telemetry.warm_hits, 0);
         mgr.shutdown();
     }
 

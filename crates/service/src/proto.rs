@@ -37,6 +37,11 @@ pub enum Request {
     Metrics,
     /// Chrome-trace-viewer JSON of one session's recorded spans.
     Trace(u64),
+    /// Aggregate counters of the daemon's warm cost store.
+    StoreStats,
+    /// Drop every warm store snapshot; answered with `Flushed(entries)`.
+    /// Running sessions keep their checked-out snapshots.
+    StoreFlush,
     /// Stop accepting work, cancel running sessions, and exit.
     Shutdown,
 }
@@ -53,9 +58,43 @@ pub enum Response {
     Metrics(String),
     /// Chrome-trace JSON for one session (answer to `Trace`).
     Trace(String),
+    /// Warm store counters (answer to `StoreStats`).
+    StoreStats(StoreStatsPayload),
+    /// Entries discarded by `StoreFlush`.
+    Flushed(usize),
     /// Generic success for cancel/suspend/resume/shutdown.
     Ok,
     Error(ErrorPayload),
+}
+
+/// Wire form of the warm store's aggregate counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStatsPayload {
+    /// Distinct `(workload, fingerprint)` snapshots held.
+    pub workloads: usize,
+    /// Total `(query, config) → cost` entries across snapshots.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// Publication epoch (bumped per absorbed snapshot).
+    pub epoch: u64,
+    /// Snapshots evicted by the byte bound since daemon start.
+    pub evictions: u64,
+    /// Configured byte bound.
+    pub max_bytes: usize,
+}
+
+impl From<ixtune_core::warm::WarmStoreStats> for StoreStatsPayload {
+    fn from(s: ixtune_core::warm::WarmStoreStats) -> Self {
+        Self {
+            workloads: s.workloads,
+            entries: s.entries,
+            bytes: s.bytes,
+            epoch: s.epoch,
+            evictions: s.evictions,
+            max_bytes: s.max_bytes,
+        }
+    }
 }
 
 /// Closed set of daemon error conditions. Serialized as the stable
@@ -243,6 +282,8 @@ mod tests {
             Request::List,
             Request::Metrics,
             Request::Trace(8),
+            Request::StoreStats,
+            Request::StoreFlush,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -285,6 +326,15 @@ mod tests {
             }]),
             Response::Metrics("# HELP ixtune_whatif_calls_total …\n".into()),
             Response::Trace("[{\"ph\":\"X\"}]".into()),
+            Response::StoreStats(StoreStatsPayload {
+                workloads: 2,
+                entries: 512,
+                bytes: 40_960,
+                epoch: 7,
+                evictions: 1,
+                max_bytes: 64 << 20,
+            }),
+            Response::Flushed(512),
             Response::Ok,
             Response::Error(ErrorPayload::new(
                 ErrorCode::QueueFull,

@@ -195,6 +195,13 @@ pub struct ServiceConfig {
     pub max_session_threads: usize,
     /// Directory for suspended-session snapshots.
     pub snapshot_dir: PathBuf,
+    /// Byte bound on the daemon-wide warm cost store (estimated resident
+    /// size; least-recently-touched workload snapshots are evicted first).
+    pub warm_store_bytes: u64,
+    /// Prepared workloads kept in the shared cache; least-recently-used
+    /// entries beyond this are dropped (sessions already holding an `Arc`
+    /// finish unaffected).
+    pub prepared_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -204,6 +211,8 @@ impl Default for ServiceConfig {
             queue_capacity: 16,
             max_session_threads: ixtune_common::sync::available_parallelism(),
             snapshot_dir: PathBuf::from("snapshots"),
+            warm_store_bytes: 64 << 20,
+            prepared_capacity: 8,
         }
     }
 }

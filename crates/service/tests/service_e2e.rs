@@ -17,6 +17,7 @@ fn config(dir: &str) -> ServiceConfig {
         queue_capacity: 8,
         max_session_threads: 2,
         snapshot_dir: std::env::temp_dir().join(dir),
+        ..ServiceConfig::default()
     }
 }
 
@@ -35,10 +36,13 @@ fn mcts_spec(budget: usize) -> SubmitSpec {
     spec
 }
 
-/// Everything except execution detail: the wall clock (and only the wall
-/// clock) may differ between an interrupted and an uninterrupted run.
+/// Everything except execution detail: wall clock and warm-store
+/// provenance counters may differ between an interrupted and an
+/// uninterrupted run (an earlier session can seed the daemon store).
 fn strip_wall_clock(mut payload: ResultPayload) -> ResultPayload {
     payload.telemetry.wall_clock_ms = 0.0;
+    payload.telemetry.warm_hits = 0;
+    payload.telemetry.warm_seeded = 0;
     payload
 }
 
@@ -243,6 +247,58 @@ fn metrics_scrape_mid_run_and_trace_download() {
     // Unknown ids get the typed error.
     let err = client.trace(999_999).expect_err("unknown session");
     assert!(err.starts_with("UnknownSession"), "{err}");
+
+    client.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn warm_store_collapses_second_identical_session_over_the_wire() {
+    let (daemon, client) = boot("ixtuned-e2e-warm", |_| {});
+
+    let run = || {
+        let id = client.submit(mcts_spec(200)).expect("submit");
+        let status = client.wait_terminal(id, WAIT).expect("session settles");
+        assert_eq!(status.state, SessionState::Done);
+        client.result(id).expect("result")
+    };
+
+    let a = run();
+    assert_eq!(a.telemetry.warm_hits, 0, "cold store: no warm hits");
+
+    let stats = client.store_stats().expect("store stats verb");
+    assert!(stats.entries > 0, "first session populated the store");
+    assert!(stats.bytes > 0 && stats.bytes <= stats.max_bytes);
+
+    // The identical request again: every budgeted what-if call is now
+    // answered from the warm store (a 100% reduction in simulated calls,
+    // comfortably past the >=50% acceptance bar), and the result is
+    // bit-identical to the cold run.
+    let b = run();
+    assert!(b.telemetry.warm_seeded > 0, "second session seeded");
+    assert_eq!(
+        b.telemetry.warm_hits, b.telemetry.what_if_calls,
+        "every budgeted call warm-served"
+    );
+    assert!(
+        b.telemetry.warm_hits * 2 >= b.telemetry.what_if_calls,
+        ">=50% of simulated what-if calls eliminated"
+    );
+    assert_eq!(strip_wall_clock(a), strip_wall_clock(b.clone()));
+
+    // Flush empties the store; a third run is cold again.
+    let flushed = client.store_flush().expect("store flush verb");
+    assert!(flushed > 0, "flush reports discarded entries");
+    let stats = client.store_stats().expect("stats after flush");
+    assert_eq!(stats.entries, 0);
+    let c = run();
+    assert_eq!(c.telemetry.warm_hits, 0, "flushed store serves nothing");
+    assert_eq!(strip_wall_clock(b), strip_wall_clock(c));
+
+    // The warm counters reach the daemon metrics exposition.
+    let text = client.metrics().expect("metrics");
+    assert!(parse_exposition(&text, "ixtune_warm_hits_total") > 0.0);
+    assert!(parse_exposition(&text, "ixtune_warm_seeded_total") > 0.0);
 
     client.shutdown().expect("shutdown");
     daemon.join();

@@ -75,6 +75,8 @@ proptest! {
             Request::List,
             Request::Metrics,
             Request::Trace(id),
+            Request::StoreStats,
+            Request::StoreFlush,
             Request::Shutdown,
         ] {
             prop_assert_eq!(roundtrip_request(&req), req);
@@ -88,11 +90,16 @@ fn config(tag: u64) -> ServiceConfig {
         queue_capacity: 8,
         max_session_threads: 2,
         snapshot_dir: std::env::temp_dir().join(format!("ixtuned-props-{tag}")),
+        ..ServiceConfig::default()
     }
 }
 
 fn strip_wall_clock(mut payload: ResultPayload) -> ResultPayload {
     payload.telemetry.wall_clock_ms = 0.0;
+    // Warm-store provenance is execution detail too: a concurrent session
+    // over the same workload may have seeded the store mid-run.
+    payload.telemetry.warm_hits = 0;
+    payload.telemetry.warm_seeded = 0;
     payload
 }
 

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
 # Run the derivation micro-benchmarks and write a machine-readable
-# snapshot of median ns-per-op to BENCH_3.json (or $1 if given).
+# snapshot of median ns-per-op to BENCH_4.json (or $1 if given).
 #
 # The vendored criterion stand-in appends one JSON line per benchmark to
 # $CRITERION_SNAPSHOT; this script collects the lines and adds the
 # headline ratios: the greedy-step speedup of the incremental
 # DerivationState probe over the full derived_workload rescan it
 # replaced, the further speedup of the frozen-cache parallel kernel over
-# the incremental probe, and the root-parallel MCTS session ratio.
+# the incremental probe, the root-parallel MCTS session ratio, and the
+# warm-store ratios (cold-start session over the identical session
+# seeded from a warm snapshot).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_3.json}"
+out="${1:-BENCH_4.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -33,10 +35,18 @@ for universe in (64, 256, 1024):
     par = medians.get(f"greedy-step/parallel-u{universe}")
     if inc and par:
         doc[f"greedy_step_parallel_u{universe}_speedup"] = round(inc / par, 2)
+for budget in (256, 1024):
+    cold = medians.get(f"greedy-step/coldstart-u{budget}")
+    warm = medians.get(f"greedy-step/warm-u{budget}")
+    if cold and warm:
+        doc[f"warm_session_u{budget}_speedup"] = round(cold / warm, 2)
 serial = medians.get("mcts/episodes-serial")
 par = medians.get("mcts/episodes-parallel")
 if serial and par:
     doc["mcts_root_parallel_speedup"] = round(serial / par, 2)
+warm = medians.get("mcts/episodes-warm")
+if serial and warm:
+    doc["mcts_warm_session_speedup"] = round(serial / warm, 2)
 with open(sys.argv[2], "w") as f:
     json.dump(doc, f, indent=1, sort_keys=True)
     f.write("\n")
