@@ -29,6 +29,51 @@ fn primed_client(session: &Session, entries: usize) -> MeteredWhatIf<'_> {
     mw
 }
 
+/// Raw what-if evaluations: the compiled per-query plan-table kernel
+/// versus the interpreted reference model it replaced. Each iteration
+/// prices the same 64-cell batch of (query, configuration) pairs, so the
+/// two series differ only in the evaluation path and their ratio is the
+/// kernel speedup.
+fn bench_whatif(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whatif");
+    group.sample_size(30);
+
+    let mut session = Session::build(BenchmarkKind::TpcDs);
+    session.opt.set_compiled(true);
+    let n = session.cands.len();
+    let m = session.opt.num_queries();
+    let mut rng = seeded(13);
+    let cells: Vec<(QueryId, IndexSet)> = (0..64)
+        .map(|_| {
+            let q = QueryId::from(rng.random_range(0..m));
+            let size = rng.random_range(1..4usize);
+            let cfg =
+                IndexSet::from_ids(n, (0..size).map(|_| IndexId::from(rng.random_range(0..n))));
+            (q, cfg)
+        })
+        .collect();
+
+    group.bench_function("compiled-call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (q, cfg) in &cells {
+                acc += session.opt.what_if_cost(*q, cfg);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("interpreted-call", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (q, cfg) in &cells {
+                acc += session.opt.interpreted_what_if_cost(*q, cfg);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
 fn bench_derivation(c: &mut Criterion) {
     let mut group = c.benchmark_group("derivation");
     group.sample_size(30);
@@ -265,6 +310,7 @@ fn bench_rollout(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_whatif,
     bench_derivation,
     bench_greedy_step,
     bench_warm_sessions,

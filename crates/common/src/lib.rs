@@ -16,9 +16,11 @@
 pub mod bitset;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod rng;
 pub mod sync;
 
 pub use bitset::IndexSet;
 pub use error::{Error, Result};
 pub use ids::{ColumnId, ColumnRef, IndexId, QueryId, TableId};
+pub use intern::{ConfigInterner, IdCostMap};

@@ -27,9 +27,8 @@
 //!
 //! [`freeze`]: WhatIfCache::freeze
 
-use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_common::{ConfigInterner, IdCostMap, IndexId, IndexSet, QueryId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Number of query shards (capped by the query count).
@@ -47,10 +46,17 @@ struct CacheShard {
     /// `multi[lq]` of entries containing index `i`. Because `multi` is
     /// sorted by cost, position order *is* cost order, so
     /// [`WhatIfCache::derived_with_extra`] can scan only the entries that
-    /// mention `extra` and still early-exit on cost.
+    /// mention `extra` and still early-exit on cost. Rows are lazily
+    /// sized: a row with no multi entries stays an empty `Vec` instead of
+    /// holding `universe` empty postings lists — materializing
+    /// `rows × universe` headers up front dominates cache construction on
+    /// large workloads.
     postings: Vec<Vec<Vec<u32>>>,
-    /// Exact lookup across all entry sizes.
-    exact: Vec<HashMap<IndexSet, f64>>,
+    /// Exact multi-entry lookup, keyed by the cache-level interned id of
+    /// the configuration (see [`WhatIfCache::interner`]) — an integer
+    /// open-addressed probe instead of hashing a block bitset per lookup.
+    /// Singletons have their own dense row and never enter this table.
+    exact: Vec<IdCostMap>,
     /// Largest multi-entry size stored per local row: configurations
     /// bigger than this can skip the exact-map probe entirely, which
     /// avoids hashing wide bitsets in greedy inner loops.
@@ -68,8 +74,8 @@ impl CacheShard {
         Self {
             singleton: vec![vec![f64::NAN; universe]; rows],
             multi: vec![Vec::new(); rows],
-            postings: vec![vec![Vec::new(); universe]; rows],
-            exact: vec![HashMap::new(); rows],
+            postings: vec![Vec::new(); rows],
+            exact: vec![IdCostMap::new(); rows],
             max_multi_size: vec![0; rows],
             derivations: AtomicUsize::new(0),
         }
@@ -100,6 +106,16 @@ pub struct WhatIfCache {
     /// Query-sharded storage: query `q` lives in shard `q % shards.len()`
     /// at local row `q / shards.len()`.
     shards: Vec<CacheShard>,
+    /// Cache-level interner for multi-entry (len ≥ 2) configurations:
+    /// stable insertion-ordered `IndexSet → u32` ids shared by every
+    /// shard's `exact` table. Interning happens on the write path
+    /// (`&mut self`); the frozen read phase only resolves ids (`&self`),
+    /// so parallel scans stay lock-free.
+    interner: ConfigInterner,
+    /// Candidates with a known singleton cost for *any* query — one side
+    /// of the [`informed_candidates`](Self::informed_candidates) filter
+    /// that lets frozen scans skip candidates no stored entry can price.
+    singleton_any: IndexSet,
     /// Number of distinct (q, C) what-if results stored (excluding ∅).
     stored: usize,
     /// Publish-protocol latch: once set, the cache is in its read-only
@@ -115,6 +131,8 @@ impl Clone for WhatIfCache {
             empty: self.empty.clone(),
             empty_total: self.empty_total,
             shards: self.shards.clone(),
+            interner: self.interner.clone(),
+            singleton_any: self.singleton_any.clone(),
             stored: self.stored,
             frozen: AtomicBool::new(false),
         }
@@ -136,6 +154,8 @@ impl WhatIfCache {
             empty: empty_costs,
             empty_total,
             shards,
+            interner: ConfigInterner::new(),
+            singleton_any: IndexSet::empty(universe),
             stored: 0,
             frozen: AtomicBool::new(false),
         }
@@ -244,7 +264,9 @@ impl WhatIfCache {
         if config.len() > shard.max_multi_size[lq] {
             return None;
         }
-        shard.exact[lq].get(config).copied()
+        self.interner
+            .get(config)
+            .and_then(|id| shard.exact[lq].get(id))
     }
 
     /// Record a what-if result. Returns `true` if it was new.
@@ -274,16 +296,25 @@ impl WhatIfCache {
             "append to a frozen cache (write phase is over)"
         );
         let s = self.shards.len();
-        let (shard, lq) = (&mut self.shards[qi % s], qi / s);
+        let universe = self.universe;
         if config.len() == 1 {
+            let (shard, lq) = (&mut self.shards[qi % s], qi / s);
             let id = config.iter().next().unwrap();
             shard.singleton[lq][id.index()] = cost;
+            self.singleton_any.insert(id);
         } else {
-            shard.exact[lq].insert(config.clone(), cost);
+            let key = self.interner.intern(config);
+            let (shard, lq) = (&mut self.shards[qi % s], qi / s);
+            shard.exact[lq].insert(key, cost);
             let list = &mut shard.multi[lq];
             let pos = list.partition_point(|(_, c)| *c < cost);
             list.insert(pos, (config.clone(), cost));
             shard.max_multi_size[lq] = shard.max_multi_size[lq].max(config.len());
+            // First multi entry for this row: materialize its postings
+            // lists (rows start empty — see the field doc).
+            if shard.postings[lq].is_empty() {
+                shard.postings[lq].resize(universe, Vec::new());
+            }
             // Maintain the inverted postings: positions at or past the
             // insertion point shift by one (lists stay sorted), then the
             // new position joins each member's list. Puts are bounded by
@@ -324,11 +355,61 @@ impl WhatIfCache {
         shard.max_multi_size[lq]
     }
 
-    /// Exact-map probe only (no ∅/singleton fast paths) — the frozen-phase
-    /// kernel handles those cases itself from the dense row.
-    pub(crate) fn exact_get(&self, q: QueryId, config: &IndexSet) -> Option<f64> {
+    /// Interned id of a multi configuration, if any query ever stored it.
+    /// Scan kernels resolve the id once per candidate and then probe every
+    /// query's row by integer ([`exact_get_id`](Self::exact_get_id)),
+    /// instead of hashing the bitset per `(query, candidate)` cell.
+    pub(crate) fn interned_id(&self, config: &IndexSet) -> Option<u32> {
+        self.interner.get(config)
+    }
+
+    /// Exact-map probe by interned id (see [`interned_id`](Self::interned_id)).
+    #[inline]
+    pub(crate) fn exact_get_id(&self, q: QueryId, id: u32) -> Option<f64> {
         let (shard, lq) = self.slot(q.index());
-        shard.exact[lq].get(config).copied()
+        shard.exact[lq].get(id)
+    }
+
+    /// Number of distinct multi-entry configurations interned — surfaced
+    /// as a daemon gauge next to the warm-store interner size.
+    pub fn interned_configs(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Candidates that some stored entry can *inform* in an extension scan
+    /// of `config`: every `x` with a known singleton cost for any query,
+    /// plus every `x` credited by a multi entry whose members outside
+    /// `config` are exactly `{x}` (the only entries a postings walk for
+    /// `x` accepts, and the only way `C ∪ {x}` can be an exact hit). For
+    /// any other candidate, `d(q, C ∪ {x})` equals `d(q, C)` for *every*
+    /// query — bit for bit, probe for probe — so frozen scans can price
+    /// those candidates as the plain fold of the current per-query costs
+    /// without touching their cells.
+    pub(crate) fn informed_candidates(&self, config: &IndexSet) -> IndexSet {
+        let mut out = self.singleton_any.clone();
+        for shard in &self.shards {
+            for list in &shard.multi {
+                'entries: for (set, _) in list {
+                    let mut extra = usize::MAX;
+                    for (bi, (&eb, &cb)) in
+                        set.as_blocks().iter().zip(config.as_blocks()).enumerate()
+                    {
+                        let diff = eb & !cb;
+                        if diff == 0 {
+                            continue;
+                        }
+                        if extra != usize::MAX || diff & (diff - 1) != 0 {
+                            continue 'entries; // ≥ 2 members outside C
+                        }
+                        extra = bi * 64 + diff.trailing_zeros() as usize;
+                    }
+                    if extra != usize::MAX {
+                        out.insert(IndexId::from(extra));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Derived cost `d(q, C)` per Eq. 1 (general subsets).
@@ -436,8 +517,13 @@ impl WhatIfCache {
         if !s.is_nan() && s < best {
             best = s;
         }
+        let prow = &shard.postings[lq];
+        if prow.is_empty() {
+            // No multi entries for this row (postings never materialized).
+            return best;
+        }
         let list = &shard.multi[lq];
-        for &pos in &shard.postings[lq][extra.index()] {
+        for &pos in &prow[extra.index()] {
             let (set, cost) = &list[pos as usize];
             if *cost >= best {
                 break;
@@ -507,6 +593,7 @@ impl WhatIfCache {
                     return Err(format!("duplicate singleton {id} for query {qi}"));
                 }
                 *cell = cost;
+                cache.singleton_any.insert(IndexId::from(id as usize));
                 stored += 1;
             }
             let mut prev = f64::NEG_INFINITY;
@@ -518,11 +605,16 @@ impl WhatIfCache {
                     return Err(format!("multi entries out of cost order for query {qi}"));
                 }
                 prev = *cost;
-                if shard.exact[lq].insert(set.clone(), *cost).is_some() {
+                let key = cache.interner.intern(set);
+                let (shard, lq) = (&mut cache.shards[qi % num_shards], qi / num_shards);
+                if shard.exact[lq].insert(key, *cost).is_some() {
                     return Err(format!("duplicate multi entry for query {qi}"));
                 }
                 shard.multi[lq].push((set.clone(), *cost));
                 shard.max_multi_size[lq] = shard.max_multi_size[lq].max(set.len());
+                if shard.postings[lq].is_empty() {
+                    shard.postings[lq].resize(s.universe, Vec::new());
+                }
                 // Positions are appended in ascending order, so every
                 // postings list comes out sorted without shifting.
                 for id in set.iter() {

@@ -148,13 +148,25 @@ impl<'a> MeteredEval<'a> {
     }
 }
 
-/// [`greedy_enumerate_incremental`] with budget metering and parallel
-/// post-exhaustion steps: while budget remains (or the scan is too small
-/// to be worth fanning out) each step is the exact serial loop; once the
-/// meter is exhausted *at step start*, the cache is frozen and the step's
-/// candidate scan runs through [`frozen_argmin`], which is bit-identical
-/// to the serial scan by construction. Deciding at step start matters: a
-/// step that exhausts the budget midway keeps its serial FCFS semantics.
+/// [`greedy_enumerate_incremental`] with budget metering and batched
+/// post-exhaustion scanning: candidates are probed by the exact serial
+/// loop while budget remains, and the moment the meter is exhausted *at a
+/// candidate boundary* — whether at step start or midway through a step —
+/// the cache is frozen and the rest of the step's scan runs through
+/// [`frozen_argmin`], which is bit-identical to the serial scan by
+/// construction (values *and* hit/derivation telemetry). The candidate
+/// whose probe exhausts the budget keeps its serial FCFS semantics: the
+/// hand-off happens between candidates, never inside one. The freeze is
+/// permanently valid because cache inserts only happen through budgeted
+/// what-if calls, which an exhausted meter refuses.
+///
+/// The serial prefix and the kernel suffix are merged with strict `<`:
+/// serial positions precede kernel positions in pool order, so the merge
+/// keeps the first strict minimum — the serial argmin. The kernel runs
+/// even at `threads == 1` (it scans one chunk inline, no threads spawned):
+/// its query-major entry pass prices a whole candidate block per cached
+/// entry, which beats one postings walk per `(candidate, query)` cell
+/// before any parallelism. Tiny scans stay serial (`MIN_PARALLEL_WORK`).
 ///
 /// `stop` is polled once per enumeration step, *before* the candidate
 /// scan: an interrupted call therefore returns the configuration as of
@@ -190,32 +202,62 @@ pub(crate) fn greedy_enumerate_metered(
         }
         let step_t0 = obs.span_start();
         let filter = constraints.extension_filter(ctx, state.config());
-        let parallel = threads > 1
-            && mw.meter().exhausted()
-            && remaining.len() * state.queries().len() >= MIN_PARALLEL_WORK;
-        if parallel {
-            mw.freeze_cache();
-            admissible.clear();
-            admissible.extend(
-                remaining
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &id)| filter.admits(ctx, id))
-                    .map(|(pos, &id)| (pos, id)),
-            );
-            let fmode = mode.frozen();
-            let (best, hits) = frozen_argmin(
-                mw.cache(),
-                state.queries(),
-                state.per_query(),
-                state.config(),
-                &admissible,
-                fmode,
-                threads,
-                &obs,
-            );
-            mw.note_parallel_scan(hits);
-            match best {
+        let queries_n = state.queries().len();
+
+        // Serial prefix: exact FCFS probing until the meter is exhausted
+        // (possibly before the first candidate). `serial_best`'s per-query
+        // values sit in the derivation state's staged buffer.
+        let mut serial_best: Option<(usize, f64)> = None;
+        let mut kernel_best: Option<(usize, IndexId, f64)> = None;
+        let mut used_kernel = false;
+        for (pos, &id) in remaining.iter().enumerate() {
+            if mw.meter().exhausted() && (remaining.len() - pos) * queries_n >= MIN_PARALLEL_WORK {
+                // Kernel suffix: freeze and batch-price remaining[pos..].
+                mw.freeze_cache();
+                admissible.clear();
+                admissible.extend(
+                    remaining
+                        .iter()
+                        .enumerate()
+                        .skip(pos)
+                        .filter(|&(_, &id)| filter.admits(ctx, id))
+                        .map(|(p, &id)| (p, id)),
+                );
+                let (best, hits) = frozen_argmin(
+                    mw.cache(),
+                    state.queries(),
+                    state.per_query(),
+                    state.config(),
+                    &admissible,
+                    mode.frozen(),
+                    threads,
+                    &obs,
+                );
+                mw.note_parallel_scan(hits);
+                kernel_best = best;
+                used_kernel = true;
+                break;
+            }
+            if !filter.admits(ctx, id) {
+                continue;
+            }
+            let cost = state.probe_with(id, &mut |q, c, x, cur| mode.eval(mw, q, c, x, cur));
+            if serial_best.is_none_or(|(_, b)| cost < b) {
+                serial_best = Some((pos, cost));
+                state.stage_probe();
+            }
+        }
+
+        // Merge with strict `<`: every serial position precedes every
+        // kernel position, so a tie keeps the serial winner — the same
+        // first-strict-min the all-serial scan would pick.
+        let kernel_wins = match (serial_best, kernel_best) {
+            (Some((_, sc)), Some((_, _, kc))) => kc < sc,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if kernel_wins {
+            match kernel_best {
                 Some((pos, id, cost)) if cost < state.total() => {
                     let total = winner_values(
                         mw.cache(),
@@ -223,35 +265,24 @@ pub(crate) fn greedy_enumerate_metered(
                         state.per_query(),
                         state.config(),
                         id,
-                        fmode,
+                        mode.frozen(),
                         &mut winner_buf,
                     );
                     debug_assert_eq!(total.to_bits(), cost.to_bits());
                     remaining.swap_remove(pos);
                     state.commit_values(id, &winner_buf, cost);
-                    end_step_span(&obs, step_t0, state, id, true);
+                    end_step_span(&obs, step_t0, state, id, used_kernel);
                     mw.publish_obs();
                     publish_step(stop, mw, state, base_total);
                 }
                 _ => break,
             }
         } else {
-            let mut best: Option<(usize, f64)> = None;
-            for (pos, &id) in remaining.iter().enumerate() {
-                if !filter.admits(ctx, id) {
-                    continue;
-                }
-                let cost = state.probe_with(id, &mut |q, c, x, cur| mode.eval(mw, q, c, x, cur));
-                if best.is_none_or(|(_, b)| cost < b) {
-                    best = Some((pos, cost));
-                    state.stage_probe();
-                }
-            }
-            match best {
+            match serial_best {
                 Some((pos, cost)) if cost < state.total() => {
                     let id = remaining.swap_remove(pos);
                     state.commit_staged(id, cost);
-                    end_step_span(&obs, step_t0, state, id, false);
+                    end_step_span(&obs, step_t0, state, id, used_kernel);
                     mw.publish_obs();
                     publish_step(stop, mw, state, base_total);
                 }

@@ -129,10 +129,13 @@ fn tree_walk(
 /// [`DerivationState::commit_recompute`] — identical results to
 /// Algorithm 1 over `d(W, C)`, but linear per step.
 ///
-/// With `threads > 1` and enough work, each step's candidate scan runs
-/// through the frozen-cache kernel ([`frozen_argmin`] in `Derive` mode),
-/// which prices the same probes with the same telemetry and reduces to
-/// the same first-strict-min — the commit stays serial either way.
+/// Given enough work, each step's candidate scan runs through the
+/// frozen-cache kernel ([`frozen_argmin`] in `Derive` mode) — even at
+/// `threads == 1`, where it scans one chunk inline: the query-major entry
+/// pass prices a whole candidate block per cached entry, beating one
+/// postings walk per `(candidate, query)` cell before any parallelism.
+/// The kernel prices the same probes with the same telemetry and reduces
+/// to the same first-strict-min — the commit stays serial either way.
 fn best_greedy(
     ctx: &TuningContext<'_>,
     constraints: &Constraints,
@@ -145,8 +148,8 @@ fn best_greedy(
 
     while !remaining.is_empty() && state.config().len() < constraints.k {
         let filter = constraints.extension_filter(ctx, state.config());
-        let parallel = threads > 1 && remaining.len() * state.queries().len() >= MIN_PARALLEL_WORK;
-        let best: Option<(usize, f64)> = if parallel {
+        let batched = remaining.len() * state.queries().len() >= MIN_PARALLEL_WORK;
+        let best: Option<(usize, f64)> = if batched {
             // Extraction spends no budget, so the cache is read-only for
             // the rest of the session: latch it and fan the scan out.
             cache.freeze();

@@ -85,6 +85,24 @@ fn scan_chunk(
     let cfg_len = config.len() + 1;
     let mut hits = 0usize;
 
+    // Hoisted exact-probe keys: resolve the interned id of `C ∪ {x}` once
+    // per candidate (one bitset hash) instead of per `(query, candidate)`
+    // cell; per-query probes are then integer lookups. `None` = no query
+    // anywhere stored that configuration, so every probe would miss.
+    let cand_key: Vec<Option<u32>> = if cfg_len >= 2 && !matches!(mode, FrozenEval::Derive) {
+        chunk
+            .iter()
+            .map(|&(_, id)| {
+                cfg.insert(id);
+                let k = cache.interned_id(&cfg);
+                cfg.remove(id);
+                k
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     for (slot, &q) in queries.iter().enumerate() {
         let cur = per_query[slot];
         let singleton = cache.singleton_row(q);
@@ -129,7 +147,7 @@ fn scan_chunk(
                 }
                 best
             };
-            let fcfs = |cfg: &mut IndexSet, row_hits: &mut usize| -> f64 {
+            let fcfs = |row_hits: &mut usize| -> f64 {
                 // Replicate `cache.get(q, C ∪ {x})`:
                 let hit = if cfg_len == 1 {
                     let s = singleton[x];
@@ -137,10 +155,7 @@ fn scan_chunk(
                 } else if cfg_len > cache.max_multi_len(q) {
                     None
                 } else {
-                    cfg.insert(id);
-                    let h = cache.exact_get(q, cfg);
-                    cfg.remove(id);
-                    h
+                    cand_key[ci].and_then(|k| cache.exact_get_id(q, k))
                 };
                 match hit {
                     Some(c) => {
@@ -151,7 +166,7 @@ fn scan_chunk(
                 }
             };
             let v = match mode {
-                FrozenEval::Fcfs => fcfs(&mut cfg, &mut row_hits),
+                FrozenEval::Fcfs => fcfs(&mut row_hits),
                 FrozenEval::Atomic(pairs) => {
                     // Atomic configurations are singletons and listed
                     // (size-2) pairs, so larger scratch sets skip the probe.
@@ -164,7 +179,7 @@ fn scan_chunk(
                         }
                     };
                     if atomic {
-                        fcfs(&mut cfg, &mut row_hits)
+                        fcfs(&mut row_hits)
                     } else {
                         derive()
                     }
@@ -216,13 +231,45 @@ pub fn frozen_argmin(
     if admissible.is_empty() {
         return (None, 0);
     }
+    // Sparse pre-filter: candidates no stored entry can inform all price
+    // to exactly `cur` for every query, so their scan total is the plain
+    // ordered fold of `per_query` — identical for all of them. Only the
+    // informed candidates need their cells scanned; the uninformed block
+    // is represented by its earliest pool position (first-strict-min ties
+    // resolve by position) and its derivation counts are added in batch —
+    // the same counts, cell for cell, as scanning them would record (an
+    // uninformed cell can never be a cache hit).
+    let informed_set = cache.informed_candidates(config);
+    let mut informed: Vec<(usize, IndexId)> = Vec::with_capacity(admissible.len());
+    let mut uninformed_first: Option<(usize, IndexId)> = None;
+    let mut uninformed = 0usize;
+    for &(pos, id) in admissible {
+        if informed_set.contains(id) {
+            informed.push((pos, id));
+        } else {
+            if uninformed_first.is_none() {
+                uninformed_first = Some((pos, id));
+            }
+            uninformed += 1;
+        }
+    }
+    if uninformed > 0 {
+        for &q in queries {
+            cache.add_derivations(q, uninformed);
+        }
+    }
+    if informed.is_empty() {
+        // Every admissible candidate prices to the fold of `per_query`.
+        let total = fold_per_query(per_query);
+        return (uninformed_first.map(|(pos, id)| (pos, id, total)), 0);
+    }
     // Chunk per OS worker actually available, not per logical thread: the
     // entry pass is per-chunk overhead, and any contiguous ascending
     // chunking reduces to the same argmin, so fewer chunks on a narrow
     // host is free. (`workers <= 1` thus scans one chunk, serially.)
     let worker_cap = threads.max(1).min(available_parallelism()).max(1);
-    let chunk_size = admissible.len().div_ceil(worker_cap);
-    let chunks: Vec<&[(usize, IndexId)]> = admissible.chunks(chunk_size).collect();
+    let chunk_size = informed.len().div_ceil(worker_cap);
+    let chunks: Vec<&[(usize, IndexId)]> = informed.chunks(chunk_size).collect();
     let workers = worker_cap.min(chunks.len());
 
     // Spanned chunk scan: the timing wraps the pure kernel, so tracing can
@@ -294,7 +341,29 @@ pub fn frozen_argmin(
             }
         }
     }
+    // Fold the uninformed block back in: its candidates all total the
+    // per-query fold, so the serial argmin is "min value, earliest
+    // position among equals" across the informed best and the first
+    // uninformed position.
+    if let Some((upos, uid)) = uninformed_first {
+        let t = fold_per_query(per_query);
+        if best.is_none_or(|(b, bpos, _)| t < b || (t == b && upos < bpos)) {
+            best = Some((t, upos, uid));
+        }
+    }
     (best.map(|(t, pos, id)| (pos, id, t)), hits)
+}
+
+/// The serial scan's candidate total for a candidate no entry informs:
+/// `0.0 + v(q_0) + v(q_1) + …` with every `v(q) = per_query[q]` — the
+/// exact fold (order and bits) the per-cell loop would compute.
+#[inline]
+fn fold_per_query(per_query: &[f64]) -> f64 {
+    let mut total = 0.0f64;
+    for &v in per_query {
+        total += v;
+    }
+    total
 }
 
 /// Re-price the scan winner's per-query values (pushing them into `out`
@@ -313,6 +382,8 @@ pub fn winner_values(
     out.clear();
     let cfgx = config.with(winner);
     let cfg_len = cfgx.len();
+    // One interner resolution for the fixed winning configuration.
+    let key = (cfg_len >= 2).then(|| cache.interned_id(&cfgx)).flatten();
     let mut total = 0.0;
     for (i, &q) in queries.iter().enumerate() {
         let cur = per_query[i];
@@ -322,7 +393,7 @@ pub fn winner_values(
             } else if cfg_len > cache.max_multi_len(q) {
                 None
             } else {
-                cache.exact_get(q, &cfgx)
+                key.and_then(|k| cache.exact_get_id(q, k))
             }
         };
         let derive = || cache.derived_with_extra_uncounted(q, config, winner, cur);

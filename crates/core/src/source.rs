@@ -175,8 +175,11 @@ impl CostSource for ObservedSource<'_> {
     }
 
     fn observe(&self, q: QueryId, _config: &IndexSet, _cost: f64, elapsed_s: f64) {
-        self.obs
-            .observe_whatif_latency(elapsed_s, self.opt.call_latency_s(q));
+        self.obs.observe_whatif_latency(
+            elapsed_s,
+            self.opt.call_latency_s(q),
+            self.opt.compiled_enabled(),
+        );
     }
 
     fn obs(&self) -> Obs {
@@ -236,11 +239,20 @@ mod tests {
         let cost = src.cost(q, &cfg);
         src.observe(q, &cfg, cost, 0.001);
         let text = registry.render();
+        let kernel = if opt.compiled_enabled() {
+            "compiled"
+        } else {
+            "interpreted"
+        };
         assert!(
-            text.contains("ixtune_whatif_latency_seconds_count 1"),
+            text.contains(&format!(
+                "ixtune_whatif_latency_seconds_count{{kernel=\"{kernel}\"}} 1"
+            )),
             "{text}"
         );
-        assert!(text.contains("ixtune_whatif_sim_latency_seconds_count 1"));
+        assert!(text.contains(&format!(
+            "ixtune_whatif_sim_latency_seconds_count{{kernel=\"{kernel}\"}} 1"
+        )));
     }
 
     #[test]

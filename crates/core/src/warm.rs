@@ -33,16 +33,26 @@
 //!
 //! [`TuningResult`]: crate::tuner::TuningResult
 
-use ixtune_common::{IndexSet, QueryId};
+use ixtune_common::{ConfigInterner, IdCostMap, IndexSet, QueryId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// Immutable per-workload bundle of known `(query, config) → cost`
 /// entries. Cheap to share (`Arc`), never mutated after publication.
+///
+/// Configurations are stored once in a snapshot-owned [`ConfigInterner`];
+/// the per-query rows are open-addressed integer-keyed tables
+/// ([`IdCostMap`]) rather than `HashMap<IndexSet, f64>`. A lookup pays one
+/// FNV pass over the probed bitset to find its interned id, then one cheap
+/// integer probe per row — and a configuration shared by many queries is
+/// hashed against the snapshot once, not once per row.
 #[derive(Debug, Default)]
 pub struct WarmSnapshot {
-    /// `rows[q]` maps configurations to their what-if cost for query `q`.
-    rows: Vec<HashMap<IndexSet, f64>>,
+    /// Distinct configurations any row keys on, interned to dense ids.
+    configs: ConfigInterner,
+    /// `rows[q]` maps interned configuration ids to the what-if cost for
+    /// query `q`.
+    rows: Vec<IdCostMap>,
     /// Candidate-universe size the entries were computed against.
     universe: usize,
     entries: usize,
@@ -53,7 +63,8 @@ impl WarmSnapshot {
     /// `universe`-candidate universe.
     pub fn empty(num_queries: usize, universe: usize) -> Self {
         Self {
-            rows: (0..num_queries).map(|_| HashMap::new()).collect(),
+            configs: ConfigInterner::new(),
+            rows: (0..num_queries).map(|_| IdCostMap::new()).collect(),
             universe,
             entries: 0,
         }
@@ -62,7 +73,8 @@ impl WarmSnapshot {
     /// Stored cost of `(q, config)`, if a prior session computed it.
     #[inline]
     pub fn get(&self, q: QueryId, config: &IndexSet) -> Option<f64> {
-        self.rows.get(q.index())?.get(config).copied()
+        let id = self.configs.get(config)?;
+        self.rows.get(q.index())?.get(id)
     }
 
     pub fn num_queries(&self) -> usize {
@@ -78,19 +90,30 @@ impl WarmSnapshot {
         self.entries
     }
 
-    /// Estimated resident size: per-entry bitset blocks + cost + map
-    /// overhead. An estimate for eviction accounting, not an allocator
-    /// measurement.
+    /// Distinct configurations interned by this snapshot.
+    pub fn interned_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Estimated resident size: interned bitsets (stored once per distinct
+    /// configuration) + per-entry table slots + per-row overhead. An
+    /// estimate for eviction accounting, not an allocator measurement.
     pub fn bytes(&self) -> usize {
-        self.entries * entry_bytes(self.universe) + self.rows.len() * ROW_OVERHEAD
+        self.configs.len() * config_bytes(self.universe)
+            + self.entries * ENTRY_BYTES
+            + self.rows.len() * ROW_OVERHEAD
     }
 }
 
-/// Estimated bytes per stored entry: the configuration bitset's blocks,
-/// the `f64` cost, and hash-map slot overhead.
-fn entry_bytes(universe: usize) -> usize {
-    universe.div_ceil(64) * 8 + 8 + 40
+/// Estimated bytes per interned configuration: the bitset's blocks plus
+/// the interner's id-table slot (with load-factor headroom).
+fn config_bytes(universe: usize) -> usize {
+    universe.div_ceil(64) * 8 + 16
 }
+
+/// Estimated bytes per stored `(id, cost)` cell: one open-addressed slot
+/// (`u32` key padded beside an `f64`) with load-factor headroom.
+const ENTRY_BYTES: usize = 24;
 
 const ROW_OVERHEAD: usize = 48;
 
@@ -169,6 +192,8 @@ pub struct WarmStoreStats {
     pub workloads: usize,
     /// Total `(query, config) → cost` entries across snapshots.
     pub entries: usize,
+    /// Distinct interned configurations across snapshots.
+    pub interned_configs: usize,
     /// Estimated resident bytes.
     pub bytes: usize,
     /// Publication epoch: bumped once per absorbed snapshot.
@@ -273,6 +298,7 @@ impl WarmStore {
         // replaces it for future checkouts.
         let mut merged = match base {
             Some(s) => WarmSnapshot {
+                configs: s.configs.clone(),
                 rows: s.rows.clone(),
                 universe: s.universe,
                 entries: s.entries,
@@ -281,11 +307,13 @@ impl WarmStore {
         };
         let mut added = 0usize;
         for (q, config, cost) in ledger {
-            let Some(row) = merged.rows.get_mut(q.index()) else {
+            if q.index() >= merged.rows.len() {
                 continue;
-            };
-            if let std::collections::hash_map::Entry::Vacant(v) = row.entry(config) {
-                v.insert(cost);
+            }
+            let id = merged.configs.intern(&config);
+            // `IdCostMap::insert` keeps the first write, so duplicate
+            // cells leave the stored cost untouched.
+            if merged.rows[q.index()].insert(id, cost).is_none() {
                 added += 1;
             }
         }
@@ -324,6 +352,11 @@ impl WarmStore {
         WarmStoreStats {
             workloads: inner.map.len(),
             entries: inner.map.values().map(|e| e.snapshot.entries()).sum(),
+            interned_configs: inner
+                .map
+                .values()
+                .map(|e| e.snapshot.interned_configs())
+                .sum(),
             bytes: inner.bytes,
             epoch: inner.epoch,
             evictions: inner.evictions,
@@ -375,7 +408,10 @@ mod tests {
             7,
             3,
             16,
-            vec![(QueryId::new(0), c.clone(), 42.5), (QueryId::new(2), c.clone(), 7.25)],
+            vec![
+                (QueryId::new(0), c.clone(), 42.5),
+                (QueryId::new(2), c.clone(), 7.25),
+            ],
         );
         assert_eq!(added, 2);
         let snap = store.checkout("tpch", 7, 3, 16);
@@ -396,7 +432,10 @@ mod tests {
             (QueryId::new(0), c.clone(), 5.0),
         ];
         assert_eq!(store.absorb("w", 1, 1, 16, ledger), 1);
-        assert_eq!(store.absorb("w", 1, 1, 16, vec![(QueryId::new(0), c, 5.0)]), 0);
+        assert_eq!(
+            store.absorb("w", 1, 1, 16, vec![(QueryId::new(0), c, 5.0)]),
+            0
+        );
         assert_eq!(store.stats().entries, 1);
     }
 
@@ -419,7 +458,7 @@ mod tests {
     fn lru_eviction_fires_on_the_byte_bound() {
         // Budget for roughly one snapshot: absorbing a second workload
         // evicts the least-recently-touched first.
-        let one_entry = entry_bytes(16) + ROW_OVERHEAD;
+        let one_entry = config_bytes(16) + ENTRY_BYTES + ROW_OVERHEAD;
         let store = WarmStore::new(one_entry + one_entry / 2);
         let c = cfg(16, &[1]);
         store.absorb("a", 1, 1, 16, vec![(QueryId::new(0), c.clone(), 1.0)]);
@@ -436,7 +475,7 @@ mod tests {
 
     #[test]
     fn checkout_touch_protects_hot_workloads() {
-        let one = entry_bytes(16) + ROW_OVERHEAD;
+        let one = config_bytes(16) + ENTRY_BYTES + ROW_OVERHEAD;
         let store = WarmStore::new(2 * one + one / 2);
         let c = cfg(16, &[1]);
         store.absorb("a", 1, 1, 16, vec![(QueryId::new(0), c.clone(), 1.0)]);

@@ -1,0 +1,199 @@
+//! Bit-identity property tests for the compiled what-if kernel.
+//!
+//! DESIGN.md §9 promises that the compiled per-query plan tables are a
+//! pure performance change: every cost the compiled kernel produces is
+//! bit-for-bit the value the interpreted reference model computes,
+//! including the deterministic `quirk_eps` jitter (which hashes the scan
+//! slots and the accumulated total, so any float-op reordering would show
+//! up immediately). These tests force the kernel on and off explicitly
+//! (so they hold regardless of the `IXTUNE_COMPILED` environment), across
+//! synthetic instances, all five paper benchmark instances, quirk on/off,
+//! all five enumerators, and serial/parallel session threads.
+
+use ixtune_candidates::{generate_default, CandidateSet};
+use ixtune_common::{IndexId, IndexSet, QueryId};
+use ixtune_core::prelude::*;
+use ixtune_optimizer::{CostModel, SimulatedOptimizer, WhatIfOptimizer};
+use ixtune_workload::gen::BenchmarkKind;
+use proptest::prelude::*;
+
+fn model(quirk: bool) -> CostModel {
+    let mut m = CostModel::default();
+    if quirk {
+        m.quirk_eps = 0.05;
+    }
+    m
+}
+
+fn context(seed: u64, quirk: bool) -> (SimulatedOptimizer, CandidateSet) {
+    let inst = ixtune_workload::gen::synth::instance(seed);
+    let cands = generate_default(&inst);
+    let opt = SimulatedOptimizer::new(inst, cands.indexes.clone(), model(quirk));
+    (opt, cands)
+}
+
+fn tuners() -> Vec<(&'static str, Box<dyn Tuner>)> {
+    vec![
+        ("vanilla", Box::new(VanillaGreedy)),
+        ("two-phase", Box::new(TwoPhaseGreedy)),
+        ("autoadmin", Box::new(AutoAdminGreedy::default())),
+        ("mcts", Box::new(MctsTuner::default())),
+        (
+            "mcts-root4",
+            Box::new(MctsTuner::default().with_root_workers(4)),
+        ),
+    ]
+}
+
+/// Zero the counters that record *how* the session executed rather than
+/// what it computed. The kernel choice is pure evaluation speed, so
+/// everything else — including `derivations` — must match exactly.
+fn strip_execution(mut t: SessionTelemetry) -> SessionTelemetry {
+    t.session_threads = 0;
+    t.parallel_scans = 0;
+    t.wall_clock_ms = 0.0;
+    t.warm_hits = 0;
+    t.warm_seeded = 0;
+    t
+}
+
+fn prop_identical(
+    name: &str,
+    compiled: &TuningResult,
+    interp: &TuningResult,
+) -> Result<(), TestCaseError> {
+    let _ = name;
+    prop_assert_eq!(&compiled.config, &interp.config);
+    prop_assert_eq!(compiled.calls_used, interp.calls_used);
+    prop_assert_eq!(compiled.improvement.to_bits(), interp.improvement.to_bits());
+    prop_assert_eq!(compiled.layout.cells(), interp.layout.cells());
+    prop_assert_eq!(
+        strip_execution(compiled.telemetry),
+        strip_execution(interp.telemetry)
+    );
+    Ok(())
+}
+
+/// A small deterministic family of configurations over an `n`-candidate
+/// universe: empty, singletons, pairs, and triples spread by a fixed
+/// stride.
+fn config_sweep(n: usize, count: usize) -> Vec<IndexSet> {
+    (0..count)
+        .map(|i| {
+            IndexSet::from_ids(
+                n,
+                (0..i % 4).map(move |j| IndexId::from((i * 31 + j * 17 + 1) % n)),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case runs 5 enumerators x compiled+interpreted sessions.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whole tuning sessions are bit-identical between the compiled
+    /// kernel and the interpreted reference model, for every enumerator
+    /// and for serial and parallel session threads.
+    #[test]
+    fn compiled_kernel_never_changes_the_result(
+        inst_seed in 0u64..200,
+        seed in 0u64..16,
+        k in 2usize..5,
+        budget in 10usize..40,
+        thread_choice in 0usize..2,
+        quirk in any::<bool>(),
+    ) {
+        let threads = [1usize, 4][thread_choice];
+        let (mut compiled_opt, cands) = context(inst_seed, quirk);
+        compiled_opt.set_compiled(true);
+        let (mut interp_opt, _) = context(inst_seed, quirk);
+        interp_opt.set_compiled(false);
+        prop_assert!(compiled_opt.compiled_enabled());
+        prop_assert!(!interp_opt.compiled_enabled());
+        prop_assert_eq!(
+            compiled_opt.compiled_query_count(),
+            WhatIfOptimizer::num_queries(&compiled_opt)
+        );
+        prop_assert_eq!(interp_opt.compiled_query_count(), 0);
+        let req = TuningRequest::cardinality(k, budget)
+            .with_seed(seed)
+            .with_session_threads(threads);
+        for (name, tuner) in &tuners() {
+            let c = tuner.tune(&TuningContext::new(&compiled_opt, &cands), &req);
+            let i = tuner.tune(&TuningContext::new(&interp_opt, &cands), &req);
+            prop_identical(name, &c, &i)?;
+        }
+        prop_assert!(
+            compiled_opt.compiled_calls_served() > 0,
+            "sessions actually exercised the kernel"
+        );
+    }
+
+    /// Individual what-if costs match the interpreted oracle bit for bit
+    /// on arbitrary (query, configuration) cells.
+    #[test]
+    fn compiled_costs_are_bit_identical(
+        inst_seed in 0u64..300,
+        quirk in any::<bool>(),
+        picks in proptest::collection::vec((0usize..4096, 0usize..1024), 1..40),
+    ) {
+        let (mut opt, _) = context(inst_seed, quirk);
+        opt.set_compiled(true);
+        let n = WhatIfOptimizer::num_candidates(&opt);
+        let m = WhatIfOptimizer::num_queries(&opt);
+        for (ci, qi) in picks {
+            let cfg = IndexSet::from_ids(
+                n,
+                (0..ci % 4).map(|j| IndexId::from((ci * 31 + j * 17 + 1) % n)),
+            );
+            let q = QueryId::from(qi % m);
+            let got = opt.what_if_cost(q, &cfg);
+            let want = opt.interpreted_what_if_cost(q, &cfg);
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}
+
+/// Every paper benchmark instance, quirk on and off: a deterministic
+/// sweep of configuration cells plus one greedy session per instance,
+/// compiled versus interpreted.
+#[test]
+fn benchmark_instances_compile_bit_identically() {
+    for kind in BenchmarkKind::ALL {
+        for quirk in [false, true] {
+            let inst = kind.generate();
+            let cands = generate_default(&inst);
+            let mut opt =
+                SimulatedOptimizer::new(inst.clone(), cands.indexes.clone(), model(quirk));
+            opt.set_compiled(true);
+            let n = cands.len();
+            let m = WhatIfOptimizer::num_queries(&opt);
+            for cfg in config_sweep(n, 64) {
+                for qi in 0..m.min(10) {
+                    let q = QueryId::from(qi);
+                    let got = opt.what_if_cost(q, &cfg);
+                    let want = opt.interpreted_what_if_cost(q, &cfg);
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "{kind:?} quirk={quirk} q={qi}: compiled {got} vs interpreted {want}"
+                    );
+                }
+            }
+
+            // One full greedy session per instance: the kernel choice must
+            // not change the recommendation or any result-level counter.
+            let mut interp = SimulatedOptimizer::new(inst, cands.indexes.clone(), model(quirk));
+            interp.set_compiled(false);
+            let req = TuningRequest::cardinality(4, 30).with_seed(7);
+            let c = VanillaGreedy.tune(&TuningContext::new(&opt, &cands), &req);
+            let i = VanillaGreedy.tune(&TuningContext::new(&interp, &cands), &req);
+            assert_eq!(c.config, i.config, "{kind:?} quirk={quirk}");
+            assert_eq!(c.calls_used, i.calls_used);
+            assert_eq!(c.improvement.to_bits(), i.improvement.to_bits());
+            assert_eq!(c.layout.cells(), i.layout.cells());
+            assert_eq!(strip_execution(c.telemetry), strip_execution(i.telemetry));
+        }
+    }
+}

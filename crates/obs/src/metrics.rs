@@ -229,8 +229,7 @@ impl MetricsRegistry {
         for (name, fam) in fams.iter() {
             let _ = writeln!(out, "# HELP {name} {}", fam.help);
             let _ = writeln!(out, "# TYPE {name} {}", fam.kind);
-            let mut series: Vec<&(Vec<(String, String)>, Instrument)> =
-                fam.series.iter().collect();
+            let mut series: Vec<&(Vec<(String, String)>, Instrument)> = fam.series.iter().collect();
             series.sort_by(|(a, _), (b, _)| a.cmp(b));
             for (labels, inst) in series {
                 match inst {

@@ -84,11 +84,157 @@ struct Access {
     rows_out: f64,
 }
 
+/// Configuration-independent context of one `(query, slot)` pair: table
+/// cardinality, post-filter output cardinality, and the column sets that
+/// decide seekability/covering. Shared between the interpreted visitor
+/// path ([`CostModel::query_cost_with`]) and the compiled kernel
+/// (`compiled.rs`), so both price an index through the *same* arithmetic.
+pub(crate) struct SlotCtx {
+    pub(crate) rows: f64,
+    pub(crate) rows_out: f64,
+    eq_cols: BTreeSet<ColumnId>,
+    range_cols: BTreeSet<ColumnId>,
+    referenced: BTreeSet<ColumnId>,
+}
+
 impl CostModel {
     /// Heap pages of a table.
     fn heap_pages(&self, schema: &Schema, slot_table: ixtune_common::TableId) -> f64 {
         let t = schema.table(slot_table);
         (t.size_bytes() as f64 / PAGE_BYTES as f64).max(1.0)
+    }
+
+    /// Build the configuration-independent per-slot context.
+    pub(crate) fn slot_ctx(&self, schema: &Schema, q: &Query, slot: ScanSlot) -> SlotCtx {
+        let table = schema.table(q.table_of(slot));
+        let rows = table.rows as f64;
+        let full_sel = q.scan_selectivity(slot);
+        let rows_out = (rows * full_sel).max(1.0);
+        let referenced: BTreeSet<ColumnId> = q.referenced_columns(slot);
+        let eq_cols: BTreeSet<ColumnId> = q
+            .filters_on(slot)
+            .filter(|f| f.kind == FilterKind::Equality)
+            .map(|f| f.col.column)
+            .collect();
+        let range_cols: BTreeSet<ColumnId> = q
+            .filters_on(slot)
+            .filter(|f| matches!(f.kind, FilterKind::Range | FilterKind::Like))
+            .map(|f| f.col.column)
+            .collect();
+        SlotCtx {
+            rows,
+            rows_out,
+            eq_cols,
+            range_cols,
+            referenced,
+        }
+    }
+
+    /// Heap-scan cost of `slot` (always available when no order is forced).
+    pub(crate) fn heap_scan_cost(
+        &self,
+        schema: &Schema,
+        q: &Query,
+        slot: ScanSlot,
+        ctx: &SlotCtx,
+    ) -> f64 {
+        self.heap_pages(schema, q.table_of(slot)) * self.page_io + ctx.rows * self.row_cpu
+    }
+
+    /// Access cost `idx` contributes on `slot`, or `None` when the index
+    /// offers no admissible path there (it then takes no part in the
+    /// argmin). This is the one place a single index is priced; the
+    /// interpreted fold and the compiled access tables both call it.
+    pub(crate) fn index_access_cost(
+        &self,
+        schema: &Schema,
+        q: &Query,
+        slot: ScanSlot,
+        ctx: &SlotCtx,
+        idx: &IndexDef,
+        require_order: &[ColumnId],
+    ) -> Option<f64> {
+        if !require_order.is_empty() {
+            // Order-providing: required columns must be the leading keys
+            // in order.
+            if idx.keys.len() < require_order.len()
+                || idx.keys[..require_order.len()] != *require_order
+            {
+                return None;
+            }
+        }
+        let sel_of = |col: ColumnId, kind_eq: bool| -> f64 {
+            q.filters_on(slot)
+                .filter(|f| {
+                    f.col.column == col
+                        && (f.kind == FilterKind::Equality) == kind_eq
+                        && f.kind != FilterKind::Residual
+                })
+                .map(|f| f.selectivity)
+                .product()
+        };
+        // Seek-prefix matching: consume equality keys, then at most one
+        // range key.
+        let mut seek_sel = 1.0f64;
+        let mut matched_any = false;
+        for &key in &idx.keys {
+            if ctx.eq_cols.contains(&key) {
+                seek_sel *= sel_of(key, true);
+                matched_any = true;
+            } else if ctx.range_cols.contains(&key) {
+                seek_sel *= sel_of(key, false);
+                matched_any = true;
+                break;
+            } else {
+                break;
+            }
+        }
+        let covering = idx.covers(ctx.referenced.iter());
+        let idx_width = idx.row_width(schema) as f64;
+        if matched_any {
+            let fetch_rows = (ctx.rows * seek_sel).max(1.0);
+            let leaf_pages_touched = (fetch_rows * idx_width / PAGE_BYTES as f64).max(1.0);
+            let mut cost =
+                self.seek_descend + leaf_pages_touched * self.page_io + fetch_rows * self.row_cpu;
+            if !covering {
+                cost += fetch_rows * self.rid_lookup;
+            }
+            Some(cost)
+        } else if covering {
+            // Index-only scan: narrower than the heap.
+            let idx_pages = (ctx.rows * idx_width / PAGE_BYTES as f64).max(1.0);
+            Some(idx_pages * self.page_io + ctx.rows * self.row_cpu)
+        } else if !require_order.is_empty() {
+            // Forced ordered scan of a non-covering index: every row
+            // needs a lookup; usually dominated but keeps the option set
+            // complete.
+            let idx_pages = (ctx.rows * idx_width / PAGE_BYTES as f64).max(1.0);
+            Some(idx_pages * self.page_io + ctx.rows * (self.row_cpu + self.rid_lookup))
+        } else {
+            None
+        }
+    }
+
+    /// Per-probe cost of an index-nested-loop probe into `idx` on `slot`
+    /// via leading join key `lead`. Shared with the compiled kernel.
+    pub(crate) fn inl_per_probe(
+        &self,
+        schema: &Schema,
+        q: &Query,
+        slot: ScanSlot,
+        idx: &IndexDef,
+        lead: ColumnId,
+    ) -> f64 {
+        let table = schema.table(q.table_of(slot));
+        let rows = table.rows as f64;
+        let ndv = table.col(lead).ndv.max(1) as f64;
+        let per_probe_rows = (rows / ndv).max(1e-3);
+        let covering = idx.covers(q.referenced_columns(slot).iter());
+        let mut per_probe = self.probe_descend + per_probe_rows * self.row_cpu;
+        if !covering {
+            per_probe += per_probe_rows * self.rid_lookup;
+        }
+        per_probe
     }
 
     /// Best access path for `slot` given the available indexes.
@@ -104,105 +250,28 @@ impl CostModel {
         avail: &SlotIndexVisitor<'_>,
         require_order: &[ColumnId],
     ) -> Option<Access> {
-        let table_id = q.table_of(slot);
-        let table = schema.table(table_id);
-        let rows = table.rows as f64;
-        let full_sel = q.scan_selectivity(slot);
-        let rows_out = (rows * full_sel).max(1.0);
-        let referenced: BTreeSet<ColumnId> = q.referenced_columns(slot);
-
+        let ctx = self.slot_ctx(schema, q, slot);
         let mut best: Option<f64> = None;
-
         if require_order.is_empty() {
             // Heap scan is always available.
-            let scan = self.heap_pages(schema, table_id) * self.page_io + rows * self.row_cpu;
-            best = Some(scan);
+            best = Some(self.heap_scan_cost(schema, q, slot, &ctx));
         }
-
-        // Filter columns by seekable kind.
-        let eq_cols: BTreeSet<ColumnId> = q
-            .filters_on(slot)
-            .filter(|f| f.kind == FilterKind::Equality)
-            .map(|f| f.col.column)
-            .collect();
-        let range_cols: BTreeSet<ColumnId> = q
-            .filters_on(slot)
-            .filter(|f| matches!(f.kind, FilterKind::Range | FilterKind::Like))
-            .map(|f| f.col.column)
-            .collect();
-        let sel_of = |col: ColumnId, kind_eq: bool| -> f64 {
-            q.filters_on(slot)
-                .filter(|f| {
-                    f.col.column == col
-                        && (f.kind == FilterKind::Equality) == kind_eq
-                        && f.kind != FilterKind::Residual
-                })
-                .map(|f| f.selectivity)
-                .product()
-        };
-
         avail(slot, &mut |idx: &IndexDef| {
-            debug_assert_eq!(idx.table, table_id);
-            let mut consider = |c: f64| {
+            debug_assert_eq!(idx.table, q.table_of(slot));
+            if let Some(c) = self.index_access_cost(schema, q, slot, &ctx, idx, require_order) {
                 if best.is_none_or(|b| c < b) {
                     best = Some(c);
                 }
-            };
-            if !require_order.is_empty() {
-                // Order-providing: required columns must be the leading keys
-                // in order.
-                if idx.keys.len() < require_order.len()
-                    || idx.keys[..require_order.len()] != *require_order
-                {
-                    return;
-                }
-            }
-            // Seek-prefix matching: consume equality keys, then at most one
-            // range key.
-            let mut seek_sel = 1.0f64;
-            let mut matched_any = false;
-            for &key in &idx.keys {
-                if eq_cols.contains(&key) {
-                    seek_sel *= sel_of(key, true);
-                    matched_any = true;
-                } else if range_cols.contains(&key) {
-                    seek_sel *= sel_of(key, false);
-                    matched_any = true;
-                    break;
-                } else {
-                    break;
-                }
-            }
-            let covering = idx.covers(referenced.iter());
-            let idx_width = idx.row_width(schema) as f64;
-            if matched_any {
-                let fetch_rows = (rows * seek_sel).max(1.0);
-                let leaf_pages_touched = (fetch_rows * idx_width / PAGE_BYTES as f64).max(1.0);
-                let mut cost = self.seek_descend
-                    + leaf_pages_touched * self.page_io
-                    + fetch_rows * self.row_cpu;
-                if !covering {
-                    cost += fetch_rows * self.rid_lookup;
-                }
-                consider(cost);
-            } else if covering {
-                // Index-only scan: narrower than the heap.
-                let idx_pages = (rows * idx_width / PAGE_BYTES as f64).max(1.0);
-                consider(idx_pages * self.page_io + rows * self.row_cpu);
-            } else if !require_order.is_empty() {
-                // Forced ordered scan of a non-covering index: every row
-                // needs a lookup; usually dominated but keeps the option set
-                // complete.
-                let idx_pages = (rows * idx_width / PAGE_BYTES as f64).max(1.0);
-                consider(idx_pages * self.page_io + rows * (self.row_cpu + self.rid_lookup));
             }
         });
-
-        best.map(|cost| Access { cost, rows_out })
+        best.map(|cost| Access {
+            cost,
+            rows_out: ctx.rows_out,
+        })
     }
 
     /// Join-graph connected components, each as slot list in scan order.
-    fn components(&self, q: &Query) -> Vec<Vec<ScanSlot>> {
+    pub(crate) fn components(&self, q: &Query) -> Vec<Vec<ScanSlot>> {
         let n = q.num_scans();
         let mut parent: Vec<usize> = (0..n).collect();
         fn find(parent: &mut Vec<usize>, x: usize) -> usize {
@@ -284,7 +353,6 @@ impl CostModel {
                 .unwrap_or(0);
             let slot = remaining.remove(pos);
             let table = schema.table(q.table_of(slot));
-            let rows = table.rows as f64;
 
             // Edges linking `slot` to the placed prefix, as (inner column,
             // inner-side ndv).
@@ -318,13 +386,7 @@ impl CostModel {
                     if !edges.contains(&lead) {
                         return;
                     }
-                    let ndv = table.col(lead).ndv.max(1) as f64;
-                    let per_probe_rows = (rows / ndv).max(1e-3);
-                    let covering = idx.covers(q.referenced_columns(slot).iter());
-                    let mut per_probe = self.probe_descend + per_probe_rows * self.row_cpu;
-                    if !covering {
-                        per_probe += per_probe_rows * self.rid_lookup;
-                    }
+                    let per_probe = self.inl_per_probe(schema, q, slot, idx, lead);
                     inl_cost = inl_cost.min(card * per_probe);
                 });
             }
@@ -409,12 +471,15 @@ impl CostModel {
             .min_by(|a, b| a.0.total_cmp(&b.0))
     }
 
-    /// What-if cost of `q` under the available indexes per slot.
+    /// Test-oracle wrapper over [`query_cost_with`](Self::query_cost_with)
+    /// that accepts an allocating `-> Vec<&IndexDef>` closure.
     ///
-    /// `avail` maps each scan slot to the candidate indexes (on that slot's
-    /// table) present in the hypothetical configuration. Convenience
-    /// wrapper over [`query_cost_with`](Self::query_cost_with) that accepts
-    /// an allocating `-> Vec<&IndexDef>` closure.
+    /// Not part of the hot path: every production caller goes through the
+    /// visitor form (or the compiled kernel, which is proptest-pinned to
+    /// it); this wrapper exists so tests can state configurations as plain
+    /// `Vec`s. Kept callable from integration tests/benches, hence not
+    /// `#[cfg(test)]` — but do not introduce new non-test callers.
+    #[doc(hidden)]
     pub fn query_cost<'a>(
         &self,
         schema: &Schema,

@@ -41,11 +41,13 @@
 //! assert!(opt.what_if_cost(q, &with_index) < opt.what_if_cost(q, &empty));
 //! ```
 
+pub mod compiled;
 pub mod cost;
 pub mod index;
 pub mod latency;
 pub mod whatif;
 
+pub use compiled::CompiledWorkload;
 pub use cost::{CostModel, SlotIndexVisitor};
 pub use index::{IndexDef, PAGE_BYTES};
 pub use latency::{LatencyModel, TuningClock};

@@ -7,12 +7,34 @@
 //! [`CostModel`], playing the role SQL Server's
 //! hypothetical-index interface plays in the paper.
 
+use crate::compiled::{CompiledWorkload, Scratch};
 use crate::cost::CostModel;
 use crate::index::IndexDef;
 use crate::latency::LatencyModel;
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use ixtune_workload::{BenchmarkInstance, Query, Schema, Workload};
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    /// Reusable compiled-kernel evaluation buffers. Thread-local so
+    /// `what_if_cost` stays `&self` and race-free under intra-session
+    /// parallelism; sized once per thread and allocation-free after.
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// `IXTUNE_COMPILED=0|false|off` disables the compiled kernel (the
+/// interpreted path then serves every call). Anything else — including
+/// the variable being unset — enables it.
+fn env_compiled_enabled() -> bool {
+    match std::env::var("IXTUNE_COMPILED") {
+        Ok(v) => !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "0" | "false" | "off"
+        ),
+        Err(_) => true,
+    }
+}
 
 /// The what-if API surface a tuner sees.
 pub trait WhatIfOptimizer: Sync {
@@ -46,6 +68,9 @@ pub struct SimulatedOptimizer {
     model: CostModel,
     latency: LatencyModel,
     calls: AtomicU64,
+    /// Compiled what-if kernel (bit-identical to the interpreted path).
+    /// `None` when disabled via `IXTUNE_COMPILED=0` or `set_compiled`.
+    compiled: Option<CompiledWorkload>,
 }
 
 impl SimulatedOptimizer {
@@ -71,7 +96,7 @@ impl SimulatedOptimizer {
             })
             .collect();
         let cand_sizes = candidates.iter().map(|c| c.size_bytes(&schema)).collect();
-        Self {
+        let mut opt = Self {
             schema,
             workload,
             candidates,
@@ -80,7 +105,70 @@ impl SimulatedOptimizer {
             model,
             latency: LatencyModel::default(),
             calls: AtomicU64::new(0),
+            compiled: None,
+        };
+        opt.set_compiled(env_compiled_enabled());
+        opt
+    }
+
+    /// Enable or disable the compiled kernel (tests/benches; production
+    /// follows `IXTUNE_COMPILED` at construction). Enabling recompiles
+    /// from the retained schema/workload/candidates.
+    pub fn set_compiled(&mut self, on: bool) {
+        self.compiled = on.then(|| {
+            CompiledWorkload::build(
+                &self.schema,
+                &self.workload,
+                &self.candidates,
+                &self.per_query_slot,
+                &self.model,
+            )
+        });
+    }
+
+    /// Whether what-if calls are served by the compiled kernel.
+    pub fn compiled_enabled(&self) -> bool {
+        self.compiled.is_some()
+    }
+
+    /// Number of queries compiled into plan tables (0 when the kernel is
+    /// disabled) — feeds the `ixtune_compiled_queries_total` counter.
+    pub fn compiled_query_count(&self) -> usize {
+        self.compiled
+            .as_ref()
+            .map_or(0, CompiledWorkload::num_queries)
+    }
+
+    /// Calls served by the compiled kernel (all of them or none: the
+    /// kernel is selected at construction, not per call).
+    pub fn compiled_calls_served(&self) -> u64 {
+        if self.compiled.is_some() {
+            self.calls.load(Ordering::Relaxed)
+        } else {
+            0
         }
+    }
+
+    /// Interpreted-path cost — the test oracle the compiled kernel is
+    /// pinned against. Does **not** count as a served call and ignores
+    /// the compiled kernel even when enabled.
+    pub fn interpreted_what_if_cost(&self, q: QueryId, config: &IndexSet) -> f64 {
+        self.interpreted_cost(q, config)
+    }
+
+    fn interpreted_cost(&self, q: QueryId, config: &IndexSet) -> f64 {
+        let query = self.workload.query(q);
+        let slots = &self.per_query_slot[q.index()];
+        // Visitor form: walk the precomputed slot postings directly instead
+        // of materializing a `Vec<&IndexDef>` per slot per call.
+        self.model
+            .query_cost_with(&self.schema, query, &|slot, sink| {
+                for id in &slots[slot.index()] {
+                    if config.contains(*id) {
+                        sink(&self.candidates[id.index()]);
+                    }
+                }
+            })
     }
 
     /// Modeled wall-clock of one what-if call for query `q` — what a real
@@ -242,18 +330,10 @@ impl WhatIfOptimizer for SimulatedOptimizer {
 
     fn what_if_cost(&self, q: QueryId, config: &IndexSet) -> f64 {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        let query = self.workload.query(q);
-        let slots = &self.per_query_slot[q.index()];
-        // Visitor form: walk the precomputed slot postings directly instead
-        // of materializing a `Vec<&IndexDef>` per slot per call.
-        self.model
-            .query_cost_with(&self.schema, query, &|slot, sink| {
-                for id in &slots[slot.index()] {
-                    if config.contains(*id) {
-                        sink(&self.candidates[id.index()]);
-                    }
-                }
-            })
+        if let Some(cw) = &self.compiled {
+            return SCRATCH.with(|s| cw.cost(q.index(), config, &mut s.borrow_mut()));
+        }
+        self.interpreted_cost(q, config)
     }
 
     fn calls_served(&self) -> u64 {
@@ -352,7 +432,11 @@ mod tests {
         // A different workload shape changes it too.
         let synth_a = {
             let inst = synth::instance(1);
-            let cands = vec![IndexDef::new(TableId::new(0), vec![ColumnId::new(0)], vec![])];
+            let cands = vec![IndexDef::new(
+                TableId::new(0),
+                vec![ColumnId::new(0)],
+                vec![],
+            )];
             SimulatedOptimizer::new(inst, cands, CostModel::default())
         };
         assert_ne!(a.content_fingerprint(), synth_a.content_fingerprint());

@@ -202,9 +202,7 @@ fn store(client: &Client, rest: &[String]) -> Result<(), String> {
             println!("flushed {n} entries");
             Ok(())
         }
-        other => Err(format!(
-            "store requires `stats` or `flush`, got {other:?}"
-        )),
+        other => Err(format!("store requires `stats` or `flush`, got {other:?}")),
     }
 }
 

@@ -382,6 +382,13 @@ impl SessionManager {
                 warm.evictions as f64,
             ),
         ];
+        self.registry
+            .gauge(
+                "ixtune_warm_interned_configs",
+                "Distinct interned configurations across warm store snapshots",
+                &[],
+            )
+            .set(warm.interned_configs as f64);
         for (name, help, value) in warm_gauges {
             self.registry.gauge(name, help, &[]).set(value);
         }
@@ -541,6 +548,16 @@ fn worker_loop(
             Some(p) => Ok(p),
             None => spec.workload.prepare().map(|p| {
                 let p = Arc::new(p);
+                // Count the per-query plan tables compiled for this
+                // workload (0 when `IXTUNE_COMPILED=0` forces the
+                // interpreted path).
+                registry
+                    .counter(
+                        "ixtune_compiled_queries_total",
+                        "Per-query plan tables compiled at workload preparation",
+                        &[],
+                    )
+                    .add(p.opt.compiled_query_count() as u64);
                 state.with(|st| {
                     st.insert_workload(key.clone(), &p, cfg.prepared_capacity);
                 });
@@ -566,7 +583,16 @@ fn worker_loop(
                 let obs = Obs::enabled(Arc::clone(registry), Some(Arc::clone(tracer)), id);
                 let warm_run = Arc::clone(&warm);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_session(&p, &spec, snapshot.as_deref(), &stop, cfg, id, obs, warm_run)
+                    run_session(
+                        &p,
+                        &spec,
+                        snapshot.as_deref(),
+                        &stop,
+                        cfg,
+                        id,
+                        obs,
+                        warm_run,
+                    )
                 }));
                 // Absorb the ledger whatever the outcome — completed,
                 // suspended, failed, or panicked segments all paid for real

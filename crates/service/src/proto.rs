@@ -74,6 +74,8 @@ pub struct StoreStatsPayload {
     pub workloads: usize,
     /// Total `(query, config) → cost` entries across snapshots.
     pub entries: usize,
+    /// Distinct interned configurations across snapshots.
+    pub interned_configs: usize,
     /// Estimated resident bytes.
     pub bytes: usize,
     /// Publication epoch (bumped per absorbed snapshot).
@@ -89,6 +91,7 @@ impl From<ixtune_core::warm::WarmStoreStats> for StoreStatsPayload {
         Self {
             workloads: s.workloads,
             entries: s.entries,
+            interned_configs: s.interned_configs,
             bytes: s.bytes,
             epoch: s.epoch,
             evictions: s.evictions,
@@ -329,6 +332,7 @@ mod tests {
             Response::StoreStats(StoreStatsPayload {
                 workloads: 2,
                 entries: 512,
+                interned_configs: 64,
                 bytes: 40_960,
                 epoch: 7,
                 evictions: 1,

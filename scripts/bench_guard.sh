@@ -2,7 +2,7 @@
 # Guard the disabled-obs hot path: re-measure the derivation
 # micro-benchmarks and fail if any greedy-step median regresses more
 # than IXTUNE_BENCH_TOLERANCE (default 3%) against the committed
-# BENCH_4.json snapshot (or the baseline given as $1).
+# BENCH_5.json snapshot (or the baseline given as $1).
 #
 # The observability layer must be zero-cost when disabled — the benches
 # run with `Obs::disabled()`, so a regression here means the disabled
@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-baseline="${1:-BENCH_4.json}"
+baseline="${1:-BENCH_5.json}"
 tolerance="${IXTUNE_BENCH_TOLERANCE:-0.03}"
 runs="${IXTUNE_BENCH_RUNS:-3}"
 tmp="$(mktemp)"
@@ -42,22 +42,29 @@ for line in open(sys.argv[1]):
 baseline = json.load(open(sys.argv[2]))["median_ns_per_op"]
 tolerance = float(sys.argv[3])
 
-# The shipped greedy-step hot paths: the incremental DerivationState
-# probe, the frozen-cache parallel kernel (the one that takes the Obs
-# handle), and the warm-seeded session (the snapshot lookup must stay a
-# plain hash probe). full-rescan/coldstart are the pre-change
-# comparators kept in the bench for the historical speedup ratios; they
-# are not guarded paths.
+# The shipped hot paths: the incremental DerivationState probe, the
+# frozen-cache parallel kernel (the one that takes the Obs handle),
+# whole cold-start and warm-seeded greedy sessions (now served by the
+# compiled kernel + sparse informed-candidate scan), and the raw
+# compiled what-if call. full-rescan and whatif/interpreted-call are
+# the pre-change comparators kept in the bench for the historical
+# speedup ratios; they are not guarded paths.
 guarded = sorted(
     name
     for name in baseline
     if name.startswith(
-        ("greedy-step/incremental-", "greedy-step/parallel-", "greedy-step/warm-")
+        (
+            "greedy-step/incremental-",
+            "greedy-step/parallel-",
+            "greedy-step/coldstart-",
+            "greedy-step/warm-",
+            "whatif/compiled-",
+        )
     )
     and name in measured
 )
 if not guarded:
-    sys.exit("no greedy-step series shared between run and baseline")
+    sys.exit("no guarded series shared between run and baseline")
 
 failures = []
 for name in guarded:
@@ -70,7 +77,7 @@ for name in guarded:
 
 if failures:
     sys.exit(
-        f"greedy-step regressed beyond {tolerance:.0%} vs {sys.argv[2]}: "
+        f"hot path regressed beyond {tolerance:.0%} vs {sys.argv[2]}: "
         + ", ".join(failures)
     )
 print(f"bench guard passed ({len(guarded)} series within {tolerance:.0%})")
