@@ -75,6 +75,27 @@ impl IndexSet {
         &self.blocks
     }
 
+    /// Rebuild a configuration from its raw block array — the inverse of
+    /// [`as_blocks`](Self::as_blocks), used when deserializing persisted
+    /// warm-store rows. Returns `None` when the block count does not match
+    /// the universe or a bit beyond the universe is set (a torn or foreign
+    /// encoding must not produce an out-of-range member).
+    pub fn from_blocks(universe: usize, blocks: Vec<u64>) -> Option<Self> {
+        if blocks.len() != universe.div_ceil(BITS) {
+            return None;
+        }
+        if let Some(&last) = blocks.last() {
+            let tail = universe % BITS;
+            if tail != 0 && last >> tail != 0 {
+                return None;
+            }
+        }
+        Some(Self {
+            blocks,
+            universe: universe as u32,
+        })
+    }
+
     #[inline]
     fn check(&self, id: IndexId) {
         debug_assert!(
@@ -390,5 +411,19 @@ mod tests {
         let s: IndexSet = ids(&[3, 9]).into_iter().collect();
         assert_eq!(s.universe(), 10);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn from_blocks_inverts_as_blocks_and_rejects_bad_input() {
+        let s = IndexSet::from_ids(100, ids(&[0, 63, 64, 99]));
+        let back = IndexSet::from_blocks(100, s.as_blocks().to_vec()).unwrap();
+        assert_eq!(back, s);
+        // Wrong block count for the universe.
+        assert!(IndexSet::from_blocks(100, vec![0]).is_none());
+        assert!(IndexSet::from_blocks(64, vec![0, 0]).is_none());
+        // A bit beyond the universe must be rejected, not truncated.
+        assert!(IndexSet::from_blocks(100, vec![0, 1 << 40]).is_none());
+        // Exactly block-aligned universes have no tail to check.
+        assert!(IndexSet::from_blocks(128, vec![u64::MAX, u64::MAX]).is_some());
     }
 }

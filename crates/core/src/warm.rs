@@ -103,6 +103,17 @@ impl WarmSnapshot {
             + self.entries * ENTRY_BYTES
             + self.rows.len() * ROW_OVERHEAD
     }
+
+    /// Every stored `(query, config, cost)` cell, rows in query order,
+    /// cells in table order. The persistence layer serializes snapshots
+    /// through this; costs come back exactly as stored (no rounding), so
+    /// a recovered snapshot answers bit-identically.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (QueryId, &IndexSet, f64)> + '_ {
+        self.rows.iter().enumerate().flat_map(move |(q, row)| {
+            row.iter()
+                .map(move |(id, cost)| (QueryId::from(q), self.configs.resolve(id), cost))
+        })
+    }
 }
 
 /// Estimated bytes per interned configuration: the bitset's blocks plus
@@ -379,6 +390,22 @@ impl WarmStore {
     pub fn max_bytes(&self) -> usize {
         self.max_bytes
     }
+
+    /// Every live `(key, fingerprint) → snapshot` pair, sorted by key for
+    /// deterministic serialization order. Snapshots are immutable `Arc`
+    /// clones, so the caller can walk them without holding the store lock.
+    /// Importing the tables back is [`WarmStore::absorb`] — its first-write
+    /// -wins merge makes re-import idempotent.
+    pub fn export_tables(&self) -> Vec<((String, u64), Arc<WarmSnapshot>)> {
+        let inner = self.lock();
+        let mut tables: Vec<_> = inner
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), Arc::clone(&e.snapshot)))
+            .collect();
+        tables.sort_by(|(a, _), (b, _)| a.cmp(b));
+        tables
+    }
 }
 
 #[cfg(test)]
@@ -499,6 +526,80 @@ mod tests {
         assert_eq!(stats.workloads, 0);
         assert_eq!(stats.bytes, 0);
         assert_eq!(store.checkout("a", 1, 2, 16).entries(), 0);
+    }
+
+    #[test]
+    fn iter_entries_walks_every_cell_exactly() {
+        let store = WarmStore::new(1 << 20);
+        let a = cfg(16, &[1, 3]);
+        let b = cfg(16, &[2]);
+        store.absorb(
+            "w",
+            1,
+            3,
+            16,
+            vec![
+                (QueryId::new(0), a.clone(), 1.25),
+                (
+                    QueryId::new(2),
+                    a.clone(),
+                    f64::from_bits(0x7ff8_0000_0000_0001),
+                ),
+                (QueryId::new(2), b.clone(), -0.0),
+            ],
+        );
+        let snap = store.checkout("w", 1, 3, 16);
+        let mut cells: Vec<(usize, IndexSet, u64)> = snap
+            .iter_entries()
+            .map(|(q, c, cost)| (q.index(), c.clone(), cost.to_bits()))
+            .collect();
+        cells.sort_by(|x, y| (x.0, x.2).cmp(&(y.0, y.2)));
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[0], (0, a.clone(), 1.25f64.to_bits()));
+        // Bit patterns survive exactly — including NaN payloads and -0.0.
+        assert!(cells
+            .iter()
+            .any(|(q, c, bits)| *q == 2 && *c == a && *bits == 0x7ff8_0000_0000_0001));
+        assert!(cells
+            .iter()
+            .any(|(q, c, bits)| *q == 2 && *c == b && *bits == (-0.0f64).to_bits()));
+    }
+
+    #[test]
+    fn export_tables_roundtrips_through_absorb() {
+        let store = WarmStore::new(1 << 20);
+        let c = cfg(16, &[1]);
+        store.absorb("b", 2, 1, 16, vec![(QueryId::new(0), c.clone(), 2.0)]);
+        store.absorb("a", 1, 2, 16, vec![(QueryId::new(1), c.clone(), 1.0)]);
+        let tables = store.export_tables();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].0 .0, "a", "sorted by key");
+
+        // Re-import into a fresh store: identical content.
+        let other = WarmStore::new(1 << 20);
+        for ((key, fp), snap) in &tables {
+            let ledger: Vec<_> = snap
+                .iter_entries()
+                .map(|(q, c, cost)| (q, c.clone(), cost))
+                .collect();
+            other.absorb(key, *fp, snap.num_queries(), snap.universe(), ledger);
+        }
+        assert_eq!(other.stats().entries, store.stats().entries);
+        assert_eq!(
+            other.checkout("a", 1, 2, 16).get(QueryId::new(1), &c),
+            Some(1.0)
+        );
+        // Importing again is idempotent (first-write-wins dedup).
+        for ((key, fp), snap) in &tables {
+            let ledger: Vec<_> = snap
+                .iter_entries()
+                .map(|(q, c, cost)| (q, c.clone(), cost))
+                .collect();
+            assert_eq!(
+                other.absorb(key, *fp, snap.num_queries(), snap.universe(), ledger),
+                0
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! The WAL record set and the replayed state it folds into.
+//!
+//! Records are the daemon's durable events: warm-store publications
+//! (the ledger of simulated what-if calls a settled session paid for),
+//! session lifecycle transitions with their checkpoint pointers, and
+//! store-wide flushes. The persist crate stays dependency-free, so the
+//! domain types are mirrored structurally: configurations travel as raw
+//! bitset blocks, costs as `f64::to_bits`, and service-level specs and
+//! results as opaque JSON strings the service layer (de)serializes.
+//!
+//! [`PersistState`] is the fold of a snapshot plus a WAL tail — exactly
+//! what [`crate::Persist::open`] hands back for the service to import.
+
+use crate::codec::{CodecError, Reader, Writer};
+use std::collections::HashMap;
+
+/// One simulated `(query, config) → cost` cell of a warm publication.
+/// `blocks` is the configuration bitset's raw block array; `cost_bits`
+/// is `f64::to_bits` of the what-if cost, so recovery is bit-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmEntry {
+    pub query: u32,
+    pub blocks: Vec<u64>,
+    pub cost_bits: u64,
+}
+
+/// One warm-store publication: the deduplicated ledger a settled session
+/// contributed for `(key, fingerprint)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WarmBatch {
+    /// Workload key (`WorkloadSpec::key()`).
+    pub key: String,
+    /// Optimizer content fingerprint; entries are shared only between
+    /// sessions whose schema/workload/candidates are identical.
+    pub fingerprint: u64,
+    pub num_queries: u32,
+    pub universe: u32,
+    pub entries: Vec<WarmEntry>,
+}
+
+/// A session lifecycle event or warm-store mutation. Appended in event
+/// order; replay folds them into [`PersistState`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A settled session's ledger was absorbed into the warm store.
+    WarmBatch(WarmBatch),
+    /// The operator flushed the warm store (`ixtunectl store flush`).
+    WarmFlush,
+    /// A session was admitted. `spec_json` is the serialized `SubmitSpec`.
+    SessionSubmitted { id: u64, spec_json: String },
+    /// A worker claimed the session.
+    SessionRunning { id: u64 },
+    /// The session checkpointed and parked. `checkpoint` is the file name
+    /// (relative to the data dir's checkpoint directory) and
+    /// `wall_clock_ms` the time accumulated across its run segments.
+    SessionSuspended {
+        id: u64,
+        checkpoint: String,
+        wall_clock_ms: f64,
+    },
+    /// A client re-queued the suspended session.
+    SessionResumed { id: u64 },
+    /// Terminal: finished with a result (serialized `ResultPayload`).
+    SessionDone { id: u64, result_json: String },
+    /// Terminal: cancelled, keeping a best-so-far result when one exists.
+    SessionCancelled {
+        id: u64,
+        result_json: Option<String>,
+    },
+    /// Terminal: construction failed or the worker panicked.
+    SessionFailed { id: u64, error: String },
+}
+
+const TAG_WARM_BATCH: u8 = 0;
+const TAG_WARM_FLUSH: u8 = 1;
+const TAG_SUBMITTED: u8 = 2;
+const TAG_RUNNING: u8 = 3;
+const TAG_SUSPENDED: u8 = 4;
+const TAG_RESUMED: u8 = 5;
+const TAG_DONE: u8 = 6;
+const TAG_CANCELLED: u8 = 7;
+const TAG_FAILED: u8 = 8;
+
+impl Record {
+    /// Encode into the WAL payload form (framing and CRC are the WAL
+    /// layer's concern).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Record::WarmBatch(batch) => {
+                w.u8(TAG_WARM_BATCH);
+                w.str(&batch.key);
+                w.u64_fixed(batch.fingerprint);
+                w.varu64(u64::from(batch.num_queries));
+                w.varu64(u64::from(batch.universe));
+                w.varu64(batch.entries.len() as u64);
+                for e in &batch.entries {
+                    w.varu64(u64::from(e.query));
+                    w.varu64(e.blocks.len() as u64);
+                    for &b in &e.blocks {
+                        w.u64_fixed(b);
+                    }
+                    w.u64_fixed(e.cost_bits);
+                }
+            }
+            Record::WarmFlush => w.u8(TAG_WARM_FLUSH),
+            Record::SessionSubmitted { id, spec_json } => {
+                w.u8(TAG_SUBMITTED);
+                w.varu64(*id);
+                w.str(spec_json);
+            }
+            Record::SessionRunning { id } => {
+                w.u8(TAG_RUNNING);
+                w.varu64(*id);
+            }
+            Record::SessionSuspended {
+                id,
+                checkpoint,
+                wall_clock_ms,
+            } => {
+                w.u8(TAG_SUSPENDED);
+                w.varu64(*id);
+                w.str(checkpoint);
+                w.f64_bits(*wall_clock_ms);
+            }
+            Record::SessionResumed { id } => {
+                w.u8(TAG_RESUMED);
+                w.varu64(*id);
+            }
+            Record::SessionDone { id, result_json } => {
+                w.u8(TAG_DONE);
+                w.varu64(*id);
+                w.str(result_json);
+            }
+            Record::SessionCancelled { id, result_json } => {
+                w.u8(TAG_CANCELLED);
+                w.varu64(*id);
+                match result_json {
+                    Some(json) => {
+                        w.u8(1);
+                        w.str(json);
+                    }
+                    None => w.u8(0),
+                }
+            }
+            Record::SessionFailed { id, error } => {
+                w.u8(TAG_FAILED);
+                w.varu64(*id);
+                w.str(error);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode one record, consuming the payload exactly.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let rec = Self::read(&mut r)?;
+        r.finish()?;
+        Ok(rec)
+    }
+
+    fn read(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            TAG_WARM_BATCH => {
+                let key = r.str()?;
+                let fingerprint = r.u64_fixed()?;
+                let num_queries = u32::try_from(r.varu64()?)
+                    .map_err(|_| CodecError("num_queries exceeds u32".into()))?;
+                let universe = u32::try_from(r.varu64()?)
+                    .map_err(|_| CodecError("universe exceeds u32".into()))?;
+                let n = r.count("warm entries")?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let query = u32::try_from(r.varu64()?)
+                        .map_err(|_| CodecError("query id exceeds u32".into()))?;
+                    let nb = r.count("blocks")?;
+                    let mut blocks = Vec::with_capacity(nb);
+                    for _ in 0..nb {
+                        blocks.push(r.u64_fixed()?);
+                    }
+                    let cost_bits = r.u64_fixed()?;
+                    entries.push(WarmEntry {
+                        query,
+                        blocks,
+                        cost_bits,
+                    });
+                }
+                Record::WarmBatch(WarmBatch {
+                    key,
+                    fingerprint,
+                    num_queries,
+                    universe,
+                    entries,
+                })
+            }
+            TAG_WARM_FLUSH => Record::WarmFlush,
+            TAG_SUBMITTED => Record::SessionSubmitted {
+                id: r.varu64()?,
+                spec_json: r.str()?,
+            },
+            TAG_RUNNING => Record::SessionRunning { id: r.varu64()? },
+            TAG_SUSPENDED => Record::SessionSuspended {
+                id: r.varu64()?,
+                checkpoint: r.str()?,
+                wall_clock_ms: r.f64_bits()?,
+            },
+            TAG_RESUMED => Record::SessionResumed { id: r.varu64()? },
+            TAG_DONE => Record::SessionDone {
+                id: r.varu64()?,
+                result_json: r.str()?,
+            },
+            TAG_CANCELLED => {
+                let id = r.varu64()?;
+                let result_json = match r.u8()? {
+                    0 => None,
+                    1 => Some(r.str()?),
+                    t => return Err(CodecError(format!("bad option tag {t}"))),
+                };
+                Record::SessionCancelled { id, result_json }
+            }
+            TAG_FAILED => Record::SessionFailed {
+                id: r.varu64()?,
+                error: r.str()?,
+            },
+            tag => return Err(CodecError(format!("unknown record tag {tag}"))),
+        })
+    }
+}
+
+/// Where a recovered session sits in its lifecycle. `Running` survives in
+/// the log when the daemon died mid-session; importers treat it as
+/// `Queued` (the session re-runs, from its checkpoint when one exists).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionStatus {
+    Queued,
+    Running,
+    Suspended,
+    Done { result_json: String },
+    Cancelled { result_json: Option<String> },
+    Failed { error: String },
+}
+
+impl SessionStatus {
+    /// Whether the session can never run again.
+    pub fn terminal(&self) -> bool {
+        matches!(
+            self,
+            Self::Done { .. } | Self::Cancelled { .. } | Self::Failed { .. }
+        )
+    }
+}
+
+/// One recovered session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionRow {
+    pub id: u64,
+    pub spec_json: String,
+    pub status: SessionStatus,
+    /// Checkpoint file name, kept while a suspension is outstanding
+    /// (cleared when the session goes terminal).
+    pub checkpoint: Option<String>,
+    /// Wall-clock accumulated across completed run segments.
+    pub wall_clock_ms: f64,
+    /// True once the session has resumed at least once: the spec's
+    /// deterministic one-shot triggers are spent.
+    pub resumed: bool,
+}
+
+/// One recovered warm-store table, deduplicated per `(query, config)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WarmTable {
+    pub num_queries: u32,
+    pub universe: u32,
+    pub entries: Vec<WarmEntry>,
+    /// Dedup index over `(query, blocks)` — replaying a batch twice (or a
+    /// compaction racing an append) must not double entries.
+    seen: HashMap<(u32, Vec<u64>), ()>,
+}
+
+impl WarmTable {
+    fn push(&mut self, e: WarmEntry) {
+        if self.seen.insert((e.query, e.blocks.clone()), ()).is_none() {
+            self.entries.push(e);
+        }
+    }
+}
+
+/// The fold of every durable event: what the service imports at startup
+/// and what compaction serializes into the next snapshot generation.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PersistState {
+    /// The next session id the daemon may assign (max submitted id + 1).
+    pub next_id: u64,
+    /// Sessions in id order.
+    pub sessions: Vec<SessionRow>,
+    /// Warm tables keyed by `(workload key, fingerprint)`, in first-seen
+    /// order.
+    pub warm: Vec<((String, u64), WarmTable)>,
+}
+
+impl PersistState {
+    fn session_mut(&mut self, id: u64) -> Option<&mut SessionRow> {
+        self.sessions.iter_mut().find(|s| s.id == id)
+    }
+
+    fn warm_table_mut(&mut self, key: &str, fingerprint: u64) -> &mut WarmTable {
+        if let Some(i) = self
+            .warm
+            .iter()
+            .position(|((k, f), _)| k == key && *f == fingerprint)
+        {
+            return &mut self.warm[i].1;
+        }
+        self.warm
+            .push(((key.to_string(), fingerprint), WarmTable::default()));
+        &mut self.warm.last_mut().expect("just pushed").1
+    }
+
+    /// Total warm entries across tables.
+    pub fn warm_entries(&self) -> usize {
+        self.warm.iter().map(|(_, t)| t.entries.len()).sum()
+    }
+
+    /// Fold one event in. Unknown session ids are tolerated (a compacted
+    /// snapshot plus a stale WAL can mention sessions the snapshot already
+    /// settled); replay must never fail on ordering.
+    pub fn apply(&mut self, rec: Record) {
+        match rec {
+            Record::WarmBatch(batch) => {
+                let table = self.warm_table_mut(&batch.key, batch.fingerprint);
+                if table.entries.is_empty() {
+                    table.num_queries = batch.num_queries;
+                    table.universe = batch.universe;
+                }
+                for e in batch.entries {
+                    table.push(e);
+                }
+            }
+            Record::WarmFlush => self.warm.clear(),
+            Record::SessionSubmitted { id, spec_json } => {
+                self.next_id = self.next_id.max(id + 1);
+                if self.session_mut(id).is_none() {
+                    self.sessions.push(SessionRow {
+                        id,
+                        spec_json,
+                        status: SessionStatus::Queued,
+                        checkpoint: None,
+                        wall_clock_ms: 0.0,
+                        resumed: false,
+                    });
+                }
+            }
+            Record::SessionRunning { id } => {
+                if let Some(row) = self.session_mut(id) {
+                    if !row.status.terminal() {
+                        row.status = SessionStatus::Running;
+                    }
+                }
+            }
+            Record::SessionSuspended {
+                id,
+                checkpoint,
+                wall_clock_ms,
+            } => {
+                if let Some(row) = self.session_mut(id) {
+                    row.status = SessionStatus::Suspended;
+                    row.checkpoint = Some(checkpoint);
+                    row.wall_clock_ms = wall_clock_ms;
+                }
+            }
+            Record::SessionResumed { id } => {
+                if let Some(row) = self.session_mut(id) {
+                    if !row.status.terminal() {
+                        row.status = SessionStatus::Queued;
+                    }
+                    row.resumed = true;
+                }
+            }
+            Record::SessionDone { id, result_json } => {
+                if let Some(row) = self.session_mut(id) {
+                    row.status = SessionStatus::Done { result_json };
+                    row.checkpoint = None;
+                }
+            }
+            Record::SessionCancelled { id, result_json } => {
+                if let Some(row) = self.session_mut(id) {
+                    row.status = SessionStatus::Cancelled { result_json };
+                    row.checkpoint = None;
+                }
+            }
+            Record::SessionFailed { id, error } => {
+                if let Some(row) = self.session_mut(id) {
+                    row.status = SessionStatus::Failed { error };
+                    row.checkpoint = None;
+                }
+            }
+        }
+    }
+
+    /// Encode the whole state as a snapshot payload (versioned; framing
+    /// and CRC are the snapshot writer's concern).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(SNAPSHOT_VERSION);
+        w.varu64(self.next_id);
+        w.varu64(self.sessions.len() as u64);
+        for s in &self.sessions {
+            w.varu64(s.id);
+            w.str(&s.spec_json);
+            match &s.status {
+                SessionStatus::Queued => w.u8(0),
+                SessionStatus::Running => w.u8(1),
+                SessionStatus::Suspended => w.u8(2),
+                SessionStatus::Done { result_json } => {
+                    w.u8(3);
+                    w.str(result_json);
+                }
+                SessionStatus::Cancelled { result_json } => {
+                    w.u8(4);
+                    match result_json {
+                        Some(json) => {
+                            w.u8(1);
+                            w.str(json);
+                        }
+                        None => w.u8(0),
+                    }
+                }
+                SessionStatus::Failed { error } => {
+                    w.u8(5);
+                    w.str(error);
+                }
+            }
+            match &s.checkpoint {
+                Some(name) => {
+                    w.u8(1);
+                    w.str(name);
+                }
+                None => w.u8(0),
+            }
+            w.f64_bits(s.wall_clock_ms);
+            w.u8(u8::from(s.resumed));
+        }
+        w.varu64(self.warm.len() as u64);
+        for ((key, fingerprint), table) in &self.warm {
+            w.str(key);
+            w.u64_fixed(*fingerprint);
+            w.varu64(u64::from(table.num_queries));
+            w.varu64(u64::from(table.universe));
+            w.varu64(table.entries.len() as u64);
+            for e in &table.entries {
+                w.varu64(u64::from(e.query));
+                w.varu64(e.blocks.len() as u64);
+                for &b in &e.blocks {
+                    w.u64_fixed(b);
+                }
+                w.u64_fixed(e.cost_bits);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a snapshot payload.
+    pub fn decode(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let version = r.u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CodecError(format!(
+                "snapshot version {version} (this build reads {SNAPSHOT_VERSION})"
+            )));
+        }
+        let next_id = r.varu64()?;
+        let n = r.count("sessions")?;
+        let mut sessions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.varu64()?;
+            let spec_json = r.str()?;
+            let status = match r.u8()? {
+                0 => SessionStatus::Queued,
+                1 => SessionStatus::Running,
+                2 => SessionStatus::Suspended,
+                3 => SessionStatus::Done {
+                    result_json: r.str()?,
+                },
+                4 => {
+                    let result_json = match r.u8()? {
+                        0 => None,
+                        1 => Some(r.str()?),
+                        t => return Err(CodecError(format!("bad option tag {t}"))),
+                    };
+                    SessionStatus::Cancelled { result_json }
+                }
+                5 => SessionStatus::Failed { error: r.str()? },
+                t => return Err(CodecError(format!("unknown status tag {t}"))),
+            };
+            let checkpoint = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                t => return Err(CodecError(format!("bad option tag {t}"))),
+            };
+            let wall_clock_ms = r.f64_bits()?;
+            let resumed = r.u8()? != 0;
+            sessions.push(SessionRow {
+                id,
+                spec_json,
+                status,
+                checkpoint,
+                wall_clock_ms,
+                resumed,
+            });
+        }
+        let nw = r.count("warm tables")?;
+        let mut state = PersistState {
+            next_id,
+            sessions,
+            warm: Vec::with_capacity(nw),
+        };
+        for _ in 0..nw {
+            let key = r.str()?;
+            let fingerprint = r.u64_fixed()?;
+            let num_queries = u32::try_from(r.varu64()?)
+                .map_err(|_| CodecError("num_queries exceeds u32".into()))?;
+            let universe = u32::try_from(r.varu64()?)
+                .map_err(|_| CodecError("universe exceeds u32".into()))?;
+            let ne = r.count("warm entries")?;
+            let table = state.warm_table_mut(&key, fingerprint);
+            table.num_queries = num_queries;
+            table.universe = universe;
+            for _ in 0..ne {
+                let query = u32::try_from(r.varu64()?)
+                    .map_err(|_| CodecError("query id exceeds u32".into()))?;
+                let nb = r.count("blocks")?;
+                let mut blocks = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    blocks.push(r.u64_fixed()?);
+                }
+                let cost_bits = r.u64_fixed()?;
+                table.push(WarmEntry {
+                    query,
+                    blocks,
+                    cost_bits,
+                });
+            }
+        }
+        r.finish()?;
+        Ok(state)
+    }
+}
+
+/// Snapshot payload version; recovery refuses formats it cannot read
+/// (and falls back to an older generation).
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::SessionSubmitted {
+                id: 0,
+                spec_json: "{\"k\":3}".into(),
+            },
+            Record::SessionRunning { id: 0 },
+            Record::WarmBatch(WarmBatch {
+                key: "tpch".into(),
+                fingerprint: 0xfeed_beef,
+                num_queries: 22,
+                universe: 500,
+                entries: vec![
+                    WarmEntry {
+                        query: 3,
+                        blocks: vec![0b1010, 0, 1 << 63],
+                        cost_bits: 1234.5f64.to_bits(),
+                    },
+                    WarmEntry {
+                        query: 0,
+                        blocks: vec![],
+                        cost_bits: f64::NAN.to_bits(),
+                    },
+                ],
+            }),
+            Record::SessionSuspended {
+                id: 0,
+                checkpoint: "s-0.ckpt.json".into(),
+                wall_clock_ms: 12.75,
+            },
+            Record::SessionResumed { id: 0 },
+            Record::SessionDone {
+                id: 0,
+                result_json: "{\"improvement\":0.5}".into(),
+            },
+            Record::SessionCancelled {
+                id: 1,
+                result_json: None,
+            },
+            Record::SessionCancelled {
+                id: 2,
+                result_json: Some("{}".into()),
+            },
+            Record::SessionFailed {
+                id: 3,
+                error: "panicked".into(),
+            },
+            Record::WarmFlush,
+        ]
+    }
+
+    #[test]
+    fn record_codec_roundtrips() {
+        for rec in sample_records() {
+            let bytes = rec.encode();
+            assert_eq!(Record::decode(&bytes).unwrap(), rec, "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn replay_folds_lifecycle_and_warm_batches() {
+        let mut st = PersistState::default();
+        st.apply(Record::SessionSubmitted {
+            id: 7,
+            spec_json: "{}".into(),
+        });
+        assert_eq!(st.next_id, 8);
+        st.apply(Record::SessionRunning { id: 7 });
+        st.apply(Record::SessionSuspended {
+            id: 7,
+            checkpoint: "s-7.ckpt.json".into(),
+            wall_clock_ms: 3.5,
+        });
+        let row = &st.sessions[0];
+        assert_eq!(row.status, SessionStatus::Suspended);
+        assert_eq!(row.checkpoint.as_deref(), Some("s-7.ckpt.json"));
+        st.apply(Record::SessionResumed { id: 7 });
+        assert_eq!(st.sessions[0].status, SessionStatus::Queued);
+        assert!(st.sessions[0].resumed);
+        assert!(st.sessions[0].checkpoint.is_some(), "resume keeps the ckpt");
+        st.apply(Record::SessionDone {
+            id: 7,
+            result_json: "{}".into(),
+        });
+        assert!(st.sessions[0].status.terminal());
+        assert_eq!(st.sessions[0].checkpoint, None, "terminal clears the ckpt");
+
+        let batch = WarmBatch {
+            key: "w".into(),
+            fingerprint: 1,
+            num_queries: 2,
+            universe: 64,
+            entries: vec![WarmEntry {
+                query: 1,
+                blocks: vec![3],
+                cost_bits: 9.0f64.to_bits(),
+            }],
+        };
+        st.apply(Record::WarmBatch(batch.clone()));
+        st.apply(Record::WarmBatch(batch));
+        assert_eq!(st.warm_entries(), 1, "replayed duplicates fold away");
+        st.apply(Record::WarmFlush);
+        assert_eq!(st.warm_entries(), 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_identically() {
+        let mut st = PersistState::default();
+        for rec in sample_records() {
+            st.apply(rec);
+        }
+        // Put a warm table back after the trailing flush so the snapshot
+        // carries one, including a NaN-cost entry.
+        st.apply(Record::WarmBatch(WarmBatch {
+            key: "synth:3".into(),
+            fingerprint: 42,
+            num_queries: 5,
+            universe: 128,
+            entries: vec![WarmEntry {
+                query: 4,
+                blocks: vec![u64::MAX, 7],
+                cost_bits: (-0.0f64).to_bits(),
+            }],
+        }));
+        let bytes = st.encode();
+        let back = PersistState::decode(&bytes).unwrap();
+        assert_eq!(back, st);
+    }
+
+    #[test]
+    fn snapshot_rejects_unknown_version() {
+        let mut bytes = PersistState::default().encode();
+        bytes[0] = SNAPSHOT_VERSION + 1;
+        assert!(PersistState::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Property tests for the persist crate's durability contract:
+//!
+//! * the record and snapshot codecs roundtrip **bit-identically** —
+//!   including NaN-payload and `-0.0` costs, which travel as raw
+//!   `f64::to_bits` patterns;
+//! * recovery after arbitrary truncation or a byte flip always yields the
+//!   longest valid prefix of what was appended, and reports the torn tail.
+
+use ixtune_persist::{Durability, Persist, PersistState, Record, WarmBatch, WarmEntry};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh scratch directory per proptest case; removed by the case.
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ixtune-persist-props-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Printable-ASCII strings, JSON punctuation included.
+fn arb_str() -> impl Strategy<Value = String> {
+    "[ -~]{0,24}"
+}
+
+fn arb_entry() -> impl Strategy<Value = WarmEntry> {
+    (
+        any::<u32>(),
+        prop::collection::vec(any::<u64>(), 0..4),
+        any::<u64>(),
+    )
+        .prop_map(|(query, blocks, cost_bits)| WarmEntry {
+            query,
+            blocks,
+            cost_bits,
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop_oneof![
+        (
+            arb_str(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(arb_entry(), 0..6),
+        )
+            .prop_map(|(key, fingerprint, num_queries, universe, entries)| {
+                Record::WarmBatch(WarmBatch {
+                    key,
+                    fingerprint,
+                    num_queries,
+                    universe,
+                    entries,
+                })
+            }),
+        (0u32..1).prop_map(|_| Record::WarmFlush),
+        (any::<u64>(), arb_str())
+            .prop_map(|(id, spec_json)| Record::SessionSubmitted { id, spec_json }),
+        any::<u64>().prop_map(|id| Record::SessionRunning { id }),
+        (any::<u64>(), arb_str(), any::<u64>()).prop_map(|(id, checkpoint, bits)| {
+            // Any bit pattern, NaN payloads included: the codec must not
+            // canonicalize floats.
+            Record::SessionSuspended {
+                id,
+                checkpoint,
+                wall_clock_ms: f64::from_bits(bits),
+            }
+        }),
+        any::<u64>().prop_map(|id| Record::SessionResumed { id }),
+        (any::<u64>(), arb_str())
+            .prop_map(|(id, result_json)| Record::SessionDone { id, result_json }),
+        (any::<u64>(), any::<bool>(), arb_str()).prop_map(|(id, some, json)| {
+            Record::SessionCancelled {
+                id,
+                result_json: some.then_some(json),
+            }
+        }),
+        (any::<u64>(), arb_str()).prop_map(|(id, error)| Record::SessionFailed { id, error }),
+    ]
+}
+
+/// Fold `records[..k]` into a fresh state.
+fn fold(records: &[Record], k: usize) -> PersistState {
+    let mut st = PersistState::default();
+    for rec in &records[..k] {
+        st.apply(rec.clone());
+    }
+    st
+}
+
+proptest! {
+    /// Encoding is canonical: decode(encode(r)) re-encodes to the same
+    /// bytes. (Byte equality rather than `==` so NaN costs and wall
+    /// clocks are compared as bit patterns.)
+    #[test]
+    fn record_codec_roundtrips_bit_identically(rec in arb_record()) {
+        let bytes = rec.encode();
+        let back = Record::decode(&bytes).expect("decode own encoding");
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// The snapshot codec roundtrips the fold of any record sequence.
+    #[test]
+    fn snapshot_codec_roundtrips_any_fold(records in prop::collection::vec(arb_record(), 0..24)) {
+        let st = fold(&records, records.len());
+        let bytes = st.encode();
+        let back = PersistState::decode(&bytes).expect("decode own snapshot");
+        prop_assert_eq!(back.encode(), bytes);
+        prop_assert_eq!(back.warm_entries(), st.warm_entries());
+    }
+
+    /// Warm costs recovered from disk carry the exact bit patterns that
+    /// were appended — the warm store's bit-identity guarantee survives
+    /// the WAL. Queries are made distinct so dedup keeps every entry.
+    #[test]
+    fn warm_costs_recover_bit_exact(
+        bits in prop::collection::vec(any::<u64>(), 1..16),
+        fingerprint in any::<u64>(),
+    ) {
+        let entries: Vec<WarmEntry> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| WarmEntry { query: i as u32, blocks: vec![i as u64], cost_bits: b })
+            .collect();
+        let dir = scratch_dir();
+        {
+            let (p, _, _) = Persist::open(&dir, Durability::Batch).unwrap();
+            p.append(&Record::WarmBatch(WarmBatch {
+                key: "w".into(),
+                fingerprint,
+                num_queries: bits.len() as u32,
+                universe: 64,
+                entries: entries.clone(),
+            })).unwrap();
+        }
+        let (_p, state, _) = Persist::open(&dir, Durability::Batch).unwrap();
+        let table = &state.warm.iter().find(|((k, f), _)| k == "w" && *f == fingerprint)
+            .expect("warm table recovered").1;
+        let recovered: Vec<u64> = table.entries.iter().map(|e| e.cost_bits).collect();
+        prop_assert_eq!(recovered, bits);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+proptest! {
+    // Filesystem-heavy cases: fewer iterations, each opens a store and
+    // fsyncs per append.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating the WAL at ANY byte leaves recovery with exactly the
+    /// records whose frames fit below the cut, the torn flag set iff
+    /// partial-frame bytes were dropped, and a replayable store.
+    #[test]
+    fn truncation_at_any_byte_recovers_the_valid_prefix(
+        records in prop::collection::vec(arb_record(), 1..10),
+        cut_raw in any::<u64>(),
+    ) {
+        let dir = scratch_dir();
+        // Cumulative frame end offsets; ends[k] = bytes after k records.
+        let mut ends = vec![0u64];
+        {
+            let (p, _, _) = Persist::open(&dir, Durability::Always).unwrap();
+            for rec in &records {
+                ends.push(p.append(rec).unwrap().wal_bytes);
+            }
+        }
+        let total = *ends.last().unwrap();
+        let cut = cut_raw % (total + 1);
+        let wal = dir.join("wal-0.log");
+        let f = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(cut).unwrap();
+        drop(f);
+
+        let expect_k = ends.iter().filter(|&&e| e > 0 && e <= cut).count();
+        let (_p, state, info) = Persist::open(&dir, Durability::Always).unwrap();
+        prop_assert_eq!(info.wal_records, expect_k as u64);
+        prop_assert_eq!(info.torn_tail, cut != ends[expect_k]);
+        prop_assert_eq!(info.torn_bytes, cut - ends[expect_k]);
+        prop_assert_eq!(state.encode(), fold(&records, expect_k).encode());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Flipping ANY byte of the WAL is caught by the frame CRC: recovery
+    /// keeps the frames before the corrupted one, reports a torn tail,
+    /// and the reopened store accepts new appends.
+    #[test]
+    fn byte_flip_anywhere_recovers_a_valid_prefix(
+        records in prop::collection::vec(arb_record(), 1..8),
+        pos_raw in any::<u64>(),
+    ) {
+        let dir = scratch_dir();
+        let mut ends = vec![0u64];
+        {
+            let (p, _, _) = Persist::open(&dir, Durability::Always).unwrap();
+            for rec in &records {
+                ends.push(p.append(rec).unwrap().wal_bytes);
+            }
+        }
+        let wal = dir.join("wal-0.log");
+        let mut raw = std::fs::read(&wal).unwrap();
+        let pos = (pos_raw % raw.len() as u64) as usize;
+        raw[pos] ^= 0x01;
+        std::fs::write(&wal, &raw).unwrap();
+
+        // The frame containing `pos` (and everything after) is lost.
+        let expect_k = ends.iter().filter(|&&e| e > 0 && e <= pos as u64).count();
+        let (p, state, info) = Persist::open(&dir, Durability::Always).unwrap();
+        prop_assert_eq!(info.wal_records, expect_k as u64);
+        prop_assert!(info.torn_tail, "a flipped byte is always a tear");
+        prop_assert_eq!(state.encode(), fold(&records, expect_k).encode());
+        // The tail was truncated: the store keeps working.
+        p.append(&Record::WarmFlush).unwrap();
+        drop(p);
+        let (_p, _, info) = Persist::open(&dir, Durability::Always).unwrap();
+        prop_assert!(!info.torn_tail, "recovery healed the file");
+        prop_assert_eq!(info.wal_records, expect_k as u64 + 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Compacting at an arbitrary point never changes the recovered
+    /// state: snapshot + WAL tail ≡ pure WAL replay.
+    #[test]
+    fn compaction_point_is_invisible_to_recovery(
+        records in prop::collection::vec(arb_record(), 1..10),
+        at_raw in any::<u64>(),
+    ) {
+        let dir = scratch_dir();
+        let at = (at_raw % (records.len() as u64 + 1)) as usize;
+        {
+            let (p, _, _) = Persist::open(&dir, Durability::Batch).unwrap();
+            for (i, rec) in records.iter().enumerate() {
+                if i == at {
+                    p.compact().unwrap();
+                }
+                p.append(rec).unwrap();
+            }
+            if at == records.len() {
+                p.compact().unwrap();
+            }
+        }
+        let (_p, state, _) = Persist::open(&dir, Durability::Batch).unwrap();
+        prop_assert_eq!(state.encode(), fold(&records, records.len()).encode());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}
+
+/// Deterministic corner: an empty WAL file (created, never written, e.g.
+/// killed before the first append) recovers to the empty state without a
+/// torn-tail report.
+#[test]
+fn empty_wal_file_recovers_cleanly() {
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("wal-0.log"), b"").unwrap();
+    let (_p, state, info) = Persist::open(&dir, Durability::Batch).unwrap();
+    assert_eq!(info.wal_records, 0);
+    assert!(!info.torn_tail);
+    assert_eq!(state.encode(), PersistState::default().encode());
+    std::fs::remove_dir_all(dir).unwrap();
+}

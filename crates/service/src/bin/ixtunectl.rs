@@ -19,6 +19,7 @@
 //!   metrics
 //!   trace   <id>
 //!   store   stats|flush
+//!   persist
 //!   shutdown
 //! ```
 
@@ -61,6 +62,9 @@ fn main() {
         "metrics" => client.metrics().map(|text| print!("{text}")),
         "trace" => client.trace(id_arg(rest)).map(|json| println!("{json}")),
         "store" => store(&client, rest),
+        "persist" => client
+            .persist_stats()
+            .map(|s| println!("{}", serde_json::to_string(&s).unwrap())),
         "shutdown" => client.shutdown().map(|()| println!("shutdown requested")),
         "--help" | "-h" | "help" => {
             usage();
@@ -224,13 +228,14 @@ fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 
 fn usage() {
     eprintln!(
-        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|top|metrics|trace|store|shutdown>\n\
+        "ixtunectl [--addr ADDR] <ping|submit|status|result|cancel|suspend|resume|list|top|metrics|trace|store|persist|shutdown>\n\
          submit: --workload tpch|tpcds|job|reald|realm|synth:<seed> --algorithm mcts|greedy|twophase|autoadmin\n\
          \x20       --k K --budget B [--storage BYTES] [--seed S] [--threads T]\n\
          \x20       [--deadline-ms MS] [--pause-after N] [--cancel-after N] [--wait]\n\
          top:     one-shot session table + daemon counters\n\
          metrics: Prometheus text exposition of the daemon registry\n\
          trace:   <id> — Chrome-trace JSON for one session (load in a trace viewer)\n\
-         store:   stats|flush — inspect or empty the warm cost store"
+         store:   stats|flush — inspect or empty the warm cost store\n\
+         persist: durable store statistics (WAL, generation, recovery)"
     );
 }

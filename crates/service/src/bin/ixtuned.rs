@@ -4,9 +4,15 @@
 //! ```text
 //! ixtuned [--bind 127.0.0.1:7311] [--max-concurrent N] \
 //!         [--queue-capacity N] [--max-session-threads N] \
-//!         [--snapshot-dir DIR] [--warm-store-bytes N] \
+//!         [--data-dir DIR] [--durability always|batch|never] \
+//!         [--wal-compact-bytes N] [--warm-store-bytes N] \
 //!         [--prepared-capacity N]
 //! ```
+//!
+//! `--data-dir` is the daemon's durable root: restarting on the same
+//! directory replays the write-ahead log, so suspended sessions reappear
+//! resumable, completed results stay queryable, and the warm cost store
+//! opens with every cost prior sessions paid for.
 
 use ixtune_service::{Daemon, ServiceConfig};
 use std::process::exit;
@@ -30,7 +36,17 @@ fn main() {
             "--max-session-threads" => {
                 cfg.max_session_threads = parse(&value("--max-session-threads"))
             }
-            "--snapshot-dir" => cfg.snapshot_dir = value("--snapshot-dir").into(),
+            "--data-dir" => cfg.data_dir = value("--data-dir").into(),
+            "--durability" => {
+                let v = value("--durability");
+                cfg.durability = v.parse().unwrap_or_else(|e| {
+                    eprintln!("--durability: {e}");
+                    exit(2);
+                })
+            }
+            "--wal-compact-bytes" => {
+                cfg.wal_compact_bytes = parse(&value("--wal-compact-bytes")) as u64
+            }
             "--warm-store-bytes" => {
                 cfg.warm_store_bytes = parse(&value("--warm-store-bytes")) as u64
             }
@@ -38,7 +54,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "ixtuned [--bind ADDR] [--max-concurrent N] [--queue-capacity N] \
-                     [--max-session-threads N] [--snapshot-dir DIR] \
+                     [--max-session-threads N] [--data-dir DIR] \
+                     [--durability always|batch|never] [--wal-compact-bytes N] \
                      [--warm-store-bytes N] [--prepared-capacity N]"
                 );
                 return;

@@ -2,8 +2,8 @@
 //! connection per call, simple poll-based waiting.
 
 use crate::proto::{
-    read_line, write_line, Request, Response, ResultPayload, SessionSummary, StatusPayload,
-    StoreStatsPayload,
+    read_line, write_line, PersistStatsPayload, Request, Response, ResultPayload, SessionSummary,
+    StatusPayload, StoreStatsPayload,
 };
 use crate::spec::SubmitSpec;
 use std::io::BufReader;
@@ -114,6 +114,16 @@ impl Client {
     pub fn store_stats(&self) -> Result<StoreStatsPayload, String> {
         match self.call(&Request::StoreStats)? {
             Response::StoreStats(s) => Ok(s),
+            Response::Error(e) => Err(e.to_string()),
+            other => Err(format!("unexpected response: {other:?}")),
+        }
+    }
+
+    /// Statistics of the daemon's durable store (WAL, generation, last
+    /// recovery outcome).
+    pub fn persist_stats(&self) -> Result<PersistStatsPayload, String> {
+        match self.call(&Request::PersistStats)? {
+            Response::PersistStats(s) => Ok(s),
             Response::Error(e) => Err(e.to_string()),
             other => Err(format!("unexpected response: {other:?}")),
         }

@@ -173,6 +173,7 @@ fn dispatch(req: Request, manager: &SessionManager) -> Response {
         },
         Request::StoreStats => Response::StoreStats(manager.store_stats().into()),
         Request::StoreFlush => Response::Flushed(manager.store_flush()),
+        Request::PersistStats => Response::PersistStats(manager.persist_stats().into()),
         Request::Shutdown => {
             manager.initiate_shutdown();
             Response::Ok

@@ -17,13 +17,17 @@
 //!   (`submit`/`status`/`result`/`cancel`/`suspend`/`resume`/`list`/
 //!   `metrics`/`trace`), with errors as a closed [`ErrorCode`] set;
 //! * [`daemon`] — the TCP front end (`ixtuned`);
-//! * [`client`] — the blocking client (`ixtunectl` and tests).
+//! * [`client`] — the blocking client (`ixtunectl` and tests);
+//! * [`durable`] — glue to the `ixtune-persist` WAL/snapshot store: every
+//!   submission, transition, and warm publication survives a crash and is
+//!   replayed at start (DESIGN.md §10).
 //!
 //! [`TuningRequest`]: ixtune_core::tuner::TuningRequest
 //! [`StopSignal`]: ixtune_core::stop::StopSignal
 
 pub mod client;
 pub mod daemon;
+pub mod durable;
 pub mod manager;
 pub mod proto;
 pub mod spec;
@@ -32,7 +36,7 @@ pub use client::Client;
 pub use daemon::Daemon;
 pub use manager::SessionManager;
 pub use proto::{
-    ErrorCode, ErrorPayload, Request, Response, ResultPayload, SessionState, SessionSummary,
-    StatusPayload,
+    ErrorCode, ErrorPayload, PersistStatsPayload, Request, Response, ResultPayload, SessionState,
+    SessionSummary, StatusPayload,
 };
 pub use spec::{AlgorithmSpec, ServiceConfig, SubmitSpec, WorkloadSpec};

@@ -1,5 +1,5 @@
 //! The session manager: bounded job queue, admission control, worker
-//! threads, cooperative interruption, and checkpoint persistence.
+//! threads, cooperative interruption, and durable state.
 //!
 //! All shared state lives in one [`Monitor`]; workers block on it for
 //! work, clients mutate it through the manager's methods, and every
@@ -7,7 +7,15 @@
 //! structural: exactly `max_concurrent` worker threads exist, so at most
 //! that many sessions run at once; admission control bounds the number of
 //! admitted-but-not-terminal sessions at `queue_capacity`.
+//!
+//! Every state transition that must survive a crash — submission, claim,
+//! suspension, resume, settle, warm-store publication — is appended to
+//! the write-ahead log under `ServiceConfig::data_dir` (see DESIGN.md
+//! §10); [`SessionManager::start`] replays it so suspended sessions
+//! reappear resumable, completed results stay queryable, and the warm
+//! store opens with every cost prior sessions paid for.
 
+use crate::durable::{import_warm, warm_batch_record, DurableLog};
 use crate::proto::{
     ErrorCode, ErrorPayload, ResultPayload, SessionState, SessionSummary, StatusPayload,
 };
@@ -20,9 +28,10 @@ use ixtune_core::stop::{Progress, StopReason, StopSignal};
 use ixtune_core::tuner::{Tuner, TuningContext, TuningResult};
 use ixtune_core::warm::{WarmState, WarmStore, WarmStoreStats};
 use ixtune_obs::{MetricsRegistry, TraceRecorder};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use ixtune_persist::{PersistState, PersistStats, Record, SessionStatus};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -114,15 +123,33 @@ pub struct SessionManager {
     tracer: Arc<TraceRecorder>,
     /// Daemon-wide warm cost store: cross-session what-if reuse.
     warm: Arc<WarmStore>,
+    /// Durable WAL + snapshot store under `cfg.data_dir`.
+    durable: Arc<DurableLog>,
 }
 
 impl SessionManager {
-    /// Start `max_concurrent` workers over an empty session table.
+    /// Recover durable state from `cfg.data_dir`, then start
+    /// `max_concurrent` workers over the recovered session table.
+    ///
+    /// Panics when the data directory cannot be created or opened — a
+    /// daemon that cannot persist cannot honor its restart contract, and
+    /// there is no session yet to fail on behalf of.
     pub fn start(cfg: ServiceConfig) -> Self {
-        let state = Arc::new(Monitor::new(ManagerState::default()));
         let registry = Arc::new(MetricsRegistry::new());
         let tracer = Arc::new(TraceRecorder::new(TRACE_CAPACITY));
         let warm = Arc::new(WarmStore::new(cfg.warm_store_bytes as usize));
+        std::fs::create_dir_all(cfg.checkpoint_dir())
+            .unwrap_or_else(|e| panic!("create {:?}: {e}", cfg.checkpoint_dir()));
+        let (durable, recovered) =
+            DurableLog::open(&cfg.data_dir, cfg.durability, &registry, &tracer)
+                .unwrap_or_else(|e| panic!("open persist store in {:?}: {e}", cfg.data_dir));
+        let durable = Arc::new(durable);
+        // Warm capital first: the very first admitted session must check
+        // out every cost prior daemons paid for.
+        import_warm(&recovered, &warm);
+        let init = import_sessions(&recovered, &cfg);
+        cleanup_orphan_checkpoints(&cfg.checkpoint_dir(), &init);
+        let state = Arc::new(Monitor::new(init));
         let workers = (0..cfg.max_concurrent.max(1))
             .map(|_| {
                 let state = Arc::clone(&state);
@@ -130,7 +157,10 @@ impl SessionManager {
                 let registry = Arc::clone(&registry);
                 let tracer = Arc::clone(&tracer);
                 let warm = Arc::clone(&warm);
-                std::thread::spawn(move || worker_loop(&state, &cfg, &registry, &tracer, &warm))
+                let durable = Arc::clone(&durable);
+                std::thread::spawn(move || {
+                    worker_loop(&state, &cfg, &registry, &tracer, &warm, &durable)
+                })
             })
             .collect();
         Self {
@@ -140,12 +170,19 @@ impl SessionManager {
             registry,
             tracer,
             warm,
+            durable,
         }
     }
 
     /// The daemon-wide metrics registry (tests scrape it directly).
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Point-in-time statistics of the durable store (generation, WAL
+    /// size, fsyncs, last-recovery outcome).
+    pub fn persist_stats(&self) -> PersistStats {
+        self.durable.stats()
     }
 
     /// Aggregate counters of the warm cost store.
@@ -155,9 +192,12 @@ impl SessionManager {
 
     /// Drop every warm store snapshot; returns the entries discarded.
     /// Running sessions keep their checked-out snapshots and finish
-    /// unaffected.
+    /// unaffected. Logged, so a flushed store stays flushed across a
+    /// restart.
     pub fn store_flush(&self) -> usize {
-        self.warm.flush()
+        let dropped = self.warm.flush();
+        self.durable.append(&Record::WarmFlush);
+        dropped
     }
 
     /// Admit a session. Fails when the daemon is shutting down or the
@@ -166,8 +206,20 @@ impl SessionManager {
     pub fn submit(&self, spec: SubmitSpec) -> Result<u64, ErrorPayload> {
         spec.validate()
             .map_err(|m| ErrorPayload::new(ErrorCode::InvalidSpec, m))?;
+        let spec_json = serde_json::to_string(&spec)
+            .map_err(|e| ErrorPayload::new(ErrorCode::InvalidSpec, format!("spec: {e}")))?;
         let capacity = self.cfg.queue_capacity;
-        self.state.update(|st| {
+        // WAL appends happen *inside* the registry lock, here and at every
+        // other transition site: the lock serializes commits, so WAL order
+        // is exactly commit order. Appending after releasing the lock once
+        // let a 1 ms session run, suspend, and log `SessionSuspended`
+        // before the submitter's `SessionSubmitted` reached the WAL —
+        // replay drops transitions for ids it has not seen submitted, so
+        // the suspended session came back `Queued`. The fsync-under-lock
+        // cost lands on rare control-plane calls and per-session settles,
+        // never on the tuning hot path.
+        let durable = &self.durable;
+        let admitted = self.state.update(|st| {
             if st.shutdown {
                 return Err(ErrorPayload::new(
                     ErrorCode::ShuttingDown,
@@ -198,8 +250,10 @@ impl SessionManager {
                 },
             );
             st.queue.push_back(id);
+            durable.append(&Record::SessionSubmitted { id, spec_json });
             Ok(id)
-        })
+        });
+        admitted
     }
 
     /// Cancel a session in any non-terminal state. Queued sessions go
@@ -207,6 +261,7 @@ impl SessionManager {
     /// best-so-far result is kept); suspended ones go terminal and their
     /// snapshot is deleted.
     pub fn cancel(&self, id: u64) -> Result<(), ErrorPayload> {
+        let durable = &self.durable;
         let snapshot = self.state.update(|st| {
             let rec = st
                 .sessions
@@ -216,9 +271,15 @@ impl SessionManager {
                 SessionState::Queued => {
                     rec.state = SessionState::Cancelled;
                     st.queue.retain(|&q| q != id);
+                    durable.append(&Record::SessionCancelled {
+                        id,
+                        result_json: None,
+                    });
                     Ok(None)
                 }
                 SessionState::Running => {
+                    // The worker observes the signal, settles the session,
+                    // and writes the terminal record itself.
                     if let Some(stop) = &rec.stop {
                         stop.cancel();
                     }
@@ -226,6 +287,10 @@ impl SessionManager {
                 }
                 SessionState::Suspended => {
                     rec.state = SessionState::Cancelled;
+                    durable.append(&Record::SessionCancelled {
+                        id,
+                        result_json: None,
+                    });
                     Ok(rec.snapshot.take())
                 }
                 s => Err(ErrorPayload::new(
@@ -273,6 +338,7 @@ impl SessionManager {
     /// Re-queue a suspended session; it resumes from its snapshot with the
     /// original spec's deterministic triggers cleared.
     pub fn resume(&self, id: u64) -> Result<(), ErrorPayload> {
+        let durable = &self.durable;
         self.state.update(|st| {
             let rec = st
                 .sessions
@@ -287,6 +353,7 @@ impl SessionManager {
             rec.state = SessionState::Queued;
             rec.resumed = true;
             st.queue.push_back(id);
+            durable.append(&Record::SessionResumed { id });
             Ok(())
         })
     }
@@ -439,12 +506,19 @@ impl SessionManager {
 
     /// Stop accepting work and cancel whatever is queued or running.
     pub fn initiate_shutdown(&self) {
+        let durable = &self.durable;
         self.state.update(|st| {
             st.shutdown = true;
             st.queue.clear();
-            for rec in st.sessions.values_mut() {
+            for (&id, rec) in st.sessions.iter_mut() {
                 match rec.state {
-                    SessionState::Queued => rec.state = SessionState::Cancelled,
+                    SessionState::Queued => {
+                        rec.state = SessionState::Cancelled;
+                        durable.append(&Record::SessionCancelled {
+                            id,
+                            result_json: None,
+                        });
+                    }
                     SessionState::Running => {
                         if let Some(stop) = &rec.stop {
                             stop.cancel();
@@ -456,17 +530,113 @@ impl SessionManager {
         });
     }
 
-    /// Shut down and join every worker.
+    /// Shut down, join every worker, and flush the WAL batch so a clean
+    /// exit loses nothing even under `--durability batch`.
     pub fn shutdown(mut self) {
         self.initiate_shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        self.durable.sync();
     }
 }
 
 fn unknown_session(id: u64) -> ErrorPayload {
     ErrorPayload::new(ErrorCode::UnknownSession, format!("no session {id}"))
+}
+
+/// Rebuild the in-memory session table from recovered durable state.
+/// `Queued` and `Running` rows re-enter the queue — a `Running` row means
+/// the daemon died mid-session, so it re-runs (from its checkpoint when
+/// one exists). Rows whose spec no longer parses are dropped with a
+/// stderr note; ids are never reused, so the gap is harmless.
+fn import_sessions(recovered: &PersistState, cfg: &ServiceConfig) -> ManagerState {
+    let mut st = ManagerState {
+        next_id: recovered.next_id,
+        ..ManagerState::default()
+    };
+    for row in &recovered.sessions {
+        let spec: SubmitSpec = match serde_json::from_str(&row.spec_json) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "ixtuned: recovery dropped session {}: spec unreadable: {e}",
+                    row.id
+                );
+                continue;
+            }
+        };
+        st.next_id = st.next_id.max(row.id + 1);
+        let snapshot = row
+            .checkpoint
+            .as_ref()
+            .map(|name| cfg.checkpoint_dir().join(name));
+        let (state, result, error, requeue) = match &row.status {
+            SessionStatus::Queued | SessionStatus::Running => {
+                (SessionState::Queued, None, None, true)
+            }
+            SessionStatus::Suspended => (SessionState::Suspended, None, None, false),
+            SessionStatus::Done { result_json } => (
+                SessionState::Done,
+                serde_json::from_str(result_json).ok(),
+                None,
+                false,
+            ),
+            SessionStatus::Cancelled { result_json } => (
+                SessionState::Cancelled,
+                result_json
+                    .as_deref()
+                    .and_then(|j| serde_json::from_str(j).ok()),
+                None,
+                false,
+            ),
+            SessionStatus::Failed { error } => {
+                (SessionState::Failed, None, Some(error.clone()), false)
+            }
+        };
+        if requeue {
+            st.queue.push_back(row.id);
+        }
+        st.sessions.insert(
+            row.id,
+            SessionRec {
+                spec,
+                state,
+                stop: None,
+                result,
+                error,
+                wall_clock_ms: row.wall_clock_ms,
+                progress: None,
+                snapshot,
+                // A checkpoint means at least one segment already ran: the
+                // spec's one-shot triggers are spent and must not re-fire.
+                resumed: row.resumed || row.checkpoint.is_some(),
+            },
+        );
+    }
+    st
+}
+
+/// Remove checkpoint files no live suspension references — sessions that
+/// went terminal while their snapshot file lingered, or leftovers in a
+/// data dir whose WAL was lost.
+fn cleanup_orphan_checkpoints(dir: &Path, st: &ManagerState) {
+    let live: HashSet<PathBuf> = st
+        .sessions
+        .values()
+        .filter_map(|rec| rec.snapshot.clone())
+        .collect();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("s-") && name.ends_with(".ckpt.json") && !live.contains(&path) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
 }
 
 /// Session states and their `ixtune_sessions{state=…}` gauge labels, in
@@ -495,6 +665,7 @@ fn worker_loop(
     registry: &Arc<MetricsRegistry>,
     tracer: &Arc<TraceRecorder>,
     warm_store: &Arc<WarmStore>,
+    durable: &Arc<DurableLog>,
 ) {
     loop {
         // Claim: wait for work or shutdown, atomically marking the
@@ -529,6 +700,7 @@ fn worker_loop(
                     }
                     rec.state = SessionState::Running;
                     rec.stop = Some(stop.clone());
+                    durable.append(&Record::SessionRunning { id });
                     return Some((id, rec.spec.clone(), rec.snapshot.clone(), stop));
                 }
                 None
@@ -597,14 +769,18 @@ fn worker_loop(
                 // Absorb the ledger whatever the outcome — completed,
                 // suspended, failed, or panicked segments all paid for real
                 // optimizer calls worth sharing. Costs are pure functions,
-                // so partial segments contribute correct entries.
-                warm_store.absorb(
-                    &key,
-                    fingerprint,
-                    ixtune_optimizer::WhatIfOptimizer::num_queries(&p.opt),
-                    p.cands.len(),
-                    warm.drain(),
-                );
+                // so partial segments contribute correct entries. Logged
+                // only when it added something: replay re-absorbs exactly
+                // the warm capital this segment published.
+                let num_queries = ixtune_optimizer::WhatIfOptimizer::num_queries(&p.opt);
+                let ledger = warm.drain();
+                let batch =
+                    warm_batch_record(&key, fingerprint, num_queries, p.cands.len(), &ledger);
+                let added =
+                    warm_store.absorb(&key, fingerprint, num_queries, p.cands.len(), ledger);
+                if added > 0 {
+                    durable.append(&batch);
+                }
                 let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
                 match outcome {
                     Ok(s) => {
@@ -624,7 +800,7 @@ fn worker_loop(
             }
         };
 
-        let consumed = state.update(|st| {
+        let outcome = state.update(|st| {
             let rec = st.sessions.get_mut(&id)?;
             if let Some(p) = rec.stop.as_ref().and_then(|s| s.progress()) {
                 rec.progress = Some(p);
@@ -634,31 +810,64 @@ fn worker_loop(
                 Settled::Finished(result) => {
                     let mut payload = ResultPayload::from_result(&result);
                     payload.telemetry.wall_clock_ms = rec.wall_clock_ms;
-                    rec.state = match result.stop_reason {
-                        Some(StopReason::Cancelled) | Some(StopReason::Deadline) => {
-                            SessionState::Cancelled
-                        }
-                        _ => SessionState::Done,
+                    let json = serde_json::to_string(&payload).ok();
+                    let cancelled = matches!(
+                        result.stop_reason,
+                        Some(StopReason::Cancelled) | Some(StopReason::Deadline)
+                    );
+                    rec.state = if cancelled {
+                        SessionState::Cancelled
+                    } else {
+                        SessionState::Done
                     };
                     rec.result = Some(payload);
-                    rec.snapshot.take()
+                    // Logged under the lock: the terminal state must be in
+                    // the WAL before any client can observe it, and WAL
+                    // order must match commit order (see `submit`).
+                    durable.append(&if cancelled {
+                        Record::SessionCancelled {
+                            id,
+                            result_json: json,
+                        }
+                    } else {
+                        Record::SessionDone {
+                            id,
+                            result_json: json.unwrap_or_default(),
+                        }
+                    });
+                    Some(rec.snapshot.take())
                 }
                 Settled::Suspended(path) => {
                     rec.state = SessionState::Suspended;
+                    let checkpoint = path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
                     rec.snapshot = Some(path);
-                    None
+                    durable.append(&Record::SessionSuspended {
+                        id,
+                        checkpoint,
+                        wall_clock_ms: rec.wall_clock_ms,
+                    });
+                    Some(None)
                 }
                 Settled::Failed(msg) => {
                     rec.state = SessionState::Failed;
-                    rec.error = Some(msg);
-                    None
+                    rec.error = Some(msg.clone());
+                    durable.append(&Record::SessionFailed { id, error: msg });
+                    Some(None)
                 }
             }
         });
-        // A resumed session that ran to completion has consumed its
-        // snapshot; remove the file outside the lock.
-        if let Some(path) = consumed {
-            let _ = std::fs::remove_file(path);
+        if let Some(consumed) = outcome {
+            // A resumed session that ran to completion has consumed its
+            // snapshot; remove the file outside the lock.
+            if let Some(path) = consumed {
+                let _ = std::fs::remove_file(path);
+            }
+            // Settle is the one quiet moment in a session's life — compact
+            // here, never on the tuning hot path.
+            durable.maybe_compact(cfg.wal_compact_bytes);
         }
     }
 }
@@ -709,10 +918,9 @@ fn run_session(
             match outcome {
                 MctsOutcome::Finished(result, _) => Settled::Finished(result),
                 MctsOutcome::Suspended(ckpt) => {
-                    let path = cfg.snapshot_dir.join(format!("s-{id}.ckpt.json"));
-                    if let Err(e) = std::fs::create_dir_all(&cfg.snapshot_dir) {
-                        return Settled::Failed(format!("snapshot dir: {e}"));
-                    }
+                    // The checkpoint directory exists from daemon start;
+                    // its name format is load-bearing for orphan cleanup.
+                    let path = cfg.checkpoint_dir().join(format!("s-{id}.ckpt.json"));
                     let json = ckpt.to_json();
                     let t0 = obs.span_start();
                     let written = std::fs::write(&path, &json);
@@ -759,11 +967,15 @@ mod tests {
     use crate::spec::{AlgorithmSpec, WorkloadSpec};
 
     fn config(dir: &str) -> ServiceConfig {
+        let data_dir = std::env::temp_dir().join(dir);
+        // Durable state survives the process now; wipe the directory so
+        // every run starts from the cold-store behavior the tests assert.
+        let _ = std::fs::remove_dir_all(&data_dir);
         ServiceConfig {
             max_concurrent: 2,
             queue_capacity: 4,
             max_session_threads: 2,
-            snapshot_dir: std::env::temp_dir().join(dir),
+            data_dir,
             ..ServiceConfig::default()
         }
     }
@@ -913,6 +1125,84 @@ mod tests {
         let c = submit();
         assert_eq!(c.telemetry.warm_hits, 0);
         mgr.shutdown();
+    }
+
+    #[test]
+    fn restart_recovers_results_and_warm_capital() {
+        let cfg = config("ixtuned-test-restart");
+        let first = {
+            let mgr = SessionManager::start(cfg.clone());
+            let id = mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 40)).unwrap();
+            assert_eq!(
+                mgr.wait_settled(id, Duration::from_secs(30)),
+                Some(SessionState::Done)
+            );
+            let r = mgr.result(id).unwrap();
+            assert_eq!(r.telemetry.warm_hits, 0, "store starts cold");
+            mgr.shutdown();
+            r
+        };
+        // Same data dir, no wipe: the second daemon replays the first's log.
+        let mgr = SessionManager::start(cfg);
+        let back = mgr.result(0).unwrap();
+        assert_eq!(mgr.status(0).unwrap().state, SessionState::Done);
+        assert_eq!(back.improvement.to_bits(), first.improvement.to_bits());
+        assert_eq!(back.layout_fingerprint, first.layout_fingerprint);
+        // The very first session after restart is fully warm-served.
+        let id = mgr.submit(spec(AlgorithmSpec::VanillaGreedy, 40)).unwrap();
+        assert_eq!(id, 1, "recovered next_id continues the sequence");
+        assert_eq!(
+            mgr.wait_settled(id, Duration::from_secs(30)),
+            Some(SessionState::Done)
+        );
+        let b = mgr.result(id).unwrap();
+        assert!(b.telemetry.warm_seeded > 0, "recovered store seeds warm");
+        assert_eq!(
+            b.telemetry.warm_hits, b.telemetry.what_if_calls,
+            "identical restarted session: every budgeted call warm-served"
+        );
+        assert_eq!(b.improvement.to_bits(), first.improvement.to_bits());
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn restart_keeps_suspended_session_resumable_and_cleans_orphans() {
+        let cfg = config("ixtuned-test-restart-suspended");
+        {
+            let mgr = SessionManager::start(cfg.clone());
+            let mut s = spec(AlgorithmSpec::Mcts, 400);
+            s.pause_after_calls = Some(50);
+            let id = mgr.submit(s).unwrap();
+            assert_eq!(
+                mgr.wait_settled(id, Duration::from_secs(60)),
+                Some(SessionState::Suspended)
+            );
+            mgr.shutdown();
+        }
+        // An orphan from a session the log knows nothing about must be
+        // swept at recovery; the live checkpoint must survive it.
+        let orphan = cfg.checkpoint_dir().join("s-99.ckpt.json");
+        std::fs::write(&orphan, "{}").unwrap();
+        let mgr = SessionManager::start(cfg.clone());
+        assert!(!orphan.exists(), "orphan checkpoint swept");
+        assert!(
+            cfg.checkpoint_dir().join("s-0.ckpt.json").exists(),
+            "live checkpoint kept"
+        );
+        assert_eq!(mgr.status(0).unwrap().state, SessionState::Suspended);
+        mgr.resume(0).unwrap();
+        assert_eq!(
+            mgr.wait_settled(0, Duration::from_secs(60)),
+            Some(SessionState::Done)
+        );
+        let r = mgr.result(0).unwrap();
+        assert!(r.calls_used <= 400);
+        // Workers are joined here, so the post-settle file removal is done.
+        mgr.shutdown();
+        assert!(
+            !cfg.checkpoint_dir().join("s-0.ckpt.json").exists(),
+            "completion consumes the checkpoint"
+        );
     }
 
     #[test]

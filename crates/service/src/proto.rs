@@ -42,6 +42,9 @@ pub enum Request {
     /// Drop every warm store snapshot; answered with `Flushed(entries)`.
     /// Running sessions keep their checked-out snapshots.
     StoreFlush,
+    /// Statistics of the durable store (WAL size, generation, last
+    /// recovery outcome).
+    PersistStats,
     /// Stop accepting work, cancel running sessions, and exit.
     Shutdown,
 }
@@ -62,6 +65,8 @@ pub enum Response {
     StoreStats(StoreStatsPayload),
     /// Entries discarded by `StoreFlush`.
     Flushed(usize),
+    /// Durable store statistics (answer to `PersistStats`).
+    PersistStats(PersistStatsPayload),
     /// Generic success for cancel/suspend/resume/shutdown.
     Ok,
     Error(ErrorPayload),
@@ -96,6 +101,53 @@ impl From<ixtune_core::warm::WarmStoreStats> for StoreStatsPayload {
             epoch: s.epoch,
             evictions: s.evictions,
             max_bytes: s.max_bytes,
+        }
+    }
+}
+
+/// Wire form of the durable store's statistics: live WAL/snapshot
+/// counters plus the outcome of the recovery the daemon performed at
+/// start.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PersistStatsPayload {
+    /// Current snapshot/WAL generation.
+    pub generation: u64,
+    /// Live write-ahead log size in bytes.
+    pub wal_bytes: u64,
+    /// Records appended since daemon start.
+    pub records_total: u64,
+    /// fsyncs issued since daemon start.
+    pub fsyncs_total: u64,
+    /// Snapshot compactions since daemon start.
+    pub compactions_total: u64,
+    /// Configured policy: `"always"`, `"batch"`, or `"never"`.
+    pub durability: String,
+    /// Whether start-up recovery loaded a snapshot.
+    pub recovered_snapshot: bool,
+    /// WAL records replayed at start-up.
+    pub recovered_wal_records: u64,
+    /// Whether recovery truncated a torn WAL tail.
+    pub recovery_torn_tail: bool,
+    /// Bytes dropped by the torn-tail truncation.
+    pub recovery_torn_bytes: u64,
+    /// Wall-clock recovery duration, milliseconds.
+    pub recovery_ms: f64,
+}
+
+impl From<ixtune_persist::PersistStats> for PersistStatsPayload {
+    fn from(s: ixtune_persist::PersistStats) -> Self {
+        Self {
+            generation: s.generation,
+            wal_bytes: s.wal_bytes,
+            records_total: s.records_total,
+            fsyncs_total: s.fsyncs_total,
+            compactions_total: s.compactions_total,
+            durability: s.durability.as_str().to_string(),
+            recovered_snapshot: s.recovery.snapshot_loaded,
+            recovered_wal_records: s.recovery.wal_records,
+            recovery_torn_tail: s.recovery.torn_tail,
+            recovery_torn_bytes: s.recovery.torn_bytes,
+            recovery_ms: s.recovery.duration_ms,
         }
     }
 }
@@ -287,6 +339,7 @@ mod tests {
             Request::Trace(8),
             Request::StoreStats,
             Request::StoreFlush,
+            Request::PersistStats,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -339,6 +392,19 @@ mod tests {
                 max_bytes: 64 << 20,
             }),
             Response::Flushed(512),
+            Response::PersistStats(PersistStatsPayload {
+                generation: 3,
+                wal_bytes: 4096,
+                records_total: 17,
+                fsyncs_total: 2,
+                compactions_total: 1,
+                durability: "batch".into(),
+                recovered_snapshot: true,
+                recovered_wal_records: 5,
+                recovery_torn_tail: true,
+                recovery_torn_bytes: 12,
+                recovery_ms: 1.25,
+            }),
             Response::Ok,
             Response::Error(ErrorPayload::new(
                 ErrorCode::QueueFull,

@@ -4,6 +4,7 @@ use ixtune_bench::session::Session;
 use ixtune_candidates::{generate_default, CandidateSet};
 use ixtune_core::tuner::TuningRequest;
 use ixtune_optimizer::{CostModel, SimulatedOptimizer};
+use ixtune_persist::Durability;
 use ixtune_workload::gen::{synth, BenchmarkKind};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -193,8 +194,16 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Cap composed with each spec's `session_threads`.
     pub max_session_threads: usize,
-    /// Directory for suspended-session snapshots.
-    pub snapshot_dir: PathBuf,
+    /// The daemon's durable root (`--data-dir`): the write-ahead log and
+    /// generation snapshots live directly inside it, suspended-session
+    /// checkpoints under [`ServiceConfig::checkpoint_dir`]. Restarting on
+    /// the same directory recovers the warm store and session registry.
+    pub data_dir: PathBuf,
+    /// When appended WAL records reach stable storage
+    /// (`--durability always|batch|never`).
+    pub durability: Durability,
+    /// WAL size that triggers snapshot compaction after a session settles.
+    pub wal_compact_bytes: u64,
     /// Byte bound on the daemon-wide warm cost store (estimated resident
     /// size; least-recently-touched workload snapshots are evicted first).
     pub warm_store_bytes: u64,
@@ -204,13 +213,26 @@ pub struct ServiceConfig {
     pub prepared_capacity: usize,
 }
 
+impl ServiceConfig {
+    /// Where suspended-session checkpoints live: a subdirectory of the
+    /// data dir, so one `--data-dir` flag governs every durable artifact.
+    pub fn checkpoint_dir(&self) -> PathBuf {
+        self.data_dir.join("checkpoints")
+    }
+}
+
 impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
             max_concurrent: 2,
             queue_capacity: 16,
             max_session_threads: ixtune_common::sync::available_parallelism(),
-            snapshot_dir: PathBuf::from("snapshots"),
+            // Absolute by construction — the old CWD-relative "snapshots"
+            // default scattered state wherever the daemon happened to
+            // start. Production deployments pass an explicit --data-dir.
+            data_dir: std::env::temp_dir().join("ixtuned-data"),
+            durability: Durability::Batch,
+            wal_compact_bytes: 4 << 20,
             warm_store_bytes: 64 << 20,
             prepared_capacity: 8,
         }

@@ -12,11 +12,15 @@ use std::time::Duration;
 const WAIT: Duration = Duration::from_secs(120);
 
 fn config(dir: &str) -> ServiceConfig {
+    let data_dir = std::env::temp_dir().join(dir);
+    // Durable state survives the process; wipe the directory so every run
+    // starts from the cold-store behavior the tests assert.
+    let _ = std::fs::remove_dir_all(&data_dir);
     ServiceConfig {
         max_concurrent: 2,
         queue_capacity: 8,
         max_session_threads: 2,
-        snapshot_dir: std::env::temp_dir().join(dir),
+        data_dir,
         ..ServiceConfig::default()
     }
 }
@@ -120,14 +124,15 @@ fn suspend_resume_matches_uninterrupted_run() {
     );
     // Both segments' time is accounted for.
     assert!(b_result.telemetry.wall_clock_ms > 0.0);
-    // The snapshot file is consumed (deleted) on successful completion.
-    let leftover = std::env::temp_dir()
-        .join("ixtuned-e2e-resume")
-        .join(format!("s-{b}.ckpt.json"));
-    assert!(!leftover.exists(), "snapshot consumed on completion");
-
     client.shutdown().expect("shutdown");
     daemon.join();
+    // The snapshot file is consumed (deleted) on successful completion
+    // (checked after join so the worker's post-settle removal has run).
+    let leftover = std::env::temp_dir()
+        .join("ixtuned-e2e-resume")
+        .join("checkpoints")
+        .join(format!("s-{b}.ckpt.json"));
+    assert!(!leftover.exists(), "snapshot consumed on completion");
 }
 
 #[test]
@@ -247,6 +252,16 @@ fn metrics_scrape_mid_run_and_trace_download() {
     // Unknown ids get the typed error.
     let err = client.trace(999_999).expect_err("unknown session");
     assert!(err.starts_with("UnknownSession"), "{err}");
+
+    // The durable store is live and observable over the wire.
+    let persist = client.persist_stats().expect("persist verb");
+    assert_eq!(persist.durability, "batch", "default policy");
+    assert!(persist.records_total > 0, "transitions were logged");
+    assert!(!persist.recovered_snapshot, "fresh data dir: no snapshot");
+    assert!(
+        parse_exposition(&text, "ixtune_persist_records_total") > 0.0,
+        "persist counters reach the exposition"
+    );
 
     client.shutdown().expect("shutdown");
     daemon.join();

@@ -85,11 +85,15 @@ proptest! {
 }
 
 fn config(tag: u64) -> ServiceConfig {
+    let data_dir = std::env::temp_dir().join(format!("ixtuned-props-{tag}"));
+    // Durable state survives the process; wipe the directory so every
+    // proptest case starts cold.
+    let _ = std::fs::remove_dir_all(&data_dir);
     ServiceConfig {
         max_concurrent: 2,
         queue_capacity: 8,
         max_session_threads: 2,
-        snapshot_dir: std::env::temp_dir().join(format!("ixtuned-props-{tag}")),
+        data_dir,
         ..ServiceConfig::default()
     }
 }
