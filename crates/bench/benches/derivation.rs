@@ -318,7 +318,7 @@ fn bench_warm_sessions(c: &mut Criterion) {
                 b.iter_batched(
                     || {
                         tick += 1;
-                        if tick % 8 == 0 {
+                        if tick.is_multiple_of(8) {
                             persist.append(&batch).expect("append bench batch");
                         }
                     },

@@ -8,6 +8,8 @@
 //!   configuration* (a subset of the candidate indexes) and supports the
 //!   subset tests that cost derivation is built on;
 //! * [`error`] — the workspace error type;
+//! * [`fault`] — the deterministic fault-injection plane: a seeded
+//!   [`fault::FaultPlan`] with named injection sites, inert by default;
 //! * [`rng`] — deterministic RNG construction helpers so that every
 //!   stochastic component is reproducible from an explicit seed;
 //! * [`sync`] — atomic budget reservation and thread-count resolution for
@@ -15,6 +17,7 @@
 
 pub mod bitset;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod intern;
 pub mod rng;
@@ -22,5 +25,6 @@ pub mod sync;
 
 pub use bitset::IndexSet;
 pub use error::{Error, Result};
+pub use fault::{FaultCursor, FaultPlan};
 pub use ids::{ColumnId, ColumnRef, IndexId, QueryId, TableId};
 pub use intern::{ConfigInterner, IdCostMap};

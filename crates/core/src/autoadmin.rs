@@ -7,7 +7,7 @@ use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
 use crate::greedy::{greedy_enumerate_metered, MeteredEval};
 use crate::matrix::Layout;
-use crate::stop::{StopReason, StopSignal};
+use crate::stop::StopSignal;
 use crate::tuner::{Tuner, TuningContext, TuningRequest, TuningResult};
 use crate::twophase::TwoPhaseGreedy;
 use ixtune_candidates::atomic::single_join_pairs;
@@ -109,12 +109,12 @@ impl Tuner for AutoAdminGreedy {
         };
         mw.publish_obs();
         let used = mw.meter().used();
-        let exhausted = mw.meter().exhausted();
+        let reason = mw.stop_reason(interrupt);
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
-            .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted))
+            .with_stop_reason(reason)
     }
 }
 

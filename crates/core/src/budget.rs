@@ -16,7 +16,9 @@
 
 use crate::derived::WhatIfCache;
 use crate::obs::Obs;
-use crate::source::CostSource;
+use crate::source::{CostSource, SessionFaults};
+use crate::stop::{Interrupt, StopReason};
+use ixtune_common::fault::{site, FaultCursor};
 use ixtune_common::{IndexId, IndexSet, QueryId};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -134,6 +136,15 @@ impl BudgetMeter {
         self.used >= self.budget
     }
 
+    /// Forfeit the remaining budget: shrink `budget` down to `used`, so
+    /// the meter reads exhausted while `used` keeps reporting the calls
+    /// actually made. The what-if error degradation ladder calls this —
+    /// once the source is failing, the rest of `B` is worthless and every
+    /// subsequent cost comes from derivation.
+    pub fn exhaust(&mut self) {
+        self.budget = self.used;
+    }
+
     /// Consume one call and price `(q, config)` against the source; `None`
     /// when the budget is spent. This is the *only* path through which a
     /// budgeted optimizer invocation flows, so it is where the source's
@@ -191,6 +202,12 @@ pub struct MeteredWhatIf<'a> {
     counters: SessionTelemetry,
     /// Observability handle mirrored from the source at construction.
     obs: Obs,
+    /// Session fault state mirrored from the source at construction.
+    faults: SessionFaults,
+    /// This client's private `whatif.error` cursor: call indices follow the
+    /// client's own miss stream, so injection is deterministic under any
+    /// thread interleaving. Inert (one branch) without a fault plan.
+    fault_cursor: FaultCursor,
     /// Telemetry as of the last [`publish_obs`](Self::publish_obs) — the
     /// delta base, so registry counters never double-count.
     published: SessionTelemetry,
@@ -205,6 +222,8 @@ impl<'a> MeteredWhatIf<'a> {
     /// query up front; these baseline calls are not charged (every
     /// algorithm and the evaluation metric need them — see DESIGN.md §5).
     pub fn new(src: &'a dyn CostSource, budget: usize) -> Self {
+        let faults = src.faults();
+        let fault_cursor = faults.plan().cursor(site::WHATIF_ERROR);
         Self {
             src,
             cache: WhatIfCache::from_source(src),
@@ -216,6 +235,8 @@ impl<'a> MeteredWhatIf<'a> {
                 ..SessionTelemetry::default()
             },
             obs: src.obs(),
+            faults,
+            fault_cursor,
             published: SessionTelemetry::default(),
             obs_publishing: true,
         }
@@ -230,6 +251,8 @@ impl<'a> MeteredWhatIf<'a> {
     /// merge — so a scrape never sees a worker's counters twice.
     pub fn with_cache(src: &'a dyn CostSource, budget: usize, cache: WhatIfCache) -> Self {
         cache.reset_derivations();
+        let faults = src.faults();
+        let fault_cursor = faults.plan().cursor(site::WHATIF_ERROR);
         Self {
             src,
             cache,
@@ -238,6 +261,8 @@ impl<'a> MeteredWhatIf<'a> {
             phase: Phase::Other,
             counters: SessionTelemetry::default(),
             obs: src.obs(),
+            faults,
+            fault_cursor,
             published: SessionTelemetry::default(),
             obs_publishing: false,
         }
@@ -260,6 +285,8 @@ impl<'a> MeteredWhatIf<'a> {
             derivations: cache.derivations(),
             ..counters
         };
+        let faults = src.faults();
+        let fault_cursor = faults.plan().cursor(site::WHATIF_ERROR);
         Self {
             src,
             cache,
@@ -268,6 +295,8 @@ impl<'a> MeteredWhatIf<'a> {
             phase: Phase::Other,
             counters,
             obs: src.obs(),
+            faults,
+            fault_cursor,
             published,
             obs_publishing: true,
         }
@@ -364,6 +393,15 @@ impl<'a> MeteredWhatIf<'a> {
             return Some(c);
         }
         self.obs.on_cache_ref(shard, false);
+        // Injected what-if failure: forfeit the remaining budget and fall
+        // back to derivation-only search. The enumerators already handle
+        // `None` (budget exhaustion) by salvaging best-so-far through the
+        // FCFS derivation path, so degradation reuses that machinery.
+        if self.fault_cursor.fire() {
+            self.faults.mark_degraded();
+            self.meter.exhaust();
+            return None;
+        }
         let (cost, warm) = self.meter.charged_cost_tagged(self.src, q, config)?;
         self.counters.what_if_calls += 1;
         if warm {
@@ -385,6 +423,24 @@ impl<'a> MeteredWhatIf<'a> {
     /// The observability handle this client mirrors into.
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Whether this session degraded to derivation-only search after an
+    /// injected (or real) what-if failure.
+    pub fn degraded(&self) -> bool {
+        self.faults.is_degraded()
+    }
+
+    /// The stop reason for a finished session: the usual
+    /// [`StopReason::from_interrupt`] mapping, except that an uninterrupted
+    /// run that degraded reports [`StopReason::Degraded`] instead of
+    /// `BudgetExhausted`/`Completed` — callers can tell a salvaged result
+    /// from a naturally terminated one.
+    pub fn stop_reason(&self, interrupt: Option<Interrupt>) -> StopReason {
+        if interrupt.is_none() && self.faults.is_degraded() {
+            return StopReason::Degraded;
+        }
+        StopReason::from_interrupt(interrupt, self.meter.exhausted())
     }
 
     /// Mirror telemetry growth since the last publish into the metrics

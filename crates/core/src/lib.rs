@@ -78,7 +78,7 @@ pub use mcts::tree::TreeSnapshot;
 pub use mcts::{MctsOutcome, MctsTuner, UpdatePolicy};
 pub use obs::{publish_cache_hit_ratios, Obs, METRIC_SHARDS};
 pub use parallel::{frozen_argmin, winner_values, FrozenEval, MIN_PARALLEL_WORK};
-pub use source::{CostSource, ObservedSource};
+pub use source::{CostSource, ObservedSource, SessionFaults};
 pub use stop::{Interrupt, Progress, StopReason, StopSignal};
 pub use telemetry::{TelemetryV2, TELEMETRY_VERSION};
 pub use tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};

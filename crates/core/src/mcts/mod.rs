@@ -503,13 +503,13 @@ impl MctsTuner {
         }
         mw.publish_obs();
         let used = mw.meter().used();
-        let exhausted = mw.meter().exhausted();
+        let reason = mw.stop_reason(interrupt);
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         let result =
             TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
                 .with_telemetry(telemetry)
-                .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted));
+                .with_stop_reason(reason);
         (result, state.conv)
     }
 
@@ -890,6 +890,14 @@ impl MctsTuner {
         let mut telemetry = master.telemetry();
         telemetry.derivations += worker_derivs;
         telemetry.session_threads = threads;
+        // A worker that degraded forfeited its private grant, so the summed
+        // `used` may sit below `budget`; the shared degraded flag still
+        // marks the run as salvaged.
+        let reason = if interrupt.is_none() && master.degraded() {
+            StopReason::Degraded
+        } else {
+            StopReason::from_interrupt(interrupt, used >= budget)
+        };
         let result = TuningResult::evaluate(
             self.name(),
             ctx,
@@ -898,7 +906,7 @@ impl MctsTuner {
             Layout::new(master.into_trace()),
         )
         .with_telemetry(telemetry)
-        .with_stop_reason(StopReason::from_interrupt(interrupt, used >= budget));
+        .with_stop_reason(reason);
         (result, conv)
     }
 }

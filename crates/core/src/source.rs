@@ -25,9 +25,50 @@
 
 use crate::obs::Obs;
 use crate::warm::WarmState;
+use ixtune_common::fault::{site, FaultPlan};
 use ixtune_common::{IndexSet, QueryId};
 use ixtune_optimizer::{SimulatedOptimizer, WhatIfOptimizer};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Synthetic latency added to an observed what-if call when the
+/// `whatif.latency` fault site fires. Affects latency histograms only —
+/// never costs, budgets, or results.
+pub const LATENCY_SPIKE_S: f64 = 0.25;
+
+/// Per-session fault state: the (shared) fault plan plus the degraded
+/// flag the what-if error ladder raises. Clones share the flag, so every
+/// metered client of one session observes the same degradation.
+#[derive(Clone, Default)]
+pub struct SessionFaults {
+    plan: FaultPlan,
+    degraded: Arc<AtomicBool>,
+}
+
+impl SessionFaults {
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            degraded: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The fault plan (inert by default).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Raise the degraded flag: a what-if error fired and the session fell
+    /// back to derivation-only search.
+    pub fn mark_degraded(&self) {
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether any client of this session has degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
 
 /// A source of per-query configuration costs.
 ///
@@ -89,6 +130,15 @@ pub trait CostSource: Sync {
     fn obs(&self) -> Obs {
         Obs::disabled()
     }
+
+    /// The session's fault state. The metered client pulls a `whatif.error`
+    /// cursor from its plan at construction; the default is inert (no
+    /// plan, never fires). Like [`obs`](Self::obs), implementors that carry
+    /// real state must return clones of *one* shared instance so every
+    /// client sees the same degraded flag.
+    fn faults(&self) -> SessionFaults {
+        SessionFaults::default()
+    }
 }
 
 /// Plain, unobserved access: the simulated optimizer is its own source.
@@ -116,6 +166,8 @@ pub struct ObservedSource<'a> {
     /// Warm overlay: snapshot consulted before the optimizer, ledger fed
     /// with the simulated answers. `None` outside the service.
     warm: Option<Arc<WarmState>>,
+    /// Session fault state (inert by default).
+    faults: SessionFaults,
 }
 
 impl<'a> ObservedSource<'a> {
@@ -124,7 +176,14 @@ impl<'a> ObservedSource<'a> {
             opt,
             obs,
             warm: None,
+            faults: SessionFaults::default(),
         }
+    }
+
+    /// Attach the session's fault state (see [`SessionFaults`]).
+    pub fn with_faults(mut self, faults: SessionFaults) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Attach a warm store overlay (see [`crate::warm`]). Costs already in
@@ -175,6 +234,13 @@ impl CostSource for ObservedSource<'_> {
     }
 
     fn observe(&self, q: QueryId, _config: &IndexSet, _cost: f64, elapsed_s: f64) {
+        // An injected latency spike lands in the histograms only; costs,
+        // budget accounting, and results never see it.
+        let elapsed_s = if self.faults.plan().fire(site::WHATIF_LATENCY) {
+            elapsed_s + LATENCY_SPIKE_S
+        } else {
+            elapsed_s
+        };
         self.obs.observe_whatif_latency(
             elapsed_s,
             self.opt.call_latency_s(q),
@@ -184,6 +250,10 @@ impl CostSource for ObservedSource<'_> {
 
     fn obs(&self) -> Obs {
         self.obs.clone()
+    }
+
+    fn faults(&self) -> SessionFaults {
+        self.faults.clone()
     }
 }
 

@@ -38,6 +38,11 @@ pub enum StopReason {
     /// The what-if budget `B` was fully consumed — the natural terminal
     /// state of budget-aware tuning.
     BudgetExhausted,
+    /// The what-if source started failing mid-search; the session salvaged
+    /// a result through derivation-only enumeration (the remaining budget
+    /// was forfeited, every later cost came from Eq. 1 derivation). The
+    /// result is still a valid configuration within the constraints.
+    Degraded,
 }
 
 impl StopReason {

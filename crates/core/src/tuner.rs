@@ -12,7 +12,7 @@
 use crate::budget::SessionTelemetry;
 use crate::matrix::Layout;
 use crate::obs::Obs;
-use crate::source::ObservedSource;
+use crate::source::{ObservedSource, SessionFaults};
 use crate::stop::{StopReason, StopSignal};
 use crate::warm::WarmState;
 use ixtune_candidates::CandidateSet;
@@ -30,6 +30,7 @@ pub struct TuningContext<'a> {
     pub cands: &'a CandidateSet,
     obs: Obs,
     warm: Option<Arc<WarmState>>,
+    faults: SessionFaults,
 }
 
 impl<'a> TuningContext<'a> {
@@ -40,6 +41,7 @@ impl<'a> TuningContext<'a> {
             cands,
             obs: Obs::disabled(),
             warm: None,
+            faults: SessionFaults::default(),
         }
     }
 
@@ -63,6 +65,20 @@ impl<'a> TuningContext<'a> {
         self
     }
 
+    /// Attach the session's fault state (see
+    /// [`SessionFaults`]): the sources this context builds consult the
+    /// plan's `whatif.*` sites, and the shared degraded flag records a
+    /// fallback to derivation-only search. Inert by default.
+    pub fn with_faults(mut self, faults: SessionFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The session's fault state.
+    pub fn faults(&self) -> &SessionFaults {
+        &self.faults
+    }
+
     /// The session's observability handle.
     pub fn obs(&self) -> &Obs {
         &self.obs
@@ -72,7 +88,7 @@ impl<'a> TuningContext<'a> {
     /// wrapped with this context's observability handle and, in the
     /// service, the warm store overlay.
     pub fn source(&self) -> ObservedSource<'a> {
-        let src = ObservedSource::new(self.opt, self.obs.clone());
+        let src = ObservedSource::new(self.opt, self.obs.clone()).with_faults(self.faults.clone());
         match &self.warm {
             Some(w) => src.with_warm(Arc::clone(w)),
             None => src,

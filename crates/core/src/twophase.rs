@@ -9,7 +9,7 @@ use crate::budget::MeteredWhatIf;
 use crate::derivation_state::DerivationState;
 use crate::greedy::{greedy_enumerate_incremental, greedy_enumerate_metered, MeteredEval};
 use crate::matrix::Layout;
-use crate::stop::{Interrupt, StopReason, StopSignal};
+use crate::stop::{Interrupt, StopSignal};
 use crate::tuner::{Constraints, Tuner, TuningContext, TuningRequest, TuningResult};
 use ixtune_common::sync::effective_threads;
 use ixtune_common::{IndexId, IndexSet, QueryId};
@@ -155,12 +155,12 @@ impl Tuner for TwoPhaseGreedy {
         };
         mw.publish_obs();
         let used = mw.meter().used();
-        let exhausted = mw.meter().exhausted();
+        let reason = mw.stop_reason(interrupt);
         let mut telemetry = mw.telemetry();
         telemetry.session_threads = threads;
         TuningResult::evaluate(self.name(), ctx, config, used, Layout::new(mw.into_trace()))
             .with_telemetry(telemetry)
-            .with_stop_reason(StopReason::from_interrupt(interrupt, exhausted))
+            .with_stop_reason(reason)
     }
 }
 

@@ -553,7 +553,7 @@ mod tests {
             .iter_entries()
             .map(|(q, c, cost)| (q.index(), c.clone(), cost.to_bits()))
             .collect();
-        cells.sort_by(|x, y| (x.0, x.2).cmp(&(y.0, y.2)));
+        cells.sort_by_key(|x| (x.0, x.2));
         assert_eq!(cells.len(), 3);
         assert_eq!(cells[0], (0, a.clone(), 1.25f64.to_bits()));
         // Bit patterns survive exactly — including NaN payloads and -0.0.

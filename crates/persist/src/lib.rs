@@ -32,6 +32,6 @@ pub use record::{
     SNAPSHOT_VERSION,
 };
 pub use store::{
-    AppendOutcome, CompactOutcome, Durability, Persist, PersistStats, RecoveryInfo, BATCH_BYTES,
-    BATCH_RECORDS,
+    fault_site, AppendOutcome, CompactOutcome, Durability, FaultHook, Persist, PersistStats,
+    RecoveryInfo, BATCH_BYTES, BATCH_RECORDS,
 };

@@ -21,8 +21,28 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Fault-injection callback: given an injection-site name, decide whether
+/// this call should fail. The persist crate stays dependency-free, so the
+/// seeded fault plan lives upstream and is handed in as a closure.
+pub type FaultHook = Arc<dyn Fn(&'static str) -> bool + Send + Sync>;
+
+/// Injection-site names recognized by this store. The literals match
+/// `ixtune_common::fault::site` so one spec string names both layers.
+pub mod fault_site {
+    /// A WAL frame append fails before any byte is written.
+    pub const APPEND: &str = "persist.append";
+    /// An fsync (WAL batch, snapshot, or explicit sync) fails.
+    pub const FSYNC: &str = "persist.fsync";
+    /// The snapshot rename — compaction's commit point — fails.
+    pub const RENAME: &str = "persist.rename";
+}
+
+fn injected(site: &'static str) -> io::Error {
+    io::Error::other(format!("injected: {site}"))
+}
 
 /// When appended records reach stable storage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +146,11 @@ pub struct PersistStats {
 
 struct Inner {
     wal: File,
+    /// Mutable so the service layer can demote (e.g. to `Never`) when the
+    /// disk starts failing, instead of crashing or spamming errors.
+    durability: Durability,
+    /// Optional fault-injection decision hook; `None` in production.
+    fault: Option<FaultHook>,
     generation: u64,
     wal_bytes: u64,
     unsynced_records: u64,
@@ -140,11 +165,16 @@ struct Inner {
     fold: PersistState,
 }
 
+impl Inner {
+    fn faulted(&self, site: &'static str) -> bool {
+        self.fault.as_ref().is_some_and(|h| h(site))
+    }
+}
+
 /// Handle to the durable store. Appends and compactions serialize on an
 /// internal mutex, so a compaction always observes a record boundary.
 pub struct Persist {
     dir: PathBuf,
-    durability: Durability,
     recovery: RecoveryInfo,
     inner: Mutex<Inner>,
 }
@@ -269,10 +299,11 @@ impl Persist {
         info.duration_ms = started.elapsed().as_secs_f64() * 1e3;
         let persist = Persist {
             dir,
-            durability,
             recovery: info.clone(),
             inner: Mutex::new(Inner {
                 wal,
+                durability,
+                fault: None,
                 generation,
                 wal_bytes,
                 unsynced_records: 0,
@@ -292,7 +323,18 @@ impl Persist {
     }
 
     pub fn durability(&self) -> Durability {
-        self.durability
+        self.inner.lock().expect("persist lock").durability
+    }
+
+    /// Change the durability policy of a live store — the degradation
+    /// ladder demotes to [`Durability::Never`] when syncs keep failing.
+    pub fn set_durability(&self, durability: Durability) {
+        self.inner.lock().expect("persist lock").durability = durability;
+    }
+
+    /// Install a fault-injection hook. Sites consulted: see [`fault_site`].
+    pub fn set_fault_hook(&self, hook: FaultHook) {
+        self.inner.lock().expect("persist lock").fault = Some(hook);
     }
 
     /// What recovery found when this handle was opened.
@@ -304,13 +346,16 @@ impl Persist {
     pub fn append(&self, rec: &Record) -> io::Result<AppendOutcome> {
         let payload = rec.encode();
         let mut inner = self.inner.lock().expect("persist lock");
+        if inner.faulted(fault_site::APPEND) {
+            return Err(injected(fault_site::APPEND));
+        }
         let bytes = wal::append_frame(&mut inner.wal, &payload)?;
         inner.fold.apply(rec.clone());
         inner.wal_bytes += bytes;
         inner.records_total += 1;
         inner.unsynced_records += 1;
         inner.unsynced_bytes += bytes;
-        let synced = match self.durability {
+        let synced = match inner.durability {
             Durability::Always => true,
             Durability::Batch => {
                 inner.unsynced_records >= BATCH_RECORDS || inner.unsynced_bytes >= BATCH_BYTES
@@ -318,6 +363,9 @@ impl Persist {
             Durability::Never => false,
         };
         if synced {
+            if inner.faulted(fault_site::FSYNC) {
+                return Err(injected(fault_site::FSYNC));
+            }
             inner.wal.sync_all()?;
             inner.fsyncs_total += 1;
             inner.unsynced_records = 0;
@@ -334,6 +382,9 @@ impl Persist {
     pub fn sync(&self) -> io::Result<()> {
         let mut inner = self.inner.lock().expect("persist lock");
         if inner.unsynced_records > 0 {
+            if inner.faulted(fault_site::FSYNC) {
+                return Err(injected(fault_site::FSYNC));
+            }
             inner.wal.sync_all()?;
             inner.fsyncs_total += 1;
             inner.unsynced_records = 0;
@@ -356,13 +407,21 @@ impl Persist {
         {
             let mut f = File::create(&tmp)?;
             wal::append_frame(&mut f, &payload)?;
-            if self.durability != Durability::Never {
+            if inner.durability != Durability::Never {
+                if inner.faulted(fault_site::FSYNC) {
+                    let _ = fs::remove_file(&tmp);
+                    return Err(injected(fault_site::FSYNC));
+                }
                 f.sync_all()?;
                 inner.fsyncs_total += 1;
             }
         }
+        if inner.faulted(fault_site::RENAME) {
+            let _ = fs::remove_file(&tmp);
+            return Err(injected(fault_site::RENAME));
+        }
         fs::rename(&tmp, snap_path(&self.dir, next))?;
-        if self.durability != Durability::Never {
+        if inner.durability != Durability::Never {
             sync_dir(&self.dir)?;
         }
 
@@ -411,7 +470,7 @@ impl Persist {
             records_total: inner.records_total,
             fsyncs_total: inner.fsyncs_total,
             compactions_total: inner.compactions_total,
-            durability: self.durability,
+            durability: inner.durability,
             recovery: self.recovery.clone(),
         }
     }
@@ -574,6 +633,80 @@ mod tests {
         assert_eq!(info.generation, 1);
         assert_eq!(info.snapshots_skipped, 1);
         assert!(recovered.sessions.is_empty());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Injected append faults fail without writing a byte or touching the
+    /// fold, injected fsync faults fail after the bytes hit the WAL, and
+    /// an injected rename aborts compaction with no generation switch.
+    #[test]
+    fn fault_hook_fails_the_named_sites_only() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let dir = temp_dir("fault");
+        let (p, _, _) = Persist::open(&dir, Durability::Always).unwrap();
+        let arm_append = Arc::new(AtomicBool::new(false));
+        let arm_fsync = Arc::new(AtomicBool::new(false));
+        let arm_rename = Arc::new(AtomicBool::new(false));
+        let (a, f, r) = (arm_append.clone(), arm_fsync.clone(), arm_rename.clone());
+        p.set_fault_hook(Arc::new(move |site| match site {
+            fault_site::APPEND => a.load(Ordering::Relaxed),
+            fault_site::FSYNC => f.load(Ordering::Relaxed),
+            fault_site::RENAME => r.load(Ordering::Relaxed),
+            _ => false,
+        }));
+
+        p.append(&submit(0)).unwrap();
+
+        arm_append.store(true, Ordering::Relaxed);
+        assert!(p.append(&submit(1)).is_err());
+        arm_append.store(false, Ordering::Relaxed);
+        assert_eq!(p.state().sessions.len(), 1, "failed append left no trace");
+
+        arm_fsync.store(true, Ordering::Relaxed);
+        assert!(p.append(&submit(1)).is_err());
+        arm_fsync.store(false, Ordering::Relaxed);
+        assert_eq!(
+            p.state().sessions.len(),
+            2,
+            "fsync failure happens after the record is in the WAL"
+        );
+
+        arm_rename.store(true, Ordering::Relaxed);
+        assert!(p.compact().is_err());
+        arm_rename.store(false, Ordering::Relaxed);
+        let stats = p.stats();
+        assert_eq!(stats.generation, 0, "aborted compaction keeps generation");
+        assert!(
+            !snap_path(&dir, 1).exists() && !dir.join("snap-1.tmp").exists(),
+            "aborted compaction leaves no snapshot or temp file"
+        );
+        p.compact().unwrap();
+        assert_eq!(p.stats().generation, 1);
+
+        // Everything recovered on reopen despite the injected turbulence.
+        drop(p);
+        let (_p, state, _) = Persist::open(&dir, Durability::Always).unwrap();
+        assert_eq!(state.sessions.len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Demoting a live store to `Never` stops the fsync stream — the
+    /// degradation ladder's escape hatch when the disk misbehaves.
+    #[test]
+    fn set_durability_demotes_a_live_store() {
+        let dir = temp_dir("demote");
+        let (p, _, _) = Persist::open(&dir, Durability::Always).unwrap();
+        p.append(&submit(0)).unwrap();
+        let fsyncs = p.stats().fsyncs_total;
+        assert!(fsyncs > 0);
+        p.set_durability(Durability::Never);
+        assert_eq!(p.durability(), Durability::Never);
+        for i in 1..10 {
+            assert!(!p.append(&submit(i)).unwrap().synced);
+        }
+        assert_eq!(p.stats().fsyncs_total, fsyncs, "no fsyncs after demotion");
+        assert_eq!(p.stats().durability, Durability::Never);
         fs::remove_dir_all(dir).unwrap();
     }
 

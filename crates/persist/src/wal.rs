@@ -91,6 +91,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let file = OpenOptions::new()
             .create(true)
+            .truncate(true)
             .read(true)
             .write(true)
             .open(&path)

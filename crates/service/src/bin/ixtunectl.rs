@@ -38,48 +38,57 @@ fn main() {
         usage();
         exit(2);
     };
+    if matches!(cmd.as_str(), "--help" | "-h" | "help") {
+        usage();
+        return;
+    }
     let rest = &args[1..];
     let client = Client::new(addr);
 
-    let outcome = match cmd.as_str() {
+    // Every daemon-side failure surfaces here as `Err` carrying the typed
+    // `ErrorCode` string ("UnknownSession: no session 7"), and the process
+    // exits nonzero — scripts can trust the exit status, not just stdout.
+    if let Err(e) = run(&cmd, rest, &client) {
+        eprintln!("error: {e}");
+        if e.starts_with("unknown command") {
+            usage();
+            exit(2);
+        }
+        exit(1);
+    }
+}
+
+/// Dispatch one verb against the daemon. Unit-testable: the binary's
+/// stdout is plain progress text, all failures come back as `Err`.
+fn run(cmd: &str, rest: &[String], client: &Client) -> Result<(), String> {
+    match cmd {
         "ping" => client.ping().map(|()| println!("pong")),
-        "submit" => submit(&client, rest),
+        "submit" => submit(client, rest),
         "status" => client
-            .status(id_arg(rest))
+            .status(id_arg(rest)?)
             .map(|s| println!("{}", serde_json::to_string(&s).unwrap())),
         "result" => client
-            .result(id_arg(rest))
+            .result(id_arg(rest)?)
             .map(|r| println!("{}", serde_json::to_string(&r).unwrap())),
-        "cancel" => client.cancel(id_arg(rest)).map(|()| println!("cancelled")),
-        "suspend" => client.suspend(id_arg(rest)).map(|()| println!("suspended")),
-        "resume" => client.resume(id_arg(rest)).map(|()| println!("resumed")),
+        "cancel" => client.cancel(id_arg(rest)?).map(|()| println!("cancelled")),
+        "suspend" => client
+            .suspend(id_arg(rest)?)
+            .map(|()| println!("suspended")),
+        "resume" => client.resume(id_arg(rest)?).map(|()| println!("resumed")),
         "list" => client.list().map(|sessions| {
             for s in sessions {
                 println!("{}", serde_json::to_string(&s).unwrap());
             }
         }),
-        "top" => top(&client),
+        "top" => top(client),
         "metrics" => client.metrics().map(|text| print!("{text}")),
-        "trace" => client.trace(id_arg(rest)).map(|json| println!("{json}")),
-        "store" => store(&client, rest),
+        "trace" => client.trace(id_arg(rest)?).map(|json| println!("{json}")),
+        "store" => store(client, rest),
         "persist" => client
             .persist_stats()
             .map(|s| println!("{}", serde_json::to_string(&s).unwrap())),
         "shutdown" => client.shutdown().map(|()| println!("shutdown requested")),
-        "--help" | "-h" | "help" => {
-            usage();
-            return;
-        }
-        other => {
-            eprintln!("unknown command `{other}`");
-            usage();
-            exit(2);
-        }
-    };
-
-    if let Err(e) = outcome {
-        eprintln!("error: {e}");
-        exit(1);
+        other => Err(format!("unknown command `{other}`")),
     }
 }
 
@@ -144,9 +153,11 @@ fn submit(client: &Client, rest: &[String]) -> Result<(), String> {
     if wait {
         let status = client.wait_terminal(id, Duration::from_secs(3600))?;
         println!("{}", serde_json::to_string(&status).unwrap());
-        if let Ok(result) = client.result(id) {
-            println!("{}", serde_json::to_string(&result).unwrap());
-        }
+        // Propagate, don't swallow: a session that settled Failed has no
+        // result, and `--wait` must exit nonzero with the typed code
+        // (`NoResult: …`) rather than pretend the tuning succeeded.
+        let result = client.result(id)?;
+        println!("{}", serde_json::to_string(&result).unwrap());
     }
     Ok(())
 }
@@ -210,15 +221,10 @@ fn store(client: &Client, rest: &[String]) -> Result<(), String> {
     }
 }
 
-fn id_arg(rest: &[String]) -> u64 {
-    let Some(raw) = rest.first() else {
-        eprintln!("expected a session id");
-        exit(2);
-    };
-    raw.parse().unwrap_or_else(|_| {
-        eprintln!("invalid session id `{raw}`");
-        exit(2);
-    })
+fn id_arg(rest: &[String]) -> Result<u64, String> {
+    let raw = rest.first().ok_or("expected a session id")?;
+    raw.parse()
+        .map_err(|_| format!("invalid session id `{raw}`"))
 }
 
 fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
@@ -238,4 +244,120 @@ fn usage() {
          store:   stats|flush — inspect or empty the warm cost store\n\
          persist: durable store statistics (WAL, generation, recovery)"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixtune_service::{Daemon, ServiceConfig};
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn test_config(tag: &str) -> ServiceConfig {
+        let data_dir = std::env::temp_dir().join(format!("ixtunectl-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        ServiceConfig {
+            max_concurrent: 1,
+            queue_capacity: 4,
+            max_session_threads: 1,
+            data_dir,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Every verb against a live daemon: successes return `Ok`, and every
+    /// daemon-side failure comes back as `Err` carrying the typed
+    /// `ErrorCode` string — which `main` turns into a nonzero exit.
+    #[test]
+    fn each_verb_reports_daemon_errors_as_err() {
+        let daemon = Daemon::start(test_config("verbs"), "127.0.0.1:0").unwrap();
+        let client = Client::new(daemon.addr().to_string());
+
+        assert!(run("ping", &[], &client).is_ok());
+        assert!(run("list", &[], &client).is_ok());
+        assert!(run("top", &[], &client).is_ok());
+        assert!(run("metrics", &[], &client).is_ok());
+        assert!(run("persist", &[], &client).is_ok());
+        assert!(run("store", &strs(&["stats"]), &client).is_ok());
+        assert!(run("store", &strs(&["flush"]), &client).is_ok());
+
+        // A full happy-path submit --wait prints the result and is Ok.
+        let submit_args = strs(&[
+            "--workload",
+            "synth:3",
+            "--algorithm",
+            "greedy",
+            "--k",
+            "3",
+            "--budget",
+            "30",
+            "--wait",
+        ]);
+        assert!(run("submit", &submit_args, &client).is_ok());
+        assert!(run("status", &strs(&["0"]), &client).is_ok());
+        assert!(run("result", &strs(&["0"]), &client).is_ok());
+        assert!(run("trace", &strs(&["0"]), &client).is_ok());
+
+        // Daemon-side errors carry the ErrorCode name, never exit 0.
+        for (cmd, id, code) in [
+            ("status", "99", "UnknownSession"),
+            ("result", "99", "UnknownSession"),
+            ("cancel", "99", "UnknownSession"),
+            ("suspend", "99", "UnknownSession"),
+            ("resume", "99", "UnknownSession"),
+            ("trace", "99", "UnknownSession"),
+            ("cancel", "0", "AlreadyTerminal"),
+            ("suspend", "0", "NotResumable"),
+            ("resume", "0", "NotSuspended"),
+        ] {
+            let err = run(cmd, &strs(&[id]), &client).unwrap_err();
+            assert!(
+                err.starts_with(code),
+                "`{cmd} {id}` should fail with {code}, got: {err}"
+            );
+        }
+
+        // Client-side argument errors are Err too (no silent success).
+        assert!(run("status", &[], &client).is_err());
+        assert!(run("status", &strs(&["abc"]), &client).is_err());
+        assert!(run("store", &strs(&["bogus"]), &client).is_err());
+        assert!(run("bogus", &[], &client).is_err());
+
+        assert!(run("shutdown", &[], &client).is_ok());
+        daemon.join();
+    }
+
+    /// The `--wait` path must propagate a missing result: a session that
+    /// settles `Failed` (here via an injected worker panic) makes
+    /// `submit --wait` return `Err(NoResult: …)` instead of printing the
+    /// terminal status and exiting 0.
+    #[test]
+    fn submit_wait_propagates_failed_sessions() {
+        let mut cfg = test_config("wait-fail");
+        cfg.fault_spec = "seed=1;worker.panic=every1".into();
+        let daemon = Daemon::start(cfg, "127.0.0.1:0").unwrap();
+        let client = Client::new(daemon.addr().to_string());
+
+        let submit_args = strs(&[
+            "--workload",
+            "synth:3",
+            "--algorithm",
+            "greedy",
+            "--k",
+            "3",
+            "--budget",
+            "30",
+            "--wait",
+        ]);
+        let err = run("submit", &submit_args, &client).unwrap_err();
+        assert!(
+            err.starts_with("NoResult"),
+            "failed session must surface the typed code, got: {err}"
+        );
+
+        assert!(run("shutdown", &[], &client).is_ok());
+        daemon.join();
+    }
 }

@@ -6,8 +6,12 @@
 //!         [--queue-capacity N] [--max-session-threads N] \
 //!         [--data-dir DIR] [--durability always|batch|never] \
 //!         [--wal-compact-bytes N] [--warm-store-bytes N] \
-//!         [--prepared-capacity N]
+//!         [--prepared-capacity N] [--fault-spec SPEC]
 //! ```
+//!
+//! `--fault-spec` (or the `IXTUNE_FAULT_SPEC` environment variable; the
+//! flag wins) arms the deterministic fault-injection plane, e.g.
+//! `seed=42;whatif.error=p0.05;wire.drop=every7` — see DESIGN.md §11.
 //!
 //! `--data-dir` is the daemon's durable root: restarting on the same
 //! directory replays the write-ahead log, so suspended sessions reappear
@@ -20,6 +24,9 @@ use std::process::exit;
 fn main() {
     let mut bind = "127.0.0.1:7311".to_string();
     let mut cfg = ServiceConfig::default();
+    if let Ok(spec) = std::env::var("IXTUNE_FAULT_SPEC") {
+        cfg.fault_spec = spec;
+    }
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -51,12 +58,21 @@ fn main() {
                 cfg.warm_store_bytes = parse(&value("--warm-store-bytes")) as u64
             }
             "--prepared-capacity" => cfg.prepared_capacity = parse(&value("--prepared-capacity")),
+            "--fault-spec" => {
+                let v = value("--fault-spec");
+                if let Err(e) = ixtune_common::fault::FaultPlan::parse(&v) {
+                    eprintln!("--fault-spec: {e}");
+                    exit(2);
+                }
+                cfg.fault_spec = v;
+            }
             "--help" | "-h" => {
                 println!(
                     "ixtuned [--bind ADDR] [--max-concurrent N] [--queue-capacity N] \
                      [--max-session-threads N] [--data-dir DIR] \
                      [--durability always|batch|never] [--wal-compact-bytes N] \
-                     [--warm-store-bytes N] [--prepared-capacity N]"
+                     [--warm-store-bytes N] [--prepared-capacity N] \
+                     [--fault-spec SPEC]"
                 );
                 return;
             }

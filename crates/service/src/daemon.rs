@@ -4,11 +4,18 @@
 use crate::manager::SessionManager;
 use crate::proto::{write_line, ErrorCode, ErrorPayload, Request, Response};
 use crate::spec::ServiceConfig;
-use std::io::{BufRead, BufReader, ErrorKind};
+use ixtune_common::fault::{site, FaultPlan};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Hard cap on one request line. The protocol's largest legitimate
+/// request is a `Submit` spec (well under a kilobyte); anything beyond
+/// this is a runaway or hostile client and is answered with
+/// `BadRequest` before the buffer can grow unboundedly.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
 
 pub struct Daemon {
     addr: SocketAddr,
@@ -95,6 +102,7 @@ fn handle_connection(
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
+    let faults = manager.fault_plan().clone();
     // `read_line` appends, so a line split across timeouts accumulates.
     let mut buf = String::new();
     loop {
@@ -102,12 +110,31 @@ fn handle_connection(
             Ok(0) => return, // EOF
             Ok(_) => {}
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if manager.is_shutdown() {
+                if manager.is_shutdown() || buf.len() > MAX_REQUEST_BYTES {
                     return;
                 }
                 continue;
             }
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Bytes that are not UTF-8 cannot be part of any valid
+                // request; answer with the typed code, then close (the
+                // stream cannot be resynchronized mid-garbage).
+                let resp = Response::Error(ErrorPayload::new(
+                    ErrorCode::BadRequest,
+                    "request is not valid UTF-8",
+                ));
+                let _ = send_response(&mut writer, &resp, &faults);
+                return;
+            }
             Err(_) => return,
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            let resp = Response::Error(ErrorPayload::new(
+                ErrorCode::BadRequest,
+                format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+            ));
+            let _ = send_response(&mut writer, &resp, &faults);
+            return;
         }
         let line = buf.trim();
         let msg = if line.is_empty() {
@@ -127,7 +154,7 @@ fn handle_connection(
                 let shutdown = matches!(req, Request::Shutdown);
                 let resp = dispatch(req, manager);
                 if shutdown {
-                    let _ = write_line(&mut writer, &resp);
+                    let _ = send_response(&mut writer, &resp, &faults);
                     // Unblock the accept loop so it observes the flag.
                     if let Some(addr) = self_addr {
                         nudge_accept(addr);
@@ -137,10 +164,41 @@ fn handle_connection(
                 resp
             }
         };
-        if write_line(&mut writer, &response).is_err() {
+        if send_response(&mut writer, &response, &faults).is_err() {
             return;
         }
     }
+}
+
+/// Write one response, subject to the wire fault sites: `wire.drop`
+/// closes the connection with no bytes, `wire.truncate` sends half the
+/// frame then closes, `wire.garble` flips a payload byte (framing intact,
+/// JSON broken). With an inert plan this is exactly [`write_line`].
+fn send_response(w: &mut impl Write, resp: &Response, faults: &FaultPlan) -> std::io::Result<()> {
+    if !faults.enabled() {
+        return write_line(w, resp);
+    }
+    if faults.fire(site::WIRE_DROP) {
+        return Err(std::io::Error::other("injected: wire.drop"));
+    }
+    let mut line =
+        serde_json::to_string(resp).map_err(|e| std::io::Error::other(format!("{e}")))?;
+    line.push('\n');
+    let mut bytes = line.into_bytes();
+    if faults.fire(site::WIRE_TRUNCATE) {
+        bytes.truncate(bytes.len() / 2);
+        w.write_all(&bytes)?;
+        w.flush()?;
+        return Err(std::io::Error::other("injected: wire.truncate"));
+    }
+    if faults.fire(site::WIRE_GARBLE) {
+        // Never the trailing newline: the client sees one complete line
+        // of invalid JSON, exercising its malformed-message path.
+        let mid = (bytes.len() - 1) / 2;
+        bytes[mid] ^= 0x20;
+    }
+    w.write_all(&bytes)?;
+    w.flush()
 }
 
 fn dispatch(req: Request, manager: &SessionManager) -> Response {

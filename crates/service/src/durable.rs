@@ -13,6 +13,7 @@
 //! counter and stderr line but never take the daemon down: tuning keeps
 //! its in-memory correctness, only restart recovery degrades.
 
+use ixtune_common::fault::FaultPlan;
 use ixtune_common::{IndexSet, QueryId};
 use ixtune_core::warm::WarmStore;
 use ixtune_obs::{Counter, Gauge, MetricsRegistry, TraceRecorder};
@@ -21,7 +22,9 @@ use ixtune_persist::{
 };
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Trace scope for daemon-level persist spans. Session spans use the
 /// session id as their scope; `u64::MAX` can never collide with one
@@ -30,6 +33,22 @@ pub const DAEMON_SCOPE: u64 = u64::MAX;
 
 /// Bucket bounds for the recovery-duration histogram, in milliseconds.
 const RECOVERY_BOUNDS: [f64; 8] = [1.0, 5.0, 25.0, 100.0, 500.0, 2_500.0, 10_000.0, 60_000.0];
+
+/// Attempts per durable operation before the degradation ladder engages.
+const IO_ATTEMPTS: u32 = 3;
+
+/// Deterministic exponential backoff with seeded jitter: attempt `a`
+/// (1-based) sleeps `2^(a-1)` ms plus up to one extra millisecond derived
+/// from the seed — reproducible under a fixed fault plan, and never
+/// synchronized across daemons running with different seeds.
+fn backoff(seed: u64, attempt: u32) -> Duration {
+    let base_us = 1_000u64 << u64::from((attempt - 1).min(6));
+    let mut z = seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(attempt) + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    Duration::from_micros(base_us + z % 1_000)
+}
 
 /// The manager's handle on the durable store: append + compact with
 /// observability, opened once at daemon start.
@@ -42,6 +61,9 @@ pub struct DurableLog {
     io_errors_total: Arc<Counter>,
     compactions_total: Arc<Counter>,
     wal_bytes: Arc<Gauge>,
+    degraded_gauge: Arc<Gauge>,
+    demoted: AtomicBool,
+    backoff_seed: u64,
 }
 
 impl DurableLog {
@@ -53,9 +75,14 @@ impl DurableLog {
         durability: Durability,
         registry: &Arc<MetricsRegistry>,
         tracer: &Arc<TraceRecorder>,
+        faults: &FaultPlan,
     ) -> io::Result<(Self, PersistState)> {
         let t0 = tracer.now_us();
         let (persist, state, info) = Persist::open(data_dir, durability)?;
+        if faults.enabled() {
+            let plan = faults.clone();
+            persist.set_fault_hook(Arc::new(move |site| plan.fire(site)));
+        }
 
         let records_total = registry.counter(
             "ixtune_persist_records_total",
@@ -85,6 +112,11 @@ impl DurableLog {
         let wal_bytes = registry.gauge(
             "ixtune_persist_wal_bytes",
             "Live write-ahead log size in bytes",
+            &[],
+        );
+        let degraded_gauge = registry.gauge(
+            "ixtune_persist_degraded",
+            "1 once persistent IO failure demoted durability to in-memory only",
             &[],
         );
         registry
@@ -124,69 +156,123 @@ impl DurableLog {
                 io_errors_total,
                 compactions_total,
                 wal_bytes,
+                degraded_gauge,
+                demoted: AtomicBool::new(false),
+                backoff_seed: faults.seed(),
             },
             state,
         ))
     }
 
+    /// Whether the degradation ladder has demoted durability to
+    /// in-memory only.
+    pub fn degraded(&self) -> bool {
+        self.demoted.load(Ordering::SeqCst)
+    }
+
+    /// The degradation ladder's last rung: persistent IO failure stops
+    /// the store from issuing fsyncs and the log from retrying. Tuning
+    /// keeps its in-memory correctness; restart recovery is forfeited
+    /// until an operator intervenes. Idempotent.
+    fn demote(&self, err: &io::Error) {
+        if self.demoted.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.persist.set_durability(Durability::Never);
+        self.degraded_gauge.set(1.0);
+        let t0 = self.tracer.now_us();
+        self.tracer.complete(
+            "persist-degraded",
+            "persist",
+            DAEMON_SCOPE,
+            t0,
+            vec![("error".into(), err.to_string())],
+        );
+        eprintln!("ixtuned: persistence degraded to in-memory only: {err}");
+    }
+
     /// Append one record, mirroring the outcome into metrics and a
-    /// `wal-append` span. Errors are counted, not propagated.
+    /// `wal-append` span. Errors are counted, retried with deterministic
+    /// backoff, and finally absorbed by the degradation ladder — never
+    /// propagated. A retry after a failed *fsync* may re-append the record;
+    /// replay folds are idempotent so duplicates are harmless.
     pub fn append(&self, rec: &Record) {
         let t0 = self.tracer.now_us();
-        match self.persist.append(rec) {
-            Ok(out) => {
-                self.records_total.inc();
-                if out.synced {
-                    self.fsyncs_total.inc();
+        let max = if self.degraded() { 1 } else { IO_ATTEMPTS };
+        let mut attempt = 0u32;
+        loop {
+            match self.persist.append(rec) {
+                Ok(out) => {
+                    self.records_total.inc();
+                    if out.synced {
+                        self.fsyncs_total.inc();
+                    }
+                    self.wal_bytes.set(out.wal_bytes as f64);
+                    self.tracer.complete(
+                        "wal-append",
+                        "persist",
+                        DAEMON_SCOPE,
+                        t0,
+                        vec![
+                            ("bytes".into(), out.bytes.to_string()),
+                            ("synced".into(), out.synced.to_string()),
+                        ],
+                    );
+                    return;
                 }
-                self.wal_bytes.set(out.wal_bytes as f64);
-                self.tracer.complete(
-                    "wal-append",
-                    "persist",
-                    DAEMON_SCOPE,
-                    t0,
-                    vec![
-                        ("bytes".into(), out.bytes.to_string()),
-                        ("synced".into(), out.synced.to_string()),
-                    ],
-                );
-            }
-            Err(e) => {
-                self.io_errors_total.inc();
-                eprintln!("ixtuned: WAL append failed: {e}");
+                Err(e) => {
+                    self.io_errors_total.inc();
+                    attempt += 1;
+                    if attempt >= max {
+                        eprintln!("ixtuned: WAL append failed after {attempt} attempt(s): {e}");
+                        self.demote(&e);
+                        return;
+                    }
+                    std::thread::sleep(backoff(self.backoff_seed, attempt));
+                }
             }
         }
     }
 
     /// Compact when the WAL has outgrown `threshold` bytes. Called after a
-    /// session settles — off every tuning hot path.
+    /// session settles — off every tuning hot path. An aborted compaction
+    /// keeps the previous generation intact, so retrying is always safe.
     pub fn maybe_compact(&self, threshold: u64) -> Option<CompactOutcome> {
         if self.persist.stats().wal_bytes <= threshold {
             return None;
         }
         let t0 = self.tracer.now_us();
-        match self.persist.compact() {
-            Ok(out) => {
-                self.compactions_total.inc();
-                self.fsyncs_total.inc();
-                self.wal_bytes.set(0.0);
-                self.tracer.complete(
-                    "compaction",
-                    "persist",
-                    DAEMON_SCOPE,
-                    t0,
-                    vec![
-                        ("generation".into(), out.generation.to_string()),
-                        ("snapshot_bytes".into(), out.snapshot_bytes.to_string()),
-                        ("pruned_files".into(), out.pruned_files.to_string()),
-                    ],
-                );
-                Some(out)
-            }
-            Err(e) => {
-                self.io_errors_total.inc();
-                eprintln!("ixtuned: compaction failed: {e}");
-                None
+        let max = if self.degraded() { 1 } else { IO_ATTEMPTS };
+        let mut attempt = 0u32;
+        loop {
+            match self.persist.compact() {
+                Ok(out) => {
+                    self.compactions_total.inc();
+                    self.fsyncs_total.inc();
+                    self.wal_bytes.set(0.0);
+                    self.tracer.complete(
+                        "compaction",
+                        "persist",
+                        DAEMON_SCOPE,
+                        t0,
+                        vec![
+                            ("generation".into(), out.generation.to_string()),
+                            ("snapshot_bytes".into(), out.snapshot_bytes.to_string()),
+                            ("pruned_files".into(), out.pruned_files.to_string()),
+                        ],
+                    );
+                    return Some(out);
+                }
+                Err(e) => {
+                    self.io_errors_total.inc();
+                    attempt += 1;
+                    if attempt >= max {
+                        eprintln!("ixtuned: compaction failed after {attempt} attempt(s): {e}");
+                        self.demote(&e);
+                        return None;
+                    }
+                    std::thread::sleep(backoff(self.backoff_seed, attempt));
+                }
             }
         }
     }
@@ -238,25 +324,32 @@ pub fn warm_batch_record(
 
 /// Re-absorb recovered warm tables into the live store. Rows that fail
 /// structural validation (foreign block counts, out-of-range queries) are
-/// dropped individually — a partially valid table still contributes.
-/// Returns the number of entries imported.
-pub fn import_warm(state: &PersistState, store: &WarmStore) -> usize {
+/// poisoned: each is dropped individually and counted, so a partially
+/// valid table still contributes. Returns `(imported, dropped)` entry
+/// counts.
+pub fn import_warm(state: &PersistState, store: &WarmStore) -> (usize, usize) {
     let mut imported = 0;
+    let mut dropped = 0;
     for ((key, fingerprint), table) in &state.warm {
         let num_queries = table.num_queries as usize;
         let universe = table.universe as usize;
         let ledger: Vec<(QueryId, IndexSet, f64)> = table
             .entries
             .iter()
-            .filter(|e| (e.query as usize) < num_queries)
             .filter_map(|e| {
-                IndexSet::from_blocks(universe, e.blocks.clone())
-                    .map(|set| (QueryId::new(e.query), set, f64::from_bits(e.cost_bits)))
+                let row = ((e.query as usize) < num_queries)
+                    .then(|| IndexSet::from_blocks(universe, e.blocks.clone()))
+                    .flatten()
+                    .map(|set| (QueryId::new(e.query), set, f64::from_bits(e.cost_bits)));
+                if row.is_none() {
+                    dropped += 1;
+                }
+                row
             })
             .collect();
         imported += store.absorb(key, *fingerprint, num_queries, universe, ledger);
     }
-    imported
+    (imported, dropped)
 }
 
 #[cfg(test)]
@@ -274,7 +367,14 @@ mod tests {
     fn open(dir: &Path) -> (DurableLog, PersistState, Arc<MetricsRegistry>) {
         let registry = Arc::new(MetricsRegistry::new());
         let tracer = Arc::new(TraceRecorder::new(256));
-        let (log, state) = DurableLog::open(dir, Durability::Always, &registry, &tracer).unwrap();
+        let (log, state) = DurableLog::open(
+            dir,
+            Durability::Always,
+            &registry,
+            &tracer,
+            &FaultPlan::none(),
+        )
+        .unwrap();
         (log, state, registry)
     }
 
@@ -347,10 +447,43 @@ mod tests {
             ],
         }));
         let store = WarmStore::new(1 << 20);
-        assert_eq!(import_warm(&state, &store), 1);
+        assert_eq!(import_warm(&state, &store), (1, 2));
         let set = IndexSet::from_blocks(8, vec![0b101]).unwrap();
         let snap = store.checkout("synth:1|mcts", 42, 4, 8);
         let cost = snap.get(QueryId::new(0), &set).expect("imported row");
         assert_eq!(cost.to_bits(), 1.5f64.to_bits());
+    }
+
+    /// Under a fault plan that fails every append, the retry ladder runs
+    /// out and demotes durability to in-memory only — once. The daemon
+    /// keeps serving; the degraded gauge flips to 1.
+    #[test]
+    fn persistent_append_failure_engages_the_degradation_ladder() {
+        let dir = scratch("ladder");
+        let registry = Arc::new(MetricsRegistry::new());
+        let tracer = Arc::new(TraceRecorder::new(256));
+        let plan = FaultPlan::parse("seed=7;persist.append=p1").unwrap();
+        let (log, _) =
+            DurableLog::open(&dir, Durability::Always, &registry, &tracer, &plan).unwrap();
+        assert!(!log.degraded());
+        log.append(&Record::SessionSubmitted {
+            id: 0,
+            spec_json: "{}".into(),
+        });
+        assert!(log.degraded(), "three failed attempts demote the store");
+        assert_eq!(log.stats().durability, Durability::Never);
+        let text = registry.render();
+        assert!(
+            text.contains("ixtune_persist_degraded 1"),
+            "degraded gauge missing from exposition:\n{text}"
+        );
+        // Demoted stores stop retrying: exactly one more io error per call.
+        let before = plan.injected(ixtune_persist::fault_site::APPEND);
+        log.append(&Record::SessionRunning { id: 0 });
+        assert_eq!(
+            plan.injected(ixtune_persist::fault_site::APPEND),
+            before + 1
+        );
+        std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -20,6 +20,7 @@ use crate::proto::{
     ErrorCode, ErrorPayload, ResultPayload, SessionState, SessionSummary, StatusPayload,
 };
 use crate::spec::{Prepared, ServiceConfig, SubmitSpec};
+use ixtune_common::fault::{site, FaultPlan};
 use ixtune_common::sync::Monitor;
 use ixtune_core::checkpoint::MctsCheckpoint;
 use ixtune_core::mcts::{MctsOutcome, MctsTuner};
@@ -27,6 +28,7 @@ use ixtune_core::obs::{publish_cache_hit_ratios, Obs};
 use ixtune_core::stop::{Progress, StopReason, StopSignal};
 use ixtune_core::tuner::{Tuner, TuningContext, TuningResult};
 use ixtune_core::warm::{WarmState, WarmStore, WarmStoreStats};
+use ixtune_core::SessionFaults;
 use ixtune_obs::{MetricsRegistry, TraceRecorder};
 use ixtune_persist::{PersistState, PersistStats, Record, SessionStatus};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
@@ -125,6 +127,9 @@ pub struct SessionManager {
     warm: Arc<WarmStore>,
     /// Durable WAL + snapshot store under `cfg.data_dir`.
     durable: Arc<DurableLog>,
+    /// Seeded fault plan compiled from `cfg.fault_spec`; inert (one
+    /// never-taken branch per site) when the spec is empty.
+    faults: FaultPlan,
 }
 
 impl SessionManager {
@@ -138,17 +143,35 @@ impl SessionManager {
         let registry = Arc::new(MetricsRegistry::new());
         let tracer = Arc::new(TraceRecorder::new(TRACE_CAPACITY));
         let warm = Arc::new(WarmStore::new(cfg.warm_store_bytes as usize));
+        let faults = FaultPlan::parse(&cfg.fault_spec)
+            .unwrap_or_else(|e| panic!("invalid fault spec {:?}: {e}", cfg.fault_spec));
+        if faults.enabled() {
+            eprintln!("ixtuned: fault injection armed: {}", faults.spec());
+        }
         std::fs::create_dir_all(cfg.checkpoint_dir())
             .unwrap_or_else(|e| panic!("create {:?}: {e}", cfg.checkpoint_dir()));
         let (durable, recovered) =
-            DurableLog::open(&cfg.data_dir, cfg.durability, &registry, &tracer)
+            DurableLog::open(&cfg.data_dir, cfg.durability, &registry, &tracer, &faults)
                 .unwrap_or_else(|e| panic!("open persist store in {:?}: {e}", cfg.data_dir));
         let durable = Arc::new(durable);
         // Warm capital first: the very first admitted session must check
-        // out every cost prior daemons paid for.
-        import_warm(&recovered, &warm);
+        // out every cost prior daemons paid for. Poisoned rows are dropped
+        // individually and surfaced as a counter.
+        let (_, poisoned) = import_warm(&recovered, &warm);
+        let poisoned_rows = registry.counter(
+            "ixtune_warm_poisoned_rows_total",
+            "Recovered warm-store rows dropped by structural validation",
+            &[],
+        );
+        poisoned_rows.add(poisoned as u64);
         let init = import_sessions(&recovered, &cfg);
-        cleanup_orphan_checkpoints(&cfg.checkpoint_dir(), &init);
+        let swept = cleanup_orphan_checkpoints(&cfg.checkpoint_dir(), &init);
+        let orphans_swept = registry.counter(
+            "ixtune_persist_orphans_swept_total",
+            "Orphaned checkpoint files removed at daemon start",
+            &[],
+        );
+        orphans_swept.add(swept as u64);
         let state = Arc::new(Monitor::new(init));
         let workers = (0..cfg.max_concurrent.max(1))
             .map(|_| {
@@ -158,8 +181,9 @@ impl SessionManager {
                 let tracer = Arc::clone(&tracer);
                 let warm = Arc::clone(&warm);
                 let durable = Arc::clone(&durable);
+                let faults = faults.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&state, &cfg, &registry, &tracer, &warm, &durable)
+                    worker_loop(&state, &cfg, &registry, &tracer, &warm, &durable, &faults)
                 })
             })
             .collect();
@@ -171,7 +195,13 @@ impl SessionManager {
             tracer,
             warm,
             durable,
+            faults,
         }
+    }
+
+    /// The daemon's compiled fault plan (inert when no spec was given).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The daemon-wide metrics registry (tests scrape it directly).
@@ -459,6 +489,20 @@ impl SessionManager {
         for (name, help, value) in warm_gauges {
             self.registry.gauge(name, help, &[]).set(value);
         }
+        // Fault-plan injection counts live on the plan (lock-free atomics
+        // on the injection path); published here as scrape-time deltas so
+        // the counter monotonicity contract holds.
+        for (fault_site, injected) in self.faults.sites() {
+            let counter = self.registry.counter(
+                "ixtune_fault_injected_total",
+                "Faults injected by the seeded fault plan, by site",
+                &[("site", fault_site)],
+            );
+            let seen = counter.get();
+            if injected > seen {
+                counter.add(injected - seen);
+            }
+        }
         publish_cache_hit_ratios(&self.registry);
         self.registry.render()
     }
@@ -620,23 +664,29 @@ fn import_sessions(recovered: &PersistState, cfg: &ServiceConfig) -> ManagerStat
 /// Remove checkpoint files no live suspension references — sessions that
 /// went terminal while their snapshot file lingered, or leftovers in a
 /// data dir whose WAL was lost.
-fn cleanup_orphan_checkpoints(dir: &Path, st: &ManagerState) {
+fn cleanup_orphan_checkpoints(dir: &Path, st: &ManagerState) -> usize {
     let live: HashSet<PathBuf> = st
         .sessions
         .values()
         .filter_map(|rec| rec.snapshot.clone())
         .collect();
     let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
+        return 0;
     };
+    let mut swept = 0;
     for entry in entries.flatten() {
         let path = entry.path();
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if name.starts_with("s-") && name.ends_with(".ckpt.json") && !live.contains(&path) {
-            let _ = std::fs::remove_file(&path);
+        if name.starts_with("s-")
+            && name.ends_with(".ckpt.json")
+            && !live.contains(&path)
+            && std::fs::remove_file(&path).is_ok()
+        {
+            swept += 1;
         }
     }
+    swept
 }
 
 /// Session states and their `ixtune_sessions{state=…}` gauge labels, in
@@ -666,6 +716,7 @@ fn worker_loop(
     tracer: &Arc<TraceRecorder>,
     warm_store: &Arc<WarmStore>,
     durable: &Arc<DurableLog>,
+    faults: &FaultPlan,
 ) {
     loop {
         // Claim: wait for work or shutdown, atomically marking the
@@ -755,6 +806,12 @@ fn worker_loop(
                 let obs = Obs::enabled(Arc::clone(registry), Some(Arc::clone(tracer)), id);
                 let warm_run = Arc::clone(&warm);
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    // The worker.panic site exercises the daemon's panic
+                    // containment end to end: the unwind is caught right
+                    // here, the session settles Failed, the worker lives.
+                    if faults.fire(site::WORKER_PANIC) {
+                        panic!("injected: worker panic");
+                    }
                     run_session(
                         &p,
                         &spec,
@@ -764,6 +821,7 @@ fn worker_loop(
                         id,
                         obs,
                         warm_run,
+                        faults,
                     )
                 }));
                 // Absorb the ledger whatever the outcome — completed,
@@ -889,10 +947,14 @@ fn run_session(
     id: u64,
     obs: Obs,
     warm: Arc<WarmState>,
+    faults: &FaultPlan,
 ) -> Settled {
+    // Each session gets its own degraded flag over the shared plan, so a
+    // what-if fault in one session never marks another Degraded.
     let ctx = TuningContext::new(&prepared.opt, &prepared.cands)
         .with_obs(obs.clone())
-        .with_warm(warm);
+        .with_warm(warm)
+        .with_faults(SessionFaults::new(faults.clone()));
     let req = spec.request(cfg.max_session_threads);
     use crate::spec::AlgorithmSpec;
     match spec.algorithm {

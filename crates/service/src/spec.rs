@@ -211,6 +211,10 @@ pub struct ServiceConfig {
     /// entries beyond this are dropped (sessions already holding an `Arc`
     /// finish unaffected).
     pub prepared_capacity: usize,
+    /// Seeded fault-injection spec (`--fault-spec` /
+    /// `IXTUNE_FAULT_SPEC`), e.g. `seed=42;whatif.error=p0.05`. Empty
+    /// disables injection entirely — the hot paths see one inert branch.
+    pub fault_spec: String,
 }
 
 impl ServiceConfig {
@@ -235,6 +239,7 @@ impl Default for ServiceConfig {
             wal_compact_bytes: 4 << 20,
             warm_store_bytes: 64 << 20,
             prepared_capacity: 8,
+            fault_spec: String::new(),
         }
     }
 }

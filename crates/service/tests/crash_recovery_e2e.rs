@@ -16,7 +16,7 @@ use ixtune_service::{
     AlgorithmSpec, Client, ResultPayload, SessionState, SubmitSpec, WorkloadSpec,
 };
 use std::io::{BufRead, BufReader};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::Duration;
 
@@ -41,7 +41,7 @@ impl Drop for DaemonProc {
 }
 
 impl DaemonProc {
-    fn spawn(data_dir: &PathBuf, durability: &str) -> Self {
+    fn spawn(data_dir: &Path, durability: &str) -> Self {
         let mut child = Command::new(env!("CARGO_BIN_EXE_ixtuned"))
             .args([
                 "--bind",
@@ -138,12 +138,30 @@ fn sigkill_then_restart_replays_results_and_warm_capital() {
     assert_eq!(before.telemetry.warm_hits, 0, "cold store before crash");
     daemon.kill();
 
+    // A checkpoint file no live suspension references — as if a session
+    // went terminal right as the process died. Restart must sweep it and
+    // account for the sweep on the orphan counter.
+    let orphan = dir.join("checkpoints").join("s-999.ckpt.json");
+    std::fs::write(&orphan, "{}").expect("plant orphan checkpoint");
+
     // Generation 2: same data dir. The finished session and its result
     // must have survived, and the warm store reopens fully charged.
     let daemon = DaemonProc::spawn(&dir, "always");
     let client = daemon.client();
     let after = client.result(a).expect("result survives the crash");
     assert_eq!(after, before, "recovered result is bit-identical");
+
+    assert!(!orphan.exists(), "orphaned checkpoint swept at start");
+    let metrics = client.metrics().expect("metrics verb");
+    assert!(
+        metrics.contains("ixtune_persist_orphans_swept_total 1"),
+        "sweep is accounted on the counter:\n{}",
+        metrics
+            .lines()
+            .filter(|l| l.contains("orphans"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 
     let persist = client.persist_stats().expect("persist verb");
     assert!(
